@@ -1,0 +1,85 @@
+//! Benchmarks of the Fig. 2 schedulability test — the whole-queue replan a
+//! head node runs on every arrival. Cost grows with the waiting-queue depth,
+//! which bounds the arrival rate a head node can sustain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rtdls_bench::{baseline, waiting_queue};
+use rtdls_core::admission::schedulability_test;
+use rtdls_core::prelude::*;
+
+fn bench_schedulability_test(c: &mut Criterion) {
+    let params = baseline();
+    let cfg = PlanConfig::default();
+    let releases = vec![SimTime::ZERO; params.num_nodes];
+    let candidate = Task::new(10_000, 500.0, 200.0, 1e6).with_user_nodes(Some(6));
+
+    let mut group = c.benchmark_group("schedulability_test");
+    for queue_len in [0usize, 4, 16, 64] {
+        let waiting = waiting_queue(queue_len);
+        for algorithm in [AlgorithmKind::EDF_DLT, AlgorithmKind::EDF_USER_SPLIT] {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.paper_name(), queue_len),
+                &waiting,
+                |b, waiting| {
+                    b.iter(|| {
+                        schedulability_test(
+                            &params,
+                            algorithm,
+                            &cfg,
+                            SimTime::new(500.0),
+                            black_box(&releases),
+                            black_box(waiting),
+                            Some(&candidate),
+                        )
+                        .expect("feasible queue")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_controller_submit(c: &mut Criterion) {
+    let params = baseline();
+    // Steady-state controller with a primed queue; measure one submit.
+    let mut group = c.benchmark_group("controller_submit");
+    for queue_len in [4usize, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(queue_len),
+            &queue_len,
+            |b, &queue_len| {
+                let mut ctl = AdmissionController::new(
+                    params,
+                    AlgorithmKind::EDF_DLT,
+                    PlanConfig::default(),
+                );
+                for t in waiting_queue(queue_len) {
+                    let _ = ctl.submit(t, t.arrival);
+                }
+                let probe = Task::new(99_999, 1_000.0, 150.0, 1e6);
+                b.iter(|| {
+                    let mut c = ctl.clone();
+                    black_box(c.submit(probe, SimTime::new(1_000.0)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_schedulability_test, bench_controller_submit
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! One benchmark group per paper figure: a scaled-down simulation of each
+//! figure's characteristic parameter point (load 0.7, horizon 2·10^5 — a few
+//! hundred tasks), timing the full pipeline (generation → admission →
+//! dispatch → completion) for each algorithm the figure compares.
+//!
+//! These benches measure *simulator throughput* per figure configuration;
+//! regenerating the figures' actual reject-ratio curves at paper scale is
+//! the job of `cargo run --release -p rtdls-experiments --bin figures`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use rtdls_experiments::figures::all_figures;
+use rtdls_sim::prelude::{run_simulation, SimConfig};
+use rtdls_workload::prelude::WorkloadGenerator;
+
+const BENCH_LOAD: f64 = 0.7;
+const BENCH_HORIZON: f64 = 2e5;
+const BENCH_SEED: u64 = 1;
+
+fn bench_every_figure(c: &mut Criterion) {
+    for figure in all_figures() {
+        let mut group = c.benchmark_group(&figure.id);
+        // The first panel is the figure's characteristic configuration; the
+        // remaining panels vary one parameter and are covered by the other
+        // figure groups or the figures binary.
+        let panel = &figure.panels[0];
+        let workload = panel.params.workload(BENCH_LOAD, BENCH_HORIZON);
+        let tasks: Vec<_> = WorkloadGenerator::new(workload, BENCH_SEED).collect();
+        group.throughput(Throughput::Elements(tasks.len() as u64));
+        for &algorithm in &panel.algorithms {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(algorithm.paper_name()),
+                &tasks,
+                |b, tasks| {
+                    b.iter(|| {
+                        let cfg = SimConfig::new(workload.params, algorithm);
+                        black_box(run_simulation(cfg, tasks.iter().copied()).metrics)
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_every_figure
+}
+criterion_main!(benches);

@@ -1,0 +1,476 @@
+//! The schedulability test and admission controller (Fig. 2 of the paper).
+//!
+//! On each task arrival the scheduler decides, *online*, whether the new task
+//! can be admitted without compromising any previously admitted task. The
+//! test rebuilds a tentative schedule ("TempSchedule") for the waiting queue
+//! plus the newcomer: tasks are taken in policy order, each is planned by the
+//! configured strategy against the evolving node-release vector, and any
+//! estimated deadline miss fails the whole test — the newcomer is rejected
+//! and the previously feasible plans are kept.
+//!
+//! Rejection here corresponds to the paper's deadline renegotiation footnote:
+//! the cluster proxy would bounce the job back to the client with modified
+//! parameters; from the scheduler's perspective the task simply leaves.
+
+use serde::{Deserialize, Serialize};
+
+use crate::algorithm::AlgorithmKind;
+use crate::error::Infeasible;
+use crate::params::ClusterParams;
+use crate::strategy::{plan_task, NodeAvailability, PlanConfig, TaskPlan};
+use crate::task::{Task, TaskId};
+use crate::time::SimTime;
+
+/// Why (and for which task) a schedulability test failed.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct AdmissionFailure {
+    /// The first task in policy order that could not be feasibly planned.
+    pub task: TaskId,
+    /// The planning-level reason.
+    pub reason: Infeasible,
+}
+
+impl core::fmt::Display for AdmissionFailure {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "task {:?} infeasible: {}", self.task, self.reason)
+    }
+}
+
+impl std::error::Error for AdmissionFailure {}
+
+// `Infeasible` is re-serialized through AdmissionFailure in results output.
+impl Serialize for Infeasible {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for Infeasible {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        // Round-trip by display string; unknown strings map to the generic
+        // rejection cause. Only used for result-file ingestion.
+        let s = String::deserialize(d)?;
+        Ok(match s.as_str() {
+            "deadline passes before any node is available" => Infeasible::DeadlineBeforeStart,
+            "not enough time to transmit the input data" => Infeasible::NoTimeForTransmission,
+            "no node count within the cluster meets the deadline" => Infeasible::NotEnoughNodes,
+            "user-split node request cannot meet the deadline" => {
+                Infeasible::UserRequestInfeasible
+            }
+            _ => Infeasible::CompletionAfterDeadline,
+        })
+    }
+}
+
+/// Runs the Fig. 2 schedulability test.
+///
+/// * `now` — the planning instant (the newcomer's arrival, or the current
+///   event time for a replanning pass).
+/// * `committed_releases` — per-node release times of *dispatched* work only
+///   (index = node id); waiting tasks are replanned from scratch.
+/// * `waiting` — currently admitted but undispatched tasks, any order.
+/// * `candidate` — the newly arrived task, or `None` for a replanning pass.
+///
+/// On success returns the feasible plans in policy (execution) order.
+///
+/// ```
+/// use rtdls_core::prelude::*;
+///
+/// let params = ClusterParams::paper_baseline();
+/// let idle = vec![SimTime::ZERO; params.num_nodes];
+/// let task = Task::new(1, 0.0, 200.0, 30_000.0);
+/// let plans = schedulability_test(
+///     &params,
+///     AlgorithmKind::EDF_DLT,
+///     &PlanConfig::default(),
+///     SimTime::ZERO,
+///     &idle,
+///     &[],          // empty waiting queue
+///     Some(&task),
+/// )
+/// .unwrap();
+/// assert_eq!(plans.len(), 1);
+/// assert!(!plans[0].est_completion.definitely_after(task.absolute_deadline()));
+/// ```
+pub fn schedulability_test(
+    params: &ClusterParams,
+    algorithm: AlgorithmKind,
+    cfg: &PlanConfig,
+    now: SimTime,
+    committed_releases: &[SimTime],
+    waiting: &[Task],
+    candidate: Option<&Task>,
+) -> Result<Vec<TaskPlan>, AdmissionFailure> {
+    debug_assert_eq!(committed_releases.len(), params.num_nodes);
+    let mut tasks: Vec<Task> = Vec::with_capacity(waiting.len() + 1);
+    tasks.extend_from_slice(waiting);
+    if let Some(t) = candidate {
+        tasks.push(*t);
+    }
+    algorithm.policy.sort(&mut tasks);
+
+    let mut releases = committed_releases.to_vec();
+    let mut plans = Vec::with_capacity(tasks.len());
+    for task in &tasks {
+        let avail = NodeAvailability::new(&releases, now);
+        let plan = plan_task(algorithm.strategy, task, &avail, params, cfg)
+            .map_err(|reason| AdmissionFailure { task: task.id, reason })?;
+        debug_assert!(
+            !plan.est_completion.definitely_after(task.absolute_deadline()),
+            "strategy returned a plan missing its deadline"
+        );
+        for (node, &rel) in plan.nodes.iter().zip(&plan.node_release_estimates) {
+            releases[node.index()] = rel;
+        }
+        plans.push(plan);
+    }
+    Ok(plans)
+}
+
+/// The outcome of submitting a task to the [`AdmissionController`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decision {
+    /// Admitted; the waiting queue was replanned and remains feasible.
+    Accepted,
+    /// Rejected; previously admitted tasks keep their plans.
+    Rejected(Infeasible),
+}
+
+impl Decision {
+    /// `true` if the task was admitted.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Decision::Accepted)
+    }
+}
+
+/// Stateful admission layer: the head node's view of the waiting queue, the
+/// committed node releases, and the current feasible plans.
+///
+/// This type is clock-agnostic — callers (the discrete-event simulator, or a
+/// real dispatcher) drive it with explicit times. Invariants:
+///
+/// * every waiting task has a plan whose estimate meets its deadline;
+/// * plans are kept in policy order (`plans()[0]` executes first);
+/// * committed releases only ever refer to dispatched work.
+#[derive(Clone, Debug)]
+pub struct AdmissionController {
+    params: ClusterParams,
+    algorithm: AlgorithmKind,
+    cfg: PlanConfig,
+    /// Per-node release time of committed (dispatched) work.
+    releases: Vec<SimTime>,
+    /// Waiting tasks with their current plans, in policy order.
+    queue: Vec<(Task, TaskPlan)>,
+}
+
+impl AdmissionController {
+    /// A controller for an idle cluster (all nodes available at time zero).
+    pub fn new(params: ClusterParams, algorithm: AlgorithmKind, cfg: PlanConfig) -> Self {
+        AdmissionController {
+            params,
+            algorithm,
+            cfg,
+            releases: vec![SimTime::ZERO; params.num_nodes],
+            queue: Vec::new(),
+        }
+    }
+
+    /// The algorithm this controller runs.
+    pub fn algorithm(&self) -> AlgorithmKind {
+        self.algorithm
+    }
+
+    /// Cluster parameters.
+    pub fn params(&self) -> &ClusterParams {
+        &self.params
+    }
+
+    /// Committed per-node release times (index = node id).
+    pub fn committed_releases(&self) -> &[SimTime] {
+        &self.releases
+    }
+
+    /// Current waiting tasks and plans, in execution order.
+    pub fn queue(&self) -> &[(Task, TaskPlan)] {
+        &self.queue
+    }
+
+    /// Number of waiting (admitted, undispatched) tasks.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Runs the schedulability test for a newly arrived task at time `now`
+    /// (normally `task.arrival`). On acceptance the whole waiting queue is
+    /// re-planned; on rejection nothing changes.
+    pub fn submit(&mut self, task: Task, now: SimTime) -> Decision {
+        let waiting: Vec<Task> = self.queue.iter().map(|(t, _)| *t).collect();
+        match schedulability_test(
+            &self.params,
+            self.algorithm,
+            &self.cfg,
+            now,
+            &self.releases,
+            &waiting,
+            Some(&task),
+        ) {
+            Ok(plans) => {
+                self.install(plans, waiting, Some(task));
+                Decision::Accepted
+            }
+            Err(f) => Decision::Rejected(f.reason),
+        }
+    }
+
+    /// Re-plans the waiting queue against the current committed releases
+    /// (used when nodes free up earlier than estimated, letting waiting
+    /// tasks "utilize a processor as soon as it becomes available").
+    ///
+    /// Admitted tasks were feasible under release times that can only have
+    /// moved *earlier*; failure therefore indicates a broken invariant and is
+    /// surfaced as an error rather than silently dropping a guarantee.
+    pub fn replan(&mut self, now: SimTime) -> Result<(), AdmissionFailure> {
+        if self.queue.is_empty() {
+            return Ok(());
+        }
+        let waiting: Vec<Task> = self.queue.iter().map(|(t, _)| *t).collect();
+        let plans = schedulability_test(
+            &self.params,
+            self.algorithm,
+            &self.cfg,
+            now,
+            &self.releases,
+            &waiting,
+            None,
+        )?;
+        self.install(plans, waiting, None);
+        Ok(())
+    }
+
+    /// Rebuilds the queue from plans returned in policy order.
+    fn install(&mut self, plans: Vec<TaskPlan>, waiting: Vec<Task>, new_task: Option<Task>) {
+        let mut by_id: Vec<(TaskId, Task)> = waiting
+            .into_iter()
+            .chain(new_task)
+            .map(|t| (t.id, t))
+            .collect();
+        self.queue.clear();
+        for plan in plans {
+            let pos = by_id
+                .iter()
+                .position(|(id, _)| *id == plan.task)
+                .expect("plan for unknown task");
+            let (_, task) = by_id.swap_remove(pos);
+            self.queue.push((task, plan));
+        }
+        debug_assert!(by_id.is_empty(), "every waiting task must be planned");
+    }
+
+    /// The earliest planned first-transmission instant across the waiting
+    /// queue — when the next dispatch is due (if plans do not change first).
+    pub fn next_dispatch_due(&self) -> Option<SimTime> {
+        self.queue.iter().map(|(_, p)| p.first_start()).min()
+    }
+
+    /// Removes and returns every waiting task whose plan is due at `now`
+    /// (first transmission start ≤ `now` within tolerance), committing its
+    /// node release estimates. The simulator then executes the plans exactly.
+    ///
+    /// Returns tasks in execution order.
+    pub fn take_due(&mut self, now: SimTime) -> Vec<(Task, TaskPlan)> {
+        let mut due = Vec::new();
+        // A dispatch changes committed releases, which can only delay other
+        // waiting plans' nodes — but those plans were computed against these
+        // very release estimates, so plans due at `now` stay valid. Retain
+        // execution order by scanning front to back.
+        let mut i = 0;
+        while i < self.queue.len() {
+            if self.queue[i].1.first_start().at_or_before_eps(now) {
+                let (task, plan) = self.queue.remove(i);
+                for (node, &rel) in plan.nodes.iter().zip(&plan.node_release_estimates) {
+                    self.releases[node.index()] = rel;
+                }
+                due.push((task, plan));
+            } else {
+                i += 1;
+            }
+        }
+        due
+    }
+
+    /// Overrides one node's committed release time with an *actual* value
+    /// (e.g. the exact completion computed at dispatch, or an early release).
+    pub fn set_node_release(&mut self, node: usize, time: SimTime) {
+        self.releases[node] = time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dlt::homogeneous;
+
+    fn params() -> ClusterParams {
+        ClusterParams::paper_baseline()
+    }
+
+    fn ctl(algorithm: AlgorithmKind) -> AdmissionController {
+        AdmissionController::new(params(), algorithm, PlanConfig::default())
+    }
+
+    fn task(id: u64, arrival: f64, sigma: f64, rel_deadline: f64) -> Task {
+        Task::new(id, arrival, sigma, rel_deadline)
+    }
+
+    #[test]
+    fn empty_cluster_accepts_feasible_task() {
+        let mut c = ctl(AlgorithmKind::EDF_DLT);
+        let t = task(1, 0.0, 200.0, 30_000.0);
+        assert!(c.submit(t, SimTime::ZERO).is_accepted());
+        assert_eq!(c.queue_len(), 1);
+        assert_eq!(c.next_dispatch_due(), Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn impossible_deadline_is_rejected_and_queue_untouched() {
+        let mut c = ctl(AlgorithmKind::EDF_DLT);
+        let ok = task(1, 0.0, 200.0, 30_000.0);
+        assert!(c.submit(ok, SimTime::ZERO).is_accepted());
+        // Deadline below the transmission time: hopeless.
+        let bad = task(2, 0.0, 200.0, 100.0);
+        let d = c.submit(bad, SimTime::ZERO);
+        assert_eq!(d, Decision::Rejected(Infeasible::NoTimeForTransmission));
+        assert_eq!(c.queue_len(), 1);
+        assert_eq!(c.queue()[0].0.id, TaskId(1));
+    }
+
+    #[test]
+    fn overload_rejects_newcomer_but_keeps_admitted() {
+        let mut c = ctl(AlgorithmKind::EDF_DLT);
+        let p = params();
+        let e16 = homogeneous::exec_time(&p, 800.0, 16);
+        // Fill the cluster with tasks whose deadlines are snug.
+        let mut admitted = 0;
+        for i in 0..50 {
+            let t = task(i, 0.0, 800.0, e16 * 3.0);
+            if c.submit(t, SimTime::ZERO).is_accepted() {
+                admitted += 1;
+            }
+        }
+        assert!(admitted >= 1, "at least the first task fits");
+        assert!(admitted < 50, "an overloaded cluster must reject eventually");
+        assert_eq!(c.queue_len(), admitted as usize);
+    }
+
+    #[test]
+    fn edf_admits_urgent_task_ahead_of_loose_queue() {
+        let mut c = ctl(AlgorithmKind::EDF_DLT);
+        let p = params();
+        let e16 = homogeneous::exec_time(&p, 200.0, 16);
+        // A loose task first…
+        assert!(c.submit(task(1, 0.0, 200.0, e16 * 50.0), SimTime::ZERO).is_accepted());
+        // …then an urgent one; EDF must reorder so it is planned first.
+        assert!(c.submit(task(2, 0.0, 200.0, e16 * 1.5), SimTime::ZERO).is_accepted());
+        assert_eq!(c.queue()[0].0.id, TaskId(2), "EDF puts the urgent task first");
+    }
+
+    #[test]
+    fn fifo_preserves_arrival_order() {
+        let mut c = ctl(AlgorithmKind::FIFO_DLT);
+        let p = params();
+        let e16 = homogeneous::exec_time(&p, 200.0, 16);
+        assert!(c.submit(task(1, 0.0, 200.0, e16 * 50.0), SimTime::ZERO).is_accepted());
+        assert!(c.submit(task(2, 1.0, 200.0, e16 * 2.0), SimTime::new(1.0)).is_accepted());
+        assert_eq!(c.queue()[0].0.id, TaskId(1));
+    }
+
+    #[test]
+    fn take_due_commits_release_estimates() {
+        let mut c = ctl(AlgorithmKind::EDF_DLT);
+        let t = task(1, 0.0, 200.0, 30_000.0);
+        assert!(c.submit(t, SimTime::ZERO).is_accepted());
+        let due = c.take_due(SimTime::ZERO);
+        assert_eq!(due.len(), 1);
+        assert_eq!(c.queue_len(), 0);
+        let plan = &due[0].1;
+        for (node, rel) in plan.nodes.iter().zip(&plan.node_release_estimates) {
+            assert_eq!(c.committed_releases()[node.index()], *rel);
+        }
+        // Nothing else due.
+        assert!(c.take_due(SimTime::new(1.0)).is_empty());
+        assert_eq!(c.next_dispatch_due(), None);
+    }
+
+    #[test]
+    fn replan_after_early_release_improves_start() {
+        let mut c = ctl(AlgorithmKind::EDF_DLT);
+        let p = params();
+        // Occupy the committed releases artificially.
+        for i in 0..16 {
+            c.set_node_release(i, SimTime::new(1_000.0));
+        }
+        let t = task(1, 0.0, 200.0, 1_000_000.0);
+        assert!(c.submit(t, SimTime::ZERO).is_accepted());
+        let before = c.queue()[0].1.est_completion;
+        // Nodes free early: releases drop to 500.
+        for i in 0..16 {
+            c.set_node_release(i, SimTime::new(500.0));
+        }
+        c.replan(SimTime::new(500.0)).unwrap();
+        let after = c.queue()[0].1.est_completion;
+        assert!(after < before, "earlier releases must not delay completion");
+        let e = homogeneous::exec_time(&p, 200.0, c.queue()[0].1.n());
+        assert!((after.as_f64() - (500.0 + e)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn replan_with_empty_queue_is_noop() {
+        let mut c = ctl(AlgorithmKind::EDF_DLT);
+        c.replan(SimTime::new(42.0)).unwrap();
+        assert_eq!(c.queue_len(), 0);
+    }
+
+    #[test]
+    fn user_split_controller_respects_user_counts() {
+        let mut c = ctl(AlgorithmKind::EDF_USER_SPLIT);
+        let t = task(1, 0.0, 200.0, 30_000.0).with_user_nodes(Some(5));
+        assert!(c.submit(t, SimTime::ZERO).is_accepted());
+        assert_eq!(c.queue()[0].1.n(), 5);
+        // A task whose user gave up (no feasible count) is rejected.
+        let t = task(2, 0.0, 200.0, 30_000.0);
+        assert_eq!(
+            c.submit(t, SimTime::ZERO),
+            Decision::Rejected(Infeasible::UserRequestInfeasible)
+        );
+    }
+
+    #[test]
+    fn schedulability_test_is_pure() {
+        // Direct use of the free function: same inputs, same outputs, no
+        // hidden state.
+        let p = params();
+        let releases = vec![SimTime::ZERO; 16];
+        let t = task(1, 0.0, 200.0, 30_000.0);
+        let a = schedulability_test(
+            &p,
+            AlgorithmKind::EDF_DLT,
+            &PlanConfig::default(),
+            SimTime::ZERO,
+            &releases,
+            &[],
+            Some(&t),
+        )
+        .unwrap();
+        let b = schedulability_test(
+            &p,
+            AlgorithmKind::EDF_DLT,
+            &PlanConfig::default(),
+            SimTime::ZERO,
+            &releases,
+            &[],
+            Some(&t),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,11 @@
+//! Divisible Load Theory models.
+//!
+//! * [`homogeneous`] — single-round optimal partitioning with simultaneous
+//!   node allocation (the model of the authors' prior work \[22\]; supplies
+//!   `E(σ,n)` and the OPR baseline partition).
+//! * [`heterogeneous`] — the paper's contribution: the equivalent
+//!   heterogeneous model for nodes with *different available times*,
+//!   supplying `Ê(σ,n)`, the IIT-aware partition, and the Theorem-4 bounds.
+
+pub mod heterogeneous;
+pub mod homogeneous;

@@ -1,0 +1,74 @@
+//! Error types for model construction and planning.
+
+use core::fmt;
+
+/// Errors raised when constructing model objects from invalid inputs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModelError {
+    /// A parameter failed validation; the message names the constraint.
+    InvalidParams(&'static str),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Why a task could not be planned to meet its deadline.
+///
+/// Returned by strategies and by the schedulability test; in the scheduler
+/// this translates into *rejecting* the newly arrived task (the paper's
+/// rejection = renegotiation with the client, §4.1.1 footnote).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Infeasible {
+    /// `A + D − r ≤ 0`: the deadline passes before any node could start.
+    DeadlineBeforeStart,
+    /// `γ ≤ 0`: not enough time remains even to transmit the input data.
+    NoTimeForTransmission,
+    /// Every node count `n ≤ N` fails the `ñ_min` bound.
+    NotEnoughNodes,
+    /// UserSplit: the user cannot request enough nodes (`N_min > N`) or the
+    /// relative deadline cannot cover the transmission time (`D ≤ σ·Cms`).
+    UserRequestInfeasible,
+    /// The planned completion estimate overshoots the absolute deadline.
+    CompletionAfterDeadline,
+}
+
+impl fmt::Display for Infeasible {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Infeasible::DeadlineBeforeStart => "deadline passes before any node is available",
+            Infeasible::NoTimeForTransmission => "not enough time to transmit the input data",
+            Infeasible::NotEnoughNodes => "no node count within the cluster meets the deadline",
+            Infeasible::UserRequestInfeasible => "user-split node request cannot meet the deadline",
+            Infeasible::CompletionAfterDeadline => "estimated completion exceeds the deadline",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Infeasible {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ModelError::InvalidParams("x").to_string().contains("x"));
+        for e in [
+            Infeasible::DeadlineBeforeStart,
+            Infeasible::NoTimeForTransmission,
+            Infeasible::NotEnoughNodes,
+            Infeasible::UserRequestInfeasible,
+            Infeasible::CompletionAfterDeadline,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Cluster parameters (system model, §3 of the paper).
+//!
+//! A cluster is a head node `P0` plus `N` identical processing nodes behind a
+//! switch. Linear cost model: transmitting a load `σ` to one node costs
+//! `σ·Cms`, processing it costs `σ·Cps`. Output data transfer is not modeled
+//! (negligible next to input size, per the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+/// Identifier of a processing node: `0..N`, stable for a cluster's lifetime.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's index into release-time vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Static description of the homogeneous cluster.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ClusterParams {
+    /// Number of processing nodes `N` (head node excluded).
+    pub num_nodes: usize,
+    /// `Cms`: time to transmit one unit of workload head → node.
+    pub cms: f64,
+    /// `Cps`: time to process one unit of workload on one node.
+    pub cps: f64,
+}
+
+impl ClusterParams {
+    /// Validated constructor. `N ≥ 1`, `Cms > 0`, `Cps > 0` and finite.
+    pub fn new(num_nodes: usize, cms: f64, cps: f64) -> Result<Self, ModelError> {
+        if num_nodes == 0 {
+            return Err(ModelError::InvalidParams("num_nodes must be >= 1"));
+        }
+        if !(cms.is_finite() && cms > 0.0) {
+            return Err(ModelError::InvalidParams("Cms must be finite and > 0"));
+        }
+        if !(cps.is_finite() && cps > 0.0) {
+            return Err(ModelError::InvalidParams("Cps must be finite and > 0"));
+        }
+        Ok(ClusterParams { num_nodes, cms, cps })
+    }
+
+    /// The paper's baseline configuration (§5.1): `N=16, Cms=1, Cps=100`.
+    pub fn paper_baseline() -> Self {
+        ClusterParams { num_nodes: 16, cms: 1.0, cps: 100.0 }
+    }
+
+    /// `β = Cps / (Cms + Cps)` (Eq. 8), the per-node geometric ratio of the
+    /// homogeneous optimal partition. Always in `(0, 1)`.
+    #[inline]
+    pub fn beta(&self) -> f64 {
+        self.cps / (self.cms + self.cps)
+    }
+
+    /// Iterator over all node ids `P1..Pn` (0-based internally).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes as u32).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_is_in_unit_interval() {
+        for (cms, cps) in [(1.0, 100.0), (8.0, 10.0), (1.0, 10_000.0), (5.0, 0.001)] {
+            let p = ClusterParams::new(4, cms, cps).unwrap();
+            let b = p.beta();
+            assert!(b > 0.0 && b < 1.0, "beta {b} out of range for {cms}/{cps}");
+        }
+    }
+
+    #[test]
+    fn baseline_matches_paper() {
+        let p = ClusterParams::paper_baseline();
+        assert_eq!(p.num_nodes, 16);
+        assert_eq!(p.cms, 1.0);
+        assert_eq!(p.cps, 100.0);
+        assert!((p.beta() - 100.0 / 101.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        assert!(ClusterParams::new(0, 1.0, 1.0).is_err());
+        assert!(ClusterParams::new(4, 0.0, 1.0).is_err());
+        assert!(ClusterParams::new(4, 1.0, -1.0).is_err());
+        assert!(ClusterParams::new(4, f64::NAN, 1.0).is_err());
+        assert!(ClusterParams::new(4, 1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn node_ids_enumerate_all_nodes() {
+        let p = ClusterParams::new(3, 1.0, 1.0).unwrap();
+        let ids: Vec<_> = p.node_ids().collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(ids[2].index(), 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! Scheduling policies (§4.2 Decision #1): the order in which the
+//! schedulability test considers tasks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::task::Task;
+use crate::time::SimTime;
+
+/// Task execution-order policy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Policy {
+    /// Earliest Deadline First: order by absolute deadline.
+    Edf,
+    /// First In First Out: order by arrival time.
+    Fifo,
+}
+
+/// A totally ordered sort key for a task under a policy.
+///
+/// Ties are broken by arrival then by task id, making the schedule
+/// deterministic (important for reproducible simulations).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct OrderKey(SimTime, SimTime, u64);
+
+impl Policy {
+    /// The sort key of `task` under this policy.
+    pub fn key(self, task: &Task) -> OrderKey {
+        match self {
+            Policy::Edf => OrderKey(task.absolute_deadline(), task.arrival, task.id.0),
+            Policy::Fifo => OrderKey(task.arrival, task.arrival, task.id.0),
+        }
+    }
+
+    /// Sorts tasks in execution order under this policy (stable and total).
+    pub fn sort(self, tasks: &mut [Task]) {
+        tasks.sort_by_key(|t| self.key(t));
+    }
+
+    /// Paper nomenclature: `EDF` / `FIFO`.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Policy::Edf => "EDF",
+            Policy::Fifo => "FIFO",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: u64, arrival: f64, rel_deadline: f64) -> Task {
+        Task::new(id, arrival, 100.0, rel_deadline)
+    }
+
+    #[test]
+    fn edf_orders_by_absolute_deadline() {
+        // t1 arrives first but has the later absolute deadline.
+        let mut tasks = vec![t(1, 0.0, 100.0), t(2, 10.0, 20.0)];
+        Policy::Edf.sort(&mut tasks);
+        assert_eq!(tasks[0].id.0, 2);
+        assert_eq!(tasks[1].id.0, 1);
+    }
+
+    #[test]
+    fn fifo_orders_by_arrival() {
+        let mut tasks = vec![t(2, 10.0, 20.0), t(1, 0.0, 100.0)];
+        Policy::Fifo.sort(&mut tasks);
+        assert_eq!(tasks[0].id.0, 1);
+        assert_eq!(tasks[1].id.0, 2);
+    }
+
+    #[test]
+    fn deadline_ties_break_by_arrival_then_id() {
+        // Same absolute deadline (arrival + rel = 100 for both).
+        let mut tasks = vec![t(5, 20.0, 80.0), t(3, 0.0, 100.0)];
+        Policy::Edf.sort(&mut tasks);
+        assert_eq!(tasks[0].id.0, 3, "earlier arrival wins the tie");
+        let mut tasks = vec![t(9, 0.0, 100.0), t(3, 0.0, 100.0)];
+        Policy::Edf.sort(&mut tasks);
+        assert_eq!(tasks[0].id.0, 3, "lower id wins the final tie");
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Policy::Edf.paper_name(), "EDF");
+        assert_eq!(Policy::Fifo.paper_name(), "FIFO");
+    }
+}

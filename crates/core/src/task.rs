@@ -1,0 +1,106 @@
+//! The aperiodic divisible task model (§3 of the paper).
+//!
+//! A task `T_i = (A_i, σ_i, D_i)` is a single invocation: arrival time,
+//! total data size, relative deadline. The load is *arbitrarily divisible*:
+//! it can be split into independent fractions of any size with no
+//! inter-subtask communication.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Stable task identifier, assigned in arrival order by the workload source.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct TaskId(pub u64);
+
+/// An arbitrarily divisible real-time task.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Task {
+    /// Identifier, unique within one simulation / scheduler instance.
+    pub id: TaskId,
+    /// `A`: arrival time.
+    pub arrival: SimTime,
+    /// `σ`: total data size (workload units), strictly positive.
+    pub data_size: f64,
+    /// `D`: relative deadline (time units), strictly positive.
+    pub rel_deadline: f64,
+    /// For the User-Split strategy only: the node count `n ∈ [N_min, N]` the
+    /// user requested for this task, drawn once at task-creation time
+    /// (§4.1.2). `None` means the user could not pick a feasible count
+    /// (`N_min > N` or `D ≤ σ·Cms`) — a User-Split scheduler rejects such a
+    /// task outright. DLT-based strategies ignore this field.
+    pub user_nodes: Option<usize>,
+}
+
+impl Task {
+    /// Creates a task with no user-split annotation.
+    pub fn new(id: u64, arrival: impl Into<SimTime>, data_size: f64, rel_deadline: f64) -> Self {
+        let t = Task {
+            id: TaskId(id),
+            arrival: arrival.into(),
+            data_size,
+            rel_deadline,
+            user_nodes: None,
+        };
+        t.validate();
+        t
+    }
+
+    /// Attaches a user-requested node count (User-Split workloads).
+    pub fn with_user_nodes(mut self, n: Option<usize>) -> Self {
+        self.user_nodes = n;
+        self
+    }
+
+    /// `A + D`: the absolute deadline.
+    #[inline]
+    pub fn absolute_deadline(&self) -> SimTime {
+        self.arrival + SimTime::new(self.rel_deadline)
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.data_size.is_finite() && self.data_size > 0.0,
+            "task data size must be finite and > 0, got {}",
+            self.data_size
+        );
+        assert!(
+            self.rel_deadline.is_finite() && self.rel_deadline > 0.0,
+            "task relative deadline must be finite and > 0, got {}",
+            self.rel_deadline
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_deadline_is_arrival_plus_relative() {
+        let t = Task::new(7, 100.0, 200.0, 50.0);
+        assert_eq!(t.absolute_deadline(), SimTime::new(150.0));
+        assert_eq!(t.id, TaskId(7));
+        assert_eq!(t.user_nodes, None);
+    }
+
+    #[test]
+    fn user_nodes_annotation_round_trips() {
+        let t = Task::new(1, 0.0, 10.0, 10.0).with_user_nodes(Some(4));
+        assert_eq!(t.user_nodes, Some(4));
+        let t = t.with_user_nodes(None);
+        assert_eq!(t.user_nodes, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "data size")]
+    fn zero_size_is_rejected() {
+        let _ = Task::new(1, 0.0, 0.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline")]
+    fn negative_deadline_is_rejected() {
+        let _ = Task::new(1, 0.0, 10.0, -1.0);
+    }
+}

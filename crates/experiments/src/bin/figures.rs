@@ -1,0 +1,183 @@
+//! Regenerates the paper's figures.
+//!
+//! ```text
+//! figures [--figure fig03 | all | summary52] [--seeds N] [--horizon T]
+//!         [--loads a,b,c] [--out DIR] [--threads N] [--list] [--quick]
+//! ```
+//!
+//! Defaults reproduce the paper's setup: horizon 10^7 time units, 10 seeds
+//! per point, loads 0.1..=1.0. `--quick` drops to horizon 10^6 / 3 seeds for
+//! a fast sanity pass. Outputs: ASCII tables on stdout, gnuplot `.dat` and a
+//! JSON per figure under `--out` (default `results/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rtdls_experiments::figures::{
+    all_figures, extension_figures, figure_by_id, paper_loads, run_figure,
+};
+use rtdls_experiments::report::{panel_table, summary_dat, summary_table, write_figure};
+use rtdls_experiments::runner::RunOptions;
+use rtdls_experiments::summary52::run_summary;
+
+struct Args {
+    figures: Vec<String>,
+    seeds: u64,
+    horizon: f64,
+    loads: Vec<f64>,
+    out: PathBuf,
+    threads: usize,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        figures: vec!["all".into()],
+        seeds: 10,
+        horizon: 1e7,
+        loads: paper_loads(),
+        out: PathBuf::from("results"),
+        threads: 0,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--figure" | "-f" => {
+                args.figures = value("--figure")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--seeds" | "-s" => {
+                args.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?;
+            }
+            "--horizon" | "-t" => {
+                args.horizon = value("--horizon")?
+                    .parse()
+                    .map_err(|e| format!("--horizon: {e}"))?;
+            }
+            "--loads" | "-l" => {
+                args.loads = value("--loads")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--loads: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--out" | "-o" => args.out = PathBuf::from(value("--out")?),
+            "--threads" | "-j" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--quick" | "-q" => {
+                args.horizon = 1e6;
+                args.seeds = 3;
+            }
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [--figure fig03,...|all|summary52] [--seeds N] \
+                     [--horizon T] [--loads a,b,..] [--out DIR] [--threads N] \
+                     [--quick] [--list]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    if args.seeds == 0 {
+        return Err("--seeds must be at least 1".into());
+    }
+    if !(args.horizon.is_finite() && args.horizon > 0.0) {
+        return Err("--horizon must be positive".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list {
+        for f in all_figures().into_iter().chain(extension_figures()) {
+            println!("{}: {} ({} panels)", f.id, f.title, f.panels.len());
+        }
+        println!("summary52: DLT vs User-Split aggregate over 340 configurations");
+        return ExitCode::SUCCESS;
+    }
+
+    let opts = RunOptions {
+        replicates: args.seeds,
+        threads: args.threads,
+        ..Default::default()
+    };
+
+    let wants_all = args.figures.iter().any(|f| f == "all");
+    let run_ids: Vec<String> = if wants_all {
+        let mut ids: Vec<String> = all_figures()
+            .into_iter()
+            .chain(extension_figures())
+            .map(|f| f.id)
+            .collect();
+        ids.push("summary52".into());
+        ids
+    } else {
+        args.figures.clone()
+    };
+
+    for id in &run_ids {
+        let t0 = Instant::now();
+        if id.eq_ignore_ascii_case("summary52") {
+            println!("== summary52: §5.2 DLT vs User-Split aggregate ==");
+            let (comparisons, stats) = run_summary(args.horizon, &opts);
+            print!("{}", summary_table(&stats));
+            if let Err(e) = std::fs::create_dir_all(&args.out).and_then(|_| {
+                std::fs::write(args.out.join("summary52.dat"), summary_dat(&comparisons))?;
+                std::fs::write(
+                    args.out.join("summary52.json"),
+                    serde_json::to_string_pretty(&stats).expect("serializable"),
+                )
+            }) {
+                eprintln!("error writing outputs: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "  [written to {}/summary52.{{dat,json}} in {:.1?}]\n",
+                args.out.display(),
+                t0.elapsed()
+            );
+            continue;
+        }
+        let Some(figure) = figure_by_id(id) else {
+            eprintln!("error: unknown figure '{id}' (try --list)");
+            return ExitCode::FAILURE;
+        };
+        println!("== {}: {} ==", figure.id, figure.title);
+        let result = run_figure(&figure, &args.loads, args.horizon, &opts);
+        for panel in &result.panels {
+            print!("{}", panel_table(panel));
+        }
+        if let Err(e) = write_figure(&args.out, &result) {
+            eprintln!("error writing outputs: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "  [written to {}/{}*.dat,.json in {:.1?}]\n",
+            args.out.display(),
+            figure.id,
+            t0.elapsed()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,23 @@
+//! # rtdls-experiments
+//!
+//! The evaluation harness of the reproduction: parameter sweeps, replicated
+//! seeded runs, summary statistics, and report generation for **every figure
+//! of the paper** (Fig. 3–16) plus the §5.2 aggregate comparison.
+//!
+//! * [`figures`] — the figure inventory and the sweep executor.
+//! * [`summary52`] — the 340-configuration DLT vs User-Split grid.
+//! * [`runner`] — seeded single runs, replication, thread-pool sweeps.
+//! * [`stats`] — means and Student-t confidence intervals.
+//! * [`report`] — ASCII tables, gnuplot `.dat`, JSON.
+//!
+//! The `figures` binary drives it all:
+//! `cargo run --release -p rtdls-experiments --bin figures -- --figure fig03`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod stats;
+pub mod summary52;

@@ -1,0 +1,189 @@
+//! Result rendering: ASCII tables for the terminal, gnuplot-ready `.dat`
+//! series, and JSON for downstream tooling.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::figures::{FigureResult, PanelResult};
+use crate::summary52::{Comparison, SummaryStats};
+
+/// Renders one panel as a fixed-width ASCII table.
+///
+/// With `with_ci` set, each mean is followed by its 95% confidence
+/// half-width (`±hw`), reproducing the Fig. 3b presentation.
+pub fn panel_table(panel: &PanelResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "[{}] {}", panel.spec.id, panel.spec.caption);
+    let _ = write!(out, "{:>6}", "load");
+    for a in &panel.spec.algorithms {
+        if panel.spec.with_ci {
+            let _ = write!(out, "  {:>22}", a.paper_name());
+        } else {
+            let _ = write!(out, "  {:>14}", a.paper_name());
+        }
+    }
+    out.push('\n');
+    for (li, &load) in panel.loads.iter().enumerate() {
+        let _ = write!(out, "{load:>6.1}");
+        for point in &panel.points[li] {
+            if panel.spec.with_ci {
+                let _ = write!(
+                    out,
+                    "  {:>13.4} ±{:<7.4}",
+                    point.summary.mean, point.summary.ci95_half_width
+                );
+            } else {
+                let _ = write!(out, "  {:>14.4}", point.summary.mean);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a panel as a gnuplot `.dat` block: one row per load, columns
+/// `load mean ci mean ci …` in algorithm order, with a `#` header.
+pub fn panel_dat(panel: &PanelResult) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "# {}  |  {}\n# load", panel.spec.id, panel.spec.caption);
+    for a in &panel.spec.algorithms {
+        let name = a.paper_name();
+        let _ = write!(out, "  {name}  {name}_ci95");
+    }
+    out.push('\n');
+    for (li, &load) in panel.loads.iter().enumerate() {
+        let _ = write!(out, "{load:.2}");
+        for point in &panel.points[li] {
+            let _ = write!(out, "  {:.6}  {:.6}", point.summary.mean, point.summary.ci95_half_width);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the §5.2 aggregate statistics next to the paper's numbers.
+pub fn summary_table(stats: &SummaryStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "DLT-Based vs User-Split over {} configurations", stats.total);
+    let _ = writeln!(out, "{:<38} {:>10} {:>10}", "", "measured", "paper");
+    let row = |out: &mut String, label: &str, measured: f64, paper: f64| {
+        let _ = writeln!(out, "{label:<38} {measured:>10.4} {paper:>10.3}");
+    };
+    row(&mut out, "User-Split win rate", stats.user_split_win_rate, 0.0822);
+    row(&mut out, "DLT gain when DLT wins (avg)", stats.dlt_gain_avg, 0.121);
+    row(&mut out, "DLT gain when DLT wins (max)", stats.dlt_gain_max, 0.224);
+    row(&mut out, "DLT gain when DLT wins (min)", stats.dlt_gain_min, 0.003);
+    row(&mut out, "User-Split gain when US wins (avg)", stats.us_gain_avg, 0.016);
+    row(&mut out, "User-Split gain when US wins (max)", stats.us_gain_max, 0.028);
+    row(&mut out, "User-Split gain when US wins (min)", stats.us_gain_min, 0.003);
+    out
+}
+
+/// Renders the comparison grid as a `.dat` (one row per configuration).
+pub fn summary_dat(comparisons: &[Comparison]) -> String {
+    let mut out = String::from(
+        "# policy nodes cms cps avg_sigma dc_ratio load dlt user_split dlt_gain\n",
+    );
+    for c in comparisons {
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {} {} {:.2} {:.6} {:.6} {:.6}",
+            c.policy.paper_name(),
+            c.params.num_nodes,
+            c.params.cms,
+            c.params.cps,
+            c.params.avg_sigma,
+            c.params.dc_ratio,
+            c.load,
+            c.dlt,
+            c.user_split,
+            c.dlt_gain()
+        );
+    }
+    out
+}
+
+/// Writes a figure's outputs under `dir`: a `.dat` per panel plus one JSON
+/// with the full result (summaries, per-seed ratios, auxiliary metrics).
+pub fn write_figure(dir: &Path, result: &FigureResult) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    for panel in &result.panels {
+        fs::write(dir.join(format!("{}.dat", panel.spec.id)), panel_dat(panel))?;
+    }
+    let json = serde_json::to_string_pretty(result).expect("serializable result");
+    fs::write(dir.join(format!("{}.json", result.spec.id)), json)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{figure_by_id, run_figure, FigureSpec};
+    use crate::runner::RunOptions;
+
+    fn tiny_result() -> FigureResult {
+        let fig = figure_by_id("fig03").unwrap();
+        let small = FigureSpec {
+            id: fig.id.clone(),
+            title: fig.title.clone(),
+            panels: fig.panels.clone(),
+        };
+        let opts = RunOptions { replicates: 2, ..Default::default() };
+        run_figure(&small, &[0.5], 2e4, &opts)
+    }
+
+    #[test]
+    fn table_and_dat_include_all_series() {
+        let result = tiny_result();
+        let table = panel_table(&result.panels[0]);
+        assert!(table.contains("EDF-DLT"));
+        assert!(table.contains("EDF-OPR-MN"));
+        assert!(table.contains("0.5"));
+        // The CI panel renders ± columns.
+        let ci_table = panel_table(&result.panels[1]);
+        assert!(ci_table.contains('±'));
+        let dat = panel_dat(&result.panels[0]);
+        let data_rows: Vec<&str> =
+            dat.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(data_rows.len(), 1);
+        let cols = data_rows[0].split_whitespace().count();
+        assert_eq!(cols, 1 + 2 * 2, "load + (mean, ci) per algorithm");
+    }
+
+    #[test]
+    fn write_figure_creates_expected_files() {
+        let result = tiny_result();
+        let dir = std::env::temp_dir().join("rtdls-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_figure(&dir, &result).unwrap();
+        assert!(dir.join("fig03a.dat").exists());
+        assert!(dir.join("fig03b.dat").exists());
+        assert!(dir.join("fig03.json").exists());
+        // JSON round-trips.
+        let json = std::fs::read_to_string(dir.join("fig03.json")).unwrap();
+        let parsed: FigureResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.spec.id, "fig03");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_rendering_includes_paper_reference() {
+        use crate::summary52::SummaryStats;
+        let stats = SummaryStats {
+            total: 340,
+            user_split_wins: 20,
+            user_split_win_rate: 20.0 / 340.0,
+            dlt_gain_avg: 0.1,
+            dlt_gain_max: 0.2,
+            dlt_gain_min: 0.01,
+            us_gain_avg: 0.01,
+            us_gain_max: 0.02,
+            us_gain_min: 0.005,
+        };
+        let table = summary_table(&stats);
+        assert!(table.contains("0.082"), "paper reference column present");
+        assert!(table.contains("340"));
+    }
+}

@@ -1,0 +1,193 @@
+//! The §5.2 aggregate comparison: DLT-Based vs User-Split over a large grid
+//! of system configurations.
+//!
+//! The paper reports, over **330 simulations** with different
+//! configurations: User-Split wins 8.22% of the time with negligible gains
+//! (avg 0.016, max 0.028, min 0.003 reject-ratio difference), while when
+//! DLT-Based wins its gains are substantial (avg 0.121, max 0.224,
+//! min 0.003). This module reproduces that experiment: 17 parameter variants
+//! × 10 loads × 2 policies = 340 head-to-head comparisons.
+
+use serde::{Deserialize, Serialize};
+
+use rtdls_core::prelude::{AlgorithmKind, Policy, StrategyKind};
+
+use crate::figures::{paper_loads, PanelParams};
+use crate::runner::{run_sweep, RunOptions, SweepJob};
+
+/// The 17 parameter variants (per policy) of the comparison grid: the
+/// baseline plus every single-parameter change the paper's figures explore.
+pub fn grid_variants() -> Vec<PanelParams> {
+    let mut variants = vec![PanelParams::default()];
+    variants.extend(
+        [3.0, 10.0, 20.0, 100.0]
+            .map(|dc_ratio| PanelParams { dc_ratio, ..Default::default() }),
+    );
+    variants.extend(
+        [100.0, 400.0, 800.0]
+            .map(|avg_sigma| PanelParams { avg_sigma, ..Default::default() }),
+    );
+    variants.extend([2.0, 4.0, 8.0].map(|cms| PanelParams { cms, ..Default::default() }));
+    variants.extend(
+        [10.0, 50.0, 500.0, 1000.0, 5000.0, 10_000.0]
+            .map(|cps| PanelParams { cps, ..Default::default() }),
+    );
+    variants
+}
+
+/// One head-to-head outcome at a (variant, load, policy) configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Comparison {
+    /// The configuration.
+    pub params: PanelParams,
+    /// System load.
+    pub load: f64,
+    /// EDF or FIFO.
+    pub policy: Policy,
+    /// Mean reject ratio of the DLT-based algorithm.
+    pub dlt: f64,
+    /// Mean reject ratio of the User-Split algorithm.
+    pub user_split: f64,
+}
+
+impl Comparison {
+    /// Positive when DLT wins (lower reject ratio).
+    pub fn dlt_gain(&self) -> f64 {
+        self.user_split - self.dlt
+    }
+}
+
+/// Aggregate statistics in the form the paper reports them.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Total comparisons run.
+    pub total: usize,
+    /// Comparisons where User-Split achieved the strictly lower ratio.
+    pub user_split_wins: usize,
+    /// Fraction of User-Split wins (paper: 8.22%).
+    pub user_split_win_rate: f64,
+    /// Average / max / min gain when DLT wins (paper: 0.121 / 0.224 / 0.003).
+    pub dlt_gain_avg: f64,
+    /// Maximum DLT gain.
+    pub dlt_gain_max: f64,
+    /// Minimum (non-zero) DLT gain.
+    pub dlt_gain_min: f64,
+    /// Average / max / min gain when User-Split wins
+    /// (paper: 0.016 / 0.028 / 0.003).
+    pub us_gain_avg: f64,
+    /// Maximum User-Split gain.
+    pub us_gain_max: f64,
+    /// Minimum (non-zero) User-Split gain.
+    pub us_gain_min: f64,
+}
+
+/// Runs the full grid and returns (comparisons, aggregate stats).
+pub fn run_summary(horizon: f64, opts: &RunOptions) -> (Vec<Comparison>, SummaryStats) {
+    let variants = grid_variants();
+    let loads = paper_loads();
+    let policies = [Policy::Edf, Policy::Fifo];
+
+    let mut jobs = Vec::new();
+    let mut keys = Vec::new();
+    for &policy in &policies {
+        for params in &variants {
+            for &load in &loads {
+                let workload = params.workload(load, horizon);
+                for strategy in [StrategyKind::DltIit, StrategyKind::UserSplit] {
+                    jobs.push(SweepJob {
+                        workload,
+                        algorithm: AlgorithmKind { policy, strategy },
+                    });
+                }
+                keys.push((*params, load, policy));
+            }
+        }
+    }
+    let results = run_sweep(&jobs, opts);
+    let comparisons: Vec<Comparison> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &(params, load, policy))| Comparison {
+            params,
+            load,
+            policy,
+            dlt: results[2 * i].summary.mean,
+            user_split: results[2 * i + 1].summary.mean,
+        })
+        .collect();
+    let stats = summarize(&comparisons);
+    (comparisons, stats)
+}
+
+/// Aggregates comparisons into the paper's reported statistics.
+pub fn summarize(comparisons: &[Comparison]) -> SummaryStats {
+    let total = comparisons.len();
+    let dlt_gains: Vec<f64> =
+        comparisons.iter().map(Comparison::dlt_gain).filter(|&g| g > 0.0).collect();
+    let us_gains: Vec<f64> =
+        comparisons.iter().map(|c| -c.dlt_gain()).filter(|&g| g > 0.0).collect();
+    let user_split_wins = us_gains.len();
+    let avg = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let max = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
+    let min = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
+    SummaryStats {
+        total,
+        user_split_wins,
+        user_split_win_rate: if total == 0 { 0.0 } else { user_split_wins as f64 / total as f64 },
+        dlt_gain_avg: avg(&dlt_gains),
+        dlt_gain_max: max(&dlt_gains),
+        dlt_gain_min: if dlt_gains.is_empty() { 0.0 } else { min(&dlt_gains) },
+        us_gain_avg: avg(&us_gains),
+        us_gain_max: max(&us_gains),
+        us_gain_min: if us_gains.is_empty() { 0.0 } else { min(&us_gains) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_matches_paper_scale() {
+        let variants = grid_variants();
+        assert_eq!(variants.len(), 17);
+        // 17 × 10 loads × 2 policies = 340 comparisons ≈ the paper's 330.
+        assert_eq!(variants.len() * paper_loads().len() * 2, 340);
+    }
+
+    #[test]
+    fn summarize_computes_win_rates_and_gains() {
+        let mk = |dlt: f64, us: f64| Comparison {
+            params: PanelParams::default(),
+            load: 0.5,
+            policy: Policy::Edf,
+            dlt,
+            user_split: us,
+        };
+        let comps = vec![mk(0.10, 0.30), mk(0.20, 0.25), mk(0.30, 0.28), mk(0.15, 0.15)];
+        let s = summarize(&comps);
+        assert_eq!(s.total, 4);
+        assert_eq!(s.user_split_wins, 1);
+        assert!((s.user_split_win_rate - 0.25).abs() < 1e-12);
+        assert!((s.dlt_gain_avg - 0.125).abs() < 1e-12); // (0.20 + 0.05) / 2
+        assert!((s.dlt_gain_max - 0.20).abs() < 1e-12);
+        assert!((s.dlt_gain_min - 0.05).abs() < 1e-12);
+        assert!((s.us_gain_avg - 0.02).abs() < 1e-9);
+        assert!((s.us_gain_max - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_summary_smoke() {
+        // One variant's worth of scale is too slow for a unit test; instead
+        // check the plumbing on a tiny bespoke grid by calling run_sweep via
+        // run_summary with a minuscule horizon and single seed.
+        let opts = RunOptions { replicates: 1, ..Default::default() };
+        let (comps, stats) = run_summary(2e4, &opts);
+        assert_eq!(comps.len(), 340);
+        assert_eq!(stats.total, 340);
+        for c in &comps {
+            assert!((0.0..=1.0).contains(&c.dlt));
+            assert!((0.0..=1.0).contains(&c.user_split));
+        }
+    }
+}

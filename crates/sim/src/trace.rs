@@ -1,0 +1,200 @@
+//! Execution traces: exact per-chunk and per-task timelines, recorded when
+//! [`crate::config::SimConfig::record_trace`] is set. Used by the validation
+//! tests (Theorem 4 against actual execution) and the trace-explorer example.
+
+use serde::{Deserialize, Serialize};
+
+use rtdls_core::prelude::{NodeId, SimTime, TaskId};
+
+/// One dispatched chunk's exact timeline on one node.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChunkRecord {
+    /// Task the chunk belongs to.
+    pub task: TaskId,
+    /// Node that executed the chunk.
+    pub node: NodeId,
+    /// Load fraction `α_i`.
+    pub fraction: f64,
+    /// When the node became available to this task (plan start time).
+    pub available: SimTime,
+    /// When transmission of the chunk began.
+    pub tx_start: SimTime,
+    /// When transmission finished and compute began.
+    pub tx_end: SimTime,
+    /// When compute finished (node release).
+    pub compute_end: SimTime,
+}
+
+/// One task's lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// The task id.
+    pub task: TaskId,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Absolute deadline.
+    pub deadline: SimTime,
+    /// Whether admission accepted it.
+    pub accepted: bool,
+    /// Nodes allocated (0 when rejected).
+    pub n_nodes: usize,
+    /// Admission-time completion estimate (rejected: the arrival time).
+    pub est_completion: SimTime,
+    /// Actual completion (None when rejected or still running at sim end).
+    pub actual_completion: Option<SimTime>,
+}
+
+/// The full recorded trace of a simulation.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Every dispatched chunk in dispatch order.
+    pub chunks: Vec<ChunkRecord>,
+    /// Every arrived task in arrival order.
+    pub tasks: Vec<TaskRecord>,
+}
+
+impl Trace {
+    /// Chunks executed by `node`, in time order.
+    pub fn node_chunks(&self, node: NodeId) -> impl Iterator<Item = &ChunkRecord> {
+        self.chunks.iter().filter(move |c| c.node == node)
+    }
+
+    /// Chunks belonging to `task`.
+    pub fn task_chunks(&self, task: TaskId) -> impl Iterator<Item = &ChunkRecord> {
+        self.chunks.iter().filter(move |c| c.task == task)
+    }
+
+    /// The record of `task`, if it arrived.
+    pub fn task(&self, task: TaskId) -> Option<&TaskRecord> {
+        self.tasks.iter().find(|t| t.task == task)
+    }
+
+    /// Validates physical consistency of the trace:
+    /// * chunk phases are ordered (`available ≤ tx_start ≤ tx_end ≤ compute_end`);
+    /// * no node runs two chunks at once;
+    /// * within a task, transmissions never overlap (single head-node link
+    ///   per task).
+    ///
+    /// Returns the first violation found.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        for c in &self.chunks {
+            if !(c.available <= c.tx_start && c.tx_start <= c.tx_end && c.tx_end <= c.compute_end)
+            {
+                return Err(format!("chunk phases out of order: {c:?}"));
+            }
+        }
+        // Per-node busy intervals must not overlap. A node is busy from
+        // transmission start (it is reserved and receiving) to compute end.
+        let mut nodes: Vec<NodeId> = self.chunks.iter().map(|c| c.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        for node in nodes {
+            let mut intervals: Vec<(SimTime, SimTime)> = self
+                .node_chunks(node)
+                .map(|c| (c.tx_start, c.compute_end))
+                .collect();
+            intervals.sort();
+            for w in intervals.windows(2) {
+                if w[1].0.as_f64() < w[0].1.as_f64() - 1e-6 {
+                    return Err(format!(
+                        "node {node:?} overlaps: {:?} then {:?}",
+                        w[0], w[1]
+                    ));
+                }
+            }
+        }
+        // Per-task transmission serialization.
+        let mut tasks: Vec<TaskId> = self.chunks.iter().map(|c| c.task).collect();
+        tasks.sort_unstable();
+        tasks.dedup();
+        for task in tasks {
+            let mut tx: Vec<(SimTime, SimTime)> =
+                self.task_chunks(task).map(|c| (c.tx_start, c.tx_end)).collect();
+            tx.sort();
+            for w in tx.windows(2) {
+                if w[1].0.as_f64() < w[0].1.as_f64() - 1e-6 {
+                    return Err(format!(
+                        "task {task:?} transmissions overlap: {:?} then {:?}",
+                        w[0], w[1]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(task: u64, node: u32, tx_start: f64, tx_end: f64, end: f64) -> ChunkRecord {
+        ChunkRecord {
+            task: TaskId(task),
+            node: NodeId(node),
+            fraction: 0.5,
+            available: SimTime::new(tx_start),
+            tx_start: SimTime::new(tx_start),
+            tx_end: SimTime::new(tx_end),
+            compute_end: SimTime::new(end),
+        }
+    }
+
+    #[test]
+    fn consistent_trace_passes() {
+        let trace = Trace {
+            chunks: vec![
+                chunk(1, 0, 0.0, 1.0, 10.0),
+                chunk(1, 1, 1.0, 2.0, 11.0),
+                chunk(2, 0, 10.0, 12.0, 30.0),
+            ],
+            tasks: vec![],
+        };
+        trace.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn node_overlap_is_caught() {
+        let trace = Trace {
+            chunks: vec![chunk(1, 0, 0.0, 1.0, 10.0), chunk(2, 0, 5.0, 6.0, 12.0)],
+            tasks: vec![],
+        };
+        assert!(trace.check_consistency().unwrap_err().contains("overlaps"));
+    }
+
+    #[test]
+    fn task_tx_overlap_is_caught() {
+        let trace = Trace {
+            chunks: vec![chunk(1, 0, 0.0, 5.0, 10.0), chunk(1, 1, 2.0, 7.0, 12.0)],
+            tasks: vec![],
+        };
+        assert!(trace
+            .check_consistency()
+            .unwrap_err()
+            .contains("transmissions overlap"));
+    }
+
+    #[test]
+    fn accessors_filter_correctly() {
+        let trace = Trace {
+            chunks: vec![
+                chunk(1, 0, 0.0, 1.0, 10.0),
+                chunk(1, 1, 1.0, 2.0, 11.0),
+                chunk(2, 0, 10.0, 12.0, 30.0),
+            ],
+            tasks: vec![TaskRecord {
+                task: TaskId(1),
+                arrival: SimTime::ZERO,
+                deadline: SimTime::new(100.0),
+                accepted: true,
+                n_nodes: 2,
+                est_completion: SimTime::new(12.0),
+                actual_completion: Some(SimTime::new(11.0)),
+            }],
+        };
+        assert_eq!(trace.node_chunks(NodeId(0)).count(), 2);
+        assert_eq!(trace.task_chunks(TaskId(1)).count(), 2);
+        assert!(trace.task(TaskId(1)).is_some());
+        assert!(trace.task(TaskId(9)).is_none());
+    }
+}

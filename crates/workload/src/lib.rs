@@ -1,0 +1,32 @@
+//! # rtdls-workload
+//!
+//! Workload generation for the real-time divisible load scheduling
+//! evaluation (§5 of Lin et al., ICPP 2007): Poisson task arrivals,
+//! normally distributed data sizes, uniformly distributed deadlines, all
+//! parameterized by the paper's `SystemLoad` and `DCRatio` conventions.
+//!
+//! ```
+//! use rtdls_workload::prelude::*;
+//!
+//! // The paper's baseline workload at SystemLoad 0.5, seeded.
+//! let spec = WorkloadSpec::paper_baseline(0.5);
+//! let tasks: Vec<_> = WorkloadGenerator::new(spec, 42).collect();
+//! assert!(!tasks.is_empty());
+//! // Deterministic per seed:
+//! let again: Vec<_> = WorkloadGenerator::new(spec, 42).collect();
+//! assert_eq!(tasks, again);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod distributions;
+pub mod generator;
+pub mod spec;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::distributions::{Exponential, Normal, UniformRange};
+    pub use crate::generator::WorkloadGenerator;
+    pub use crate::spec::{DeadlineFloor, FloorMode, SizeModel, WorkloadSpec, TRUNCATED_MEAN_FACTOR};
+}

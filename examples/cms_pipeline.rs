@@ -1,0 +1,149 @@
+//! CMS/ATLAS-style analysis pipeline: the workload that motivates the paper.
+//!
+//! High-energy-physics analysis jobs are arbitrarily divisible — each event
+//! in the input dataset can be processed independently — and arrive in
+//! bursts (a physics group submits a batch after a new dataset lands). Each
+//! job carries a response-time agreement (the paper's multi-tier QoS
+//! motivation at the UNL Research Computing Facility).
+//!
+//! This example simulates twenty operating days and compares the
+//! IIT-utilizing EDF-DLT scheduler against the wait-for-all EDF-OPR-MN
+//! baseline on identical days. On any *single* bursty day either scheduler
+//! can come out ahead (greedy admission is not globally optimal); across
+//! days the IIT-utilizing scheduler accepts more work while leaving less
+//! reserved capacity idle.
+//!
+//! ```text
+//! cargo run --release --example cms_pipeline
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rtdls::prelude::*;
+
+/// One submission burst: `count` jobs land over a `window` starting at
+/// `at`, dataset sizes log-spread around `base_size`, deadlines scaled by
+/// `urgency` (lower = tighter).
+fn burst(
+    rng: &mut SmallRng,
+    next_id: &mut u64,
+    at: f64,
+    window: f64,
+    count: usize,
+    base_size: f64,
+    urgency: f64,
+) -> Vec<Task> {
+    let params = ClusterParams::paper_baseline();
+    (0..count)
+        .map(|_| {
+            let sigma = base_size * rng.gen_range(0.5..2.0);
+            // Deadline proportional to the job's own full-cluster time,
+            // scaled by the tier's urgency and a user-specific fudge.
+            let min_exec = homogeneous::exec_time(&params, sigma, params.num_nodes);
+            let rel_deadline = min_exec * urgency * rng.gen_range(1.2..3.0);
+            let id = *next_id;
+            *next_id += 1;
+            Task::new(id, at + rng.gen_range(0.0..window), sigma, rel_deadline)
+        })
+        .collect()
+}
+
+/// One operating day: reprocessing in the morning, an urgent scan at
+/// midday, calibration in the evening.
+fn operating_day(seed: u64) -> Vec<Task> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut next_id = 0;
+    let mut jobs = Vec::new();
+    jobs.extend(burst(&mut rng, &mut next_id, 0.0, 12_000.0, 9, 400.0, 4.0));
+    jobs.extend(burst(&mut rng, &mut next_id, 30_000.0, 8_000.0, 14, 120.0, 2.5));
+    jobs.extend(burst(&mut rng, &mut next_id, 55_000.0, 12_000.0, 6, 250.0, 3.0));
+    jobs
+}
+
+fn main() {
+    let params = ClusterParams::paper_baseline();
+    let days = 20;
+
+    println!(
+        "CMS-style pipeline: {days} operating days of bursty analysis jobs on a \
+         {}-node cluster\n",
+        params.num_nodes
+    );
+
+    let mut totals = Vec::new();
+    for algorithm in [AlgorithmKind::EDF_DLT, AlgorithmKind::EDF_OPR_MN] {
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        let mut idle = 0.0;
+        let mut resp = 0.0;
+        for day in 0..days {
+            let cfg = SimConfig::new(params, algorithm).strict();
+            let m = run_simulation(cfg, operating_day(day)).metrics;
+            accepted += m.accepted;
+            rejected += m.rejected;
+            idle += m.inserted_idle_time;
+            resp += m.mean_response_time();
+        }
+        totals.push((algorithm, accepted, rejected, idle, resp / days as f64));
+    }
+
+    println!(
+        "{:<12} {:>9} {:>9} {:>13} {:>15} {:>18}",
+        "algorithm", "accepted", "rejected", "reject ratio", "mean response", "idle before work"
+    );
+    for (algorithm, accepted, rejected, idle, resp) in &totals {
+        println!(
+            "{:<12} {:>9} {:>9} {:>13.3} {:>15.0} {:>18.0}",
+            algorithm.paper_name(),
+            accepted,
+            rejected,
+            *rejected as f64 / (accepted + rejected) as f64,
+            resp,
+            idle,
+        );
+    }
+
+    let (_, acc_dlt, _, idle_dlt, _) = totals[0];
+    let (_, acc_opr, _, idle_opr, _) = totals[1];
+    println!(
+        "\nAcross {days} days the IIT-utilizing scheduler accepted {} more jobs and cut\n\
+         reserved-idle node-time from {:.0} to {:.0} ({:.0}% less).\n",
+        acc_dlt as i64 - acc_opr as i64,
+        idle_opr,
+        idle_dlt,
+        (1.0 - idle_dlt / idle_opr) * 100.0
+    );
+
+    // Show one concrete rescue: a job the baseline rejected but DLT saved.
+    'search: for day in 0..days {
+        let jobs = operating_day(day);
+        let dlt = run_simulation(
+            SimConfig::new(params, AlgorithmKind::EDF_DLT).strict().with_trace(),
+            jobs.clone(),
+        );
+        let opr = run_simulation(
+            SimConfig::new(params, AlgorithmKind::EDF_OPR_MN).strict().with_trace(),
+            jobs.clone(),
+        );
+        let dlt_trace = dlt.trace.expect("traced");
+        let opr_trace = opr.trace.expect("traced");
+        for rec in dlt_trace.tasks.iter().filter(|t| t.accepted) {
+            if opr_trace.task(rec.task).map(|o| !o.accepted).unwrap_or(false) {
+                let job = jobs.iter().find(|j| j.id == rec.task).expect("exists");
+                println!(
+                    "example rescue (day {day}): task {:?} (σ={:.0}, absolute deadline {:.0})\n\
+                     \u{2022} EDF-OPR-MN rejected it — waiting for simultaneously free nodes \
+                     pushed its estimate past the deadline;\n\
+                     \u{2022} EDF-DLT started chunks on nodes as they freed and finished at \
+                     {:.0} ({:.0} before the deadline).",
+                    rec.task,
+                    job.data_size,
+                    rec.deadline.as_f64(),
+                    rec.actual_completion.unwrap().as_f64(),
+                    rec.deadline.as_f64() - rec.actual_completion.unwrap().as_f64(),
+                );
+                break 'search;
+            }
+        }
+    }
+}

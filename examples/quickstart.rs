@@ -1,0 +1,94 @@
+//! Quickstart: admit and run a handful of divisible jobs on a simulated
+//! cluster, and watch the scheduler's decisions.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rtdls::prelude::*;
+
+fn main() {
+    // The paper's baseline cluster: 16 workers, unit transmission cost 1,
+    // unit compute cost 100 (compute-bound jobs, as in CMS/ATLAS analyses).
+    let params = ClusterParams::paper_baseline();
+    println!(
+        "cluster: {} nodes, Cms={}, Cps={}  (β = {:.4})\n",
+        params.num_nodes,
+        params.cms,
+        params.cps,
+        params.beta()
+    );
+
+    // Five jobs: four comfortable, one hopeless (deadline below its own
+    // transmission time).
+    let jobs = vec![
+        Task::new(1, 0.0, 200.0, 4_000.0),
+        Task::new(2, 100.0, 400.0, 6_000.0),
+        Task::new(3, 150.0, 100.0, 2_500.0),
+        Task::new(4, 200.0, 800.0, 400.0), // σ·Cms = 800 > D = 400: impossible
+        Task::new(5, 300.0, 300.0, 8_000.0),
+    ];
+
+    // Ask the admission layer directly (no simulator needed) — this is what
+    // the cluster head node would run on every arrival.
+    let mut ctl =
+        AdmissionController::new(params, AlgorithmKind::EDF_DLT, PlanConfig::default());
+    println!("-- admission decisions (EDF-DLT) --");
+    for job in &jobs {
+        let decision = ctl.submit(*job, job.arrival);
+        match decision {
+            Decision::Accepted => {
+                let (_, plan) = ctl
+                    .queue()
+                    .iter()
+                    .find(|(t, _)| t.id == job.id)
+                    .expect("accepted tasks are queued");
+                println!(
+                    "task {:?} (σ={:>5.0}, D={:>6.0}): ACCEPTED on {} nodes, \
+                     estimated completion {:.0} (deadline {:.0})",
+                    job.id,
+                    job.data_size,
+                    job.rel_deadline,
+                    plan.n(),
+                    plan.est_completion.as_f64(),
+                    job.absolute_deadline().as_f64()
+                );
+            }
+            Decision::Rejected(reason) => {
+                println!(
+                    "task {:?} (σ={:>5.0}, D={:>6.0}): REJECTED — {reason}",
+                    job.id, job.data_size, job.rel_deadline
+                );
+            }
+        }
+    }
+
+    // Now run the same jobs through the full discrete-event simulator and
+    // verify every promise was kept.
+    let cfg = SimConfig::new(params, AlgorithmKind::EDF_DLT).strict().with_trace();
+    let report = run_simulation(cfg, jobs);
+    let m = &report.metrics;
+    println!("\n-- simulation --");
+    println!("arrivals:  {}", m.arrivals);
+    println!("accepted:  {}", m.accepted);
+    println!("rejected:  {} (reject ratio {:.2})", m.rejected, m.reject_ratio());
+    println!("deadline misses: {} (guaranteed 0)", m.deadline_misses);
+    println!("mean response time: {:.0} time units", m.mean_response_time());
+
+    println!("\n-- per-task outcome --");
+    let trace = report.trace.expect("trace was recorded");
+    for rec in &trace.tasks {
+        match rec.actual_completion {
+            Some(done) => println!(
+                "task {:?}: finished at {:>7.0}, estimate was {:>7.0}, \
+                 deadline {:>7.0}  (slack kept: {:.0})",
+                rec.task,
+                done.as_f64(),
+                rec.est_completion.as_f64(),
+                rec.deadline.as_f64(),
+                rec.deadline.as_f64() - done.as_f64()
+            ),
+            None => println!("task {:?}: rejected at admission", rec.task),
+        }
+    }
+}

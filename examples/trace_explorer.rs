@@ -1,0 +1,105 @@
+//! Trace explorer: an ASCII Gantt chart of the cluster, showing exactly
+//! where Inserted Idle Times appear under the wait-for-all baseline and how
+//! the DLT scheduler fills them.
+//!
+//! This stages the paper's Fig. 1 on a live schedule: sixteen single-node
+//! "strip" jobs drain in a staircase (node k frees at ~1000 + 300k), and a
+//! wide divisible job (σ = 400) arrives that needs ten nodes to meet its
+//! deadline. Under EDF-OPR-MN all ten chunks wait for the tenth node — the
+//! idle staircase to the left of its bars is pure Inserted Idle Time. Under
+//! EDF-DLT each node starts the moment it frees, earlier nodes get larger
+//! chunks (the heterogeneous model), and the job finishes visibly earlier.
+//!
+//! ```text
+//! cargo run --release --example trace_explorer
+//! ```
+
+use rtdls::prelude::*;
+
+const CHART_COLS: usize = 90;
+const WIDE_ID: u64 = 16;
+
+fn render(trace: &Trace, params: &ClusterParams, until: f64, title: &str) {
+    println!("{title}");
+    println!("  legend: '.' idle   '=' strip jobs   '#' the wide job (task 16)\n");
+    let scale = until / CHART_COLS as f64;
+    for node in params.node_ids() {
+        let mut row = vec!['.'; CHART_COLS];
+        for c in trace.node_chunks(node) {
+            let s = ((c.tx_start.as_f64() / scale) as usize).min(CHART_COLS);
+            let e = ((c.compute_end.as_f64() / scale) as usize).min(CHART_COLS);
+            let glyph = if c.task.0 == WIDE_ID { '#' } else { '=' };
+            for cell in row.iter_mut().take(e).skip(s) {
+                *cell = glyph;
+            }
+        }
+        println!("  P{:<3} {}", node.0 + 1, row.iter().collect::<String>());
+    }
+    println!();
+}
+
+fn main() {
+    let params = ClusterParams::paper_baseline();
+
+    // The staircase: strip k occupies one node for 1000 + 300k time units
+    // (σ chosen so E(σ, 1) = σ·(Cms+Cps) lands exactly there).
+    let mut jobs: Vec<Task> = (0..16)
+        .map(|k| {
+            let busy = 1000.0 + 300.0 * k as f64;
+            let sigma = busy / (params.cms + params.cps);
+            Task::new(k, 0.0, sigma, 1e6)
+        })
+        .collect();
+
+    // The wide job: σ = 400 arriving at t = 100 with a deadline calibrated
+    // so the ñ_min fixed point lands at n = 10 — it must span ten steps of
+    // the staircase.
+    let wide = Task::new(WIDE_ID, 100.0, 400.0, 7_900.0);
+    jobs.push(wide);
+
+    let horizon = 8_300.0;
+    println!(
+        "Sixteen single-node strips drain in a staircase; a wide divisible job\n\
+         (task 16, σ=400, absolute deadline 8000) arrives at t=100.\n"
+    );
+
+    let mut finishes = Vec::new();
+    for (algorithm, caption) in [
+        (
+            AlgorithmKind::EDF_OPR_MN,
+            "EDF-OPR-MN (no IIT use): every chunk of task 16 waits for the 10th node;\n\
+             the idle gap between each strip's end and the common start is wasted:",
+        ),
+        (
+            AlgorithmKind::EDF_DLT,
+            "EDF-DLT (utilizes IITs): each node starts task 16 the moment it frees;\n\
+             earlier nodes carry larger fractions so all finish almost together:",
+        ),
+    ] {
+        let cfg = SimConfig::new(params, algorithm).with_trace().strict();
+        let report = run_simulation(cfg, jobs.clone());
+        let trace = report.trace.expect("traced");
+        render(&trace, &params, horizon, caption);
+        let rec = trace.task(TaskId(WIDE_ID)).expect("wide job arrived");
+        assert!(rec.accepted, "{algorithm}: the staged wide job must be admitted");
+        let done = rec.actual_completion.expect("completed").as_f64();
+        println!(
+            "  task 16 under {}: {} chunks, finished at {:.0} (deadline {:.0})\n",
+            algorithm.paper_name(),
+            rec.n_nodes,
+            done,
+            rec.deadline.as_f64()
+        );
+        finishes.push(done);
+    }
+
+    println!(
+        "Identical workload, identical guarantees — utilizing the staircase's idle\n\
+         time finishes the wide job {:.0} time units earlier ({:.0} vs {:.0}). That\n\
+         reclaimed capacity is why EDF-DLT's reject ratio is lower at every load in\n\
+         the paper's Fig. 3.",
+        finishes[0] - finishes[1],
+        finishes[1],
+        finishes[0]
+    );
+}
