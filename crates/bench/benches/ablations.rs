@@ -30,9 +30,15 @@ fn bench_abl_nselect(c: &mut Criterion) {
     let mut group = c.benchmark_group("abl-nselect");
     for node_count in [NodeCountPolicy::FixedPoint, NodeCountPolicy::OneShot] {
         let cfg = SimConfig::new(ClusterParams::paper_baseline(), AlgorithmKind::EDF_DLT)
-            .with_plan(PlanConfig { node_count, ..Default::default() });
+            .with_plan(PlanConfig {
+                node_count,
+                ..Default::default()
+            });
         let m = run(cfg, &tasks);
-        eprintln!("abl-nselect {node_count:?}: reject_ratio={:.4}", m.reject_ratio());
+        eprintln!(
+            "abl-nselect {node_count:?}: reject_ratio={:.4}",
+            m.reject_ratio()
+        );
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{node_count:?}")),
             &cfg,
@@ -49,7 +55,10 @@ fn bench_abl_replan(c: &mut Criterion) {
         let cfg = SimConfig::new(ClusterParams::paper_baseline(), AlgorithmKind::EDF_DLT)
             .with_replan(replan);
         let m = run(cfg, &tasks);
-        eprintln!("abl-replan {replan:?}: reject_ratio={:.4}", m.reject_ratio());
+        eprintln!(
+            "abl-replan {replan:?}: reject_ratio={:.4}",
+            m.reject_ratio()
+        );
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{replan:?}")),
             &cfg,
@@ -63,8 +72,8 @@ fn bench_abl_link(c: &mut Criterion) {
     let tasks = workload(SizeModel::Calibrated, FloorMode::Resample);
     let mut group = c.benchmark_group("abl-link");
     for link in [LinkModel::PerTask, LinkModel::SharedGlobal] {
-        let cfg = SimConfig::new(ClusterParams::paper_baseline(), AlgorithmKind::EDF_DLT)
-            .with_link(link);
+        let cfg =
+            SimConfig::new(ClusterParams::paper_baseline(), AlgorithmKind::EDF_DLT).with_link(link);
         let m = run(cfg, &tasks);
         eprintln!(
             "abl-link {link:?}: reject_ratio={:.4} deadline_misses={}",
@@ -89,7 +98,10 @@ fn bench_abl_estimate(c: &mut Criterion) {
         ReleaseEstimate::Uniform,
     ] {
         let cfg = SimConfig::new(ClusterParams::paper_baseline(), AlgorithmKind::EDF_DLT)
-            .with_plan(PlanConfig { release_estimate, ..Default::default() });
+            .with_plan(PlanConfig {
+                release_estimate,
+                ..Default::default()
+            });
         let m = run(cfg, &tasks);
         eprintln!(
             "abl-estimate {release_estimate:?}: reject_ratio={:.4}",
@@ -109,7 +121,11 @@ fn bench_abl_workload_model(c: &mut Criterion) {
     // generates its own stream.
     let mut group = c.benchmark_group("abl-workload");
     for (label, size_model, floor_mode) in [
-        ("calibrated+resample", SizeModel::Calibrated, FloorMode::Resample),
+        (
+            "calibrated+resample",
+            SizeModel::Calibrated,
+            FloorMode::Resample,
+        ),
         ("calibrated+clamp", SizeModel::Calibrated, FloorMode::Clamp),
         ("raw+resample", SizeModel::TruncatedRaw, FloorMode::Resample),
         ("raw+clamp", SizeModel::TruncatedRaw, FloorMode::Clamp),

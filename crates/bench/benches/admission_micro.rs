@@ -51,11 +51,8 @@ fn bench_controller_submit(c: &mut Criterion) {
             BenchmarkId::from_parameter(queue_len),
             &queue_len,
             |b, &queue_len| {
-                let mut ctl = AdmissionController::new(
-                    params,
-                    AlgorithmKind::EDF_DLT,
-                    PlanConfig::default(),
-                );
+                let mut ctl =
+                    AdmissionController::new(params, AlgorithmKind::EDF_DLT, PlanConfig::default());
                 for t in waiting_queue(queue_len) {
                     let _ = ctl.submit(t, t.arrival);
                 }

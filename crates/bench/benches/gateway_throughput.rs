@@ -1,0 +1,123 @@
+//! Gateway admission throughput: the serving-layer perf baseline.
+//!
+//! Two questions, each a group:
+//!
+//! * `gateway_submit_stream` — decisions/second for a stream of single
+//!   submissions, single gateway vs. sharded (the sharding claim: admission
+//!   cost sub-linear in cluster size, so more shards ⇒ more decisions/s at
+//!   the same total node count).
+//! * `gateway_submit_batch` — the same burst decided through `submit_batch`
+//!   vs. one `submit` per task (the amortization claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use rtdls_core::prelude::*;
+use rtdls_service::prelude::*;
+use rtdls_workload::prelude::*;
+
+/// An open-loop stream on a 64-node cluster. Deadlines are loose and the
+/// load is high so the waiting queues grow deep — the regime where the
+/// schedulability test's `O(queue × nodes)` cost dominates and shard-count
+/// effects show.
+fn stream(n_tasks: usize) -> (ClusterParams, Vec<Task>) {
+    let params = ClusterParams::new(64, 1.0, 100.0).unwrap();
+    let mut spec = WorkloadSpec::paper_baseline(2.0);
+    spec.params = params;
+    spec.dc_ratio = 50.0;
+    spec.horizon = 1e9;
+    let tasks: Vec<Task> = WorkloadGenerator::new(spec, 7).take(n_tasks).collect();
+    (params, tasks)
+}
+
+fn gateway(params: ClusterParams, shards: usize) -> ShardedGateway {
+    ShardedGateway::new(
+        params,
+        shards,
+        AlgorithmKind::EDF_DLT,
+        PlanConfig::default(),
+        Routing::LeastLoaded,
+        DeferPolicy::default(),
+    )
+    .expect("valid layout")
+}
+
+fn bench_submit_stream(c: &mut Criterion) {
+    let (params, tasks) = stream(256);
+    let mut group = c.benchmark_group("gateway_submit_stream");
+    group.throughput(Throughput::Elements(tasks.len() as u64));
+    for shards in [1usize, 4, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("shards={shards}")),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut g = gateway(params, shards);
+                    let mut accepted = 0u64;
+                    for t in &tasks {
+                        if g.submit(*t, t.arrival).is_accepted() {
+                            accepted += 1;
+                        }
+                    }
+                    black_box(accepted)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_submit_batch(c: &mut Criterion) {
+    let (params, tasks) = stream(128);
+    // The whole stream arrives as one burst at t=0.
+    let burst: Vec<Task> = tasks
+        .iter()
+        .map(|t| Task::new(t.id.0, 0.0, t.data_size, t.rel_deadline).with_user_nodes(t.user_nodes))
+        .collect();
+    let mut group = c.benchmark_group("gateway_submit_batch");
+    group.throughput(Throughput::Elements(burst.len() as u64));
+    for shards in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("one_submit_per_task", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut g = gateway(params, shards);
+                    let mut accepted = 0u64;
+                    for t in &burst {
+                        if g.submit(*t, SimTime::ZERO).is_accepted() {
+                            accepted += 1;
+                        }
+                    }
+                    black_box(accepted)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("submit_batch", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut g = gateway(params, shards);
+                    let ds = g.submit_batch(&burst, SimTime::ZERO);
+                    black_box(ds.iter().filter(|d| d.is_accepted()).count())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_submit_stream, bench_submit_batch
+}
+criterion_main!(benches);

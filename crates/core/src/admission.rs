@@ -40,23 +40,21 @@ impl std::error::Error for AdmissionFailure {}
 
 // `Infeasible` is re-serialized through AdmissionFailure in results output.
 impl Serialize for Infeasible {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(&self.to_string())
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
     }
 }
 
-impl<'de> Deserialize<'de> for Infeasible {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+impl Deserialize for Infeasible {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         // Round-trip by display string; unknown strings map to the generic
         // rejection cause. Only used for result-file ingestion.
-        let s = String::deserialize(d)?;
+        let s = String::from_value(v)?;
         Ok(match s.as_str() {
             "deadline passes before any node is available" => Infeasible::DeadlineBeforeStart,
             "not enough time to transmit the input data" => Infeasible::NoTimeForTransmission,
             "no node count within the cluster meets the deadline" => Infeasible::NotEnoughNodes,
-            "user-split node request cannot meet the deadline" => {
-                Infeasible::UserRequestInfeasible
-            }
+            "user-split node request cannot meet the deadline" => Infeasible::UserRequestInfeasible,
             _ => Infeasible::CompletionAfterDeadline,
         })
     }
@@ -113,10 +111,16 @@ pub fn schedulability_test(
     let mut plans = Vec::with_capacity(tasks.len());
     for task in &tasks {
         let avail = NodeAvailability::new(&releases, now);
-        let plan = plan_task(algorithm.strategy, task, &avail, params, cfg)
-            .map_err(|reason| AdmissionFailure { task: task.id, reason })?;
+        let plan = plan_task(algorithm.strategy, task, &avail, params, cfg).map_err(|reason| {
+            AdmissionFailure {
+                task: task.id,
+                reason,
+            }
+        })?;
         debug_assert!(
-            !plan.est_completion.definitely_after(task.absolute_deadline()),
+            !plan
+                .est_completion
+                .definitely_after(task.absolute_deadline()),
             "strategy returned a plan missing its deadline"
         );
         for (node, &rel) in plan.nodes.iter().zip(&plan.node_release_estimates) {
@@ -185,6 +189,11 @@ impl AdmissionController {
         &self.params
     }
 
+    /// Planning knobs this controller tests with.
+    pub fn config(&self) -> &PlanConfig {
+        &self.cfg
+    }
+
     /// Committed per-node release times (index = node id).
     pub fn committed_releases(&self) -> &[SimTime] {
         &self.releases
@@ -220,6 +229,221 @@ impl AdmissionController {
             }
             Err(f) => Decision::Rejected(f.reason),
         }
+    }
+
+    /// Non-mutating admission probe: the same Fig. 2 test [`submit`] runs,
+    /// but the controller state is untouched either way. Service layers use
+    /// this to ask "would this task be admitted right now?" — e.g. to
+    /// decide between rejecting outright and parking the task in a deferred
+    /// queue, or to best-fit route across shards.
+    ///
+    /// [`submit`]: AdmissionController::submit
+    pub fn probe(&self, task: &Task, now: SimTime) -> Decision {
+        match self.probe_plan(task, now) {
+            Ok(_) => Decision::Accepted,
+            Err(f) => Decision::Rejected(f.reason),
+        }
+    }
+
+    /// Like [`probe`](AdmissionController::probe) but returns the plan the
+    /// candidate would receive (with its completion estimate, for best-fit
+    /// routing) instead of a bare decision.
+    pub fn probe_plan(&self, task: &Task, now: SimTime) -> Result<TaskPlan, AdmissionFailure> {
+        let waiting: Vec<Task> = self.queue.iter().map(|(t, _)| *t).collect();
+        let plans = schedulability_test(
+            &self.params,
+            self.algorithm,
+            &self.cfg,
+            now,
+            &self.releases,
+            &waiting,
+            Some(task),
+        )?;
+        plans
+            .into_iter()
+            .find(|p| p.task == task.id)
+            .ok_or(AdmissionFailure {
+                task: task.id,
+                reason: Infeasible::CompletionAfterDeadline,
+            })
+    }
+
+    /// Amortized admission for a burst of tasks.
+    ///
+    /// Decides like calling [`submit`] once per task in policy order, but
+    /// the temp schedule is built in one resumable pass over
+    /// `waiting ∪ batch` instead of once per candidate:
+    ///
+    /// * a failing **batch** member is simply skipped — tasks planned before
+    ///   it never saw it, and its removal can only help tasks planned after
+    ///   it, so the pass continues in place;
+    /// * a failing **waiting** member means an earlier-deadline batch member
+    ///   pushed an already-admitted task out — the most recently planned
+    ///   batch member is provisionally evicted and the pass *rewinds to its
+    ///   checkpoint* (releases and plans as they stood just before it was
+    ///   planned) rather than restarting. Because that eviction choice is a
+    ///   heuristic, every evicted member gets one final individual re-test
+    ///   against the settled queue before being rejected — so the batch
+    ///   never rejects a task the per-task path would have admitted into
+    ///   the same final queue. With an empty waiting queue the pass is a
+    ///   single linear sweep and exactly equivalent to sequential
+    ///   policy-order submission.
+    ///
+    /// If the waiting queue *by itself* cannot be replanned at `now` (the
+    /// same non-monotonicity that can make [`replan`] fail), the whole
+    /// batch is rejected and the existing plans are kept — matching what
+    /// each individual [`submit`] would have done.
+    ///
+    /// Returns one [`Decision`] per batch entry, in input order.
+    ///
+    /// [`submit`]: AdmissionController::submit
+    /// [`replan`]: AdmissionController::replan
+    pub fn submit_batch(&mut self, batch: &[Task], now: SimTime) -> Vec<Decision> {
+        use std::collections::HashSet;
+
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let waiting: Vec<Task> = self.queue.iter().map(|(t, _)| *t).collect();
+        let waiting_ids: HashSet<TaskId> = waiting.iter().map(|t| t.id).collect();
+        let mut ordered: Vec<Task> = waiting;
+        ordered.extend_from_slice(batch);
+        self.algorithm.policy.sort(&mut ordered);
+
+        /// Rewind point recorded before each planned batch member.
+        struct Checkpoint {
+            ordered_idx: usize,
+            releases: Vec<SimTime>,
+            plans_len: usize,
+        }
+
+        let mut decisions: Vec<Option<Decision>> = vec![None; batch.len()];
+        let mut skipped: HashSet<TaskId> = HashSet::new();
+        // Members evicted by a rollback (as opposed to failing their own
+        // plan); they get a final individual re-test below.
+        let mut evicted_by_rollback: Vec<Task> = Vec::new();
+        let mut releases = self.releases.clone();
+        let mut plans: Vec<TaskPlan> = Vec::with_capacity(ordered.len());
+        let mut checkpoints: Vec<Checkpoint> = Vec::new();
+        let batch_index = |id: TaskId| batch.iter().position(|b| b.id == id).expect("member");
+
+        let mut i = 0;
+        while i < ordered.len() {
+            let task = ordered[i];
+            if skipped.contains(&task.id) {
+                i += 1;
+                continue;
+            }
+            let is_batch = !waiting_ids.contains(&task.id);
+            let avail = NodeAvailability::new(&releases, now);
+            match plan_task(
+                self.algorithm.strategy,
+                &task,
+                &avail,
+                &self.params,
+                &self.cfg,
+            ) {
+                Ok(plan) => {
+                    if is_batch {
+                        checkpoints.push(Checkpoint {
+                            ordered_idx: i,
+                            releases: releases.clone(),
+                            plans_len: plans.len(),
+                        });
+                    }
+                    for (node, &rel) in plan.nodes.iter().zip(&plan.node_release_estimates) {
+                        releases[node.index()] = rel;
+                    }
+                    plans.push(plan);
+                    i += 1;
+                }
+                Err(reason) if is_batch => {
+                    decisions[batch_index(task.id)] = Some(Decision::Rejected(reason));
+                    skipped.insert(task.id);
+                    i += 1;
+                }
+                Err(reason) => {
+                    // A previously admitted task lost feasibility.
+                    match checkpoints.pop() {
+                        Some(ck) => {
+                            // Evict the most recently planned batch member
+                            // (top checkpoint) and replan the suffix from
+                            // its position.
+                            let evicted = ordered[ck.ordered_idx];
+                            decisions[batch_index(evicted.id)] = Some(Decision::Rejected(reason));
+                            skipped.insert(evicted.id);
+                            evicted_by_rollback.push(evicted);
+                            releases = ck.releases;
+                            plans.truncate(ck.plans_len);
+                            i = ck.ordered_idx;
+                        }
+                        None => {
+                            // No batch member precedes the failing waiting
+                            // task: the waiting queue alone cannot be
+                            // replanned at `now` (the FixedPoint ñ_min
+                            // non-monotonicity — see `replan`). Every
+                            // per-task submit would fail the same way, so
+                            // reject the whole batch and keep the current
+                            // plans untouched.
+                            for d in decisions.iter_mut() {
+                                if d.is_none() {
+                                    *d = Some(Decision::Rejected(reason));
+                                }
+                            }
+                            return decisions.into_iter().map(|d| d.expect("decided")).collect();
+                        }
+                    }
+                }
+            }
+        }
+        for (idx, d) in decisions.iter_mut().enumerate() {
+            if d.is_none() {
+                debug_assert!(plans.iter().any(|p| p.task == batch[idx].id));
+                *d = Some(Decision::Accepted);
+            }
+        }
+        self.queue.clear();
+        let mut by_id: Vec<(TaskId, Task)> = ordered
+            .into_iter()
+            .filter(|t| !skipped.contains(&t.id))
+            .map(|t| (t.id, t))
+            .collect();
+        for plan in plans {
+            let pos = by_id
+                .iter()
+                .position(|(id, _)| *id == plan.task)
+                .expect("plan for unknown task");
+            let (_, task) = by_id.swap_remove(pos);
+            self.queue.push((task, plan));
+        }
+        // Rollback evictions picked a culprit heuristically; give each
+        // evicted member one individual shot at the settled queue so no
+        // task is rejected that the per-task path would have admitted.
+        self.algorithm.policy.sort(&mut evicted_by_rollback);
+        for task in evicted_by_rollback {
+            if self.submit(task, now).is_accepted() {
+                decisions[batch_index(task.id)] = Some(Decision::Accepted);
+            }
+        }
+        decisions.into_iter().map(|d| d.expect("decided")).collect()
+    }
+
+    /// The committed work outstanding at `now`, in node-time units: the sum
+    /// over nodes of how far past `now` their committed releases reach, plus
+    /// the transmission+compute demand of the waiting queue. Service-layer
+    /// routers use this as a cheap least-loaded signal.
+    pub fn backlog(&self, now: SimTime) -> f64 {
+        let committed: f64 = self
+            .releases
+            .iter()
+            .map(|r| (r.as_f64() - now.as_f64()).max(0.0))
+            .sum();
+        let waiting: f64 = self
+            .queue
+            .iter()
+            .map(|(t, _)| t.data_size * (self.params.cms + self.params.cps))
+            .sum();
+        committed + waiting
     }
 
     /// Re-plans the waiting queue against the current committed releases
@@ -358,7 +582,10 @@ mod tests {
             }
         }
         assert!(admitted >= 1, "at least the first task fits");
-        assert!(admitted < 50, "an overloaded cluster must reject eventually");
+        assert!(
+            admitted < 50,
+            "an overloaded cluster must reject eventually"
+        );
         assert_eq!(c.queue_len(), admitted as usize);
     }
 
@@ -368,10 +595,18 @@ mod tests {
         let p = params();
         let e16 = homogeneous::exec_time(&p, 200.0, 16);
         // A loose task first…
-        assert!(c.submit(task(1, 0.0, 200.0, e16 * 50.0), SimTime::ZERO).is_accepted());
+        assert!(c
+            .submit(task(1, 0.0, 200.0, e16 * 50.0), SimTime::ZERO)
+            .is_accepted());
         // …then an urgent one; EDF must reorder so it is planned first.
-        assert!(c.submit(task(2, 0.0, 200.0, e16 * 1.5), SimTime::ZERO).is_accepted());
-        assert_eq!(c.queue()[0].0.id, TaskId(2), "EDF puts the urgent task first");
+        assert!(c
+            .submit(task(2, 0.0, 200.0, e16 * 1.5), SimTime::ZERO)
+            .is_accepted());
+        assert_eq!(
+            c.queue()[0].0.id,
+            TaskId(2),
+            "EDF puts the urgent task first"
+        );
     }
 
     #[test]
@@ -379,8 +614,12 @@ mod tests {
         let mut c = ctl(AlgorithmKind::FIFO_DLT);
         let p = params();
         let e16 = homogeneous::exec_time(&p, 200.0, 16);
-        assert!(c.submit(task(1, 0.0, 200.0, e16 * 50.0), SimTime::ZERO).is_accepted());
-        assert!(c.submit(task(2, 1.0, 200.0, e16 * 2.0), SimTime::new(1.0)).is_accepted());
+        assert!(c
+            .submit(task(1, 0.0, 200.0, e16 * 50.0), SimTime::ZERO)
+            .is_accepted());
+        assert!(c
+            .submit(task(2, 1.0, 200.0, e16 * 2.0), SimTime::new(1.0))
+            .is_accepted());
         assert_eq!(c.queue()[0].0.id, TaskId(1));
     }
 
@@ -428,6 +667,118 @@ mod tests {
         let mut c = ctl(AlgorithmKind::EDF_DLT);
         c.replan(SimTime::new(42.0)).unwrap();
         assert_eq!(c.queue_len(), 0);
+    }
+
+    #[test]
+    fn batch_on_empty_queue_matches_sequential() {
+        let burst: Vec<Task> = (0..10)
+            .map(|i| task(i, 0.0, 300.0, 4_000.0 + (i % 4) as f64 * 3_000.0))
+            .collect();
+        let mut batched = ctl(AlgorithmKind::EDF_DLT);
+        let decisions = batched.submit_batch(&burst, SimTime::ZERO);
+        let mut sequential = ctl(AlgorithmKind::EDF_DLT);
+        let mut ordered = burst.clone();
+        crate::policy::Policy::Edf.sort(&mut ordered);
+        for t in &ordered {
+            sequential.submit(*t, SimTime::ZERO);
+        }
+        let ids = |c: &AdmissionController| -> Vec<u64> {
+            c.queue().iter().map(|(t, _)| t.id.0).collect()
+        };
+        assert_eq!(ids(&batched), ids(&sequential));
+        assert_eq!(
+            decisions.iter().filter(|d| d.is_accepted()).count(),
+            sequential.queue_len()
+        );
+    }
+
+    #[test]
+    fn batch_rollback_recovers_the_innocent_member() {
+        // Waiting task W is snug on 8 nodes. Batch member M1 (earliest
+        // deadline, whole cluster) starves W; member M2 (tiny, deadline in
+        // between) is harmless. The rollback heuristic evicts M2 first, but
+        // the final individual re-test must bring it back: sequential
+        // policy-order submission rejects only M1.
+        let p = params();
+        let e8 = homogeneous::exec_time(&p, 400.0, 8);
+        let e16 = homogeneous::exec_time(&p, 400.0, 16);
+        let mut c = ctl(AlgorithmKind::EDF_DLT);
+        let w = task(1, 0.0, 400.0, e8 * 1.005);
+        assert!(c.submit(w, SimTime::ZERO).is_accepted());
+        let m1 = task(2, 0.0, 400.0, e16 * 1.05);
+        let m2 = task(3, 0.0, 10.0, e8 * 0.8);
+        let decisions = c.submit_batch(&[m1, m2], SimTime::ZERO);
+        assert!(
+            !decisions[0].is_accepted(),
+            "M1 starves the waiting task and must be rejected"
+        );
+        assert!(
+            decisions[1].is_accepted(),
+            "M2 is innocent and must survive the rollback: {decisions:?}"
+        );
+        let ids: Vec<u64> = c.queue().iter().map(|(t, _)| t.id.0).collect();
+        assert!(
+            ids.contains(&1) && ids.contains(&3) && !ids.contains(&2),
+            "{ids:?}"
+        );
+        // And the exact same outcome sequentially.
+        let mut s = ctl(AlgorithmKind::EDF_DLT);
+        assert!(s.submit(w, SimTime::ZERO).is_accepted());
+        assert!(!s.submit(m1, SimTime::ZERO).is_accepted());
+        assert!(s.submit(m2, SimTime::ZERO).is_accepted());
+    }
+
+    #[test]
+    fn batch_rejects_all_when_waiting_queue_cannot_replan() {
+        // The waiting task's deadline has passed by the time the batch
+        // arrives: replanning the queue alone is infeasible, so the batch
+        // must be rejected wholesale and the existing plan kept.
+        let p = params();
+        let e16 = homogeneous::exec_time(&p, 400.0, 16);
+        let mut c = ctl(AlgorithmKind::EDF_DLT);
+        let w = task(1, 0.0, 400.0, e16 * 1.05);
+        assert!(c.submit(w, SimTime::ZERO).is_accepted());
+        let plan_before = c.queue()[0].1.clone();
+        let late = SimTime::new(e16 * 3.0);
+        let decisions = c.submit_batch(&[task(2, late.as_f64(), 50.0, 1e9)], late);
+        assert_eq!(decisions.len(), 1);
+        assert!(!decisions[0].is_accepted());
+        assert_eq!(c.queue_len(), 1, "waiting task must keep its plan");
+        assert_eq!(c.queue()[0].1, plan_before);
+    }
+
+    #[test]
+    fn probe_matches_submit_without_mutation() {
+        let mut c = ctl(AlgorithmKind::EDF_DLT);
+        let t1 = task(1, 0.0, 200.0, 30_000.0);
+        assert!(c.probe(&t1, SimTime::ZERO).is_accepted());
+        assert_eq!(c.queue_len(), 0, "probe must not install");
+        assert!(c.submit(t1, SimTime::ZERO).is_accepted());
+        let hopeless = task(2, 0.0, 200.0, 100.0);
+        assert_eq!(
+            c.probe(&hopeless, SimTime::ZERO),
+            Decision::Rejected(Infeasible::NoTimeForTransmission)
+        );
+        // probe_plan returns the candidate's own plan.
+        let t3 = task(3, 0.0, 100.0, 40_000.0);
+        let plan = c.probe_plan(&t3, SimTime::ZERO).unwrap();
+        assert_eq!(plan.task, t3.id);
+        assert_eq!(c.queue_len(), 1);
+    }
+
+    #[test]
+    fn backlog_tracks_committed_and_waiting_demand() {
+        let p = params();
+        let mut c = ctl(AlgorithmKind::EDF_DLT);
+        assert_eq!(c.backlog(SimTime::ZERO), 0.0);
+        let t1 = task(1, 0.0, 200.0, 30_000.0);
+        assert!(c.submit(t1, SimTime::ZERO).is_accepted());
+        let expected = 200.0 * (p.cms + p.cps);
+        assert!((c.backlog(SimTime::ZERO) - expected).abs() < 1e-9);
+        // Dispatch: demand moves from the waiting term to committed releases.
+        let _ = c.take_due(SimTime::ZERO);
+        assert!(c.backlog(SimTime::ZERO) > 0.0);
+        assert_eq!(c.backlog(SimTime::new(1e9)), 0.0, "far future: all drained");
     }
 
     #[test]

@@ -21,23 +21,45 @@ pub struct AlgorithmKind {
 
 impl AlgorithmKind {
     /// EDF-DLT — the paper's headline algorithm.
-    pub const EDF_DLT: Self = Self { policy: Policy::Edf, strategy: StrategyKind::DltIit };
+    pub const EDF_DLT: Self = Self {
+        policy: Policy::Edf,
+        strategy: StrategyKind::DltIit,
+    };
     /// FIFO-DLT.
-    pub const FIFO_DLT: Self = Self { policy: Policy::Fifo, strategy: StrategyKind::DltIit };
+    pub const FIFO_DLT: Self = Self {
+        policy: Policy::Fifo,
+        strategy: StrategyKind::DltIit,
+    };
     /// EDF-OPR-MN — the best baseline of \[22\] (no IIT use).
-    pub const EDF_OPR_MN: Self = Self { policy: Policy::Edf, strategy: StrategyKind::OprMn };
+    pub const EDF_OPR_MN: Self = Self {
+        policy: Policy::Edf,
+        strategy: StrategyKind::OprMn,
+    };
     /// FIFO-OPR-MN.
-    pub const FIFO_OPR_MN: Self = Self { policy: Policy::Fifo, strategy: StrategyKind::OprMn };
+    pub const FIFO_OPR_MN: Self = Self {
+        policy: Policy::Fifo,
+        strategy: StrategyKind::OprMn,
+    };
     /// EDF-OPR-AN (all nodes per task).
-    pub const EDF_OPR_AN: Self = Self { policy: Policy::Edf, strategy: StrategyKind::OprAn };
+    pub const EDF_OPR_AN: Self = Self {
+        policy: Policy::Edf,
+        strategy: StrategyKind::OprAn,
+    };
     /// FIFO-OPR-AN.
-    pub const FIFO_OPR_AN: Self = Self { policy: Policy::Fifo, strategy: StrategyKind::OprAn };
+    pub const FIFO_OPR_AN: Self = Self {
+        policy: Policy::Fifo,
+        strategy: StrategyKind::OprAn,
+    };
     /// EDF-UserSplit — manual equal splitting under EDF.
-    pub const EDF_USER_SPLIT: Self =
-        Self { policy: Policy::Edf, strategy: StrategyKind::UserSplit };
+    pub const EDF_USER_SPLIT: Self = Self {
+        policy: Policy::Edf,
+        strategy: StrategyKind::UserSplit,
+    };
     /// FIFO-UserSplit.
-    pub const FIFO_USER_SPLIT: Self =
-        Self { policy: Policy::Fifo, strategy: StrategyKind::UserSplit };
+    pub const FIFO_USER_SPLIT: Self = Self {
+        policy: Policy::Fifo,
+        strategy: StrategyKind::UserSplit,
+    };
 
     /// All eight algorithms, EDF variants first.
     pub const ALL: [Self; 8] = [
@@ -53,7 +75,11 @@ impl AlgorithmKind {
 
     /// The paper's name for this algorithm, e.g. `EDF-DLT`.
     pub fn paper_name(&self) -> String {
-        format!("{}-{}", self.policy.paper_name(), self.strategy.paper_name())
+        format!(
+            "{}-{}",
+            self.policy.paper_name(),
+            self.strategy.paper_name()
+        )
     }
 
     /// Whether the workload must carry user-requested node counts.

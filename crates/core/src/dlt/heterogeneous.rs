@@ -89,15 +89,19 @@ impl HeterogeneousModel {
             return Err(ModelError::InvalidParams("release times must be finite"));
         }
         if r.windows(2).any(|w| w[1] < w[0]) {
-            return Err(ModelError::InvalidParams("release times must be sorted ascending"));
+            return Err(ModelError::InvalidParams(
+                "release times must be sorted ascending",
+            ));
         }
         let n = r.len();
         let r_n = r[n - 1];
         let e = homogeneous::exec_time(params, sigma, n);
 
         // Eq. 1: earlier-available nodes get proportionally more model power.
-        let cps_het: Vec<f64> =
-            r.iter().map(|&ri| e / (e + (r_n - ri)) * params.cps).collect();
+        let cps_het: Vec<f64> = r
+            .iter()
+            .map(|&ri| e / (e + (r_n - ri)) * params.cps)
+            .collect();
 
         // Eq. 4–5 via prefix products of X_i, then a single normalization:
         //   prefix_1 = 1, prefix_i = prefix_{i−1} · X_i,  α_i = prefix_i / Σ prefix.
@@ -251,7 +255,9 @@ impl HeterogeneousModel {
         for i in 0..n {
             let b = self.actual_completion_bound(i).as_f64();
             if b > est * (1.0 + 1e-9) + 1e-9 {
-                return Err(format!("Theorem-4 bound of node {i} ({b}) exceeds estimate {est}"));
+                return Err(format!(
+                    "Theorem-4 bound of node {i} ({b}) exceeds estimate {est}"
+                ));
             }
         }
         Ok(())
@@ -312,9 +318,7 @@ mod tests {
     #[test]
     fn completion_estimate_is_rn_plus_exec() {
         let m = model(&[3.0, 7.0, 42.0], 100.0);
-        assert!(
-            (m.completion_estimate().as_f64() - (42.0 + m.exec_time())).abs() < 1e-12
-        );
+        assert!((m.completion_estimate().as_f64() - (42.0 + m.exec_time())).abs() < 1e-12);
         assert_eq!(m.r_n(), 42.0);
     }
 
@@ -369,8 +373,7 @@ mod tests {
     fn extreme_parameter_regimes_stay_finite() {
         for (cms, cps) in [(1.0, 10_000.0), (8.0, 10.0), (1.0, 10.0)] {
             let params = ClusterParams::new(16, cms, cps).unwrap();
-            let r: Vec<SimTime> =
-                (0..16).map(|i| SimTime::new(i as f64 * 100.0)).collect();
+            let r: Vec<SimTime> = (0..16).map(|i| SimTime::new(i as f64 * 100.0)).collect();
             let m = HeterogeneousModel::new(&params, 800.0, &r).unwrap();
             m.check_invariants().unwrap();
             assert!(m.exec_time().is_finite() && m.exec_time() > 0.0);

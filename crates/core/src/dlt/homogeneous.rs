@@ -100,7 +100,10 @@ mod tests {
                 let naive = (1.0 - beta) / (1.0 - beta.powi(n as i32)) * sigma * (cms + cps);
                 let ours = exec_time(&params, sigma, n);
                 let rel = ((naive - ours) / naive).abs();
-                assert!(rel < 1e-9, "mismatch n={n} cms={cms} cps={cps}: {naive} vs {ours}");
+                assert!(
+                    rel < 1e-9,
+                    "mismatch n={n} cms={cms} cps={cps}: {naive} vs {ours}"
+                );
             }
         }
     }

@@ -220,7 +220,10 @@ mod tests {
         let releases: Vec<SimTime> = vec![SimTime::new(10.0); 16];
         let deadline = SimTime::new(10.0 + homogeneous::exec_time(&p, sigma, 4) * 1.0001);
         let res = min_feasible_nodes(&p, sigma, &releases, deadline).unwrap();
-        assert_eq!(res.n, n_tilde_min(&p, sigma, SimTime::new(10.0), deadline).unwrap());
+        assert_eq!(
+            res.n,
+            n_tilde_min(&p, sigma, SimTime::new(10.0), deadline).unwrap()
+        );
         assert_eq!(res.r_n, SimTime::new(10.0));
     }
 
@@ -233,8 +236,7 @@ mod tests {
         let mut releases = vec![SimTime::ZERO, SimTime::ZERO];
         releases.extend(std::iter::repeat_n(SimTime::new(1e6), 14));
         let e2 = homogeneous::exec_time(&p, sigma, 2);
-        let res =
-            min_feasible_nodes(&p, sigma, &releases, SimTime::new(e2 * 1.01)).unwrap();
+        let res = min_feasible_nodes(&p, sigma, &releases, SimTime::new(e2 * 1.01)).unwrap();
         assert!(res.n <= 2, "scan chose n={} instead of early nodes", res.n);
         assert_eq!(res.r_n, SimTime::ZERO);
     }
@@ -248,8 +250,7 @@ mod tests {
         let mut releases = vec![SimTime::ZERO];
         releases.extend((1..16).map(|i| SimTime::new(i as f64)));
         let e16 = homogeneous::exec_time(&p, sigma, 16);
-        let res =
-            min_feasible_nodes(&p, sigma, &releases, SimTime::new(15.0 + e16 * 1.5)).unwrap();
+        let res = min_feasible_nodes(&p, sigma, &releases, SimTime::new(15.0 + e16 * 1.5)).unwrap();
         assert!(res.n > 1);
         // The guarantee holds for the chosen allocation.
         let e = homogeneous::exec_time(&p, sigma, res.n);

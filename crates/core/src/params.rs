@@ -44,12 +44,20 @@ impl ClusterParams {
         if !(cps.is_finite() && cps > 0.0) {
             return Err(ModelError::InvalidParams("Cps must be finite and > 0"));
         }
-        Ok(ClusterParams { num_nodes, cms, cps })
+        Ok(ClusterParams {
+            num_nodes,
+            cms,
+            cps,
+        })
     }
 
     /// The paper's baseline configuration (§5.1): `N=16, Cms=1, Cps=100`.
     pub fn paper_baseline() -> Self {
-        ClusterParams { num_nodes: 16, cms: 1.0, cps: 100.0 }
+        ClusterParams {
+            num_nodes: 16,
+            cms: 1.0,
+            cps: 100.0,
+        }
     }
 
     /// `β = Cps / (Cms + Cps)` (Eq. 8), the per-node geometric ratio of the

@@ -73,9 +73,7 @@ impl StrategyKind {
     pub fn utilizes_iits(self) -> bool {
         matches!(
             self,
-            StrategyKind::DltIit
-                | StrategyKind::DltMultiRound { .. }
-                | StrategyKind::UserSplit
+            StrategyKind::DltIit | StrategyKind::DltMultiRound { .. } | StrategyKind::UserSplit
         )
     }
 }
@@ -329,9 +327,7 @@ fn plan_dlt_iit(
             exact_completions(params, task.data_size, model.alphas(), &starts)
         }
         ReleaseEstimate::Uniform => vec![est; n],
-        ReleaseEstimate::TightPerNode => {
-            (0..n).map(|i| model.actual_completion_bound(i)).collect()
-        }
+        ReleaseEstimate::TightPerNode => (0..n).map(|i| model.actual_completion_bound(i)).collect(),
     };
     Ok(TaskPlan {
         task: task.id,
@@ -368,7 +364,11 @@ fn plan_opr(
     }
     Ok(TaskPlan {
         task: task.id,
-        strategy: if all_nodes { StrategyKind::OprAn } else { StrategyKind::OprMn },
+        strategy: if all_nodes {
+            StrategyKind::OprAn
+        } else {
+            StrategyKind::OprMn
+        },
         nodes,
         // No IIT use: every node waits for the common start.
         start_times: vec![t_start; n],
@@ -614,8 +614,12 @@ mod tests {
             );
         }
         // In all cases the estimate respects the deadline.
-        assert!(!dlt.est_completion.definitely_after(task.absolute_deadline()));
-        assert!(!opr.est_completion.definitely_after(task.absolute_deadline()));
+        assert!(!dlt
+            .est_completion
+            .definitely_after(task.absolute_deadline()));
+        assert!(!opr
+            .est_completion
+            .definitely_after(task.absolute_deadline()));
     }
 
     #[test]
@@ -635,8 +639,14 @@ mod tests {
         let sigma = 160.0;
         let task = Task::new(1, 0.0, sigma, 1e9).with_user_nodes(Some(4));
         let a = NodeAvailability::new(&all_idle(16), SimTime::ZERO);
-        let plan =
-            plan_task(StrategyKind::UserSplit, &task, &a, &p, &PlanConfig::default()).unwrap();
+        let plan = plan_task(
+            StrategyKind::UserSplit,
+            &task,
+            &a,
+            &p,
+            &PlanConfig::default(),
+        )
+        .unwrap();
         assert_eq!(plan.n(), 4);
         let tx = sigma / 4.0 * p.cms; // 40
         for (i, s) in plan.start_times.iter().enumerate() {
@@ -651,7 +661,13 @@ mod tests {
         let p = baseline();
         let task = Task::new(1, 0.0, 200.0, 1e9); // no user_nodes
         let a = NodeAvailability::new(&all_idle(16), SimTime::ZERO);
-        let err = plan_task(StrategyKind::UserSplit, &task, &a, &p, &PlanConfig::default());
+        let err = plan_task(
+            StrategyKind::UserSplit,
+            &task,
+            &a,
+            &p,
+            &PlanConfig::default(),
+        );
         assert_eq!(err, Err(Infeasible::UserRequestInfeasible));
     }
 
@@ -721,7 +737,10 @@ mod tests {
             &task,
             &a,
             &p,
-            &PlanConfig { release_estimate: ReleaseEstimate::Uniform, ..Default::default() },
+            &PlanConfig {
+                release_estimate: ReleaseEstimate::Uniform,
+                ..Default::default()
+            },
         )
         .unwrap();
         let tight = plan_task(
@@ -729,11 +748,18 @@ mod tests {
             &task,
             &a,
             &p,
-            &PlanConfig { release_estimate: ReleaseEstimate::TightPerNode, ..Default::default() },
+            &PlanConfig {
+                release_estimate: ReleaseEstimate::TightPerNode,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(uni.n(), tight.n());
-        for (t, u) in tight.node_release_estimates.iter().zip(&uni.node_release_estimates) {
+        for (t, u) in tight
+            .node_release_estimates
+            .iter()
+            .zip(&uni.node_release_estimates)
+        {
             assert!(t <= u, "tight estimate must not exceed uniform");
         }
     }
@@ -746,7 +772,10 @@ mod tests {
         assert!(!StrategyKind::OprMn.utilizes_iits());
         assert!(!StrategyKind::OprAn.utilizes_iits());
         assert_eq!(StrategyKind::DltIit.paper_name(), "DLT");
-        assert_eq!(StrategyKind::DltMultiRound { rounds: 4 }.paper_name(), "DLT-MR4");
+        assert_eq!(
+            StrategyKind::DltMultiRound { rounds: 4 }.paper_name(),
+            "DLT-MR4"
+        );
     }
 
     #[test]
@@ -756,8 +785,14 @@ mod tests {
         let a = NodeAvailability::new(&all_idle(16), SimTime::ZERO);
         let cfg = PlanConfig::default();
         let single = plan_task(StrategyKind::DltIit, &task, &a, &p, &cfg).unwrap();
-        let mr1 = plan_task(StrategyKind::DltMultiRound { rounds: 1 }, &task, &a, &p, &cfg)
-            .unwrap();
+        let mr1 = plan_task(
+            StrategyKind::DltMultiRound { rounds: 1 },
+            &task,
+            &a,
+            &p,
+            &cfg,
+        )
+        .unwrap();
         assert_eq!(single.nodes, mr1.nodes);
         assert_eq!(single.est_completion, mr1.est_completion);
     }
@@ -777,14 +812,8 @@ mod tests {
                 let task = Task::new(1, 0.0, sigma, 1e6);
                 let single = plan_task(StrategyKind::DltIit, &task, &a, &p, &cfg).unwrap();
                 for rounds in [2u8, 3, 4, 8] {
-                    let mr = plan_task(
-                        StrategyKind::DltMultiRound { rounds },
-                        &task,
-                        &a,
-                        &p,
-                        &cfg,
-                    )
-                    .unwrap();
+                    let mr = plan_task(StrategyKind::DltMultiRound { rounds }, &task, &a, &p, &cfg)
+                        .unwrap();
                     assert!(
                         mr.est_completion <= single.est_completion,
                         "MR{rounds} estimate {:?} worse than single {:?} (σ={sigma})",
@@ -808,8 +837,14 @@ mod tests {
         // Force a wide allocation by requesting via deadline: use DltIit's
         // plan for reference n, then compare directly.
         let single = plan_task(StrategyKind::DltIit, &task, &a, &p, &cfg).unwrap();
-        let mr = plan_task(StrategyKind::DltMultiRound { rounds: 4 }, &task, &a, &p, &cfg)
-            .unwrap();
+        let mr = plan_task(
+            StrategyKind::DltMultiRound { rounds: 4 },
+            &task,
+            &a,
+            &p,
+            &cfg,
+        )
+        .unwrap();
         if single.n() > 1 {
             assert!(
                 mr.est_completion < single.est_completion,
@@ -827,8 +862,14 @@ mod tests {
         let task = Task::new(1, 0.0, 300.0, 5_000.0);
         let a = avail(&[0.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0], 0.0);
         let cfg = PlanConfig::default();
-        let mr = plan_task(StrategyKind::DltMultiRound { rounds: 3 }, &task, &a, &p, &cfg)
-            .unwrap();
+        let mr = plan_task(
+            StrategyKind::DltMultiRound { rounds: 3 },
+            &task,
+            &a,
+            &p,
+            &cfg,
+        )
+        .unwrap();
         if let StrategyKind::DltMultiRound { rounds } = mr.strategy {
             let n = mr.distinct_nodes();
             assert_eq!(mr.n(), n * rounds as usize, "rounds × nodes chunks");

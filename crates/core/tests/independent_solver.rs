@@ -13,6 +13,8 @@
 //! Gaussian elimination (written here, sharing no code with the library)
 //! must reproduce the library's partition and execution time.
 
+#![allow(clippy::needless_range_loop)] // translated numeric reference code
+
 use rtdls_core::prelude::*;
 
 /// Dense Gaussian elimination with partial pivoting. `a` is row-major
@@ -73,8 +75,16 @@ fn solve_equal_finish(sigma: f64, cms: f64, cps_het: &[f64]) -> (Vec<f64>, f64) 
 #[test]
 fn closed_form_partition_matches_direct_linear_solve() {
     let cases: Vec<(ClusterParams, Vec<f64>, f64)> = vec![
-        (ClusterParams::paper_baseline(), vec![0.0, 0.0, 500.0, 500.0], 100.0),
-        (ClusterParams::paper_baseline(), vec![0.0, 100.0, 200.0, 300.0, 400.0], 321.0),
+        (
+            ClusterParams::paper_baseline(),
+            vec![0.0, 0.0, 500.0, 500.0],
+            100.0,
+        ),
+        (
+            ClusterParams::paper_baseline(),
+            vec![0.0, 100.0, 200.0, 300.0, 400.0],
+            321.0,
+        ),
         (
             ClusterParams::new(8, 8.0, 10.0).unwrap(),
             vec![0.0, 5.0, 5.0, 60.0, 61.0, 62.0, 400.0, 1000.0],
@@ -127,8 +137,7 @@ fn optimality_of_equal_finish_partition() {
     // between any two nodes (keeping Σα = 1) can only increase the finish
     // time of one of them beyond Ê.
     let params = ClusterParams::paper_baseline();
-    let releases: Vec<SimTime> =
-        [0.0, 50.0, 120.0].into_iter().map(SimTime::new).collect();
+    let releases: Vec<SimTime> = [0.0, 50.0, 120.0].into_iter().map(SimTime::new).collect();
     let sigma = 90.0;
     let model = HeterogeneousModel::new(&params, sigma, &releases).unwrap();
     let base = model.alphas().to_vec();

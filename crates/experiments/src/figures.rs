@@ -36,7 +36,13 @@ pub struct PanelParams {
 impl Default for PanelParams {
     fn default() -> Self {
         // §5.1 baseline.
-        PanelParams { num_nodes: 16, cms: 1.0, cps: 100.0, avg_sigma: 200.0, dc_ratio: 2.0 }
+        PanelParams {
+            num_nodes: 16,
+            cms: 1.0,
+            cps: 100.0,
+            avg_sigma: 200.0,
+            dc_ratio: 2.0,
+        }
     }
 }
 
@@ -140,7 +146,11 @@ fn sweep_figure(
             panel(&format!("{id}{}", LETTERS[i]), p, algorithms, false)
         })
         .collect();
-    FigureSpec { id: id.to_string(), title: title.to_string(), panels }
+    FigureSpec {
+        id: id.to_string(),
+        title: title.to_string(),
+        panels,
+    }
 }
 
 /// All figures of the paper, in order. See DESIGN.md §4 for the index.
@@ -247,8 +257,13 @@ pub fn all_figures() -> Vec<FigureSpec> {
         &cps_values,
     );
     for (i, dc) in [3.0, 10.0].iter().enumerate() {
-        let p = PanelParams { dc_ratio: *dc, ..Default::default() };
-        fig14.panels.push(panel(&format!("fig14{}", LETTERS[6 + i]), p, edf_us, false));
+        let p = PanelParams {
+            dc_ratio: *dc,
+            ..Default::default()
+        };
+        fig14
+            .panels
+            .push(panel(&format!("fig14{}", LETTERS[6 + i]), p, edf_us, false));
     }
     figures.push(fig14);
     // Fig. 15: DLT vs User-Split, Avgσ effects (FIFO).
@@ -268,8 +283,16 @@ pub fn all_figures() -> Vec<FigureSpec> {
         &cps_values,
     );
     for (i, dc) in [3.0, 10.0].iter().enumerate() {
-        let p = PanelParams { dc_ratio: *dc, ..Default::default() };
-        fig16.panels.push(panel(&format!("fig16{}", LETTERS[6 + i]), p, fifo_us, false));
+        let p = PanelParams {
+            dc_ratio: *dc,
+            ..Default::default()
+        };
+        fig16.panels.push(panel(
+            &format!("fig16{}", LETTERS[6 + i]),
+            p,
+            fifo_us,
+            false,
+        ));
     }
     figures.push(fig16);
 
@@ -288,8 +311,14 @@ pub fn extension_figures() -> Vec<FigureSpec> {
     // Panel a: the paper baseline (compute-bound, Cms=1) — installments buy
     // little. Panel b/c: communication-heavier regimes where they matter.
     let p_base = PanelParams::default();
-    let p_cms4 = PanelParams { cms: 4.0, ..Default::default() };
-    let p_cms8 = PanelParams { cms: 8.0, ..Default::default() };
+    let p_cms4 = PanelParams {
+        cms: 4.0,
+        ..Default::default()
+    };
+    let p_cms8 = PanelParams {
+        cms: 8.0,
+        ..Default::default()
+    };
     let panels = vec![
         PanelSpec {
             id: "ext01a".into(),
@@ -342,7 +371,10 @@ pub fn run_figure(
     for p in &figure.panels {
         for &load in loads {
             for &algorithm in &p.algorithms {
-                jobs.push(SweepJob { workload: p.params.workload(load, horizon), algorithm });
+                jobs.push(SweepJob {
+                    workload: p.params.workload(load, horizon),
+                    algorithm,
+                });
             }
         }
     }
@@ -354,13 +386,23 @@ pub fn run_figure(
             let points = loads
                 .iter()
                 .map(|_| {
-                    p.algorithms.iter().map(|_| results.next().expect("job count")).collect()
+                    p.algorithms
+                        .iter()
+                        .map(|_| results.next().expect("job count"))
+                        .collect()
                 })
                 .collect();
-            PanelResult { spec: p.clone(), loads: loads.to_vec(), points }
+            PanelResult {
+                spec: p.clone(),
+                loads: loads.to_vec(),
+                points,
+            }
         })
         .collect();
-    FigureResult { spec: figure.clone(), panels }
+    FigureResult {
+        spec: figure.clone(),
+        panels,
+    }
 }
 
 #[cfg(test)]
@@ -393,8 +435,10 @@ mod tests {
     #[test]
     fn panel_ids_are_unique() {
         let figs = all_figures();
-        let mut ids: Vec<&str> =
-            figs.iter().flat_map(|f| f.panels.iter().map(|p| p.id.as_str())).collect();
+        let mut ids: Vec<&str> = figs
+            .iter()
+            .flat_map(|f| f.panels.iter().map(|p| p.id.as_str()))
+            .collect();
         let n = ids.len();
         ids.sort_unstable();
         ids.dedup();
@@ -439,7 +483,10 @@ mod tests {
             title: fig.title.clone(),
             panels: vec![fig.panels[0].clone()],
         };
-        let opts = RunOptions { replicates: 1, ..Default::default() };
+        let opts = RunOptions {
+            replicates: 1,
+            ..Default::default()
+        };
         let result = run_figure(&small, &[0.3, 0.8], 5e4, &opts);
         assert_eq!(result.panels.len(), 1);
         let p = &result.panels[0];
@@ -452,7 +499,11 @@ mod tests {
 
     #[test]
     fn workload_realization_applies_overrides() {
-        let p = PanelParams { cps: 5000.0, avg_sigma: 800.0, ..Default::default() };
+        let p = PanelParams {
+            cps: 5000.0,
+            avg_sigma: 800.0,
+            ..Default::default()
+        };
         let w = p.workload(0.4, 1e6);
         assert_eq!(w.params.cps, 5000.0);
         assert_eq!(w.avg_sigma, 800.0);

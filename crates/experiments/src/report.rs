@@ -47,7 +47,11 @@ pub fn panel_table(panel: &PanelResult) -> String {
 /// `load mean ci mean ci …` in algorithm order, with a `#` header.
 pub fn panel_dat(panel: &PanelResult) -> String {
     let mut out = String::new();
-    let _ = write!(out, "# {}  |  {}\n# load", panel.spec.id, panel.spec.caption);
+    let _ = write!(
+        out,
+        "# {}  |  {}\n# load",
+        panel.spec.id, panel.spec.caption
+    );
     for a in &panel.spec.algorithms {
         let name = a.paper_name();
         let _ = write!(out, "  {name}  {name}_ci95");
@@ -56,7 +60,11 @@ pub fn panel_dat(panel: &PanelResult) -> String {
     for (li, &load) in panel.loads.iter().enumerate() {
         let _ = write!(out, "{load:.2}");
         for point in &panel.points[li] {
-            let _ = write!(out, "  {:.6}  {:.6}", point.summary.mean, point.summary.ci95_half_width);
+            let _ = write!(
+                out,
+                "  {:.6}  {:.6}",
+                point.summary.mean, point.summary.ci95_half_width
+            );
         }
         out.push('\n');
     }
@@ -66,26 +74,64 @@ pub fn panel_dat(panel: &PanelResult) -> String {
 /// Renders the §5.2 aggregate statistics next to the paper's numbers.
 pub fn summary_table(stats: &SummaryStats) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "DLT-Based vs User-Split over {} configurations", stats.total);
+    let _ = writeln!(
+        out,
+        "DLT-Based vs User-Split over {} configurations",
+        stats.total
+    );
     let _ = writeln!(out, "{:<38} {:>10} {:>10}", "", "measured", "paper");
     let row = |out: &mut String, label: &str, measured: f64, paper: f64| {
         let _ = writeln!(out, "{label:<38} {measured:>10.4} {paper:>10.3}");
     };
-    row(&mut out, "User-Split win rate", stats.user_split_win_rate, 0.0822);
-    row(&mut out, "DLT gain when DLT wins (avg)", stats.dlt_gain_avg, 0.121);
-    row(&mut out, "DLT gain when DLT wins (max)", stats.dlt_gain_max, 0.224);
-    row(&mut out, "DLT gain when DLT wins (min)", stats.dlt_gain_min, 0.003);
-    row(&mut out, "User-Split gain when US wins (avg)", stats.us_gain_avg, 0.016);
-    row(&mut out, "User-Split gain when US wins (max)", stats.us_gain_max, 0.028);
-    row(&mut out, "User-Split gain when US wins (min)", stats.us_gain_min, 0.003);
+    row(
+        &mut out,
+        "User-Split win rate",
+        stats.user_split_win_rate,
+        0.0822,
+    );
+    row(
+        &mut out,
+        "DLT gain when DLT wins (avg)",
+        stats.dlt_gain_avg,
+        0.121,
+    );
+    row(
+        &mut out,
+        "DLT gain when DLT wins (max)",
+        stats.dlt_gain_max,
+        0.224,
+    );
+    row(
+        &mut out,
+        "DLT gain when DLT wins (min)",
+        stats.dlt_gain_min,
+        0.003,
+    );
+    row(
+        &mut out,
+        "User-Split gain when US wins (avg)",
+        stats.us_gain_avg,
+        0.016,
+    );
+    row(
+        &mut out,
+        "User-Split gain when US wins (max)",
+        stats.us_gain_max,
+        0.028,
+    );
+    row(
+        &mut out,
+        "User-Split gain when US wins (min)",
+        stats.us_gain_min,
+        0.003,
+    );
     out
 }
 
 /// Renders the comparison grid as a `.dat` (one row per configuration).
 pub fn summary_dat(comparisons: &[Comparison]) -> String {
-    let mut out = String::from(
-        "# policy nodes cms cps avg_sigma dc_ratio load dlt user_split dlt_gain\n",
-    );
+    let mut out =
+        String::from("# policy nodes cms cps avg_sigma dc_ratio load dlt user_split dlt_gain\n");
     for c in comparisons {
         let _ = writeln!(
             out,
@@ -130,7 +176,10 @@ mod tests {
             title: fig.title.clone(),
             panels: fig.panels.clone(),
         };
-        let opts = RunOptions { replicates: 2, ..Default::default() };
+        let opts = RunOptions {
+            replicates: 2,
+            ..Default::default()
+        };
         run_figure(&small, &[0.5], 2e4, &opts)
     }
 
@@ -145,8 +194,7 @@ mod tests {
         let ci_table = panel_table(&result.panels[1]);
         assert!(ci_table.contains('±'));
         let dat = panel_dat(&result.panels[0]);
-        let data_rows: Vec<&str> =
-            dat.lines().filter(|l| !l.starts_with('#')).collect();
+        let data_rows: Vec<&str> = dat.lines().filter(|l| !l.starts_with('#')).collect();
         assert_eq!(data_rows.len(), 1);
         let cols = data_rows[0].split_whitespace().count();
         assert_eq!(cols, 1 + 2 * 2, "load + (mean, ci) per algorithm");

@@ -48,7 +48,9 @@ impl RunOptions {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -214,7 +216,10 @@ mod tests {
     #[test]
     fn replicates_differ_across_seeds_but_summary_holds() {
         let spec = quick_spec(0.8);
-        let opts = RunOptions { replicates: 4, ..Default::default() };
+        let opts = RunOptions {
+            replicates: 4,
+            ..Default::default()
+        };
         let point = run_replicated(&spec, AlgorithmKind::EDF_DLT, &opts);
         assert_eq!(point.reject_ratios.len(), 4);
         assert_eq!(point.summary.n, 4);
@@ -230,16 +235,30 @@ mod tests {
             .flat_map(|&load| {
                 [AlgorithmKind::EDF_DLT, AlgorithmKind::EDF_OPR_MN]
                     .into_iter()
-                    .map(move |algorithm| SweepJob { workload: quick_spec(load), algorithm })
+                    .map(move |algorithm| SweepJob {
+                        workload: quick_spec(load),
+                        algorithm,
+                    })
             })
             .collect();
-        let seq = RunOptions { replicates: 2, threads: 1, ..Default::default() };
-        let par = RunOptions { replicates: 2, threads: 4, ..Default::default() };
+        let seq = RunOptions {
+            replicates: 2,
+            threads: 1,
+            ..Default::default()
+        };
+        let par = RunOptions {
+            replicates: 2,
+            threads: 4,
+            ..Default::default()
+        };
         let a = run_sweep(&jobs, &seq);
         let b = run_sweep(&jobs, &par);
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.reject_ratios, y.reject_ratios, "parallelism changed results");
+            assert_eq!(
+                x.reject_ratios, y.reject_ratios,
+                "parallelism changed results"
+            );
         }
     }
 
@@ -248,7 +267,10 @@ mod tests {
         // The paper's headline claim on a small scale: same workload, same
         // seeds — the IIT-utilizing algorithm accepts at least as much.
         let spec = quick_spec(1.0);
-        let opts = RunOptions { replicates: 3, ..Default::default() };
+        let opts = RunOptions {
+            replicates: 3,
+            ..Default::default()
+        };
         let dlt = run_replicated(&spec, AlgorithmKind::EDF_DLT, &opts);
         let opr = run_replicated(&spec, AlgorithmKind::EDF_OPR_MN, &opts);
         assert!(

@@ -45,8 +45,7 @@ impl Summary {
         let n = values.len();
         let mean = values.iter().sum::<f64>() / n as f64;
         let std_dev = if n > 1 {
-            let var =
-                values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
             var.sqrt()
         } else {
             0.0
@@ -56,12 +55,20 @@ impl Summary {
         } else {
             0.0
         };
-        Summary { n, mean, std_dev, ci95_half_width }
+        Summary {
+            n,
+            mean,
+            std_dev,
+            ci95_half_width,
+        }
     }
 
     /// The interval `[mean − hw, mean + hw]`.
     pub fn ci95(&self) -> (f64, f64) {
-        (self.mean - self.ci95_half_width, self.mean + self.ci95_half_width)
+        (
+            self.mean - self.ci95_half_width,
+            self.mean + self.ci95_half_width,
+        )
     }
 }
 

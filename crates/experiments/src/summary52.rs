@@ -19,18 +19,23 @@ use crate::runner::{run_sweep, RunOptions, SweepJob};
 /// baseline plus every single-parameter change the paper's figures explore.
 pub fn grid_variants() -> Vec<PanelParams> {
     let mut variants = vec![PanelParams::default()];
+    variants.extend([3.0, 10.0, 20.0, 100.0].map(|dc_ratio| PanelParams {
+        dc_ratio,
+        ..Default::default()
+    }));
+    variants.extend([100.0, 400.0, 800.0].map(|avg_sigma| PanelParams {
+        avg_sigma,
+        ..Default::default()
+    }));
+    variants.extend([2.0, 4.0, 8.0].map(|cms| PanelParams {
+        cms,
+        ..Default::default()
+    }));
     variants.extend(
-        [3.0, 10.0, 20.0, 100.0]
-            .map(|dc_ratio| PanelParams { dc_ratio, ..Default::default() }),
-    );
-    variants.extend(
-        [100.0, 400.0, 800.0]
-            .map(|avg_sigma| PanelParams { avg_sigma, ..Default::default() }),
-    );
-    variants.extend([2.0, 4.0, 8.0].map(|cms| PanelParams { cms, ..Default::default() }));
-    variants.extend(
-        [10.0, 50.0, 500.0, 1000.0, 5000.0, 10_000.0]
-            .map(|cps| PanelParams { cps, ..Default::default() }),
+        [10.0, 50.0, 500.0, 1000.0, 5000.0, 10_000.0].map(|cps| PanelParams {
+            cps,
+            ..Default::default()
+        }),
     );
     variants
 }
@@ -122,24 +127,48 @@ pub fn run_summary(horizon: f64, opts: &RunOptions) -> (Vec<Comparison>, Summary
 /// Aggregates comparisons into the paper's reported statistics.
 pub fn summarize(comparisons: &[Comparison]) -> SummaryStats {
     let total = comparisons.len();
-    let dlt_gains: Vec<f64> =
-        comparisons.iter().map(Comparison::dlt_gain).filter(|&g| g > 0.0).collect();
-    let us_gains: Vec<f64> =
-        comparisons.iter().map(|c| -c.dlt_gain()).filter(|&g| g > 0.0).collect();
+    let dlt_gains: Vec<f64> = comparisons
+        .iter()
+        .map(Comparison::dlt_gain)
+        .filter(|&g| g > 0.0)
+        .collect();
+    let us_gains: Vec<f64> = comparisons
+        .iter()
+        .map(|c| -c.dlt_gain())
+        .filter(|&g| g > 0.0)
+        .collect();
     let user_split_wins = us_gains.len();
-    let avg = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let avg = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
     let max = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
     let min = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
     SummaryStats {
         total,
         user_split_wins,
-        user_split_win_rate: if total == 0 { 0.0 } else { user_split_wins as f64 / total as f64 },
+        user_split_win_rate: if total == 0 {
+            0.0
+        } else {
+            user_split_wins as f64 / total as f64
+        },
         dlt_gain_avg: avg(&dlt_gains),
         dlt_gain_max: max(&dlt_gains),
-        dlt_gain_min: if dlt_gains.is_empty() { 0.0 } else { min(&dlt_gains) },
+        dlt_gain_min: if dlt_gains.is_empty() {
+            0.0
+        } else {
+            min(&dlt_gains)
+        },
         us_gain_avg: avg(&us_gains),
         us_gain_max: max(&us_gains),
-        us_gain_min: if us_gains.is_empty() { 0.0 } else { min(&us_gains) },
+        us_gain_min: if us_gains.is_empty() {
+            0.0
+        } else {
+            min(&us_gains)
+        },
     }
 }
 
@@ -164,7 +193,12 @@ mod tests {
             dlt,
             user_split: us,
         };
-        let comps = vec![mk(0.10, 0.30), mk(0.20, 0.25), mk(0.30, 0.28), mk(0.15, 0.15)];
+        let comps = vec![
+            mk(0.10, 0.30),
+            mk(0.20, 0.25),
+            mk(0.30, 0.28),
+            mk(0.15, 0.15),
+        ];
         let s = summarize(&comps);
         assert_eq!(s.total, 4);
         assert_eq!(s.user_split_wins, 1);
@@ -181,7 +215,10 @@ mod tests {
         // One variant's worth of scale is too slow for a unit test; instead
         // check the plumbing on a tiny bespoke grid by calling run_sweep via
         // run_summary with a minuscule horizon and single seed.
-        let opts = RunOptions { replicates: 1, ..Default::default() };
+        let opts = RunOptions {
+            replicates: 1,
+            ..Default::default()
+        };
         let (comps, stats) = run_summary(2e4, &opts);
         assert_eq!(comps.len(), 340);
         assert_eq!(stats.total, 340);

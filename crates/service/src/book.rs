@@ -1,0 +1,93 @@
+//! Shared bookkeeping between the single-cluster [`Gateway`] and the
+//! [`ShardedGateway`]: defer-queue departures, the defer-or-reject verdict,
+//! end-of-stream flushing, and decision latency accounting. One copy, so
+//! counters and resolutions can never drift between the two gateways.
+//!
+//! [`Gateway`]: crate::gateway::Gateway
+//! [`ShardedGateway`]: crate::shard::ShardedGateway
+
+use std::time::Instant;
+
+use rtdls_core::prelude::{AlgorithmKind, ClusterParams, Infeasible, SimTime, Task};
+
+use crate::defer::{latest_feasible_start, DeferOutcome, DeferTicket, DeferredQueue};
+use crate::gateway::GatewayDecision;
+use crate::metrics::ServiceMetrics;
+
+/// Books the tickets that left the defer queue in one sweep: metric
+/// counters plus the engine-visible resolutions (`None` = rescued/accepted,
+/// `Some(cause)` = rejected).
+pub(crate) fn apply_departures(
+    departed: Vec<(DeferTicket, DeferOutcome)>,
+    metrics: &mut ServiceMetrics,
+    resolutions: &mut Vec<(Task, Option<Infeasible>)>,
+) {
+    for (ticket, outcome) in departed {
+        match outcome {
+            DeferOutcome::Rescued => {
+                metrics.rescued += 1;
+                resolutions.push((ticket.task, None));
+            }
+            DeferOutcome::Expired => {
+                metrics.defer_expired += 1;
+                resolutions.push((ticket.task, Some(ticket.cause)));
+            }
+            DeferOutcome::Evicted => {
+                metrics.defer_evicted += 1;
+                resolutions.push((ticket.task, Some(ticket.cause)));
+            }
+            DeferOutcome::Flushed => {
+                metrics.defer_flushed += 1;
+                resolutions.push((ticket.task, Some(ticket.cause)));
+            }
+        }
+    }
+}
+
+/// The Defer-or-Reject verdict for a task every admission target rejected:
+/// park it when a cluster of `widest_params` shape could still meet the
+/// deadline with slack (and the queue has room), reject otherwise.
+pub(crate) fn defer_or_reject(
+    defer: &mut DeferredQueue,
+    metrics: &mut ServiceMetrics,
+    widest_params: &ClusterParams,
+    algorithm: AlgorithmKind,
+    task: Task,
+    now: SimTime,
+    cause: Infeasible,
+) -> GatewayDecision {
+    if let Some(latest) = latest_feasible_start(widest_params, algorithm, &task) {
+        if latest.definitely_after(now) {
+            if let Some(id) = defer.push(task, now, latest, cause) {
+                metrics.deferred += 1;
+                return GatewayDecision::Deferred(id);
+            }
+        }
+    }
+    metrics.rejected_immediate += 1;
+    GatewayDecision::Rejected(cause)
+}
+
+/// End of stream: every still-parked ticket resolves as rejected.
+pub(crate) fn flush_all(
+    defer: &mut DeferredQueue,
+    metrics: &mut ServiceMetrics,
+    resolutions: &mut Vec<(Task, Option<Infeasible>)>,
+) {
+    let flushed = defer.flush();
+    apply_departures(flushed, metrics, resolutions);
+}
+
+/// Stamps the wall-clock window and records `n_decisions` latency samples
+/// (the elapsed time split evenly) for a submit or submit_batch call.
+pub(crate) fn record_decisions(metrics: &mut ServiceMetrics, start: Instant, n_decisions: usize) {
+    metrics.submitted += n_decisions as u64;
+    metrics.stamp_decision_window(start);
+    let elapsed = start.elapsed();
+    let per_decision = elapsed
+        .checked_div(n_decisions.max(1) as u32)
+        .unwrap_or(elapsed);
+    for _ in 0..n_decisions {
+        metrics.decision_latency.record(per_decision);
+    }
+}

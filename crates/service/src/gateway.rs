@@ -1,0 +1,350 @@
+//! The single-cluster online admission gateway.
+//!
+//! [`Gateway`] wraps one [`AdmissionController`] and turns its binary
+//! Accept/Reject into the three-way serving protocol:
+//!
+//! * **Accept** — the Fig. 2 test passed; the task joins the waiting queue
+//!   with its full deadline guarantee.
+//! * **Defer** — the test failed, but only for lack of *current* capacity
+//!   (an idle cluster would still make the deadline, with slack): the task
+//!   parks in a [`DeferredQueue`] and is re-tested on every
+//!   admission/completion event.
+//! * **Reject** — the test failed and no later start could succeed.
+//!
+//! A batched path ([`Gateway::submit_batch`]) amortizes the schedulability
+//! test across a burst via [`AdmissionController::submit_batch`], and
+//! [`ServiceMetrics`] tracks throughput, defer-rescue rate, and
+//! per-decision latency histograms.
+//!
+//! The gateway implements the simulator's [`Frontend`] trait, so a
+//! discrete-event run can route every arrival through it:
+//! `Simulation::with_frontend(cfg, gateway).run(tasks)`.
+
+use std::time::Instant;
+
+use rtdls_core::prelude::{
+    AdmissionController, AdmissionFailure, AlgorithmKind, ClusterParams, Decision, Infeasible,
+    PlanConfig, SimTime, Task, TaskId, TaskPlan,
+};
+use rtdls_sim::frontend::{Frontend, SubmitOutcome};
+
+use crate::book;
+use crate::defer::{DeferPolicy, DeferredQueue};
+use crate::metrics::ServiceMetrics;
+
+/// The gateway's three-way admission verdict.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GatewayDecision {
+    /// Admitted now; the deadline guarantee holds.
+    Accepted,
+    /// Parked in the defer queue under the given ticket id.
+    Deferred(u64),
+    /// Rejected for good.
+    Rejected(Infeasible),
+}
+
+impl GatewayDecision {
+    /// `true` for [`GatewayDecision::Accepted`].
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, GatewayDecision::Accepted)
+    }
+
+    /// `true` for [`GatewayDecision::Deferred`].
+    pub fn is_deferred(&self) -> bool {
+        matches!(self, GatewayDecision::Deferred(_))
+    }
+}
+
+/// Online admission gateway over one cluster.
+#[derive(Clone, Debug)]
+pub struct Gateway {
+    ctl: AdmissionController,
+    defer: DeferredQueue,
+    metrics: ServiceMetrics,
+    /// Verdicts reached for deferred tasks since the last drain.
+    resolutions: Vec<(Task, Option<Infeasible>)>,
+}
+
+impl Gateway {
+    /// A gateway over an idle cluster.
+    pub fn new(
+        params: ClusterParams,
+        algorithm: AlgorithmKind,
+        cfg: PlanConfig,
+        defer_policy: DeferPolicy,
+    ) -> Self {
+        Gateway {
+            ctl: AdmissionController::new(params, algorithm, cfg),
+            defer: DeferredQueue::new(defer_policy),
+            metrics: ServiceMetrics::new(),
+            resolutions: Vec::new(),
+        }
+    }
+
+    /// The underlying admission controller.
+    pub fn controller(&self) -> &AdmissionController {
+        &self.ctl
+    }
+
+    /// Gateway statistics so far.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Currently parked defer tickets.
+    pub fn deferred(&self) -> &DeferredQueue {
+        &self.defer
+    }
+
+    /// Decides one streaming submission at time `now`.
+    pub fn submit(&mut self, task: Task, now: SimTime) -> GatewayDecision {
+        let start = Instant::now();
+        let decision = match self.ctl.submit(task, now) {
+            Decision::Accepted => {
+                self.metrics.accepted_immediate += 1;
+                GatewayDecision::Accepted
+            }
+            Decision::Rejected(cause) => self.defer_or_reject(task, now, cause),
+        };
+        book::record_decisions(&mut self.metrics, start, 1);
+        decision
+    }
+
+    /// Decides a whole burst at once. Equivalent to one [`Gateway::submit`]
+    /// per task in policy order, but the schedulability test is amortized
+    /// into (usually) a single temp-schedule pass — see
+    /// [`AdmissionController::submit_batch`].
+    pub fn submit_batch(&mut self, batch: &[Task], now: SimTime) -> Vec<GatewayDecision> {
+        let start = Instant::now();
+        let decisions = self.ctl.submit_batch(batch, now);
+        let out: Vec<GatewayDecision> = batch
+            .iter()
+            .zip(decisions)
+            .map(|(task, d)| match d {
+                Decision::Accepted => {
+                    self.metrics.accepted_immediate += 1;
+                    GatewayDecision::Accepted
+                }
+                Decision::Rejected(cause) => self.defer_or_reject(*task, now, cause),
+            })
+            .collect();
+        self.metrics.batch_calls += 1;
+        self.metrics.batch_tasks += batch.len() as u64;
+        book::record_decisions(&mut self.metrics, start, batch.len());
+        out
+    }
+
+    /// Re-tests the defer queue against current capacity. Driven by the
+    /// engine after every admission/completion event; may also be called
+    /// directly by custom drivers.
+    pub fn retest_deferred(&mut self, now: SimTime) {
+        let ctl = &mut self.ctl;
+        let (departed, retests) = self
+            .defer
+            .sweep(now, |task| ctl.submit(*task, now).is_accepted());
+        self.metrics.retests += retests;
+        book::apply_departures(departed, &mut self.metrics, &mut self.resolutions);
+    }
+
+    fn defer_or_reject(&mut self, task: Task, now: SimTime, cause: Infeasible) -> GatewayDecision {
+        let params = *self.ctl.params();
+        book::defer_or_reject(
+            &mut self.defer,
+            &mut self.metrics,
+            &params,
+            self.ctl.algorithm(),
+            task,
+            now,
+            cause,
+        )
+    }
+}
+
+impl Frontend for Gateway {
+    fn submit(&mut self, task: Task, now: SimTime) -> SubmitOutcome {
+        match Gateway::submit(self, task, now) {
+            GatewayDecision::Accepted => SubmitOutcome::Accepted,
+            GatewayDecision::Deferred(_) => SubmitOutcome::Pending,
+            GatewayDecision::Rejected(cause) => SubmitOutcome::Rejected(cause),
+        }
+    }
+
+    fn replan(&mut self, now: SimTime) -> Result<(), AdmissionFailure> {
+        self.ctl.replan(now)
+    }
+
+    fn take_due(&mut self, now: SimTime) -> Vec<(Task, TaskPlan)> {
+        self.ctl.take_due(now)
+    }
+
+    fn next_dispatch_due(&self) -> Option<SimTime> {
+        self.ctl.next_dispatch_due()
+    }
+
+    fn committed_release(&self, node: usize) -> SimTime {
+        self.ctl.committed_releases()[node]
+    }
+
+    fn set_node_release(&mut self, node: usize, time: SimTime) {
+        self.ctl.set_node_release(node, time);
+    }
+
+    fn waiting_len(&self) -> usize {
+        self.ctl.queue_len()
+    }
+
+    fn find_plan(&self, task: TaskId) -> Option<&TaskPlan> {
+        Frontend::find_plan(&self.ctl, task)
+    }
+
+    fn on_event(&mut self, now: SimTime) {
+        self.retest_deferred(now);
+    }
+
+    fn drain_resolutions(&mut self) -> Vec<(Task, Option<Infeasible>)> {
+        std::mem::take(&mut self.resolutions)
+    }
+
+    fn finalize(&mut self, _now: SimTime) {
+        book::flush_all(&mut self.defer, &mut self.metrics, &mut self.resolutions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdls_core::dlt::homogeneous;
+
+    fn gateway() -> Gateway {
+        Gateway::new(
+            ClusterParams::paper_baseline(),
+            AlgorithmKind::EDF_DLT,
+            PlanConfig::default(),
+            DeferPolicy::default(),
+        )
+    }
+
+    #[test]
+    fn feasible_task_is_accepted() {
+        let mut g = gateway();
+        let d = g.submit(Task::new(1, 0.0, 200.0, 30_000.0), SimTime::ZERO);
+        assert_eq!(d, GatewayDecision::Accepted);
+        assert_eq!(g.metrics().accepted_immediate, 1);
+        assert_eq!(g.metrics().submitted, 1);
+        assert!(g.metrics().decision_latency.count() == 1);
+    }
+
+    #[test]
+    fn hopeless_task_is_rejected_not_deferred() {
+        let mut g = gateway();
+        // Deadline below the transmission time: even an idle cluster fails.
+        let d = g.submit(Task::new(1, 0.0, 200.0, 100.0), SimTime::ZERO);
+        assert_eq!(
+            d,
+            GatewayDecision::Rejected(Infeasible::NoTimeForTransmission)
+        );
+        assert_eq!(g.metrics().deferred, 0);
+        assert!(g.deferred().is_empty());
+    }
+
+    #[test]
+    fn near_miss_task_is_deferred_then_rescued() {
+        let p = ClusterParams::paper_baseline();
+        let mut g = gateway();
+        let e16 = homogeneous::exec_time(&p, 800.0, 16);
+        // Saturate the cluster with a task that holds every node until e16…
+        assert!(g
+            .submit(Task::new(1, 0.0, 800.0, e16 * 1.05), SimTime::ZERO)
+            .is_accepted());
+        // …then offer a task that cannot finish behind it (queued completion
+        // ≈ 2·e16 > 1.5·e16) but would fit an idle cluster with slack.
+        let near_miss = Task::new(2, 0.0, 800.0, e16 * 1.5);
+        let d = g.submit(near_miss, SimTime::ZERO);
+        assert!(d.is_deferred(), "expected Deferred, got {d:?}");
+        assert_eq!(g.metrics().deferred, 1);
+        // Dispatch the blocker, then let its nodes come back *earlier* than
+        // the committed estimate (the slack conservative release estimates
+        // produce); the re-test sweep must rescue the parked task.
+        Frontend::take_due(&mut g, SimTime::ZERO);
+        let early = SimTime::new(e16 * 0.3);
+        for node in 0..16 {
+            Frontend::set_node_release(&mut g, node, early);
+        }
+        g.retest_deferred(early);
+        assert_eq!(g.metrics().rescued, 1);
+        assert!(g.deferred().is_empty());
+        let resolutions = Frontend::drain_resolutions(&mut g);
+        assert_eq!(resolutions.len(), 1);
+        assert_eq!(resolutions[0].0.id, near_miss.id);
+        assert!(resolutions[0].1.is_none(), "rescued = accepted resolution");
+        assert!((g.metrics().defer_rescue_rate() - 1.0).abs() < 1e-12);
+        // The rescued plan carries the usual deadline guarantee.
+        let (_, plan) = &g.controller().queue()[0];
+        assert!(!plan
+            .est_completion
+            .definitely_after(near_miss.absolute_deadline()));
+    }
+
+    #[test]
+    fn batch_matches_sequential_semantics() {
+        let p = ClusterParams::paper_baseline();
+        let e16 = homogeneous::exec_time(&p, 400.0, 16);
+        let burst: Vec<Task> = (0..12)
+            .map(|i| Task::new(i, 0.0, 400.0, e16 * (2.0 + (i % 5) as f64)))
+            .collect();
+        let mut batched = gateway();
+        let batch_decisions = batched.submit_batch(&burst, SimTime::ZERO);
+        let mut sequential = gateway();
+        // Sequential submission must follow policy order for equivalence.
+        let mut ordered = burst.clone();
+        ordered.sort_by(|a, b| {
+            a.absolute_deadline()
+                .cmp(&b.absolute_deadline())
+                .then(a.id.cmp(&b.id))
+        });
+        for t in &ordered {
+            sequential.submit(*t, SimTime::ZERO);
+        }
+        let seq_accepted: Vec<u64> = sequential
+            .controller()
+            .queue()
+            .iter()
+            .map(|(t, _)| t.id.0)
+            .collect();
+        let batch_accepted: Vec<u64> = batched
+            .controller()
+            .queue()
+            .iter()
+            .map(|(t, _)| t.id.0)
+            .collect();
+        assert_eq!(seq_accepted, batch_accepted, "same queue either way");
+        assert_eq!(
+            batch_decisions.iter().filter(|d| d.is_accepted()).count(),
+            batch_accepted.len()
+        );
+        assert_eq!(batched.metrics().batch_calls, 1);
+        assert_eq!(batched.metrics().batch_tasks, 12);
+    }
+
+    #[test]
+    fn finalize_flushes_remaining_tickets_as_rejections() {
+        let p = ClusterParams::paper_baseline();
+        let mut g = gateway();
+        let e16 = homogeneous::exec_time(&p, 800.0, 16);
+        assert!(g
+            .submit(Task::new(1, 0.0, 800.0, e16 * 1.05), SimTime::ZERO)
+            .is_accepted());
+        assert!(g
+            .submit(Task::new(2, 0.0, 800.0, e16 * 1.5), SimTime::ZERO)
+            .is_deferred());
+        Frontend::finalize(&mut g, SimTime::ZERO);
+        let resolutions = Frontend::drain_resolutions(&mut g);
+        assert_eq!(resolutions.len(), 1);
+        assert!(resolutions[0].1.is_some(), "flushed = rejected resolution");
+        assert_eq!(g.metrics().defer_flushed, 1);
+        assert_eq!(
+            g.metrics().accepted_total() + g.metrics().rejected_total(),
+            g.metrics().submitted
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! # rtdls-service
+//!
+//! The online serving subsystem: an admission **gateway** that turns the
+//! paper's per-cluster scheduler (`rtdls-core`) into a high-throughput
+//! streaming service.
+//!
+//! The paper evaluates its Fig. 2 schedulability test offline — a pre-built
+//! task list fed to one [`AdmissionController`]. A production front door
+//! needs more:
+//!
+//! * **Three-way decisions** ([`Gateway`]): streaming submissions return
+//!   `Accept(plan installed) / Defer(ticket) / Reject(reason)`. Near-miss
+//!   tasks — schedulable on an idle cluster with slack, just not *right
+//!   now* — park in an age-aware, retry-bounded [`DeferredQueue`] and are
+//!   re-tested on every task completion/admission event. Rescued tasks
+//!   carry the same hard deadline guarantee as directly admitted ones
+//!   (rescue *is* a Fig. 2 test, run later).
+//! * **Sharded dispatch** ([`ShardedGateway`]): a large cluster is
+//!   partitioned into `K` independent shards, each with its own admission
+//!   controller, behind pluggable [`Routing`] (round-robin, least-loaded,
+//!   best-fit by earliest estimated completion) — admission cost stays
+//!   sub-linear in cluster size.
+//! * **Batched submission** (`submit_batch`): a burst is decided through
+//!   one amortized temp-schedule pass instead of one full test per task.
+//! * **Observability** ([`ServiceMetrics`]): throughput, defer-rescue
+//!   rate, and per-decision latency histograms.
+//!
+//! Both gateways implement the simulator's
+//! [`Frontend`](rtdls_sim::frontend::Frontend) trait, so a discrete-event
+//! run can route every arrival through the service layer and verify, at
+//! run time, that every admitted task (including rescued ones) meets its
+//! deadline:
+//!
+//! ```
+//! use rtdls_core::prelude::*;
+//! use rtdls_sim::prelude::*;
+//! use rtdls_service::prelude::*;
+//!
+//! let params = ClusterParams::paper_baseline();
+//! let gateway = ShardedGateway::new(
+//!     params,
+//!     4,
+//!     AlgorithmKind::EDF_DLT,
+//!     PlanConfig::default(),
+//!     Routing::LeastLoaded,
+//!     DeferPolicy::default(),
+//! )
+//! .unwrap();
+//! let cfg = SimConfig::new(params, AlgorithmKind::EDF_DLT).strict();
+//! let tasks = vec![
+//!     Task::new(1, 0.0, 200.0, 60_000.0),
+//!     Task::new(2, 10.0, 400.0, 90_000.0),
+//! ];
+//! let (report, gateway) = Simulation::with_frontend(cfg, gateway)
+//!     .run_returning_frontend(tasks);
+//! assert_eq!(report.metrics.accepted, 2);
+//! assert_eq!(report.metrics.deadline_misses, 0);
+//! assert_eq!(gateway.metrics().accepted_total(), 2);
+//! ```
+//!
+//! [`AdmissionController`]: rtdls_core::admission::AdmissionController
+//! [`Gateway`]: gateway::Gateway
+//! [`ShardedGateway`]: shard::ShardedGateway
+//! [`DeferredQueue`]: defer::DeferredQueue
+//! [`Routing`]: shard::Routing
+//! [`ServiceMetrics`]: metrics::ServiceMetrics
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod book;
+pub mod defer;
+pub mod gateway;
+pub mod metrics;
+pub mod shard;
+
+/// One-stop imports for serving-layer users.
+pub mod prelude {
+    pub use crate::defer::{
+        latest_feasible_start, DeferOutcome, DeferPolicy, DeferTicket, DeferredQueue,
+    };
+    pub use crate::gateway::{Gateway, GatewayDecision};
+    pub use crate::metrics::{LatencyHistogram, ServiceMetrics};
+    pub use crate::shard::{Routing, ShardedGateway};
+}

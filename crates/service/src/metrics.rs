@@ -1,0 +1,266 @@
+//! Gateway observability: decision counters, defer-queue accounting, and
+//! per-decision latency histograms.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A log₂-bucketed latency histogram over nanoseconds.
+///
+/// Bucket `i` holds samples in `[2^i, 2^(i+1))` ns; quantiles are read off
+/// the bucket boundaries (≤ 2× resolution error, plenty for admission-path
+/// latencies that span orders of magnitude).
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; 64],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        let bucket = (64 - ns.leading_zeros()).saturating_sub(1).min(63) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Upper bucket bound (ns) below which `q` of the samples fall
+    /// (`q ∈ [0, 1]`; 0 when empty).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max_ns
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1}µs p50≤{:.1}µs p90≤{:.1}µs p99≤{:.1}µs max={:.1}µs",
+            self.count,
+            self.mean_ns() / 1e3,
+            self.quantile_ns(0.50) as f64 / 1e3,
+            self.quantile_ns(0.90) as f64 / 1e3,
+            self.quantile_ns(0.99) as f64 / 1e3,
+            self.max_ns as f64 / 1e3,
+        )
+    }
+}
+
+/// Aggregated gateway statistics.
+///
+/// Counters split decisions into their *initial* verdict (accepted /
+/// deferred / rejected at submission) and the *final* fate of deferred
+/// tasks (rescued / evicted after max retries / expired past the latest
+/// feasible start). `accepted_total()` is the final admitted count.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceMetrics {
+    /// Tasks submitted (single and batched).
+    pub submitted: u64,
+    /// Accepted immediately at submission.
+    pub accepted_immediate: u64,
+    /// Rejected immediately at submission.
+    pub rejected_immediate: u64,
+    /// Parked in the defer queue at submission.
+    pub deferred: u64,
+    /// Deferred tasks later admitted by a re-test.
+    pub rescued: u64,
+    /// Deferred tasks dropped after exhausting their retry budget.
+    pub defer_evicted: u64,
+    /// Deferred tasks dropped because their latest feasible start passed.
+    pub defer_expired: u64,
+    /// Deferred tasks flushed when the stream ended.
+    pub defer_flushed: u64,
+    /// Re-test attempts performed across all defer-queue sweeps.
+    pub retests: u64,
+    /// `submit_batch` invocations.
+    pub batch_calls: u64,
+    /// Tasks that went through the batched path.
+    pub batch_tasks: u64,
+    /// Wall-clock latency of each admission decision.
+    pub decision_latency: LatencyHistogram,
+    first_decision: Option<Instant>,
+    last_decision: Option<Instant>,
+}
+
+impl ServiceMetrics {
+    /// Fresh, empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stamps the wall-clock window around one decision (or batch).
+    pub fn stamp_decision_window(&mut self, at: Instant) {
+        if self.first_decision.is_none() {
+            self.first_decision = Some(at);
+        }
+        self.last_decision = Some(at);
+    }
+
+    /// Final admitted count: immediate accepts plus rescued defers.
+    pub fn accepted_total(&self) -> u64 {
+        self.accepted_immediate + self.rescued
+    }
+
+    /// Final rejected count: immediate rejects plus every way a deferred
+    /// task can fall out of the queue.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_immediate + self.defer_evicted + self.defer_expired + self.defer_flushed
+    }
+
+    /// Fraction of deferred tasks eventually admitted (0 when none were
+    /// deferred) — the headline number for the Defer queue's usefulness.
+    pub fn defer_rescue_rate(&self) -> f64 {
+        if self.deferred == 0 {
+            0.0
+        } else {
+            self.rescued as f64 / self.deferred as f64
+        }
+    }
+
+    /// Final acceptance ratio over all submissions.
+    pub fn accept_ratio(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.accepted_total() as f64 / self.submitted as f64
+        }
+    }
+
+    /// Admission decisions per wall-clock second over the observed window
+    /// (0 with fewer than two decisions).
+    pub fn decisions_per_sec(&self) -> f64 {
+        match (self.first_decision, self.last_decision) {
+            (Some(a), Some(b)) if b > a => self.submitted as f64 / (b - a).as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for ServiceMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "submitted {} | accepted {} ({} immediate + {} rescued) | rejected {} | \
+             deferred {} (rescue rate {:.1}%)",
+            self.submitted,
+            self.accepted_total(),
+            self.accepted_immediate,
+            self.rescued,
+            self.rejected_total(),
+            self.deferred,
+            self.defer_rescue_rate() * 100.0,
+        )?;
+        writeln!(
+            f,
+            "defer outcomes: rescued {} evicted {} expired {} flushed {} | retests {}",
+            self.rescued, self.defer_evicted, self.defer_expired, self.defer_flushed, self.retests,
+        )?;
+        if self.decisions_per_sec() > 0.0 {
+            writeln!(
+                f,
+                "throughput: {:.0} decisions/s (wall)",
+                self.decisions_per_sec()
+            )?;
+        }
+        write!(f, "decision latency: {}", self.decision_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let mut h = LatencyHistogram::new();
+        for us in [1u64, 2, 4, 8, 100, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 6);
+        assert!(h.mean_ns() > 0.0);
+        // p50 bound is at least the 3rd smallest sample and at most 2× it.
+        let p50 = h.quantile_ns(0.5);
+        assert!(p50 >= 4_000, "p50 {p50}");
+        assert!(p50 <= 16_000, "p50 {p50}");
+        // p100 bound covers the max.
+        assert!(h.quantile_ns(1.0) >= h.max_ns() || h.quantile_ns(1.0) >= 1_000_000);
+        assert!(h.max_ns() >= 1_000_000);
+    }
+
+    #[test]
+    fn rates_and_totals_are_consistent() {
+        let mut m = ServiceMetrics::new();
+        m.submitted = 10;
+        m.accepted_immediate = 5;
+        m.rejected_immediate = 2;
+        m.deferred = 3;
+        m.rescued = 2;
+        m.defer_evicted = 1;
+        assert_eq!(m.accepted_total(), 7);
+        assert_eq!(m.rejected_total(), 3);
+        assert!((m.defer_rescue_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.accept_ratio() - 0.7).abs() < 1e-12);
+        assert_eq!(m.accepted_total() + m.rejected_total(), m.submitted);
+        let text = m.to_string();
+        assert!(text.contains("rescue rate"));
+    }
+
+    #[test]
+    fn empty_metrics_have_zero_rates() {
+        let m = ServiceMetrics::new();
+        assert_eq!(m.defer_rescue_rate(), 0.0);
+        assert_eq!(m.accept_ratio(), 0.0);
+        assert_eq!(m.decisions_per_sec(), 0.0);
+        assert_eq!(m.decision_latency.quantile_ns(0.99), 0);
+    }
+}

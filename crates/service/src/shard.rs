@@ -1,0 +1,627 @@
+//! Sharded multi-cluster dispatch.
+//!
+//! The Fig. 2 schedulability test rebuilds a temp schedule over the whole
+//! waiting queue on every arrival — `O(queue × nodes)` per decision. On one
+//! big cluster both factors grow with cluster size, so admission cost grows
+//! superlinearly with offered load. [`ShardedGateway`] partitions the
+//! cluster into `K` independent shards, each with its own
+//! [`AdmissionController`] over `N/K` nodes and its own (shorter) waiting
+//! queue: one decision touches a single shard, keeping admission cost
+//! sub-linear in total cluster size at the price of losing cross-shard
+//! task placement (a task runs entirely within one shard).
+//!
+//! Routing between shards is pluggable ([`Routing`]):
+//!
+//! * **RoundRobin** — cheapest; statistically balanced under uniform load;
+//! * **LeastLoaded** — routes by committed-backlog estimate
+//!   ([`AdmissionController::backlog`]);
+//! * **BestFit** — probes every shard ([`AdmissionController::probe_plan`])
+//!   and picks the earliest estimated completion among the acceptors.
+//!
+//! If the routed shard rejects, the other shards are tried in routing order
+//! before the task is deferred or rejected, so a sharded gateway never
+//! phantom-rejects a task some shard could take. The defer queue and
+//! metrics are gateway-global, shared across shards.
+
+use std::time::Instant;
+
+use rtdls_core::error::ModelError;
+use rtdls_core::prelude::{
+    AdmissionController, AdmissionFailure, AlgorithmKind, ClusterParams, Infeasible, NodeId,
+    PlanConfig, SimTime, Task, TaskId, TaskPlan,
+};
+use rtdls_sim::frontend::{Frontend, SubmitOutcome};
+
+use crate::book;
+use crate::defer::{DeferPolicy, DeferredQueue};
+use crate::gateway::GatewayDecision;
+use crate::metrics::ServiceMetrics;
+
+/// How submissions are routed across shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Routing {
+    /// Cycle through shards; O(1) routing work.
+    RoundRobin,
+    /// Route to the shard with the smallest committed backlog.
+    LeastLoaded,
+    /// Probe all shards, pick the earliest estimated completion.
+    BestFit,
+}
+
+/// One shard: an admission controller plus its node-id offset into the
+/// global cluster.
+#[derive(Clone, Debug)]
+struct Shard {
+    ctl: AdmissionController,
+    offset: usize,
+}
+
+impl Shard {
+    fn len(&self) -> usize {
+        self.ctl.params().num_nodes
+    }
+}
+
+/// Translates a shard-local plan into the engine's global node space.
+fn globalize(mut plan: TaskPlan, offset: usize) -> TaskPlan {
+    for node in &mut plan.nodes {
+        *node = NodeId(node.0 + offset as u32);
+    }
+    plan
+}
+
+/// Tries shards in routing order, skipping `exclude` (a shard already known
+/// to reject, e.g. from a batch pass); `Ok(shard)` on the first acceptance,
+/// `Err(a rejection cause)` when every candidate rejects (or none remain).
+fn try_admit(
+    shards: &mut [Shard],
+    routing: Routing,
+    cursor: &mut usize,
+    task: &Task,
+    now: SimTime,
+    exclude: Option<usize>,
+) -> Result<usize, Infeasible> {
+    let k = shards.len();
+    if routing == Routing::BestFit {
+        // Probe every shard once; the probe *is* the submit's test, so the
+        // winner's submit is guaranteed to accept and losers are never
+        // re-tested.
+        let mut best: Option<(SimTime, usize)> = None;
+        let mut first_cause = None;
+        for (i, shard) in shards.iter().enumerate() {
+            if Some(i) == exclude {
+                continue;
+            }
+            match shard.ctl.probe_plan(task, now) {
+                Ok(plan) => {
+                    let key = (plan.est_completion, i);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+                Err(failure) => {
+                    first_cause.get_or_insert(failure.reason);
+                }
+            }
+        }
+        return match best {
+            Some((_, s)) => {
+                let accepted = shards[s].ctl.submit(*task, now).is_accepted();
+                debug_assert!(accepted, "probe and submit run the same test");
+                Ok(s)
+            }
+            None => Err(first_cause.unwrap_or(Infeasible::NotEnoughNodes)),
+        };
+    }
+    let order: Vec<usize> = match routing {
+        Routing::RoundRobin => {
+            let start = *cursor;
+            *cursor = (*cursor + 1) % k;
+            (0..k).map(|i| (start + i) % k).collect()
+        }
+        Routing::LeastLoaded => {
+            let mut idx: Vec<usize> = (0..k).collect();
+            let backlogs: Vec<f64> = shards.iter().map(|s| s.ctl.backlog(now)).collect();
+            idx.sort_by(|&a, &b| backlogs[a].total_cmp(&backlogs[b]).then(a.cmp(&b)));
+            idx
+        }
+        Routing::BestFit => unreachable!("handled above"),
+    };
+    let mut first_cause = None;
+    for s in order {
+        if Some(s) == exclude {
+            continue;
+        }
+        match shards[s].ctl.submit(*task, now) {
+            rtdls_core::prelude::Decision::Accepted => return Ok(s),
+            rtdls_core::prelude::Decision::Rejected(cause) => {
+                first_cause.get_or_insert(cause);
+            }
+        }
+    }
+    Err(first_cause.unwrap_or(Infeasible::NotEnoughNodes))
+}
+
+/// Online admission gateway over `K` independent cluster shards.
+#[derive(Clone, Debug)]
+pub struct ShardedGateway {
+    params: ClusterParams,
+    algorithm: AlgorithmKind,
+    shards: Vec<Shard>,
+    routing: Routing,
+    cursor: usize,
+    defer: DeferredQueue,
+    metrics: ServiceMetrics,
+    resolutions: Vec<(Task, Option<Infeasible>)>,
+}
+
+impl ShardedGateway {
+    /// Partitions `params.num_nodes` nodes into `num_shards` contiguous
+    /// shards (sizes differing by at most one). Errors when `num_shards`
+    /// is zero or exceeds the node count.
+    pub fn new(
+        params: ClusterParams,
+        num_shards: usize,
+        algorithm: AlgorithmKind,
+        cfg: PlanConfig,
+        routing: Routing,
+        defer_policy: DeferPolicy,
+    ) -> Result<Self, ModelError> {
+        if num_shards == 0 {
+            return Err(ModelError::InvalidParams("num_shards must be >= 1"));
+        }
+        if num_shards > params.num_nodes {
+            return Err(ModelError::InvalidParams("num_shards exceeds node count"));
+        }
+        let base = params.num_nodes / num_shards;
+        let extra = params.num_nodes % num_shards;
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut offset = 0;
+        for i in 0..num_shards {
+            let size = base + usize::from(i < extra);
+            let shard_params = ClusterParams::new(size, params.cms, params.cps)?;
+            shards.push(Shard {
+                ctl: AdmissionController::new(shard_params, algorithm, cfg),
+                offset,
+            });
+            offset += size;
+        }
+        Ok(ShardedGateway {
+            params,
+            algorithm,
+            shards,
+            routing,
+            cursor: 0,
+            defer: DeferredQueue::new(defer_policy),
+            metrics: ServiceMetrics::new(),
+            resolutions: Vec::new(),
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The global cluster parameters this gateway fronts.
+    pub fn params(&self) -> &ClusterParams {
+        &self.params
+    }
+
+    /// The routing policy.
+    pub fn routing(&self) -> Routing {
+        self.routing
+    }
+
+    /// Gateway statistics so far.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Currently parked defer tickets.
+    pub fn deferred(&self) -> &DeferredQueue {
+        &self.defer
+    }
+
+    /// Waiting-queue lengths per shard (a load-balance diagnostic).
+    pub fn shard_queue_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.ctl.queue_len()).collect()
+    }
+
+    /// Decides one streaming submission at time `now`.
+    pub fn submit(&mut self, task: Task, now: SimTime) -> GatewayDecision {
+        let start = Instant::now();
+        let decision = match try_admit(
+            &mut self.shards,
+            self.routing,
+            &mut self.cursor,
+            &task,
+            now,
+            None,
+        ) {
+            Ok(_) => {
+                self.metrics.accepted_immediate += 1;
+                GatewayDecision::Accepted
+            }
+            Err(cause) => self.defer_or_reject(task, now, cause),
+        };
+        book::record_decisions(&mut self.metrics, start, 1);
+        decision
+    }
+
+    /// Decides a whole burst at once. Tasks are dealt to shards up front
+    /// (cyclically for round-robin, greedily by backlog estimate otherwise),
+    /// each shard amortizes its group through one temp-schedule pass
+    /// ([`AdmissionController::submit_batch`]), and shard-rejected tasks
+    /// fall back to individual routing before being deferred or rejected.
+    pub fn submit_batch(&mut self, batch: &[Task], now: SimTime) -> Vec<GatewayDecision> {
+        let start = Instant::now();
+        let k = self.shards.len();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+        match self.routing {
+            Routing::RoundRobin => {
+                for (i, _) in batch.iter().enumerate() {
+                    groups[(self.cursor + i) % k].push(i);
+                }
+                self.cursor = (self.cursor + batch.len()) % k;
+            }
+            Routing::LeastLoaded | Routing::BestFit => {
+                // Greedy balance on the backlog estimate, updated with each
+                // assignment's demand (per-node, so shard sizes compare).
+                let mut est: Vec<f64> = self
+                    .shards
+                    .iter()
+                    .map(|s| s.ctl.backlog(now) / s.len() as f64)
+                    .collect();
+                for (i, task) in batch.iter().enumerate() {
+                    let s = (0..k)
+                        .min_by(|&a, &b| est[a].total_cmp(&est[b]).then(a.cmp(&b)))
+                        .expect("k >= 1");
+                    groups[s].push(i);
+                    est[s] += task.data_size * (self.params.cms + self.params.cps)
+                        / self.shards[s].len() as f64;
+                }
+            }
+        }
+        let mut out: Vec<Option<GatewayDecision>> = vec![None; batch.len()];
+        let mut spilled: Vec<(usize, usize, Infeasible)> = Vec::new();
+        for (s, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let tasks: Vec<Task> = group.iter().map(|&i| batch[i]).collect();
+            let decisions = self.shards[s].ctl.submit_batch(&tasks, now);
+            for (&i, decision) in group.iter().zip(decisions) {
+                match decision {
+                    rtdls_core::prelude::Decision::Accepted => {
+                        self.metrics.accepted_immediate += 1;
+                        out[i] = Some(GatewayDecision::Accepted);
+                    }
+                    rtdls_core::prelude::Decision::Rejected(cause) => {
+                        spilled.push((i, s, cause));
+                    }
+                }
+            }
+        }
+        // Spillover: a shard-rejected task retries the *other* shards (its
+        // own shard's verdict is deterministic and final for this instant).
+        for (i, home, cause) in spilled {
+            let d = match try_admit(
+                &mut self.shards,
+                self.routing,
+                &mut self.cursor,
+                &batch[i],
+                now,
+                Some(home),
+            ) {
+                Ok(_) => {
+                    self.metrics.accepted_immediate += 1;
+                    GatewayDecision::Accepted
+                }
+                Err(_) => self.defer_or_reject(batch[i], now, cause),
+            };
+            out[i] = Some(d);
+        }
+        self.metrics.batch_calls += 1;
+        self.metrics.batch_tasks += batch.len() as u64;
+        book::record_decisions(&mut self.metrics, start, batch.len());
+        out.into_iter().map(|d| d.expect("decided")).collect()
+    }
+
+    /// Re-tests the defer queue against current capacity across all shards.
+    pub fn retest_deferred(&mut self, now: SimTime) {
+        let shards = &mut self.shards;
+        let routing = self.routing;
+        let cursor = &mut self.cursor;
+        let (departed, retests) = self.defer.sweep(now, |task| {
+            try_admit(shards, routing, cursor, task, now, None).is_ok()
+        });
+        self.metrics.retests += retests;
+        book::apply_departures(departed, &mut self.metrics, &mut self.resolutions);
+    }
+
+    fn defer_or_reject(&mut self, task: Task, now: SimTime, cause: Infeasible) -> GatewayDecision {
+        // Eligibility is judged against the *largest* shard: tasks never
+        // span shards, so that is the best any future re-test can offer.
+        let widest = self
+            .shards
+            .iter()
+            .map(|s| s.len())
+            .max()
+            .expect("at least one shard");
+        let shard_params = ClusterParams::new(widest, self.params.cms, self.params.cps)
+            .expect("valid by construction");
+        book::defer_or_reject(
+            &mut self.defer,
+            &mut self.metrics,
+            &shard_params,
+            self.algorithm,
+            task,
+            now,
+            cause,
+        )
+    }
+
+    fn shard_of(&self, node: usize) -> (usize, usize) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            if node >= shard.offset && node < shard.offset + shard.len() {
+                return (i, node - shard.offset);
+            }
+        }
+        panic!(
+            "node {node} outside the {}-node cluster",
+            self.params.num_nodes
+        );
+    }
+}
+
+impl Frontend for ShardedGateway {
+    fn submit(&mut self, task: Task, now: SimTime) -> SubmitOutcome {
+        match ShardedGateway::submit(self, task, now) {
+            GatewayDecision::Accepted => SubmitOutcome::Accepted,
+            GatewayDecision::Deferred(_) => SubmitOutcome::Pending,
+            GatewayDecision::Rejected(cause) => SubmitOutcome::Rejected(cause),
+        }
+    }
+
+    fn replan(&mut self, now: SimTime) -> Result<(), AdmissionFailure> {
+        for shard in &mut self.shards {
+            shard.ctl.replan(now)?;
+        }
+        Ok(())
+    }
+
+    fn take_due(&mut self, now: SimTime) -> Vec<(Task, TaskPlan)> {
+        // Shard-major, controller order within each shard. The within-shard
+        // order is load-bearing: a shard's temp schedule commits nodes in
+        // policy order, and dispatching a successor before its predecessor
+        // would let it occupy a node the predecessor's plan still needs
+        // (shards never share nodes, so cross-shard order is free — keeping
+        // shard-major order is simply deterministic).
+        let mut due = Vec::new();
+        for shard in &mut self.shards {
+            for (task, plan) in shard.ctl.take_due(now) {
+                due.push((task, globalize(plan, shard.offset)));
+            }
+        }
+        due
+    }
+
+    fn next_dispatch_due(&self) -> Option<SimTime> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.ctl.next_dispatch_due())
+            .min()
+    }
+
+    fn committed_release(&self, node: usize) -> SimTime {
+        let (s, local) = self.shard_of(node);
+        self.shards[s].ctl.committed_releases()[local]
+    }
+
+    fn set_node_release(&mut self, node: usize, time: SimTime) {
+        let (s, local) = self.shard_of(node);
+        self.shards[s].ctl.set_node_release(local, time);
+    }
+
+    fn waiting_len(&self) -> usize {
+        self.shards.iter().map(|s| s.ctl.queue_len()).sum()
+    }
+
+    /// Note: the returned plan is in *shard-local* node ids (the engine only
+    /// reads its timing fields here; dispatched plans go through
+    /// [`Frontend::take_due`], which globalizes them).
+    fn find_plan(&self, task: TaskId) -> Option<&TaskPlan> {
+        self.shards.iter().find_map(|s| {
+            s.ctl
+                .queue()
+                .iter()
+                .find(|(t, _)| t.id == task)
+                .map(|(_, p)| p)
+        })
+    }
+
+    fn on_event(&mut self, now: SimTime) {
+        self.retest_deferred(now);
+    }
+
+    fn drain_resolutions(&mut self) -> Vec<(Task, Option<Infeasible>)> {
+        std::mem::take(&mut self.resolutions)
+    }
+
+    fn finalize(&mut self, _now: SimTime) {
+        book::flush_all(&mut self.defer, &mut self.metrics, &mut self.resolutions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdls_core::dlt::homogeneous;
+
+    fn sharded(k: usize, routing: Routing) -> ShardedGateway {
+        ShardedGateway::new(
+            ClusterParams::paper_baseline(),
+            k,
+            AlgorithmKind::EDF_DLT,
+            PlanConfig::default(),
+            routing,
+            DeferPolicy::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shard_partition_covers_all_nodes_exactly_once() {
+        for k in [1, 3, 4, 5, 16] {
+            let g = sharded(k, Routing::RoundRobin);
+            let mut covered = [false; 16];
+            for shard in &g.shards {
+                for i in 0..shard.len() {
+                    let global = shard.offset + i;
+                    assert!(!covered[global], "node {global} covered twice (k={k})");
+                    covered[global] = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "k={k} leaves nodes uncovered");
+            let sizes: Vec<usize> = g.shards.iter().map(Shard::len).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "unbalanced shards {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_shard_counts_error() {
+        let p = ClusterParams::paper_baseline();
+        let mk = |k| {
+            ShardedGateway::new(
+                p,
+                k,
+                AlgorithmKind::EDF_DLT,
+                PlanConfig::default(),
+                Routing::RoundRobin,
+                DeferPolicy::default(),
+            )
+        };
+        assert!(mk(0).is_err());
+        assert!(mk(17).is_err());
+        assert!(mk(16).is_ok());
+    }
+
+    #[test]
+    fn round_robin_spreads_accepted_tasks() {
+        let mut g = sharded(4, Routing::RoundRobin);
+        for i in 0..8 {
+            let d = g.submit(Task::new(i, 0.0, 50.0, 1e6), SimTime::ZERO);
+            assert!(d.is_accepted());
+        }
+        assert_eq!(g.shard_queue_lens(), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn least_loaded_balances_uneven_bursts() {
+        let mut g = sharded(4, Routing::LeastLoaded);
+        // A big task lands somewhere; the next ones must avoid that shard.
+        assert!(g
+            .submit(Task::new(0, 0.0, 800.0, 1e6), SimTime::ZERO)
+            .is_accepted());
+        for i in 1..4 {
+            assert!(g
+                .submit(Task::new(i, 0.0, 50.0, 1e6), SimTime::ZERO)
+                .is_accepted());
+        }
+        let lens = g.shard_queue_lens();
+        assert_eq!(lens.iter().sum::<usize>(), 4);
+        assert_eq!(
+            *lens.iter().max().unwrap(),
+            1,
+            "no shard should get two: {lens:?}"
+        );
+    }
+
+    #[test]
+    fn best_fit_prefers_the_earliest_completion() {
+        let p = ClusterParams::paper_baseline();
+        let e8 = homogeneous::exec_time(&p, 400.0, 8);
+        let mut g = sharded(2, Routing::BestFit);
+        // A deadline-tight task grabs all of shard 0 (idle tie breaks to 0)…
+        assert!(g
+            .submit(Task::new(0, 0.0, 400.0, e8 * 1.2), SimTime::ZERO)
+            .is_accepted());
+        // …so the next task completes at ≈2·e8 there but ≈e8 on shard 1:
+        // best-fit must route it to shard 1 even though both would accept.
+        assert!(g
+            .submit(Task::new(1, 0.0, 400.0, e8 * 2.5), SimTime::ZERO)
+            .is_accepted());
+        let lens = g.shard_queue_lens();
+        assert_eq!(lens, vec![1, 1], "best-fit avoids the busy shard: {lens:?}");
+    }
+
+    #[test]
+    fn spillover_tries_other_shards_before_rejecting() {
+        // Shard 0 saturated; round-robin still admits via shard 1.
+        let p = ClusterParams::paper_baseline();
+        let mut g = sharded(2, Routing::RoundRobin);
+        let e8 = homogeneous::exec_time(&p, 400.0, 8);
+        // Two tight tasks fill both shards' immediate capacity...
+        assert!(g
+            .submit(Task::new(0, 0.0, 400.0, e8 * 1.05), SimTime::ZERO)
+            .is_accepted());
+        assert!(g
+            .submit(Task::new(1, 0.0, 400.0, e8 * 1.05), SimTime::ZERO)
+            .is_accepted());
+        // ...a third tight task fails on its routed shard AND the other.
+        let d = g.submit(Task::new(2, 0.0, 400.0, e8 * 1.05), SimTime::ZERO);
+        assert!(!d.is_accepted());
+        // But a task with queueing slack is accepted by *some* shard even
+        // though round-robin would naively route it to the busy one.
+        let d = g.submit(Task::new(3, 0.0, 400.0, e8 * 4.0), SimTime::ZERO);
+        assert!(d.is_accepted(), "spillover must find shard capacity: {d:?}");
+    }
+
+    #[test]
+    fn take_due_globalizes_node_ids() {
+        let mut g = sharded(4, Routing::RoundRobin);
+        for i in 0..4 {
+            assert!(g
+                .submit(Task::new(i, 0.0, 50.0, 1e6), SimTime::ZERO)
+                .is_accepted());
+        }
+        let due = Frontend::take_due(&mut g, SimTime::ZERO);
+        assert_eq!(due.len(), 4);
+        let mut seen_nodes: Vec<u32> = Vec::new();
+        for (_, plan) in &due {
+            for node in &plan.nodes {
+                assert!(node.index() < 16, "global node id out of range");
+                seen_nodes.push(node.0);
+            }
+        }
+        seen_nodes.sort_unstable();
+        seen_nodes.dedup();
+        // Four tasks on four distinct shards: nodes from all four quarters.
+        assert!(seen_nodes.iter().any(|&n| n < 4));
+        assert!(seen_nodes.iter().any(|&n| n >= 12));
+    }
+
+    #[test]
+    fn batch_and_single_paths_close_the_books() {
+        let p = ClusterParams::paper_baseline();
+        let e16 = homogeneous::exec_time(&p, 400.0, 16);
+        let burst: Vec<Task> = (0..20)
+            .map(|i| Task::new(i, 0.0, 400.0, e16 * (1.5 + (i % 7) as f64)))
+            .collect();
+        for routing in [Routing::RoundRobin, Routing::LeastLoaded, Routing::BestFit] {
+            let mut g = sharded(4, routing);
+            let ds = g.submit_batch(&burst, SimTime::ZERO);
+            assert_eq!(ds.len(), 20);
+            let m = g.metrics();
+            assert_eq!(m.submitted, 20);
+            assert_eq!(
+                m.accepted_immediate + m.rejected_immediate + m.deferred,
+                20,
+                "{routing:?}"
+            );
+            assert_eq!(m.batch_calls, 1);
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Property-based tests for the serving layer.
+//!
+//! Two families:
+//!
+//! * **Defer-queue liveness** — no ticket starves: under any policy and any
+//!   admission behavior, every ticket leaves the queue within
+//!   `max_retries` re-tests (or expiry), and re-tests always visit in age
+//!   order.
+//! * **Gateway soundness end-to-end** — random clusters, shard counts,
+//!   routings, and bursty workloads through the strict simulator: no
+//!   phantom accepts (every accepted task, rescued ones included, completes
+//!   inside its deadline — strict mode panics otherwise) and the gateway's
+//!   books agree with the engine's.
+
+use proptest::prelude::*;
+
+use rtdls_core::prelude::*;
+use rtdls_service::prelude::*;
+use rtdls_sim::prelude::*;
+use rtdls_workload::prelude::*;
+
+fn defer_policy() -> impl Strategy<Value = DeferPolicy> {
+    (1u32..6, 1usize..40, 1usize..50).prop_map(|(max_retries, max_queue, retest_budget)| {
+        DeferPolicy {
+            max_retries,
+            max_queue,
+            retest_budget,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Liveness: with an admission oracle that accepts pseudo-randomly (or
+    /// never), every ticket departs after a bounded number of sweeps, and
+    /// the queue never exceeds its capacity bound.
+    #[test]
+    fn deferred_queue_never_starves(
+        policy in defer_policy(),
+        n_tickets in 1usize..60,
+        accept_one_in in 0u64..5, // 0 = never accept
+        seed in 0u64..1_000,
+    ) {
+        let mut q = DeferredQueue::new(policy);
+        let mut parked = 0usize;
+        for i in 0..n_tickets {
+            let task = Task::new(i as u64, 0.0, 100.0, 1e9);
+            if q
+                .push(task, SimTime::ZERO, SimTime::new(1e9), Infeasible::NotEnoughNodes)
+                .is_some()
+            {
+                parked += 1;
+            }
+        }
+        prop_assert!(q.len() <= policy.max_queue);
+        prop_assert_eq!(q.len(), parked.min(policy.max_queue));
+
+        // Worst case: every sweep re-tests only `retest_budget` tickets and
+        // each ticket needs `max_retries` failures to leave. Add slack for
+        // the interleaving, then require the queue to fully drain.
+        let budget = policy.retest_budget.min(parked.max(1));
+        let max_sweeps =
+            2 + (parked * policy.max_retries as usize).div_ceil(budget) * 2;
+        let mut counter = seed;
+        let mut sweeps = 0usize;
+        let mut departures = 0usize;
+        while !q.is_empty() {
+            sweeps += 1;
+            prop_assert!(
+                sweeps <= max_sweeps,
+                "queue did not drain in {max_sweeps} sweeps (left: {})",
+                q.len()
+            );
+            let mut last_age: Option<u64> = None;
+            let (departed, _) = q.sweep(SimTime::new(sweeps as f64), |t| {
+                // Age order: ticket ids are issued in age order and each
+                // sweep must offer tasks oldest-first.
+                if let Some(prev) = last_age {
+                    assert!(t.id.0 > prev || t.id.0 >= prev, "age order violated");
+                }
+                last_age = Some(t.id.0);
+                counter = counter.wrapping_mul(6364136223846793005).wrapping_add(1);
+                accept_one_in > 0 && counter % (accept_one_in as u64 + 1) == 0
+            });
+            departures += departed.len();
+            for (ticket, outcome) in &departed {
+                prop_assert!(ticket.retries <= policy.max_retries);
+                match outcome {
+                    DeferOutcome::Evicted => {
+                        prop_assert_eq!(ticket.retries, policy.max_retries)
+                    }
+                    DeferOutcome::Rescued => {}
+                    DeferOutcome::Expired | DeferOutcome::Flushed => {
+                        prop_assert!(false, "no expiry/flush in this setup")
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(departures, parked, "every parked ticket departs exactly once");
+    }
+
+    /// Expiry liveness: tickets whose latest feasible start has passed leave
+    /// on the next sweep regardless of retry budget.
+    #[test]
+    fn expired_tickets_always_depart(
+        policy in defer_policy(),
+        n_tickets in 1usize..30,
+        latest in 1.0f64..100.0,
+    ) {
+        let mut q = DeferredQueue::new(policy);
+        for i in 0..n_tickets {
+            let task = Task::new(i as u64, 0.0, 100.0, 1e9);
+            let _ = q.push(task, SimTime::ZERO, SimTime::new(latest), Infeasible::NotEnoughNodes);
+        }
+        let (departed, retests) = q.sweep(SimTime::new(latest + 1.0), |_| false);
+        prop_assert_eq!(retests, 0, "expired tickets must not burn re-tests");
+        prop_assert!(q.is_empty());
+        prop_assert!(departed.iter().all(|(_, o)| *o == DeferOutcome::Expired));
+    }
+}
+
+fn service_inputs() -> impl Strategy<Value = (ClusterParams, usize, Routing, f64, f64, u64)> {
+    (
+        4usize..=24, // nodes
+        1usize..=4,  // shards
+        prop::sample::select(vec![
+            Routing::RoundRobin,
+            Routing::LeastLoaded,
+            Routing::BestFit,
+        ]),
+        0.3f64..1.3,   // system load
+        2.0f64..10.0,  // dc ratio
+        0u64..100_000, // seed
+    )
+        .prop_map(|(n, k, routing, load, dc, seed)| {
+            (
+                ClusterParams::new(n, 1.0, 100.0).unwrap(),
+                k.min(n),
+                routing,
+                load,
+                dc,
+                seed,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// End-to-end soundness: random sharded gateways under bursty load in
+    /// strict mode. Strict mode panics on any deadline miss or estimate
+    /// overrun, so the run completing is most of the assertion; the books
+    /// must also balance between gateway and engine.
+    #[test]
+    fn sharded_gateway_has_no_phantom_accepts(
+        (params, shards, routing, load, dc, seed) in service_inputs(),
+        release_estimate in prop::sample::select(vec![
+            ReleaseEstimate::Exact,
+            ReleaseEstimate::Uniform,
+            ReleaseEstimate::TightPerNode,
+        ]),
+    ) {
+        let plan = PlanConfig { release_estimate, ..Default::default() };
+        let mut spec = WorkloadSpec::paper_baseline(load);
+        spec.params = params;
+        spec.dc_ratio = dc;
+        spec.horizon = 60.0 * spec.mean_interarrival();
+        let profile = BurstProfile { rate_factor: 3.0, ..BurstProfile::moderate(&spec) };
+        let tasks: Vec<Task> = BurstyPoisson::new(spec, profile, seed).collect();
+        let n_tasks = tasks.len();
+
+        let gateway = ShardedGateway::new(
+            params,
+            shards,
+            AlgorithmKind::EDF_DLT,
+            plan,
+            routing,
+            DeferPolicy::default(),
+        )
+        .unwrap();
+        let cfg = SimConfig::new(params, AlgorithmKind::EDF_DLT)
+            .with_plan(plan)
+            .strict()
+            .with_trace();
+        let (report, gateway) =
+            Simulation::with_frontend(cfg, gateway).run_returning_frontend(tasks);
+
+        let m = &report.metrics;
+        let g = gateway.metrics();
+        prop_assert_eq!(m.arrivals as usize, n_tasks);
+        prop_assert_eq!(g.submitted as usize, n_tasks);
+        prop_assert_eq!(m.deadline_misses, 0);
+        prop_assert_eq!(m.estimate_overruns, 0);
+        prop_assert_eq!(m.completed, m.accepted, "no accepted task may vanish");
+        prop_assert_eq!(g.accepted_total(), m.accepted, "gateway/engine agree on accepts");
+        prop_assert_eq!(g.rejected_total(), m.rejected, "gateway/engine agree on rejects");
+        prop_assert_eq!(
+            g.accepted_total() + g.rejected_total(),
+            g.submitted,
+            "every submission resolves exactly once"
+        );
+        prop_assert_eq!(
+            g.rescued + g.defer_evicted + g.defer_expired + g.defer_flushed,
+            g.deferred,
+            "every defer ticket resolves exactly once"
+        );
+        let trace = report.trace.expect("traced");
+        if let Err(e) = trace.check_consistency() {
+            prop_assert!(false, "inconsistent trace: {e}");
+        }
+        for rec in trace.tasks.iter().filter(|t| t.accepted) {
+            let done = rec.actual_completion.expect("accepted tasks complete");
+            prop_assert!(
+                done.at_or_before_eps(rec.deadline),
+                "task {:?} (possibly rescued) finished {done:?} after {:?}",
+                rec.task,
+                rec.deadline
+            );
+        }
+    }
+
+    /// A sharded gateway accepts nothing a strict per-shard test would not:
+    /// determinism check — same seed, same gateway, same outcome.
+    #[test]
+    fn sharded_gateway_is_deterministic(
+        (params, shards, routing, load, dc, seed) in service_inputs(),
+    ) {
+        let mut spec = WorkloadSpec::paper_baseline(load);
+        spec.params = params;
+        spec.dc_ratio = dc;
+        spec.horizon = 30.0 * spec.mean_interarrival();
+        let run = || {
+            let tasks: Vec<Task> =
+                WorkloadGenerator::new(spec, seed).collect();
+            let gateway = ShardedGateway::new(
+                params,
+                shards,
+                AlgorithmKind::EDF_DLT,
+                PlanConfig::default(),
+                routing,
+                DeferPolicy::default(),
+            )
+            .unwrap();
+            let cfg = SimConfig::new(params, AlgorithmKind::EDF_DLT).strict();
+            let (report, gateway) =
+                Simulation::with_frontend(cfg, gateway).run_returning_frontend(tasks);
+            (report.metrics.accepted, report.metrics.rejected, gateway.metrics().rescued)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Batched submission decides exactly like sequential policy-order
+    /// submission on a fresh gateway (same accepted set, same queue).
+    #[test]
+    fn batch_equals_sequential_policy_order(
+        n_tasks in 1usize..24,
+        sigma_scale in 0.5f64..4.0,
+        tightness in 1.2f64..6.0,
+        seed in 0u64..10_000,
+    ) {
+        let params = ClusterParams::paper_baseline();
+        let e16 = rtdls_core::dlt::homogeneous::exec_time(&params, 200.0, 16);
+        let mk = |i: u64| {
+            let sigma = 50.0 + sigma_scale * ((seed + i * 37) % 97) as f64 * 4.0;
+            let d = e16 * tightness * (1.0 + ((seed + i * 13) % 11) as f64 / 5.0);
+            Task::new(i, 0.0, sigma, d)
+        };
+        let burst: Vec<Task> = (0..n_tasks as u64).map(mk).collect();
+
+        let mut batched = Gateway::new(
+            params,
+            AlgorithmKind::EDF_DLT,
+            PlanConfig::default(),
+            DeferPolicy::default(),
+        );
+        batched.submit_batch(&burst, SimTime::ZERO);
+
+        let mut sequential = Gateway::new(
+            params,
+            AlgorithmKind::EDF_DLT,
+            PlanConfig::default(),
+            DeferPolicy::default(),
+        );
+        let mut ordered = burst.clone();
+        ordered.sort_by(|a, b| {
+            a.absolute_deadline()
+                .cmp(&b.absolute_deadline())
+                .then(a.id.cmp(&b.id))
+        });
+        for t in &ordered {
+            sequential.submit(*t, SimTime::ZERO);
+        }
+
+        let queue_ids = |g: &Gateway| -> Vec<u64> {
+            g.controller().queue().iter().map(|(t, _)| t.id.0).collect()
+        };
+        prop_assert_eq!(queue_ids(&batched), queue_ids(&sequential));
+        prop_assert_eq!(
+            batched.metrics().accepted_immediate,
+            sequential.metrics().accepted_immediate
+        );
+    }
+}

@@ -25,6 +25,7 @@ use rtdls_core::prelude::*;
 
 use crate::config::{LinkModel, ReplanPolicy, SimConfig};
 use crate::event::{Event, EventQueue};
+use crate::frontend::{Frontend, SubmitOutcome};
 use crate::metrics::{Metrics, MetricsCollector};
 use crate::trace::{ChunkRecord, TaskRecord, Trace};
 
@@ -46,11 +47,13 @@ struct RunningTask {
     estimate: SimTime,
 }
 
-/// The simulation state machine. Construct with [`Simulation::new`], feed
-/// arrivals with [`Simulation::run`].
-pub struct Simulation {
+/// The simulation state machine. Construct with [`Simulation::new`] (plain
+/// admission control) or [`Simulation::with_frontend`] (any admission
+/// frontend, e.g. an `rtdls-service` gateway), feed arrivals with
+/// [`Simulation::run`].
+pub struct Simulation<F: Frontend = AdmissionController> {
     cfg: SimConfig,
-    ctl: AdmissionController,
+    ctl: F,
     events: EventQueue,
     now: SimTime,
     /// Plan-generation stamp; bumped whenever plans may have changed so that
@@ -75,12 +78,24 @@ pub struct Simulation {
     trace_task_idx: HashMap<TaskId, usize>,
 }
 
-impl Simulation {
+impl Simulation<AdmissionController> {
     /// Creates an idle simulation for `cfg`.
     pub fn new(cfg: SimConfig) -> Self {
+        Simulation::with_frontend(
+            cfg,
+            AdmissionController::new(cfg.params, cfg.algorithm, cfg.plan),
+        )
+    }
+}
+
+impl<F: Frontend> Simulation<F> {
+    /// Creates an idle simulation whose admission decisions are delegated
+    /// to `frontend`. The frontend must manage the same `cfg.params.num_nodes`
+    /// node space the engine executes plans on.
+    pub fn with_frontend(cfg: SimConfig, frontend: F) -> Self {
         let n = cfg.params.num_nodes;
         Simulation {
-            ctl: AdmissionController::new(cfg.params, cfg.algorithm, cfg.plan),
+            ctl: frontend,
             events: EventQueue::new(),
             now: SimTime::ZERO,
             generation: 0,
@@ -99,14 +114,27 @@ impl Simulation {
 
     /// Runs the simulation over `tasks` (any order; arrival times rule) and
     /// returns the report once all events have drained.
-    pub fn run(mut self, tasks: impl IntoIterator<Item = Task>) -> SimReport {
+    pub fn run(self, tasks: impl IntoIterator<Item = Task>) -> SimReport {
+        self.run_returning_frontend(tasks).0
+    }
+
+    /// Like [`run`](Simulation::run), but hands the frontend back so callers
+    /// can read its own accounting (e.g. a gateway's `ServiceMetrics`).
+    pub fn run_returning_frontend(
+        mut self,
+        tasks: impl IntoIterator<Item = Task>,
+    ) -> (SimReport, F) {
         let mut tasks: Vec<Task> = tasks.into_iter().collect();
         tasks.sort_by_key(|t| (t.arrival, t.id));
         for t in tasks {
             self.events.push(t.arrival, Event::Arrival(t));
         }
         while let Some((time, event)) = self.events.pop() {
-            debug_assert!(time >= self.now, "time went backwards: {time:?} < {:?}", self.now);
+            debug_assert!(
+                time >= self.now,
+                "time went backwards: {time:?} < {:?}",
+                self.now
+            );
             self.now = time;
             match event {
                 Event::Arrival(task) => self.handle_arrival(task),
@@ -118,63 +146,95 @@ impl Simulation {
                 }
             }
         }
+        // No more capacity will ever free up: every still-deferred task must
+        // resolve now so the books close.
+        self.ctl.finalize(self.now);
+        self.apply_resolutions();
         debug_assert!(self.running.is_empty(), "tasks still running after drain");
-        debug_assert_eq!(self.ctl.queue_len(), 0, "tasks still waiting after drain");
+        debug_assert_eq!(self.ctl.waiting_len(), 0, "tasks still waiting after drain");
         self.metrics.set_end_time(self.now);
-        SimReport { metrics: self.metrics.finish(), trace: self.trace }
+        (
+            SimReport {
+                metrics: self.metrics.finish(),
+                trace: self.trace,
+            },
+            self.ctl,
+        )
     }
 
     fn handle_arrival(&mut self, task: Task) {
-        let decision = self.ctl.submit(task, self.now);
-        let accepted = decision.is_accepted();
-        let rejection = match decision {
-            Decision::Accepted => None,
-            Decision::Rejected(cause) => Some(cause),
-        };
-        self.metrics.on_admission(rejection);
-        if accepted {
-            // How much the (possibly IIT-utilizing) completion estimate beat
-            // the no-IIT estimate for the same allocation, *at the admission
-            // decision*: (r_n + E(σ,n)) − e. This is the slack that lets the
-            // DLT strategy accept tasks the OPR baseline must reject.
-            if let Some((_, plan)) =
-                self.ctl.queue().iter().find(|(t, _)| t.id == task.id)
-            {
-                // For multi-round plans start_times are replayed transmission
-                // starts, not node availabilities — the single-round baseline
-                // comparison is not meaningful there.
-                if !matches!(plan.strategy, StrategyKind::DltMultiRound { .. }) {
-                    let r_n = *plan.start_times.last().expect("n >= 1");
-                    let e_no_iit = rtdls_core::dlt::homogeneous::exec_time(
-                        &self.cfg.params,
-                        task.data_size,
-                        plan.n(),
-                    );
-                    let gain = (r_n.as_f64() + e_no_iit) - plan.est_completion.as_f64();
-                    self.metrics.on_admission_gain(gain);
-                }
+        let outcome = self.ctl.submit(task, self.now);
+        match outcome {
+            SubmitOutcome::Accepted => {
+                self.metrics.on_admission(None);
+                self.note_accepted(&task);
             }
+            SubmitOutcome::Rejected(cause) => self.metrics.on_admission(Some(cause)),
+            // Deferred: counted when the frontend resolves it.
+            SubmitOutcome::Pending => {}
         }
         if let Some(trace) = &mut self.trace {
             let est = self
                 .ctl
-                .queue()
-                .iter()
-                .find(|(t, _)| t.id == task.id)
-                .map(|(_, p)| p.est_completion)
+                .find_plan(task.id)
+                .map(|p| p.est_completion)
                 .unwrap_or(task.arrival);
             self.trace_task_idx.insert(task.id, trace.tasks.len());
             trace.tasks.push(TaskRecord {
                 task: task.id,
                 arrival: task.arrival,
                 deadline: task.absolute_deadline(),
-                accepted,
+                accepted: outcome == SubmitOutcome::Accepted,
                 n_nodes: 0,
                 est_completion: est,
                 actual_completion: None,
             });
         }
         self.settle(false);
+    }
+
+    /// Books the admission-gain metric and trace updates for a task that
+    /// just entered the waiting queue (at arrival, or later when a deferred
+    /// task is rescued).
+    fn note_accepted(&mut self, task: &Task) {
+        // How much the (possibly IIT-utilizing) completion estimate beat
+        // the no-IIT estimate for the same allocation, *at the admission
+        // decision*: (r_n + E(σ,n)) − e. This is the slack that lets the
+        // DLT strategy accept tasks the OPR baseline must reject.
+        if let Some(plan) = self.ctl.find_plan(task.id) {
+            // For multi-round plans start_times are replayed transmission
+            // starts, not node availabilities — the single-round baseline
+            // comparison is not meaningful there.
+            if !matches!(plan.strategy, StrategyKind::DltMultiRound { .. }) {
+                let r_n = *plan.start_times.last().expect("n >= 1");
+                let e_no_iit = rtdls_core::dlt::homogeneous::exec_time(
+                    &self.cfg.params,
+                    task.data_size,
+                    plan.n(),
+                );
+                let gain = (r_n.as_f64() + e_no_iit) - plan.est_completion.as_f64();
+                self.metrics.on_admission_gain(gain);
+            }
+        }
+    }
+
+    /// Applies verdicts the frontend reached for previously deferred tasks.
+    fn apply_resolutions(&mut self) {
+        for (task, rejection) in self.ctl.drain_resolutions() {
+            let rescued = rejection.is_none();
+            self.metrics.on_admission(rejection);
+            if rescued {
+                self.note_accepted(&task);
+            }
+            if let Some(trace) = &mut self.trace {
+                if let Some(&i) = self.trace_task_idx.get(&task.id) {
+                    trace.tasks[i].accepted = rescued;
+                    if let Some(plan) = self.ctl.find_plan(task.id) {
+                        trace.tasks[i].est_completion = plan.est_completion;
+                    }
+                }
+            }
+        }
     }
 
     fn handle_release(&mut self, node: NodeId, task: TaskId) {
@@ -185,7 +245,11 @@ impl Simulation {
         if self.node_last_task[node.index()] == Some(task)
             && self.node_committed_until[node.index()].at_or_before_eps(self.now)
         {
-            if self.ctl.committed_releases()[node.index()].definitely_after(self.now) {
+            if self
+                .ctl
+                .committed_release(node.index())
+                .definitely_after(self.now)
+            {
                 self.release_slack_seen = true;
             }
             self.ctl.set_node_release(node.index(), self.now);
@@ -200,7 +264,8 @@ impl Simulation {
         };
         if finished {
             let rt = self.running.remove(&task).expect("present");
-            self.metrics.on_task_complete(rt.arrival, rt.deadline, rt.estimate, self.now);
+            self.metrics
+                .on_task_complete(rt.arrival, rt.deadline, rt.estimate, self.now);
             if let Some(trace) = &mut self.trace {
                 if let Some(&i) = self.trace_task_idx.get(&task) {
                     trace.tasks[i].actual_completion = Some(self.now);
@@ -227,30 +292,42 @@ impl Simulation {
         self.settle(replan);
     }
 
-    /// Post-event consolidation: optionally re-plan the waiting queue, then
-    /// dispatch everything due at the current instant and re-arm the next
-    /// dispatch-due event.
+    /// Post-event consolidation: optionally re-plan the waiting queue, give
+    /// the frontend its re-test hook (deferred tasks may be rescued here),
+    /// then dispatch everything due at the current instant and re-arm the
+    /// next dispatch-due event.
     fn settle(&mut self, replan: bool) {
         if replan {
             match self.ctl.replan(self.now) {
                 Ok(()) => self.release_slack_seen = false,
-                Err(failure) => {
-                    // Impossible under the paper's model (releases only move
-                    // earlier); reachable only in the shared-link ablation.
-                    if self.cfg.strict_guarantees {
-                        panic!("replan infeasible at {:?}: {failure}", self.now);
-                    }
-                    // Keep the previous (admission-time) plans and carry on.
+                Err(_) => {
+                    // Releases only moved earlier, yet the replanned queue
+                    // can still be infeasible: the FixedPoint ñ_min scan may
+                    // grant a predecessor *fewer* nodes against the earlier
+                    // availability (it still meets its own deadline, but
+                    // finishes later), starving a successor. The controller
+                    // keeps the admission-time plans on failure, and those
+                    // remain executable and deadline-safe — their start
+                    // times are still achievable under the earlier releases
+                    // — so replanning stays a pure optimization. The slack
+                    // flag stays set; the next release retries.
                 }
             }
         }
+        self.ctl.on_event(self.now);
+        self.apply_resolutions();
         let due = self.ctl.take_due(self.now);
         for (task, plan) in due {
             self.dispatch(task, plan);
         }
         self.generation += 1;
         if let Some(t) = self.ctl.next_dispatch_due() {
-            self.events.push(t, Event::DispatchDue { generation: self.generation });
+            self.events.push(
+                t,
+                Event::DispatchDue {
+                    generation: self.generation,
+                },
+            );
         }
     }
 
@@ -304,7 +381,8 @@ impl Simulation {
             // that) until the chunk occupies it: that gap is the inserted
             // idle time this dispatch failed to use.
             let effective_avail = self.node_free_actual[node.index()].max(task.arrival);
-            self.metrics.on_chunk(effective_avail, tx_start, compute_end);
+            self.metrics
+                .on_chunk(effective_avail, tx_start, compute_end);
             if let Some(trace) = &mut self.trace {
                 trace.chunks.push(ChunkRecord {
                     task: task.id,
@@ -320,7 +398,13 @@ impl Simulation {
             self.node_free_actual[node.index()] = compute_end;
             self.node_last_task[node.index()] = Some(task.id);
             self.node_committed_until[node.index()] = compute_end;
-            self.events.push(compute_end, Event::NodeRelease { node, task: task.id });
+            self.events.push(
+                compute_end,
+                Event::NodeRelease {
+                    node,
+                    task: task.id,
+                },
+            );
             prev_tx_end = tx_end;
             last_completion = last_completion.max(compute_end);
         }
@@ -468,7 +552,10 @@ mod tests {
             .map(|i| Task::new(i, (i as f64) * 10.0, 400.0, e16 * 2.5))
             .collect();
         let report = run(AlgorithmKind::EDF_DLT, tasks);
-        assert!(report.metrics.rejected > 0, "overload must reject something");
+        assert!(
+            report.metrics.rejected > 0,
+            "overload must reject something"
+        );
         assert_eq!(report.metrics.deadline_misses, 0);
         assert_eq!(report.metrics.completed, report.metrics.accepted);
     }
@@ -488,7 +575,9 @@ mod tests {
             assert!(rec.n_nodes >= 1, "accepted task has no allocation");
             assert!(rec.actual_completion.is_some());
             assert!(
-                rec.actual_completion.unwrap().at_or_before_eps(rec.est_completion),
+                rec.actual_completion
+                    .unwrap()
+                    .at_or_before_eps(rec.est_completion),
                 "Theorem 4 violated in trace"
             );
         }
@@ -500,14 +589,17 @@ mod tests {
         // increase the reject ratio (it only ever sees earlier releases).
         let tasks: Vec<Task> = (0..50)
             .map(|i| {
-                Task::new(i, (i as f64) * 900.0, 150.0 + (i % 5) as f64 * 80.0, 45_000.0)
+                Task::new(
+                    i,
+                    (i as f64) * 900.0,
+                    150.0 + (i % 5) as f64 * 80.0,
+                    45_000.0,
+                )
             })
             .collect();
-        let base = SimConfig::new(ClusterParams::paper_baseline(), AlgorithmKind::EDF_DLT)
-            .strict();
+        let base = SimConfig::new(ClusterParams::paper_baseline(), AlgorithmKind::EDF_DLT).strict();
         let on_release = run_simulation(base, tasks.clone());
-        let arrivals_only =
-            run_simulation(base.with_replan(ReplanPolicy::ArrivalsOnly), tasks);
+        let arrivals_only = run_simulation(base.with_replan(ReplanPolicy::ArrivalsOnly), tasks);
         assert!(on_release.metrics.rejected <= arrivals_only.metrics.rejected);
         assert_eq!(on_release.metrics.deadline_misses, 0);
         assert_eq!(arrivals_only.metrics.deadline_misses, 0);
@@ -515,7 +607,10 @@ mod tests {
 
     #[test]
     fn user_split_without_annotation_is_rejected() {
-        let report = run(AlgorithmKind::EDF_USER_SPLIT, vec![Task::new(1, 0.0, 100.0, 1e6)]);
+        let report = run(
+            AlgorithmKind::EDF_USER_SPLIT,
+            vec![Task::new(1, 0.0, 100.0, 1e6)],
+        );
         assert_eq!(report.metrics.rejected, 1);
     }
 
@@ -528,7 +623,14 @@ mod tests {
         // Deadlines tight enough that tasks need several nodes — the regime
         // where installments engage (n = 1 plans gain nothing from rounds).
         let tasks: Vec<Task> = (0..30)
-            .map(|i| Task::new(i, (i as f64) * 2_000.0, 100.0 + (i % 5) as f64 * 50.0, 4_000.0))
+            .map(|i| {
+                Task::new(
+                    i,
+                    (i as f64) * 2_000.0,
+                    100.0 + (i % 5) as f64 * 50.0,
+                    4_000.0,
+                )
+            })
             .collect();
         for rounds in [2u8, 4] {
             let algorithm = AlgorithmKind {
@@ -543,9 +645,11 @@ mod tests {
             let trace = report.trace.unwrap();
             trace.check_consistency().unwrap();
             // At least one accepted task actually ran in installments.
-            let multi = trace.tasks.iter().filter(|t| t.accepted).any(|t| {
-                trace.task_chunks(t.task).count() > t.n_nodes
-            });
+            let multi = trace
+                .tasks
+                .iter()
+                .filter(|t| t.accepted)
+                .any(|t| trace.task_chunks(t.task).count() > t.n_nodes);
             assert!(multi, "MR{rounds}: no task ran multi-round chunks");
         }
     }
@@ -561,7 +665,12 @@ mod tests {
         let params = ClusterParams::new(16, 8.0, 100.0).unwrap();
         let tasks: Vec<Task> = (0..60)
             .map(|i| {
-                Task::new(i, (i as f64) * 1_200.0, 100.0 + (i % 11) as f64 * 30.0, 4_500.0)
+                Task::new(
+                    i,
+                    (i as f64) * 1_200.0,
+                    100.0 + (i % 11) as f64 * 30.0,
+                    4_500.0,
+                )
             })
             .collect();
         let single = run_simulation(
@@ -591,7 +700,14 @@ mod tests {
     #[test]
     fn determinism_same_input_same_report() {
         let tasks: Vec<Task> = (0..30)
-            .map(|i| Task::new(i, (i as f64) * 700.0, 120.0 + (i % 9) as f64 * 40.0, 50_000.0))
+            .map(|i| {
+                Task::new(
+                    i,
+                    (i as f64) * 700.0,
+                    120.0 + (i % 9) as f64 * 40.0,
+                    50_000.0,
+                )
+            })
             .collect();
         let a = run(AlgorithmKind::EDF_DLT, tasks.clone());
         let b = run(AlgorithmKind::EDF_DLT, tasks);

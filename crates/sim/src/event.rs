@@ -87,7 +87,12 @@ impl EventQueue {
     pub fn push(&mut self, time: SimTime, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, priority: event.priority(), seq, event });
+        self.heap.push(Entry {
+            time,
+            priority: event.priority(),
+            seq,
+            event,
+        });
     }
 
     /// Removes and returns the earliest event.
@@ -116,7 +121,10 @@ mod tests {
     use super::*;
 
     fn release(node: u32) -> Event {
-        Event::NodeRelease { node: NodeId(node), task: TaskId(0) }
+        Event::NodeRelease {
+            node: NodeId(node),
+            task: TaskId(0),
+        }
     }
 
     #[test]
@@ -141,7 +149,11 @@ mod tests {
         let kinds: Vec<u8> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| e.priority())
             .collect();
-        assert_eq!(kinds, vec![0, 1, 2], "release before arrival before dispatch");
+        assert_eq!(
+            kinds,
+            vec![0, 1, 2],
+            "release before arrival before dispatch"
+        );
     }
 
     #[test]

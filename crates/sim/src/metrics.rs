@@ -122,12 +122,8 @@ impl MetricsCollector {
             Some(cause) => {
                 self.m.rejected += 1;
                 match cause {
-                    Infeasible::DeadlineBeforeStart => {
-                        self.m.rejected_deadline_before_start += 1
-                    }
-                    Infeasible::NoTimeForTransmission => {
-                        self.m.rejected_no_transmission_time += 1
-                    }
+                    Infeasible::DeadlineBeforeStart => self.m.rejected_deadline_before_start += 1,
+                    Infeasible::NoTimeForTransmission => self.m.rejected_no_transmission_time += 1,
                     Infeasible::NotEnoughNodes => self.m.rejected_not_enough_nodes += 1,
                     Infeasible::CompletionAfterDeadline => {
                         self.m.rejected_completion_after_deadline += 1

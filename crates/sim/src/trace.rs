@@ -78,8 +78,7 @@ impl Trace {
     /// Returns the first violation found.
     pub fn check_consistency(&self) -> Result<(), String> {
         for c in &self.chunks {
-            if !(c.available <= c.tx_start && c.tx_start <= c.tx_end && c.tx_end <= c.compute_end)
-            {
+            if !(c.available <= c.tx_start && c.tx_start <= c.tx_end && c.tx_end <= c.compute_end) {
                 return Err(format!("chunk phases out of order: {c:?}"));
             }
         }
@@ -108,8 +107,10 @@ impl Trace {
         tasks.sort_unstable();
         tasks.dedup();
         for task in tasks {
-            let mut tx: Vec<(SimTime, SimTime)> =
-                self.task_chunks(task).map(|c| (c.tx_start, c.tx_end)).collect();
+            let mut tx: Vec<(SimTime, SimTime)> = self
+                .task_chunks(task)
+                .map(|c| (c.tx_start, c.tx_end))
+                .collect();
             tx.sort();
             for w in tx.windows(2) {
                 if w[1].0.as_f64() < w[0].1.as_f64() - 1e-6 {

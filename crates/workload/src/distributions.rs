@@ -16,7 +16,10 @@ pub struct Exponential {
 impl Exponential {
     /// `mean` must be finite and positive.
     pub fn new(mean: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be > 0");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be > 0"
+        );
         Exponential { mean }
     }
 
@@ -101,7 +104,10 @@ pub struct UniformRange {
 impl UniformRange {
     /// Requires `low < high`, both finite.
     pub fn new(low: f64, high: f64) -> Self {
-        assert!(low.is_finite() && high.is_finite() && low < high, "need low < high");
+        assert!(
+            low.is_finite() && high.is_finite() && low < high,
+            "need low < high"
+        );
         UniformRange { low, high }
     }
 
@@ -138,10 +144,16 @@ mod tests {
         let mut r = rng(7);
         let xs: Vec<f64> = (0..N).map(|_| d.sample(&mut r)).collect();
         let m = mean_of(&xs);
-        assert!((m / 1360.0 - 1.0).abs() < 0.02, "mean {m} too far from 1360");
+        assert!(
+            (m / 1360.0 - 1.0).abs() < 0.02,
+            "mean {m} too far from 1360"
+        );
         // Var = mean² for exponential.
         let v = var_of(&xs);
-        assert!((v / (1360.0 * 1360.0) - 1.0).abs() < 0.05, "variance off: {v}");
+        assert!(
+            (v / (1360.0 * 1360.0) - 1.0).abs() < 0.05,
+            "variance off: {v}"
+        );
         assert!(xs.iter().all(|&x| x >= 0.0));
     }
 
@@ -167,7 +179,10 @@ mod tests {
         assert!(xs.iter().all(|&x| x > 0.0));
         // E[X | X>0] for N(μ, μ) is μ·(1 + φ(1)/Φ(1)) ≈ 1.288·μ.
         let m = mean_of(&xs);
-        assert!((m / (200.0 * 1.2876) - 1.0).abs() < 0.02, "truncated mean {m}");
+        assert!(
+            (m / (200.0 * 1.2876) - 1.0).abs() < 0.02,
+            "truncated mean {m}"
+        );
     }
 
     #[test]

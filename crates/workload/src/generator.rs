@@ -170,7 +170,10 @@ mod tests {
         let n_low = gen(0.1, 7).count();
         let n_high = gen(1.0, 7).count();
         let ratio = n_high as f64 / n_low as f64;
-        assert!((ratio - 10.0).abs() < 1.0, "count ratio {ratio}, expected ~10");
+        assert!(
+            (ratio - 10.0).abs() < 1.0,
+            "count ratio {ratio}, expected ~10"
+        );
         // Absolute scale: ~7350 tasks at load 1.0 (±5%).
         assert!(
             (6900..7800).contains(&n_high),
@@ -226,8 +229,7 @@ mod tests {
         let avg_d = spec.avg_deadline();
         let tasks: Vec<Task> = WorkloadGenerator::new(spec, 5).collect();
         for t in &tasks {
-            let min_exec =
-                homogeneous::exec_time(&spec.params, t.data_size, spec.params.num_nodes);
+            let min_exec = homogeneous::exec_time(&spec.params, t.data_size, spec.params.num_nodes);
             assert!(t.rel_deadline > min_exec, "deadline at/below floor");
             assert!(
                 (avg_d / 2.0..avg_d * 1.5).contains(&t.rel_deadline),
@@ -244,8 +246,7 @@ mod tests {
         let tasks: Vec<Task> = WorkloadGenerator::new(spec, 5).collect();
         let mut floored = 0usize;
         for t in &tasks {
-            let min_exec =
-                homogeneous::exec_time(&spec.params, t.data_size, spec.params.num_nodes);
+            let min_exec = homogeneous::exec_time(&spec.params, t.data_size, spec.params.num_nodes);
             assert!(t.rel_deadline >= min_exec);
             if t.rel_deadline >= avg_d * 1.5 || (t.rel_deadline / min_exec - 1.0).abs() < 1e-6 {
                 floored += 1;
@@ -261,11 +262,13 @@ mod tests {
     fn user_nodes_lie_in_the_valid_range() {
         // Under the user-split deadline floor every task has a feasible
         // request, drawn from [N_min, N].
-        let spec = WorkloadSpec::paper_baseline(1.0)
-            .with_deadline_floor(DeadlineFloor::UserSplitExec);
+        let spec =
+            WorkloadSpec::paper_baseline(1.0).with_deadline_floor(DeadlineFloor::UserSplitExec);
         let tasks: Vec<Task> = WorkloadGenerator::new(spec, 13).collect();
         for t in &tasks {
-            let n = t.user_nodes.expect("user-split floor guarantees feasibility");
+            let n = t
+                .user_nodes
+                .expect("user-split floor guarantees feasibility");
             let n_min = user_split_n_min(&spec.params, t.data_size, t.rel_deadline).unwrap();
             assert!(n >= n_min && n <= 16, "user n {n} outside [{n_min}, 16]");
         }
@@ -281,22 +284,26 @@ mod tests {
         // Fig. 5a. (Under Clamp mode it balloons to ~25%.)
         let spec = WorkloadSpec::paper_baseline(1.0); // OptimalExec floor
         let tasks: Vec<Task> = WorkloadGenerator::new(spec, 13).collect();
-        let none = tasks.iter().filter(|t| t.user_nodes.is_none()).count() as f64
-            / tasks.len() as f64;
+        let none =
+            tasks.iter().filter(|t| t.user_nodes.is_none()).count() as f64 / tasks.len() as f64;
         assert!(
             (0.005..0.15).contains(&none),
             "expected a small infeasible fraction, got {none}"
         );
         let clamped = WorkloadSpec::paper_baseline(1.0).with_floor_mode(FloorMode::Clamp);
         let tasks_c: Vec<Task> = WorkloadGenerator::new(clamped, 13).collect();
-        let none_c = tasks_c.iter().filter(|t| t.user_nodes.is_none()).count() as f64
-            / tasks_c.len() as f64;
+        let none_c =
+            tasks_c.iter().filter(|t| t.user_nodes.is_none()).count() as f64 / tasks_c.len() as f64;
         assert!(
             (0.10..0.45).contains(&none_c),
             "expected a sizable infeasible fraction under Clamp, got {none_c}"
         );
         // And every None is genuinely hopeless for an equal split.
-        for t in tasks.iter().chain(&tasks_c).filter(|t| t.user_nodes.is_none()) {
+        for t in tasks
+            .iter()
+            .chain(&tasks_c)
+            .filter(|t| t.user_nodes.is_none())
+        {
             let floor = t.data_size * spec.params.cms
                 + t.data_size * spec.params.cps / spec.params.num_nodes as f64;
             assert!(t.rel_deadline < floor, "None but equal split feasible");
@@ -338,6 +345,9 @@ mod tests {
         }
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
         let expected = spec.mean_interarrival();
-        assert!((mean / expected - 1.0).abs() < 0.05, "interarrival {mean} vs {expected}");
+        assert!(
+            (mean / expected - 1.0).abs() < 0.05,
+            "interarrival {mean} vs {expected}"
+        );
     }
 }

@@ -20,13 +20,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arrivals;
 pub mod distributions;
 pub mod generator;
 pub mod spec;
 
 /// One-stop imports.
 pub mod prelude {
+    pub use crate::arrivals::{BurstProfile, BurstyPoisson};
     pub use crate::distributions::{Exponential, Normal, UniformRange};
     pub use crate::generator::WorkloadGenerator;
-    pub use crate::spec::{DeadlineFloor, FloorMode, SizeModel, WorkloadSpec, TRUNCATED_MEAN_FACTOR};
+    pub use crate::spec::{
+        DeadlineFloor, FloorMode, SizeModel, WorkloadSpec, TRUNCATED_MEAN_FACTOR,
+    };
 }

@@ -236,8 +236,7 @@ mod tests {
         let sigma = 300.0;
         // OptimalExec: E(σ, N).
         let opt = s.deadline_floor_value(sigma);
-        let expect =
-            rtdls_core::dlt::homogeneous::exec_time(&s.params, sigma, s.params.num_nodes);
+        let expect = rtdls_core::dlt::homogeneous::exec_time(&s.params, sigma, s.params.num_nodes);
         assert!((opt - expect).abs() < 1e-9);
         // UserSplitExec: σ·Cms + σ·Cps/N = 300·1 + 300·100/16.
         let us = s

@@ -79,7 +79,11 @@ fn main() {
     for (i, &a) in algorithms.iter().enumerate() {
         match first_ok[i] {
             Some(n) => println!("  {:<14} {n} nodes", a.paper_name()),
-            None => println!("  {:<14} more than {} nodes", a.paper_name(), sizes.last().unwrap()),
+            None => println!(
+                "  {:<14} more than {} nodes",
+                a.paper_name(),
+                sizes.last().unwrap()
+            ),
         }
     }
     println!(

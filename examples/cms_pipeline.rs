@@ -55,8 +55,24 @@ fn operating_day(seed: u64) -> Vec<Task> {
     let mut next_id = 0;
     let mut jobs = Vec::new();
     jobs.extend(burst(&mut rng, &mut next_id, 0.0, 12_000.0, 9, 400.0, 4.0));
-    jobs.extend(burst(&mut rng, &mut next_id, 30_000.0, 8_000.0, 14, 120.0, 2.5));
-    jobs.extend(burst(&mut rng, &mut next_id, 55_000.0, 12_000.0, 6, 250.0, 3.0));
+    jobs.extend(burst(
+        &mut rng,
+        &mut next_id,
+        30_000.0,
+        8_000.0,
+        14,
+        120.0,
+        2.5,
+    ));
+    jobs.extend(burst(
+        &mut rng,
+        &mut next_id,
+        55_000.0,
+        12_000.0,
+        6,
+        250.0,
+        3.0,
+    ));
     jobs
 }
 
@@ -118,17 +134,25 @@ fn main() {
     'search: for day in 0..days {
         let jobs = operating_day(day);
         let dlt = run_simulation(
-            SimConfig::new(params, AlgorithmKind::EDF_DLT).strict().with_trace(),
+            SimConfig::new(params, AlgorithmKind::EDF_DLT)
+                .strict()
+                .with_trace(),
             jobs.clone(),
         );
         let opr = run_simulation(
-            SimConfig::new(params, AlgorithmKind::EDF_OPR_MN).strict().with_trace(),
+            SimConfig::new(params, AlgorithmKind::EDF_OPR_MN)
+                .strict()
+                .with_trace(),
             jobs.clone(),
         );
         let dlt_trace = dlt.trace.expect("traced");
         let opr_trace = opr.trace.expect("traced");
         for rec in dlt_trace.tasks.iter().filter(|t| t.accepted) {
-            if opr_trace.task(rec.task).map(|o| !o.accepted).unwrap_or(false) {
+            if opr_trace
+                .task(rec.task)
+                .map(|o| !o.accepted)
+                .unwrap_or(false)
+            {
                 let job = jobs.iter().find(|j| j.id == rec.task).expect("exists");
                 println!(
                     "example rescue (day {day}): task {:?} (σ={:.0}, absolute deadline {:.0})\n\

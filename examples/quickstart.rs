@@ -31,8 +31,7 @@ fn main() {
 
     // Ask the admission layer directly (no simulator needed) — this is what
     // the cluster head node would run on every arrival.
-    let mut ctl =
-        AdmissionController::new(params, AlgorithmKind::EDF_DLT, PlanConfig::default());
+    let mut ctl = AdmissionController::new(params, AlgorithmKind::EDF_DLT, PlanConfig::default());
     println!("-- admission decisions (EDF-DLT) --");
     for job in &jobs {
         let decision = ctl.submit(*job, job.arrival);
@@ -65,15 +64,24 @@ fn main() {
 
     // Now run the same jobs through the full discrete-event simulator and
     // verify every promise was kept.
-    let cfg = SimConfig::new(params, AlgorithmKind::EDF_DLT).strict().with_trace();
+    let cfg = SimConfig::new(params, AlgorithmKind::EDF_DLT)
+        .strict()
+        .with_trace();
     let report = run_simulation(cfg, jobs);
     let m = &report.metrics;
     println!("\n-- simulation --");
     println!("arrivals:  {}", m.arrivals);
     println!("accepted:  {}", m.accepted);
-    println!("rejected:  {} (reject ratio {:.2})", m.rejected, m.reject_ratio());
+    println!(
+        "rejected:  {} (reject ratio {:.2})",
+        m.rejected,
+        m.reject_ratio()
+    );
     println!("deadline misses: {} (guaranteed 0)", m.deadline_misses);
-    println!("mean response time: {:.0} time units", m.mean_response_time());
+    println!(
+        "mean response time: {:.0} time units",
+        m.mean_response_time()
+    );
 
     println!("\n-- per-task outcome --");
     let trace = report.trace.expect("trace was recorded");

@@ -81,7 +81,10 @@ fn main() {
         let trace = report.trace.expect("traced");
         render(&trace, &params, horizon, caption);
         let rec = trace.task(TaskId(WIDE_ID)).expect("wide job arrived");
-        assert!(rec.accepted, "{algorithm}: the staged wide job must be admitted");
+        assert!(
+            rec.accepted,
+            "{algorithm}: the staged wide job must be admitted"
+        );
         let done = rec.actual_completion.expect("completed").as_f64();
         println!(
             "  task 16 under {}: {} chunks, finished at {:.0} (deadline {:.0})\n",

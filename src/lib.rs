@@ -11,8 +11,9 @@
 //! | Crate | What it provides |
 //! |-------|------------------|
 //! | [`core`] | DLT mathematics, the heterogeneous model for different processor available times, partitioning strategies, EDF/FIFO policies, the Fig. 2 schedulability test |
-//! | [`sim`] | the discrete-event cluster simulator (head node, workers, dispatch, metrics, traces) |
-//! | [`workload`] | the paper's workload generator (`SystemLoad`, `DCRatio`, normal sizes, uniform deadlines) |
+//! | [`sim`] | the discrete-event cluster simulator (head node, workers, dispatch, metrics, traces) and the pluggable admission [`Frontend`](sim::frontend::Frontend) |
+//! | [`workload`] | the paper's workload generator (`SystemLoad`, `DCRatio`, normal sizes, uniform deadlines) plus bursty open-loop arrival streams |
+//! | [`service`] | the online serving layer: admission gateways with Accept/Defer/Reject, batched submission, and sharded multi-cluster dispatch |
 //! | [`experiments`] | the figure harness reproducing Fig. 3–16 and the §5.2 aggregate |
 //!
 //! ## Quickstart
@@ -42,12 +43,14 @@
 
 pub use rtdls_core as core;
 pub use rtdls_experiments as experiments;
+pub use rtdls_service as service;
 pub use rtdls_sim as sim;
 pub use rtdls_workload as workload;
 
 /// Everything a typical user needs, in one import.
 pub mod prelude {
     pub use rtdls_core::prelude::*;
+    pub use rtdls_service::prelude::*;
     pub use rtdls_sim::prelude::*;
     pub use rtdls_workload::prelude::*;
 }

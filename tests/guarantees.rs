@@ -24,7 +24,10 @@ fn no_accepted_task_ever_misses_under_any_algorithm() {
                 let report = run_simulation(cfg, paper_workload(load, seed, 3e5));
                 let m = &report.metrics;
                 assert_eq!(m.deadline_misses, 0, "{algorithm} load={load} seed={seed}");
-                assert_eq!(m.estimate_overruns, 0, "{algorithm} load={load} seed={seed}");
+                assert_eq!(
+                    m.estimate_overruns, 0,
+                    "{algorithm} load={load} seed={seed}"
+                );
                 assert_eq!(
                     m.completed, m.accepted,
                     "{algorithm}: every accepted task must complete"
@@ -49,7 +52,10 @@ fn guarantees_hold_under_all_planning_knobs() {
             for replan in [ReplanPolicy::OnRelease, ReplanPolicy::ArrivalsOnly] {
                 let cfg = SimConfig::new(params, AlgorithmKind::EDF_DLT)
                     .strict()
-                    .with_plan(PlanConfig { node_count, release_estimate })
+                    .with_plan(PlanConfig {
+                        node_count,
+                        release_estimate,
+                    })
                     .with_replan(replan);
                 let report = run_simulation(cfg, tasks.clone());
                 assert_eq!(
@@ -69,8 +75,12 @@ fn guarantees_hold_under_all_planning_knobs() {
 /// compute-bound, tiny, and large clusters.
 #[test]
 fn guarantees_hold_on_extreme_cluster_shapes() {
-    for (n, cms, cps) in [(1usize, 1.0, 100.0), (4, 8.0, 10.0), (64, 1.0, 10_000.0), (3, 0.5, 0.7)]
-    {
+    for (n, cms, cps) in [
+        (1usize, 1.0, 100.0),
+        (4, 8.0, 10.0),
+        (64, 1.0, 10_000.0),
+        (3, 0.5, 0.7),
+    ] {
         let params = ClusterParams::new(n, cms, cps).unwrap();
         let mut spec = WorkloadSpec::paper_baseline(0.8);
         spec.params = params;
@@ -95,7 +105,9 @@ fn traces_are_physically_consistent() {
         let cfg = SimConfig::new(params, algorithm).strict().with_trace();
         let report = run_simulation(cfg, paper_workload(1.0, 3, 2e5));
         let trace = report.trace.expect("traced");
-        trace.check_consistency().unwrap_or_else(|e| panic!("{algorithm}: {e}"));
+        trace
+            .check_consistency()
+            .unwrap_or_else(|e| panic!("{algorithm}: {e}"));
         // Chunks account for exactly the accepted tasks' data.
         for rec in trace.tasks.iter().filter(|t| t.accepted) {
             let total: f64 = trace.task_chunks(rec.task).map(|c| c.fraction).sum();

@@ -22,7 +22,10 @@ fn mean_reject(workload: &WorkloadSpec, algorithm: AlgorithmKind, opts: &RunOpti
 /// (same workloads, same seeds), at every load.
 #[test]
 fn dlt_beats_opr_mn_at_every_load() {
-    let opts = RunOptions { replicates: 5, ..Default::default() };
+    let opts = RunOptions {
+        replicates: 5,
+        ..Default::default()
+    };
     for load in [0.2, 0.5, 0.8, 1.0] {
         let w = spec(load, 2.0);
         let dlt = mean_reject(&w, AlgorithmKind::EDF_DLT, &opts);
@@ -37,7 +40,10 @@ fn dlt_beats_opr_mn_at_every_load() {
 /// Fig. 9 claim: the same ordering holds under FIFO.
 #[test]
 fn fifo_dlt_beats_fifo_opr_mn() {
-    let opts = RunOptions { replicates: 5, ..Default::default() };
+    let opts = RunOptions {
+        replicates: 5,
+        ..Default::default()
+    };
     for load in [0.5, 1.0] {
         let w = spec(load, 2.0);
         let dlt = mean_reject(&w, AlgorithmKind::FIFO_DLT, &opts);
@@ -50,7 +56,10 @@ fn fifo_dlt_beats_fifo_opr_mn() {
 /// looser deadlines mean fewer nodes per task, fewer IITs, less to gain.
 #[test]
 fn dlt_and_opr_converge_at_high_dc_ratio() {
-    let opts = RunOptions { replicates: 5, ..Default::default() };
+    let opts = RunOptions {
+        replicates: 5,
+        ..Default::default()
+    };
     let gap = |dc: f64| {
         let w = spec(1.0, dc);
         mean_reject(&w, AlgorithmKind::EDF_OPR_MN, &opts)
@@ -63,18 +72,27 @@ fn dlt_and_opr_converge_at_high_dc_ratio() {
         "gap should shrink with DCRatio: dc=2 gap {tight}, dc=100 gap {loose}"
     );
     // At DCRatio 100 the two are essentially identical (paper Fig. 4d).
-    assert!(loose.abs() < 0.01, "dc=100 gap {loose} should be negligible");
+    assert!(
+        loose.abs() < 0.01,
+        "dc=100 gap {loose} should be negligible"
+    );
 }
 
 /// Fig. 4 claim: reject ratios fall as DCRatio rises (looser deadlines).
 #[test]
 fn reject_ratio_decreases_with_dc_ratio() {
-    let opts = RunOptions { replicates: 5, ..Default::default() };
+    let opts = RunOptions {
+        replicates: 5,
+        ..Default::default()
+    };
     let mut prev = f64::INFINITY;
     for dc in [2.0, 3.0, 10.0, 100.0] {
         let w = spec(0.8, dc);
         let rr = mean_reject(&w, AlgorithmKind::EDF_DLT, &opts);
-        assert!(rr <= prev + 0.01, "reject ratio should fall with DCRatio, {rr} after {prev}");
+        assert!(
+            rr <= prev + 0.01,
+            "reject ratio should fall with DCRatio, {rr} after {prev}"
+        );
         prev = rr;
     }
 }
@@ -83,7 +101,10 @@ fn reject_ratio_decreases_with_dc_ratio() {
 /// beats manual user splitting.
 #[test]
 fn dlt_beats_user_split_at_tight_deadlines() {
-    let opts = RunOptions { replicates: 5, ..Default::default() };
+    let opts = RunOptions {
+        replicates: 5,
+        ..Default::default()
+    };
     for load in [0.4, 0.8] {
         let w = spec(load, 2.0);
         let dlt = mean_reject(&w, AlgorithmKind::EDF_DLT, &opts);
@@ -98,11 +119,17 @@ fn dlt_beats_user_split_at_tight_deadlines() {
 /// Reject ratios increase monotonically (within noise) with SystemLoad.
 #[test]
 fn reject_ratio_increases_with_load() {
-    let opts = RunOptions { replicates: 5, ..Default::default() };
+    let opts = RunOptions {
+        replicates: 5,
+        ..Default::default()
+    };
     let mut prev = -1.0;
     for load in [0.2, 0.4, 0.6, 0.8, 1.0] {
         let rr = mean_reject(&spec(load, 2.0), AlgorithmKind::EDF_DLT, &opts);
-        assert!(rr >= prev - 0.01, "reject ratio fell from {prev} to {rr} at load {load}");
+        assert!(
+            rr >= prev - 0.01,
+            "reject ratio fell from {prev} to {rr} at load {load}"
+        );
         prev = rr;
     }
 }
@@ -118,7 +145,10 @@ fn iit_gain_is_positive_for_dlt_and_zero_for_opr() {
     let dlt = run_one(&w, AlgorithmKind::EDF_DLT, 3, &opts);
     let opr = run_one(&w, AlgorithmKind::EDF_OPR_MN, 3, &opts);
     assert!(dlt.estimate_iit_gain > 0.0, "DLT should bank IIT gains");
-    assert!(opr.estimate_iit_gain.abs() < 1e-9, "OPR-MN has no IIT gain by construction");
+    assert!(
+        opr.estimate_iit_gain.abs() < 1e-9,
+        "OPR-MN has no IIT gain by construction"
+    );
 }
 
 /// Same-seed comparability: both algorithms see the *identical* task stream
@@ -139,12 +169,18 @@ fn fixed_point_accepts_no_less_than_one_shot() {
     for algorithm in [AlgorithmKind::EDF_DLT, AlgorithmKind::EDF_OPR_MN] {
         let fixed = RunOptions {
             replicates: 5,
-            plan: PlanConfig { node_count: NodeCountPolicy::FixedPoint, ..Default::default() },
+            plan: PlanConfig {
+                node_count: NodeCountPolicy::FixedPoint,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let oneshot = RunOptions {
             replicates: 5,
-            plan: PlanConfig { node_count: NodeCountPolicy::OneShot, ..Default::default() },
+            plan: PlanConfig {
+                node_count: NodeCountPolicy::OneShot,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let rr_fixed = mean_reject(&w, algorithm, &fixed);

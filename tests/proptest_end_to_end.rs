@@ -8,15 +8,21 @@ use rtdls::prelude::*;
 /// Random but sane cluster + workload parameterizations.
 fn sim_inputs() -> impl Strategy<Value = (ClusterParams, f64, f64, f64, u64)> {
     (
-        2usize..=32,        // nodes
-        0.5f64..8.0,        // cms
-        5.0f64..2_000.0,    // cps
-        0.2f64..1.2,        // system load (can exceed 1)
-        1.5f64..20.0,       // dc ratio
-        0u64..1_000_000,    // seed
+        2usize..=32,     // nodes
+        0.5f64..8.0,     // cms
+        5.0f64..2_000.0, // cps
+        0.2f64..1.2,     // system load (can exceed 1)
+        1.5f64..20.0,    // dc ratio
+        0u64..1_000_000, // seed
     )
         .prop_map(|(n, cms, cps, load, dc, seed)| {
-            (ClusterParams::new(n, cms, cps).unwrap(), load, dc, seed as f64, seed)
+            (
+                ClusterParams::new(n, cms, cps).unwrap(),
+                load,
+                dc,
+                seed as f64,
+                seed,
+            )
         })
         .prop_map(|(params, load, dc, _, seed)| (params, load, dc, 40.0, seed))
 }

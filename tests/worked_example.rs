@@ -89,7 +89,9 @@ fn simulated_execution_respects_the_worked_example() {
     tasks.push(Task::new(99, 0.0, SIGMA, 3_100.0));
 
     // Keep 4 nodes idle: only 12 strips on a 16-node cluster.
-    let cfg = SimConfig::new(params, AlgorithmKind::EDF_DLT).strict().with_trace();
+    let cfg = SimConfig::new(params, AlgorithmKind::EDF_DLT)
+        .strict()
+        .with_trace();
     let report = run_simulation(cfg, tasks);
     let trace = report.trace.expect("traced");
     let rec = trace.task(TaskId(99)).expect("example task arrived");

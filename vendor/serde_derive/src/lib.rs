@@ -1,0 +1,318 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-repo serde stand-in.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (no `syn`/`quote`
+//! available offline). Supports the shapes this workspace uses:
+//!
+//! * structs with named fields → JSON objects;
+//! * single-field tuple structs (newtypes) → transparent;
+//! * enums with unit variants → strings, and struct variants →
+//!   single-key objects `{"Variant": {…}}`.
+//!
+//! `#[serde(...)]` attributes are accepted and ignored; the only one the
+//! workspace uses is `transparent` on newtypes, which is the default
+//! behavior here anyway.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    NewtypeStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+/// Splits a token list on top-level commas, treating `<…>` as nesting.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Drops leading `#[…]` attributes and a `pub` / `pub(…)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // '#' + [..]
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+fn field_names(group_tokens: &[TokenTree]) -> Vec<String> {
+    split_commas(group_tokens)
+        .iter()
+        .filter_map(|chunk| {
+            let chunk = skip_attrs_and_vis(chunk);
+            match chunk.first() {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let tokens = skip_attrs_and_vis(&tokens);
+    let mut it = tokens.iter();
+    let kw = loop {
+        match it.next() {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next(); // the bracket group
+            }
+            Some(_) => {}
+            None => panic!("derive input has no struct/enum keyword"),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name after `{kw}`, found {other:?}"),
+    };
+    let body = loop {
+        match it.next() {
+            Some(TokenTree::Group(g)) => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("derive stand-in does not support generic type `{name}`")
+            }
+            Some(_) => {}
+            None => panic!("no body found for `{name}`"),
+        }
+    };
+    let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    if kw == "struct" {
+        match body.delimiter() {
+            Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: field_names(&body_tokens),
+            },
+            Delimiter::Parenthesis => {
+                let n = split_commas(&body_tokens).len();
+                assert!(
+                    n == 1,
+                    "derive stand-in supports only single-field tuple structs; `{name}` has {n}"
+                );
+                Shape::NewtypeStruct { name }
+            }
+            _ => panic!("unexpected struct body for `{name}`"),
+        }
+    } else {
+        let variants = split_commas(&body_tokens)
+            .iter()
+            .map(|chunk| {
+                let chunk = skip_attrs_and_vis(chunk);
+                let vname = match chunk.first() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => panic!("expected variant name in `{name}`, found {other:?}"),
+                };
+                let fields = chunk.iter().find_map(|t| match t {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Some(field_names(&toks))
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                        panic!("derive stand-in does not support tuple variant `{name}::{vname}`")
+                    }
+                    _ => None,
+                });
+                Variant {
+                    name: vname,
+                    fields,
+                }
+            })
+            .collect();
+        Shape::Enum { name, variants }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let src = match parse_shape(input) {
+        Shape::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::NewtypeStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        None => {
+                            format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),")
+                        }
+                        Some(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![\
+                                 (\"{vn}\".to_string(), ::serde::Value::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    src.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let src = match parse_shape(input) {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::helpers::field(v, \"{f}\")?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::NewtypeStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let struct_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    v.fields.as_ref().map(|fields| {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::helpers::field(inner, \"{f}\")?"))
+                            .collect();
+                        format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{ {init} }}),",
+                            vn = v.name,
+                            init = inits.join(", ")
+                        )
+                    })
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {units}\n\
+                                 other => Err(::serde::Error::msg(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (key, inner) = &entries[0];\n\
+                                 match key.as_str() {{\n\
+                                     {structs}\n\
+                                     other => Err(::serde::Error::msg(format!(\n\
+                                         \"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::Error::msg(format!(\n\
+                                 \"expected {name}, found {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                structs = struct_arms.join("\n"),
+            )
+        }
+    };
+    src.parse().expect("generated Deserialize impl parses")
+}
