@@ -147,6 +147,26 @@ impl Decision {
     }
 }
 
+/// The complete serializable state of an [`AdmissionController`] — the
+/// durable "book" a persistence layer journals and a recovery path restores.
+///
+/// Round-trips through the in-repo serde stand-ins
+/// (`AdmissionController::state()` / `AdmissionController::from_state()`);
+/// equality of two states is equality of the controllers they rebuild.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ControllerState {
+    /// Cluster shape the controller plans against.
+    pub params: ClusterParams,
+    /// Scheduling policy × partitioning strategy.
+    pub algorithm: AlgorithmKind,
+    /// Planning knobs (release bookkeeping, node-count selection).
+    pub cfg: PlanConfig,
+    /// Committed per-node release times (index = node id).
+    pub releases: Vec<SimTime>,
+    /// Waiting tasks with their current plans, in execution order.
+    pub queue: Vec<(Task, TaskPlan)>,
+}
+
 /// Stateful admission layer: the head node's view of the waiting queue, the
 /// committed node releases, and the current feasible plans.
 ///
@@ -527,6 +547,71 @@ impl AdmissionController {
     pub fn set_node_release(&mut self, node: usize, time: SimTime) {
         self.releases[node] = time;
     }
+
+    /// Removes one waiting task (with its plan) from the queue without
+    /// touching committed releases — a waiting plan reserves nothing until
+    /// dispatch, so removal is always safe for the remaining plans (they
+    /// assumed *more* occupancy, never less). Recovery uses this to demote a
+    /// no-longer-feasible task instead of breaking other guarantees.
+    pub fn remove_waiting(&mut self, id: TaskId) -> Option<Task> {
+        let pos = self.queue.iter().position(|(t, _)| t.id == id)?;
+        let (task, _) = self.queue.remove(pos);
+        Some(task)
+    }
+
+    /// Snapshots the complete controller state for journaling.
+    pub fn state(&self) -> ControllerState {
+        ControllerState {
+            params: self.params,
+            algorithm: self.algorithm,
+            cfg: self.cfg,
+            releases: self.releases.clone(),
+            queue: self.queue.clone(),
+        }
+    }
+
+    /// Rebuilds a controller from a journaled state. The inverse of
+    /// [`state`](AdmissionController::state): `from_state(c.state())`
+    /// compares equal to `c` in every observable way. Errors when the
+    /// release vector does not match the cluster shape.
+    pub fn from_state(state: ControllerState) -> Result<Self, crate::error::ModelError> {
+        if state.releases.len() != state.params.num_nodes {
+            return Err(crate::error::ModelError::InvalidParams(
+                "release vector length must equal num_nodes",
+            ));
+        }
+        for (task, plan) in &state.queue {
+            if plan.task != task.id {
+                return Err(crate::error::ModelError::InvalidParams(
+                    "queued plan does not belong to its task",
+                ));
+            }
+            if plan
+                .nodes
+                .iter()
+                .any(|n| n.index() >= state.params.num_nodes)
+            {
+                return Err(crate::error::ModelError::InvalidParams(
+                    "queued plan references a node outside the cluster",
+                ));
+            }
+            if plan.nodes.len() != plan.node_release_estimates.len()
+                || plan.nodes.len() != plan.start_times.len()
+                || plan.nodes.len() != plan.fractions.len()
+            {
+                return Err(crate::error::ModelError::InvalidParams(
+                    "queued plan has inconsistent chunk vectors",
+                ));
+            }
+        }
+        Ok(AdmissionController {
+            params: state.params,
+            algorithm: state.algorithm,
+            cfg: state.cfg,
+            releases: state.releases,
+            queue: state.queue,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -793,6 +878,66 @@ mod tests {
             c.submit(t, SimTime::ZERO),
             Decision::Rejected(Infeasible::UserRequestInfeasible)
         );
+    }
+
+    #[test]
+    fn state_round_trips_through_serde() {
+        let mut c = ctl(AlgorithmKind::EDF_DLT);
+        assert!(c
+            .submit(task(1, 0.0, 200.0, 30_000.0), SimTime::ZERO)
+            .is_accepted());
+        assert!(c
+            .submit(task(2, 5.0, 400.0, 60_000.0), SimTime::new(5.0))
+            .is_accepted());
+        let _ = c.take_due(SimTime::ZERO);
+        let state = c.state();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: ControllerState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+        let restored = AdmissionController::from_state(back).unwrap();
+        assert_eq!(restored.queue(), c.queue());
+        assert_eq!(restored.committed_releases(), c.committed_releases());
+        assert_eq!(restored.algorithm(), c.algorithm());
+        // The restored controller keeps deciding identically.
+        let probe = task(3, 10.0, 100.0, 40_000.0);
+        assert_eq!(
+            restored.probe(&probe, SimTime::new(10.0)),
+            c.probe(&probe, SimTime::new(10.0))
+        );
+    }
+
+    #[test]
+    fn from_state_rejects_inconsistent_shapes() {
+        let c = ctl(AlgorithmKind::EDF_DLT);
+        let mut bad = c.state();
+        bad.releases.pop();
+        assert!(AdmissionController::from_state(bad).is_err());
+        let mut c2 = ctl(AlgorithmKind::EDF_DLT);
+        assert!(c2
+            .submit(task(1, 0.0, 200.0, 30_000.0), SimTime::ZERO)
+            .is_accepted());
+        let mut bad = c2.state();
+        bad.queue[0].0 = task(9, 0.0, 200.0, 30_000.0);
+        assert!(AdmissionController::from_state(bad).is_err());
+    }
+
+    #[test]
+    fn remove_waiting_detaches_task_and_keeps_rest_feasible() {
+        let mut c = ctl(AlgorithmKind::EDF_DLT);
+        assert!(c
+            .submit(task(1, 0.0, 200.0, 30_000.0), SimTime::ZERO)
+            .is_accepted());
+        assert!(c
+            .submit(task(2, 0.0, 300.0, 60_000.0), SimTime::ZERO)
+            .is_accepted());
+        assert_eq!(c.remove_waiting(TaskId(99)), None);
+        let removed = c.remove_waiting(TaskId(1)).unwrap();
+        assert_eq!(removed.id, TaskId(1));
+        assert_eq!(c.queue_len(), 1);
+        assert_eq!(c.queue()[0].0.id, TaskId(2));
+        // The survivor replans fine (it only gained room).
+        c.replan(SimTime::ZERO).unwrap();
+        assert_eq!(c.queue_len(), 1);
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub mod time;
 /// One-stop imports for typical users of the crate.
 pub mod prelude {
     pub use crate::admission::{
-        schedulability_test, AdmissionController, AdmissionFailure, Decision,
+        schedulability_test, AdmissionController, AdmissionFailure, ControllerState, Decision,
     };
     pub use crate::algorithm::AlgorithmKind;
     pub use crate::dlt::heterogeneous::HeterogeneousModel;

@@ -1,0 +1,235 @@
+//! [`JournaledGateway`]: the write-ahead-logging wrapper around a gateway.
+//!
+//! Implements the same [`Frontend`] trait as the wrapped gateway, so it
+//! drops into any `Simulation::with_frontend` run (or a real driver)
+//! unchanged. Every state-mutating call is journaled **before** it is
+//! applied (write-ahead order): a crash between the journal append and the
+//! in-memory mutation replays the command on recovery and lands in the same
+//! state. Read-only calls are not journaled.
+//!
+//! Input events that would be no-ops (an empty defer queue swept, a replan
+//! of an empty queue, a dispatch poll with nothing due) are skipped — the
+//! engine polls far more often than state changes, and replaying a no-op is
+//! itself a no-op, so the log stays proportional to *actual* state changes.
+
+use rtdls_core::prelude::{AdmissionFailure, Infeasible, SimTime, Task, TaskId, TaskPlan};
+use rtdls_service::prelude::{DeferredQueue, GatewayDecision, ServiceMetrics};
+use rtdls_sim::frontend::{Frontend, SubmitOutcome};
+
+use crate::event::JournalEvent;
+use crate::journal::{Journal, JournalConfig, JournalSink};
+use crate::snapshot::Recoverable;
+
+/// A gateway whose every decision-relevant input is write-ahead journaled,
+/// with periodic compacting snapshots of the full gateway state.
+pub struct JournaledGateway<G: Recoverable> {
+    inner: G,
+    journal: Journal,
+}
+
+impl<G: Recoverable> JournaledGateway<G> {
+    /// Wraps `inner`, writing the genesis snapshot into a fresh in-memory
+    /// journal (use [`with_sink`](JournaledGateway::with_sink) for
+    /// durability beyond the process).
+    pub fn new(inner: G, cfg: JournalConfig) -> Self {
+        Self::with_journal(inner, Journal::in_memory(cfg))
+    }
+
+    /// Wraps `inner`, mirroring the journal into `sink` (e.g. a
+    /// [`FileSink`](crate::journal::FileSink)).
+    pub fn with_sink(inner: G, cfg: JournalConfig, sink: Box<dyn JournalSink>) -> Self {
+        Self::with_journal(inner, Journal::with_sink(cfg, sink))
+    }
+
+    /// Wraps `inner` over an existing (empty) journal, writing the genesis
+    /// snapshot. Recovery uses this to hand back a re-journaled gateway.
+    pub(crate) fn with_journal(inner: G, mut journal: Journal) -> Self {
+        journal.append_snapshot(&inner.capture());
+        JournaledGateway { inner, journal }
+    }
+
+    /// The wrapped gateway.
+    pub fn inner(&self) -> &G {
+        &self.inner
+    }
+
+    /// The journal (its [`bytes`](Journal::bytes) are what survives a
+    /// crash).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Direct mutable journal access (e.g. to append recovery audit
+    /// records).
+    pub(crate) fn journal_mut(&mut self) -> &mut Journal {
+        &mut self.journal
+    }
+
+    /// The wrapped gateway's cumulative metrics.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        self.inner.service_metrics()
+    }
+
+    /// The wrapped gateway's defer queue.
+    pub fn deferred(&self) -> &DeferredQueue {
+        self.inner.defer_queue()
+    }
+
+    /// Decides one streaming submission at time `now`, journaling the
+    /// command first and the decision (with the installed plan, for
+    /// accepted tasks) after.
+    pub fn submit(&mut self, task: Task, now: SimTime) -> GatewayDecision {
+        self.journal
+            .append_event(&JournalEvent::Submitted { task, at: now });
+        let decision = self.inner.decide(task, now);
+        self.audit_decision(task.id, &decision);
+        self.maybe_snapshot();
+        decision
+    }
+
+    /// Decides a whole burst at once (see `submit_batch` on the wrapped
+    /// gateway), journaling the burst as one command.
+    pub fn submit_batch(&mut self, batch: &[Task], now: SimTime) -> Vec<GatewayDecision> {
+        self.journal.append_event(&JournalEvent::BatchSubmitted {
+            tasks: batch.to_vec(),
+            at: now,
+        });
+        let decisions = self.inner.decide_batch(batch, now);
+        for (task, decision) in batch.iter().zip(&decisions) {
+            self.audit_decision(task.id, decision);
+        }
+        self.maybe_snapshot();
+        decisions
+    }
+
+    fn audit_decision(&mut self, task: TaskId, decision: &GatewayDecision) {
+        let ev = match decision {
+            GatewayDecision::Accepted => JournalEvent::Accepted {
+                task: task.0,
+                plan: match Frontend::find_plan(&self.inner, task) {
+                    Some(plan) => plan.clone(),
+                    None => return, // defensively skip a plan-less accept
+                },
+            },
+            GatewayDecision::Deferred(ticket) => JournalEvent::Deferred {
+                task: task.0,
+                ticket: *ticket,
+            },
+            GatewayDecision::Rejected(cause) => JournalEvent::Rejected {
+                task: task.0,
+                cause: *cause,
+            },
+        };
+        self.journal.append_event(&ev);
+    }
+
+    fn maybe_snapshot(&mut self) {
+        if self.journal.wants_snapshot() {
+            self.journal.append_snapshot(&self.inner.capture());
+        }
+    }
+}
+
+impl<G: Recoverable> core::fmt::Debug for JournaledGateway<G> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("JournaledGateway")
+            .field("journal", &self.journal)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<G: Recoverable> Frontend for JournaledGateway<G> {
+    fn submit(&mut self, task: Task, now: SimTime) -> SubmitOutcome {
+        match JournaledGateway::submit(self, task, now) {
+            GatewayDecision::Accepted => SubmitOutcome::Accepted,
+            GatewayDecision::Deferred(_) => SubmitOutcome::Pending,
+            GatewayDecision::Rejected(cause) => SubmitOutcome::Rejected(cause),
+        }
+    }
+
+    fn replan(&mut self, now: SimTime) -> Result<(), AdmissionFailure> {
+        if self.inner.waiting_len() > 0 {
+            self.journal
+                .append_event(&JournalEvent::Replanned { at: now });
+        }
+        self.inner.replan(now)
+    }
+
+    fn take_due(&mut self, now: SimTime) -> Vec<(Task, TaskPlan)> {
+        // Journal *before* taking (write-ahead), but only when something is
+        // actually due — the poll condition mirrors the gateway's own.
+        let due_now = self
+            .inner
+            .next_dispatch_due()
+            .is_some_and(|t| t.at_or_before_eps(now));
+        if due_now {
+            self.journal
+                .append_event(&JournalEvent::DispatchDue { at: now });
+        }
+        let due = self.inner.take_due(now);
+        debug_assert_eq!(due_now, !due.is_empty(), "poll condition mirrors take_due");
+        if due_now {
+            self.maybe_snapshot();
+        }
+        due
+    }
+
+    fn next_dispatch_due(&self) -> Option<SimTime> {
+        self.inner.next_dispatch_due()
+    }
+
+    fn committed_release(&self, node: usize) -> SimTime {
+        self.inner.committed_release(node)
+    }
+
+    fn set_node_release(&mut self, node: usize, time: SimTime) {
+        self.journal
+            .append_event(&JournalEvent::Completed { node, at: time });
+        self.inner.set_node_release(node, time);
+        self.maybe_snapshot();
+    }
+
+    fn waiting_len(&self) -> usize {
+        self.inner.waiting_len()
+    }
+
+    fn find_plan(&self, task: TaskId) -> Option<&TaskPlan> {
+        self.inner.find_plan(task)
+    }
+
+    fn on_event(&mut self, now: SimTime) {
+        if !self.inner.defer_queue().is_empty() {
+            self.journal
+                .append_event(&JournalEvent::Retested { at: now });
+            self.inner.on_event(now);
+            self.maybe_snapshot();
+        }
+    }
+
+    fn drain_resolutions(&mut self) -> Vec<(Task, Option<Infeasible>)> {
+        if self.inner.pending_resolutions().is_empty() {
+            return Vec::new();
+        }
+        // Clearing the pending list is a state change: journal it as an
+        // input (write-ahead), then the per-task verdicts as audit records.
+        self.journal.append_event(&JournalEvent::Drained);
+        let resolutions = self.inner.drain_resolutions();
+        for (task, cause) in &resolutions {
+            let ev = match cause {
+                None => JournalEvent::Rescued { task: task.id.0 },
+                Some(cause) => JournalEvent::Rejected {
+                    task: task.id.0,
+                    cause: *cause,
+                },
+            };
+            self.journal.append_event(&ev);
+        }
+        resolutions
+    }
+
+    fn finalize(&mut self, now: SimTime) {
+        self.journal
+            .append_event(&JournalEvent::Finalized { at: now });
+        self.inner.finalize(now);
+    }
+}

@@ -1,0 +1,362 @@
+//! The append-only journal: framed records in memory, optionally mirrored
+//! to a durable sink, with periodic compacting snapshots.
+//!
+//! A journal always begins with a **genesis snapshot** — the gateway state
+//! at journal creation — so recovery never needs an out-of-band bootstrap
+//! config: the log alone suffices. After every [`JournalConfig::snapshot_every`]
+//! input events the owner appends a fresh snapshot; with
+//! [`JournalConfig::compact_on_snapshot`] the bytes before that snapshot are
+//! dropped (and the sink rewritten), bounding both log length and recovery
+//! replay time.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::event::JournalEvent;
+use crate::snapshot::{GatewaySnapshot, JournalError};
+use crate::wire::{decode_frames, encode_frame, Frame, RecordKind, TailStatus};
+
+/// Journal tunables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JournalConfig {
+    /// Append a compacting snapshot after this many input events
+    /// (0 = never; only the genesis snapshot is written).
+    pub snapshot_every: usize,
+    /// Drop the bytes before each new snapshot (and rewrite the sink), so
+    /// the log holds exactly one snapshot plus its tail.
+    pub compact_on_snapshot: bool,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig {
+            snapshot_every: 256,
+            compact_on_snapshot: true,
+        }
+    }
+}
+
+/// A durable byte store the journal mirrors its frames into.
+///
+/// Implementations must make `append` durable before returning (or panic:
+/// a write-ahead log that cannot persist must not silently continue — the
+/// whole point is that acknowledged records survive).
+pub trait JournalSink {
+    /// Appends one encoded frame.
+    fn append(&mut self, frame: &[u8]);
+    /// Replaces the entire stored log (compaction).
+    fn reset(&mut self, bytes: &[u8]);
+}
+
+/// File-backed sink: `append` is write + `sync_data` per frame (synchronous
+/// fsync; batching is future work), `reset` swaps in the new log atomically
+/// via a synced temp file + rename, so a crash mid-compaction leaves either
+/// the old log or the new one — never a truncated in-between.
+#[derive(Debug)]
+pub struct FileSink {
+    file: File,
+    path: PathBuf,
+}
+
+impl FileSink {
+    /// Creates (truncating) the journal file.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(FileSink { file, path })
+    }
+
+    /// Opens the file for appending **without touching its contents**.
+    /// Recovery attaches a sink this way so the existing log survives until
+    /// the atomic post-recovery rewrite replaces it.
+    pub fn open_preserving(path: impl AsRef<Path>) -> Result<Self, JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(FileSink { file, path })
+    }
+
+    /// The file this sink writes.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads a journal file back into bytes (the recovery entry point).
+    pub fn read(path: impl AsRef<Path>) -> Result<Vec<u8>, JournalError> {
+        Ok(std::fs::read(path.as_ref())?)
+    }
+}
+
+impl JournalSink for FileSink {
+    fn append(&mut self, frame: &[u8]) {
+        self.file
+            .write_all(frame)
+            .and_then(|()| self.file.sync_data())
+            .expect("journal file append must succeed");
+    }
+
+    fn reset(&mut self, bytes: &[u8]) {
+        let mut swap = || -> std::io::Result<()> {
+            let mut tmp_name = self.path.file_name().unwrap_or_default().to_os_string();
+            tmp_name.push(".tmp");
+            let tmp = self.path.with_file_name(tmp_name);
+            let mut staged = File::create(&tmp)?;
+            staged.write_all(bytes)?;
+            staged.sync_data()?;
+            std::fs::rename(&tmp, &self.path)?;
+            // Make the rename itself durable: without the directory fsync a
+            // power failure could resurrect the old directory entry, and
+            // frames appended (and acknowledged) after this compaction
+            // would vanish with the new inode.
+            if let Some(parent) = self.path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                File::open(parent)?.sync_all()?;
+            }
+            self.file = OpenOptions::new().append(true).open(&self.path)?;
+            Ok(())
+        };
+        swap().expect("journal file rewrite must succeed");
+    }
+}
+
+/// The journal proper. Owns the canonical byte image (what recovery would
+/// read) and forwards every mutation to the optional sink.
+///
+/// Memory note: the in-memory image holds everything since the last
+/// compaction, so under the default compacting config it stays bounded by
+/// one snapshot epoch. `snapshot_every: 0` or `compact_on_snapshot: false`
+/// trades that bound for full in-process history — on a long-lived
+/// file-backed gateway, prefer the compacting default (a segmented log that
+/// drops flushed bytes from memory is a ROADMAP follow-up).
+pub struct Journal {
+    cfg: JournalConfig,
+    bytes: Vec<u8>,
+    sink: Option<Box<dyn JournalSink>>,
+    events_since_snapshot: usize,
+    events_appended: u64,
+    snapshots_appended: u64,
+}
+
+impl Journal {
+    /// An empty in-memory journal (tests, benches, and the crash harness).
+    pub fn in_memory(cfg: JournalConfig) -> Self {
+        Journal {
+            cfg,
+            bytes: Vec::new(),
+            sink: None,
+            events_since_snapshot: 0,
+            events_appended: 0,
+            snapshots_appended: 0,
+        }
+    }
+
+    /// An empty journal mirrored to `sink`.
+    pub fn with_sink(cfg: JournalConfig, sink: Box<dyn JournalSink>) -> Self {
+        Journal {
+            sink: Some(sink),
+            ..Journal::in_memory(cfg)
+        }
+    }
+
+    /// Attaches a durable sink after the fact, replacing the sink's stored
+    /// log with the journal's current bytes (atomically, for a
+    /// [`FileSink`]). Recovery uses this so the old journal file is only
+    /// touched *after* recovery has succeeded.
+    pub fn attach_sink(&mut self, mut sink: Box<dyn JournalSink>) {
+        sink.reset(&self.bytes);
+        self.sink = Some(sink);
+    }
+
+    /// The journal's configuration.
+    pub fn config(&self) -> &JournalConfig {
+        &self.cfg
+    }
+
+    /// The canonical log bytes (exactly what a recovery would read).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Events appended over the journal's lifetime (snapshots excluded).
+    pub fn events_appended(&self) -> u64 {
+        self.events_appended
+    }
+
+    /// Snapshots appended over the journal's lifetime (genesis included).
+    pub fn snapshots_appended(&self) -> u64 {
+        self.snapshots_appended
+    }
+
+    /// `true` once enough input events accumulated since the last snapshot.
+    pub fn wants_snapshot(&self) -> bool {
+        self.cfg.snapshot_every > 0 && self.events_since_snapshot >= self.cfg.snapshot_every
+    }
+
+    /// Appends one event record.
+    pub fn append_event(&mut self, ev: &JournalEvent) {
+        let payload = serde_json::to_string(ev)
+            .expect("event serialization is infallible")
+            .into_bytes();
+        let frame = encode_frame(RecordKind::Event, &payload);
+        self.bytes.extend_from_slice(&frame);
+        if let Some(sink) = &mut self.sink {
+            sink.append(&frame);
+        }
+        self.events_appended += 1;
+        if ev.is_input() {
+            self.events_since_snapshot += 1;
+        }
+    }
+
+    /// Appends a snapshot record, compacting away the preceding bytes when
+    /// configured to.
+    pub fn append_snapshot(&mut self, snap: &GatewaySnapshot) {
+        let payload = serde_json::to_string(snap)
+            .expect("snapshot serialization is infallible")
+            .into_bytes();
+        let frame = encode_frame(RecordKind::Snapshot, &payload);
+        if self.cfg.compact_on_snapshot {
+            self.bytes.clear();
+            self.bytes.extend_from_slice(&frame);
+            if let Some(sink) = &mut self.sink {
+                sink.reset(&self.bytes);
+            }
+        } else {
+            self.bytes.extend_from_slice(&frame);
+            if let Some(sink) = &mut self.sink {
+                sink.append(&frame);
+            }
+        }
+        self.events_since_snapshot = 0;
+        self.snapshots_appended += 1;
+    }
+}
+
+impl core::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Journal")
+            .field("cfg", &self.cfg)
+            .field("len_bytes", &self.bytes.len())
+            .field("events_appended", &self.events_appended)
+            .field("snapshots_appended", &self.snapshots_appended)
+            .field("sinked", &self.sink.is_some())
+            .finish()
+    }
+}
+
+/// Splits a decoded log into the frames up to and including the **last**
+/// intact snapshot, the events after it, and the tail status. Returns
+/// `(snapshot, tail_events)`; `snapshot` is `None` when no snapshot frame
+/// survived.
+pub fn split_at_last_snapshot(bytes: &[u8]) -> (Option<Frame>, Vec<Frame>, TailStatus) {
+    let (frames, tail) = decode_frames(bytes);
+    let last_snap = frames.iter().rposition(|f| f.kind == RecordKind::Snapshot);
+    match last_snap {
+        Some(i) => {
+            let mut it = frames.into_iter();
+            let snap = it.nth(i).expect("index in range");
+            (Some(snap), it.collect(), tail)
+        }
+        None => (None, frames, tail),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdls_core::prelude::SimTime;
+
+    fn ev(at: f64) -> JournalEvent {
+        JournalEvent::DispatchDue {
+            at: SimTime::new(at),
+        }
+    }
+
+    fn snap() -> GatewaySnapshot {
+        use rtdls_core::prelude::*;
+        use rtdls_service::prelude::DeferPolicy;
+        use rtdls_service::prelude::Gateway;
+        let g = Gateway::new(
+            ClusterParams::paper_baseline(),
+            AlgorithmKind::EDF_DLT,
+            PlanConfig::default(),
+            DeferPolicy::default(),
+        );
+        crate::snapshot::Recoverable::capture(&g)
+    }
+
+    #[test]
+    fn snapshot_cadence_counts_only_input_events() {
+        let mut j = Journal::in_memory(JournalConfig {
+            snapshot_every: 2,
+            compact_on_snapshot: false,
+        });
+        assert!(!j.wants_snapshot());
+        j.append_event(&ev(1.0));
+        j.append_event(&JournalEvent::Rescued { task: 1 }); // audit: no count
+        assert!(!j.wants_snapshot());
+        j.append_event(&ev(2.0));
+        assert!(j.wants_snapshot());
+        j.append_snapshot(&snap());
+        assert!(!j.wants_snapshot());
+        assert_eq!(j.events_appended(), 3);
+        assert_eq!(j.snapshots_appended(), 1);
+    }
+
+    #[test]
+    fn compaction_keeps_exactly_the_last_snapshot_and_tail() {
+        let mut j = Journal::in_memory(JournalConfig {
+            snapshot_every: 0,
+            compact_on_snapshot: true,
+        });
+        j.append_snapshot(&snap()); // genesis
+        j.append_event(&ev(1.0));
+        j.append_event(&ev(2.0));
+        j.append_snapshot(&snap()); // compacts
+        j.append_event(&ev(3.0));
+        let (s, events, tail) = split_at_last_snapshot(j.bytes());
+        assert!(tail.is_clean());
+        assert!(s.is_some());
+        assert_eq!(events.len(), 1, "pre-snapshot events were compacted away");
+        let (frames, _) = decode_frames(j.bytes());
+        assert_eq!(frames.len(), 2, "snapshot + one event");
+        assert_eq!(frames[0].kind, RecordKind::Snapshot);
+    }
+
+    #[test]
+    fn file_sink_mirrors_memory_exactly_through_compaction() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("rtdls-journal-test-{}.wal", std::process::id()));
+        {
+            let sink = FileSink::create(&path).unwrap();
+            let mut j = Journal::with_sink(JournalConfig::default(), Box::new(sink));
+            j.append_snapshot(&snap());
+            j.append_event(&ev(1.0));
+            j.append_event(&ev(2.0));
+            let on_disk = FileSink::read(&path).unwrap();
+            assert_eq!(on_disk, j.bytes());
+            j.append_snapshot(&snap()); // compacting rewrite
+            j.append_event(&ev(3.0));
+            let on_disk = FileSink::read(&path).unwrap();
+            assert_eq!(on_disk, j.bytes());
+            let (frames, tail) = decode_frames(&on_disk);
+            assert!(tail.is_clean());
+            assert_eq!(frames.len(), 2);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn split_with_no_snapshot_returns_all_events() {
+        let mut j = Journal::in_memory(JournalConfig::default());
+        j.append_event(&ev(1.0));
+        j.append_event(&ev(2.0));
+        let (s, events, tail) = split_at_last_snapshot(j.bytes());
+        assert!(s.is_none());
+        assert_eq!(events.len(), 2);
+        assert!(tail.is_clean());
+    }
+}

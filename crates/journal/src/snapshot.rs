@@ -1,0 +1,353 @@
+//! Full-state gateway snapshots and the [`Recoverable`] trait.
+//!
+//! A [`GatewaySnapshot`] is the complete durable image of a gateway at one
+//! instant: per-shard controller books (waiting queues with plans, committed
+//! node releases), the defer queue with its policy and ticket ids, the
+//! routing cursor, cumulative service metrics, and any undrained defer
+//! resolutions. Restoring a snapshot and replaying the journal events
+//! appended after it reproduces the pre-crash gateway exactly — both
+//! [`Gateway`] and [`ShardedGateway`] implement [`Recoverable`] through one
+//! shared snapshot shape (a single-cluster gateway is the one-shard special
+//! case).
+
+use serde::{Deserialize, Serialize};
+
+use rtdls_core::prelude::{
+    AdmissionController, AlgorithmKind, ClusterParams, ControllerState, Infeasible, SimTime, Task,
+};
+use rtdls_service::prelude::{
+    DeferState, DeferredQueue, Gateway, GatewayDecision, MetricsSnapshot, Routing, ServiceMetrics,
+    ShardedGateway,
+};
+use rtdls_sim::frontend::Frontend;
+
+/// Errors surfaced by snapshot restore and journal recovery.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JournalError {
+    /// The log holds no intact snapshot to restore from (even the genesis
+    /// snapshot was lost to tail damage).
+    NoSnapshot,
+    /// A checksum-valid record failed to parse or restore — a format/version
+    /// bug rather than torn-write damage.
+    Corrupt(String),
+    /// The snapshot disagrees with the gateway type or cluster shape being
+    /// recovered (e.g. a sharded snapshot restored as a single gateway).
+    Incompatible(&'static str),
+    /// An I/O error from a journal file.
+    Io(String),
+}
+
+impl core::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            JournalError::NoSnapshot => f.write_str("journal holds no intact snapshot"),
+            JournalError::Corrupt(m) => write!(f, "corrupt journal record: {m}"),
+            JournalError::Incompatible(m) => write!(f, "incompatible snapshot: {m}"),
+            JournalError::Io(m) => write!(f, "journal I/O error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<serde::Error> for JournalError {
+    fn from(e: serde::Error) -> Self {
+        JournalError::Corrupt(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e.to_string())
+    }
+}
+
+impl From<rtdls_core::error::ModelError> for JournalError {
+    fn from(e: rtdls_core::error::ModelError) -> Self {
+        JournalError::Corrupt(e.to_string())
+    }
+}
+
+/// The complete durable image of a gateway (see the module docs).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GatewaySnapshot {
+    /// `true` for a [`ShardedGateway`] image, `false` for a [`Gateway`].
+    pub sharded: bool,
+    /// Global cluster parameters the gateway fronts.
+    pub params: ClusterParams,
+    /// Scheduling policy × partitioning strategy.
+    pub algorithm: AlgorithmKind,
+    /// Routing policy (sharded gateways only).
+    pub routing: Option<Routing>,
+    /// Round-robin routing cursor (sharded gateways only; 0 otherwise).
+    pub cursor: usize,
+    /// Per-shard controller books, in shard order (exactly one entry for a
+    /// single-cluster gateway).
+    pub shards: Vec<ControllerState>,
+    /// The defer queue: policy, ticket-id counter, parked tickets.
+    pub defer: DeferState,
+    /// Cumulative service metrics.
+    pub metrics: MetricsSnapshot,
+    /// Defer verdicts reached but not yet drained by the engine.
+    pub resolutions: Vec<(Task, Option<Infeasible>)>,
+}
+
+impl GatewaySnapshot {
+    /// The snapshot with its wall-clock latency histogram cleared.
+    ///
+    /// Everything in a snapshot is a deterministic function of the journaled
+    /// input events *except* the per-decision latency samples, which measure
+    /// real elapsed time and therefore differ between a live run and its
+    /// replay. Compare normalized snapshots when checking replay
+    /// determinism; compare raw snapshots for pure capture/restore
+    /// round-trips.
+    pub fn normalized(mut self) -> Self {
+        self.metrics.decision_latency = Default::default();
+        self
+    }
+}
+
+/// A gateway the journal subsystem can persist and rebuild.
+///
+/// Implementors must be *deterministic state machines* over the journal's
+/// input events: same state + same inputs ⇒ same state. Both service
+/// gateways satisfy this (their only nondeterminism, wall-clock latency
+/// metrics, lives outside the captured state).
+pub trait Recoverable: Frontend + Sized {
+    /// Captures the complete durable state.
+    fn capture(&self) -> GatewaySnapshot;
+
+    /// Rebuilds a gateway from a captured state. Inverse of
+    /// [`capture`](Recoverable::capture): `restore(&g.capture())` is
+    /// indistinguishable from `g`.
+    fn restore(snap: &GatewaySnapshot) -> Result<Self, JournalError>;
+
+    /// Service-level single submission (the journaled command behind
+    /// [`JournalEvent::Submitted`](crate::event::JournalEvent::Submitted)).
+    fn decide(&mut self, task: Task, now: SimTime) -> GatewayDecision;
+
+    /// Service-level batched submission.
+    fn decide_batch(&mut self, batch: &[Task], now: SimTime) -> Vec<GatewayDecision>;
+
+    /// Post-recovery re-verification: re-run the strict admission test over
+    /// every restored waiting plan at `now`, demoting newly infeasible
+    /// tasks to the defer queue. Returns the demoted tasks.
+    fn reverify(&mut self, now: SimTime) -> Vec<Task>;
+
+    /// The gateway's cumulative metrics.
+    fn service_metrics(&self) -> &ServiceMetrics;
+
+    /// The gateway's defer queue.
+    fn defer_queue(&self) -> &DeferredQueue;
+
+    /// Defer verdicts reached but not yet drained by the engine.
+    fn pending_resolutions(&self) -> &[(Task, Option<Infeasible>)];
+}
+
+impl Recoverable for Gateway {
+    fn capture(&self) -> GatewaySnapshot {
+        GatewaySnapshot {
+            sharded: false,
+            params: *self.controller().params(),
+            algorithm: self.controller().algorithm(),
+            routing: None,
+            cursor: 0,
+            shards: vec![self.controller().state()],
+            defer: self.deferred().state(),
+            metrics: self.metrics().snapshot(),
+            resolutions: self.pending_resolutions().to_vec(),
+        }
+    }
+
+    fn restore(snap: &GatewaySnapshot) -> Result<Self, JournalError> {
+        if snap.sharded || snap.shards.len() != 1 {
+            return Err(JournalError::Incompatible(
+                "snapshot is not a single-cluster gateway image",
+            ));
+        }
+        let ctl = AdmissionController::from_state(snap.shards[0].clone())?;
+        if ctl.params() != &snap.params {
+            return Err(JournalError::Incompatible(
+                "controller shape disagrees with the snapshot's cluster",
+            ));
+        }
+        Ok(Gateway::from_parts(
+            ctl,
+            DeferredQueue::from_state(snap.defer.clone()),
+            ServiceMetrics::restore(&snap.metrics),
+            snap.resolutions.clone(),
+        ))
+    }
+
+    fn decide(&mut self, task: Task, now: SimTime) -> GatewayDecision {
+        Gateway::submit(self, task, now)
+    }
+
+    fn decide_batch(&mut self, batch: &[Task], now: SimTime) -> Vec<GatewayDecision> {
+        Gateway::submit_batch(self, batch, now)
+    }
+
+    fn reverify(&mut self, now: SimTime) -> Vec<Task> {
+        Gateway::reverify(self, now)
+    }
+
+    fn service_metrics(&self) -> &ServiceMetrics {
+        self.metrics()
+    }
+
+    fn defer_queue(&self) -> &DeferredQueue {
+        self.deferred()
+    }
+
+    fn pending_resolutions(&self) -> &[(Task, Option<Infeasible>)] {
+        Gateway::pending_resolutions(self)
+    }
+}
+
+impl Recoverable for ShardedGateway {
+    fn capture(&self) -> GatewaySnapshot {
+        GatewaySnapshot {
+            sharded: true,
+            params: *self.params(),
+            algorithm: self.algorithm(),
+            routing: Some(self.routing()),
+            cursor: self.cursor(),
+            shards: self.shard_states(),
+            defer: self.deferred().state(),
+            metrics: self.metrics().snapshot(),
+            resolutions: self.pending_resolutions().to_vec(),
+        }
+    }
+
+    fn restore(snap: &GatewaySnapshot) -> Result<Self, JournalError> {
+        if !snap.sharded {
+            return Err(JournalError::Incompatible(
+                "snapshot is not a sharded gateway image",
+            ));
+        }
+        let routing = snap
+            .routing
+            .ok_or(JournalError::Incompatible("sharded snapshot lacks routing"))?;
+        ShardedGateway::from_parts(
+            snap.params,
+            snap.algorithm,
+            routing,
+            snap.cursor,
+            snap.shards.clone(),
+            DeferredQueue::from_state(snap.defer.clone()),
+            ServiceMetrics::restore(&snap.metrics),
+            snap.resolutions.clone(),
+        )
+        .map_err(JournalError::from)
+    }
+
+    fn decide(&mut self, task: Task, now: SimTime) -> GatewayDecision {
+        ShardedGateway::submit(self, task, now)
+    }
+
+    fn decide_batch(&mut self, batch: &[Task], now: SimTime) -> Vec<GatewayDecision> {
+        ShardedGateway::submit_batch(self, batch, now)
+    }
+
+    fn reverify(&mut self, now: SimTime) -> Vec<Task> {
+        ShardedGateway::reverify(self, now)
+    }
+
+    fn service_metrics(&self) -> &ServiceMetrics {
+        self.metrics()
+    }
+
+    fn defer_queue(&self) -> &DeferredQueue {
+        self.deferred()
+    }
+
+    fn pending_resolutions(&self) -> &[(Task, Option<Infeasible>)] {
+        ShardedGateway::pending_resolutions(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdls_core::prelude::*;
+    use rtdls_service::prelude::DeferPolicy;
+
+    fn busy_sharded() -> ShardedGateway {
+        let params = ClusterParams::paper_baseline();
+        let mut g = ShardedGateway::new(
+            params,
+            4,
+            AlgorithmKind::EDF_DLT,
+            PlanConfig::default(),
+            Routing::LeastLoaded,
+            DeferPolicy {
+                max_retries: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let e4 = rtdls_core::dlt::homogeneous::exec_time(&params, 400.0, 4);
+        for i in 0..6 {
+            g.submit(
+                Task::new(i, 0.0, 400.0, e4 * (1.05 + i as f64)),
+                SimTime::ZERO,
+            );
+        }
+        // Force at least one deferral.
+        g.submit(Task::new(90, 0.0, 790.0, e4 * 2.0), SimTime::ZERO);
+        let _ = Frontend::take_due(&mut g, SimTime::ZERO);
+        g
+    }
+
+    #[test]
+    fn sharded_capture_restore_round_trips_exactly() {
+        let g = busy_sharded();
+        let snap = g.capture();
+        assert!(snap.sharded);
+        assert_eq!(snap.shards.len(), 4);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: GatewaySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        let restored = ShardedGateway::restore(&back).unwrap();
+        assert_eq!(restored.capture(), snap);
+        assert_eq!(restored.shard_queue_lens(), g.shard_queue_lens());
+        assert_eq!(restored.deferred().len(), g.deferred().len());
+        assert_eq!(
+            restored.metrics().accepted_total(),
+            g.metrics().accepted_total()
+        );
+    }
+
+    #[test]
+    fn single_capture_restore_round_trips_exactly() {
+        let params = ClusterParams::paper_baseline();
+        let mut g = Gateway::new(
+            params,
+            AlgorithmKind::EDF_DLT,
+            PlanConfig::default(),
+            DeferPolicy::default(),
+        );
+        g.submit(Task::new(1, 0.0, 200.0, 30_000.0), SimTime::ZERO);
+        let snap = g.capture();
+        assert!(!snap.sharded);
+        let restored = Gateway::restore(&snap).unwrap();
+        assert_eq!(restored.capture(), snap);
+        // Cross-type restores are refused.
+        assert!(ShardedGateway::restore(&snap).is_err());
+        assert!(Gateway::restore(&busy_sharded().capture()).is_err());
+    }
+
+    #[test]
+    fn restored_gateway_keeps_deciding_identically() {
+        let mut live = busy_sharded();
+        let mut restored = ShardedGateway::restore(&live.capture()).unwrap();
+        let probe = Task::new(200, 10.0, 150.0, 80_000.0);
+        assert_eq!(
+            live.decide(probe, SimTime::new(10.0)),
+            restored.decide(probe, SimTime::new(10.0))
+        );
+        // Wall-clock latency samples differ between the two processes;
+        // everything else must agree exactly.
+        assert_eq!(live.capture().normalized(), restored.capture().normalized());
+    }
+}

@@ -1,0 +1,238 @@
+//! The acceptance scenario: kill the gateway mid-stream at an arbitrary
+//! event index, recover from snapshot + tail replay, and let the *strict*
+//! simulator verify that every previously accepted task still meets its
+//! deadline — or was explicitly demoted to the defer queue with the
+//! demotion journaled. Strict mode panics on any violated guarantee, so a
+//! completing run is the proof.
+
+use rtdls_core::prelude::*;
+use rtdls_journal::prelude::*;
+use rtdls_service::prelude::*;
+use rtdls_sim::prelude::*;
+use rtdls_workload::prelude::*;
+
+type JG = JournaledGateway<ShardedGateway>;
+
+fn params() -> ClusterParams {
+    ClusterParams::paper_baseline()
+}
+
+fn bursty_tasks(seed: u64) -> Vec<Task> {
+    let mut spec = WorkloadSpec::paper_baseline(1.1);
+    spec.dc_ratio = 6.0;
+    spec.horizon = 50.0 * spec.mean_interarrival();
+    let profile = BurstProfile {
+        rate_factor: 3.0,
+        ..BurstProfile::moderate(&spec)
+    };
+    BurstyPoisson::new(spec, profile, seed).collect()
+}
+
+fn fresh_gateway(snapshot_every: usize) -> JG {
+    let gateway = ShardedGateway::new(
+        params(),
+        4,
+        AlgorithmKind::EDF_DLT,
+        PlanConfig::default(),
+        Routing::LeastLoaded,
+        DeferPolicy {
+            max_retries: 32,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    JournaledGateway::new(
+        gateway,
+        JournalConfig {
+            snapshot_every,
+            compact_on_snapshot: true,
+        },
+    )
+}
+
+/// Recovers from the dead gateway's journal bytes — the only artifact a
+/// real crash leaves behind — and asserts the demotion audit contract.
+fn recover_from_wal(dead: &JG, now: SimTime) -> JG {
+    let wal = dead.journal().bytes().to_vec();
+    let (recovered, report) =
+        recover::<ShardedGateway>(&wal, now, JournalConfig::default(), None).expect("recovery");
+    assert!(
+        report.tail.is_clean(),
+        "in-memory WAL has no torn tail: {:?}",
+        report.tail
+    );
+    // Every demotion must be journaled in the post-recovery log.
+    let (frames, _) = rtdls_journal::wire::decode_frames(recovered.journal().bytes());
+    let demoted_in_journal: Vec<u64> = frames
+        .iter()
+        .filter(|f| f.kind == rtdls_journal::wire::RecordKind::Event)
+        .filter_map(|f| {
+            let ev: JournalEvent =
+                serde_json::from_str(std::str::from_utf8(&f.payload).unwrap()).unwrap();
+            match ev {
+                JournalEvent::Demoted { task, .. } => Some(task),
+                _ => None,
+            }
+        })
+        .collect();
+    let demoted_ids: Vec<u64> = report.demoted.iter().map(|t| t.0).collect();
+    assert_eq!(demoted_in_journal, demoted_ids, "demotions journaled");
+    // Demotions re-enter the books as deferral or rejection, never vanish:
+    // accepted + rejected + still-parked == submitted, at any instant.
+    let m = recovered.metrics();
+    assert_eq!(m.demoted, report.demoted.len() as u64);
+    let parked = m.deferred - (m.rescued + m.defer_evicted + m.defer_expired + m.defer_flushed);
+    assert_eq!(parked as usize, recovered.deferred().len());
+    assert_eq!(
+        m.accepted_total() + m.rejected_total() + parked,
+        m.submitted,
+        "books balance at recovery"
+    );
+    recovered
+}
+
+#[test]
+fn kill_and_recover_at_many_event_indices_keeps_all_guarantees() {
+    // Strict mode panics on any deadline miss or estimate overrun — for
+    // tasks admitted before *or* after the crash — so every kill index that
+    // completes is itself the acceptance proof.
+    for kill_at in [3u64, 10, 40, 90, 200] {
+        let cfg = SimConfig::new(params(), AlgorithmKind::EDF_DLT).strict();
+        let (report, recovered, crashed) = run_with_crash(
+            cfg,
+            fresh_gateway(16),
+            bursty_tasks(7),
+            CrashPlan::at_event(kill_at),
+            recover_from_wal,
+        );
+        assert_eq!(report.metrics.deadline_misses, 0, "kill_at={kill_at}");
+        assert_eq!(report.metrics.estimate_overruns, 0, "kill_at={kill_at}");
+        if crashed {
+            // The recovered gateway carried its cumulative metrics across
+            // the crash: it has seen every arrival the engine delivered.
+            assert_eq!(
+                recovered.metrics().submitted,
+                report.metrics.arrivals,
+                "kill_at={kill_at}: metrics survived the crash"
+            );
+        }
+    }
+}
+
+#[test]
+fn outage_long_enough_to_defeat_a_plan_demotes_it_explicitly() {
+    // Build a gateway whose waiting queue holds a feasible-but-snug plan,
+    // crash it, and recover after an outage long enough that the plan can
+    // no longer meet its deadline. Recovery must demote the task (journaled)
+    // instead of pretending the guarantee still holds.
+    let p = params();
+    let e16_800 = rtdls_core::dlt::homogeneous::exec_time(&p, 800.0, 16);
+    let e16_400 = rtdls_core::dlt::homogeneous::exec_time(&p, 400.0, 16);
+    let gateway = ShardedGateway::new(
+        p,
+        1,
+        AlgorithmKind::EDF_DLT,
+        PlanConfig::default(),
+        Routing::RoundRobin,
+        DeferPolicy::default(),
+    )
+    .unwrap();
+    let mut j = JournaledGateway::new(gateway, JournalConfig::default());
+
+    // A occupies the cluster until ≈ e16_800; dispatch commits it.
+    let a = Task::new(1, 0.0, 800.0, e16_800 * 10.0);
+    assert!(j.submit(a, SimTime::ZERO).is_accepted());
+    let dispatched = Frontend::take_due(&mut j, SimTime::ZERO);
+    assert_eq!(dispatched.len(), 1);
+    // B queues behind A with ~5% slack: feasible now, fragile to an outage.
+    let b = Task::new(2, 0.0, 400.0, e16_800 + e16_400 * 1.05);
+    assert!(j.submit(b, SimTime::ZERO).is_accepted());
+
+    let wal = j.journal().bytes().to_vec();
+    drop(j); // the crash
+
+    // Short outage: B still makes it — no demotion.
+    let recover_at = SimTime::new(e16_800 * 0.5);
+    let (ok, report) =
+        recover::<ShardedGateway>(&wal, recover_at, JournalConfig::default(), None).unwrap();
+    assert!(report.demoted.is_empty(), "{report:?}");
+    assert_eq!(ok.inner().shard_queue_lens(), vec![1]);
+
+    // Long outage: by the time the gateway is back, B's plan is hopeless.
+    let recover_at = SimTime::new(e16_800 + e16_400);
+    let (recovered, report) =
+        recover::<ShardedGateway>(&wal, recover_at, JournalConfig::default(), None).unwrap();
+    assert_eq!(report.demoted, vec![TaskId(2)], "{report:?}");
+    assert_eq!(recovered.inner().shard_queue_lens(), vec![0]);
+    assert_eq!(recovered.metrics().demoted, 1);
+    // B is past even an idle cluster's help at that instant: it resolved as
+    // a withdrawn guarantee (demote-rejection), not a parked ticket — and
+    // not a submission-time rejection.
+    assert!(recovered.deferred().is_empty());
+    assert_eq!(recovered.metrics().demote_rejected, 1);
+    assert_eq!(recovered.metrics().rejected_immediate, 0);
+    assert_eq!(recovered.metrics().rejected_total(), 1);
+    assert_eq!(recovered.metrics().accepted_total(), 1, "A keeps its book");
+    // And the demotion is in the new journal (checked via the audit path).
+    let (frames, _) = rtdls_journal::wire::decode_frames(recovered.journal().bytes());
+    let has_demoted = frames.iter().any(|f| {
+        f.kind == rtdls_journal::wire::RecordKind::Event
+            && serde_json::from_str::<JournalEvent>(std::str::from_utf8(&f.payload).unwrap())
+                .map(|e| matches!(e, JournalEvent::Demoted { task: 2, .. }))
+                .unwrap_or(false)
+    });
+    assert!(has_demoted, "demotion audit record present");
+}
+
+#[test]
+fn recovery_through_a_journal_file_survives_process_boundaries() {
+    // Phase 1 writes the WAL to disk; phase 2 recovers from the file alone
+    // (same process here, but nothing except the path crosses the "boundary").
+    let path =
+        std::env::temp_dir().join(format!("rtdls-crash-recovery-{}.wal", std::process::id()));
+    let tasks = bursty_tasks(99);
+    let crash_time;
+    {
+        let sink = FileSink::create(&path).unwrap();
+        let gateway = ShardedGateway::new(
+            params(),
+            2,
+            AlgorithmKind::EDF_DLT,
+            PlanConfig::default(),
+            Routing::LeastLoaded,
+            DeferPolicy::default(),
+        )
+        .unwrap();
+        let j = JournaledGateway::with_sink(
+            gateway,
+            JournalConfig {
+                snapshot_every: 32,
+                compact_on_snapshot: true,
+            },
+            Box::new(sink),
+        );
+        let cfg = SimConfig::new(params(), AlgorithmKind::EDF_DLT).strict();
+        let mut sim = Simulation::with_frontend(cfg, j);
+        sim.prime(tasks);
+        while sim.events_processed() < 60 && sim.step() {}
+        crash_time = sim.now();
+        // The process "dies": everything in memory is dropped.
+    }
+    let (recovered, report) =
+        recover_file::<ShardedGateway>(&path, crash_time, JournalConfig::default()).unwrap();
+    assert!(report.frames_decoded > 0);
+    assert!(recovered.metrics().submitted > 0);
+    // The file was compacted down to the post-recovery snapshot (+ audits).
+    let on_disk = FileSink::read(&path).unwrap();
+    assert_eq!(on_disk, recovered.journal().bytes());
+    let (frames, tail) = rtdls_journal::wire::decode_frames(&on_disk);
+    assert!(tail.is_clean());
+    assert_eq!(
+        frames
+            .iter()
+            .filter(|f| f.kind == rtdls_journal::wire::RecordKind::Snapshot)
+            .count(),
+        1
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -8,7 +8,9 @@
 
 use std::time::Instant;
 
-use rtdls_core::prelude::{AlgorithmKind, ClusterParams, Infeasible, SimTime, Task};
+use rtdls_core::prelude::{
+    AdmissionController, AlgorithmKind, ClusterParams, Infeasible, SimTime, Task,
+};
 
 use crate::defer::{latest_feasible_start, DeferOutcome, DeferTicket, DeferredQueue};
 use crate::gateway::GatewayDecision;
@@ -76,6 +78,56 @@ pub(crate) fn flush_all(
 ) {
     let flushed = defer.flush();
     apply_departures(flushed, metrics, resolutions);
+}
+
+/// Post-recovery re-verification of one controller's waiting queue: re-runs
+/// the strict Fig. 2 test (a replan) at `now`, and while it fails, removes
+/// the infeasible task and re-enters it through Defer-or-Reject — *demotion*.
+/// Every remaining plan afterwards carries the usual deadline guarantee.
+///
+/// Demotion is deliberately conservative: a replan failure can also stem
+/// from the FixedPoint `ñ_min` non-monotonicity (see the engine's `settle`),
+/// in which case the demoted task was arguably still servable under its old
+/// plan — but parking it in the defer queue never breaks a guarantee, and
+/// the very next re-test sweep can rescue it.
+///
+/// Returns the demoted tasks in demotion order.
+pub(crate) fn reverify_controller(
+    ctl: &mut AdmissionController,
+    defer: &mut DeferredQueue,
+    metrics: &mut ServiceMetrics,
+    widest_params: &ClusterParams,
+    algorithm: AlgorithmKind,
+    now: SimTime,
+) -> Vec<Task> {
+    let mut demoted = Vec::new();
+    while let Err(failure) = ctl.replan(now) {
+        let Some(task) = ctl.remove_waiting(failure.task) else {
+            // Defensive: an infeasibility blamed on a task we do not hold
+            // cannot be fixed by demotion; keep the admission-time plans.
+            break;
+        };
+        metrics.demoted += 1;
+        let decision = defer_or_reject(
+            defer,
+            metrics,
+            widest_params,
+            algorithm,
+            task,
+            now,
+            failure.reason,
+        );
+        if matches!(decision, GatewayDecision::Rejected(_)) {
+            // Defer-or-Reject books rejections under `rejected_immediate`
+            // (its submission-path meaning); a demotion past hope is a
+            // *withdrawn* guarantee, not a submission verdict — move it to
+            // its own counter so the two histories stay distinguishable.
+            metrics.rejected_immediate -= 1;
+            metrics.demote_rejected += 1;
+        }
+        demoted.push(task);
+    }
+    demoted
 }
 
 /// Stamps the wall-clock window and records `n_decisions` latency samples

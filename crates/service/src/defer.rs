@@ -20,10 +20,16 @@
 
 use std::collections::VecDeque;
 
+use serde::{Deserialize, Serialize};
+
 use rtdls_core::prelude::{AlgorithmKind, ClusterParams, Infeasible, SimTime, Task};
 
 /// Tunables for the defer queue.
-#[derive(Clone, Copy, Debug, PartialEq)]
+///
+/// The policy is part of the gateway's durable state: journals persist it in
+/// every snapshot so a recovered gateway sweeps its restored tickets under
+/// the *same* retry bound, capacity, and age limit it promised them under.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DeferPolicy {
     /// Re-test attempts before a ticket is evicted.
     pub max_retries: u32,
@@ -32,6 +38,11 @@ pub struct DeferPolicy {
     /// Re-tests per sweep (caps the per-event admission work; the sweep
     /// resumes from the oldest ticket next time, preserving age priority).
     pub retest_budget: usize,
+    /// Maximum simulated-time age of a ticket: a ticket parked for longer
+    /// than this expires on the next sweep even if its latest feasible start
+    /// has not passed. `None` (default) leaves the latest feasible start as
+    /// the only time bound.
+    pub max_age: Option<f64>,
 }
 
 impl Default for DeferPolicy {
@@ -40,12 +51,13 @@ impl Default for DeferPolicy {
             max_retries: 16,
             max_queue: 1024,
             retest_budget: usize::MAX,
+            max_age: None,
         }
     }
 }
 
 /// A parked near-miss task.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DeferTicket {
     /// Monotonic ticket id (issue order = age order).
     pub id: u64,
@@ -73,6 +85,20 @@ pub enum DeferOutcome {
     Evicted,
     /// The stream ended with the ticket still parked.
     Flushed,
+}
+
+/// The complete serializable state of a [`DeferredQueue`]: the policy it
+/// promised its tickets, the parked tickets in age order, and the id counter
+/// (so ticket ids stay unique across a crash/recovery boundary).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeferState {
+    /// The queue's tunables (journaled so recovery sweeps under the same
+    /// retry bound and age limit).
+    pub policy: DeferPolicy,
+    /// Next ticket id to issue.
+    pub next_id: u64,
+    /// Parked tickets, oldest first.
+    pub tickets: Vec<DeferTicket>,
 }
 
 /// The age-ordered, retry-bounded queue of deferred tasks.
@@ -152,8 +178,12 @@ impl DeferredQueue {
         let mut kept = VecDeque::new();
         let mut budget = self.policy.retest_budget;
         let mut retests = 0u64;
+        let aged_out = |t: &DeferTicket| match self.policy.max_age {
+            Some(age) => now.definitely_after(t.deferred_at + SimTime::new(age)),
+            None => false,
+        };
         while let Some(mut ticket) = self.tickets.pop_front() {
-            if now.definitely_after(ticket.latest_start) {
+            if now.definitely_after(ticket.latest_start) || aged_out(&ticket) {
                 // Expiry costs no budget: it is a clock check, not a test.
                 departed.push((ticket, DeferOutcome::Expired));
                 continue;
@@ -183,6 +213,33 @@ impl DeferredQueue {
         }
         self.tickets = kept;
         (departed, retests)
+    }
+
+    /// Snapshots the complete queue state for journaling.
+    pub fn state(&self) -> DeferState {
+        DeferState {
+            policy: self.policy,
+            next_id: self.next_id,
+            tickets: self.tickets.iter().cloned().collect(),
+        }
+    }
+
+    /// Rebuilds a queue from a journaled state (the inverse of
+    /// [`state`](DeferredQueue::state)): same policy, same tickets in age
+    /// order, and an id counter that never re-issues a live ticket's id.
+    pub fn from_state(state: DeferState) -> Self {
+        let next_id = state
+            .tickets
+            .iter()
+            .map(|t| t.id + 1)
+            .max()
+            .unwrap_or(0)
+            .max(state.next_id);
+        DeferredQueue {
+            tickets: state.tickets.into(),
+            next_id,
+            policy: state.policy,
+        }
     }
 
     /// Empties the queue (stream over), marking every ticket flushed.
@@ -361,6 +418,60 @@ mod tests {
         });
         // With budget 1, the oldest is retried first every sweep.
         assert_eq!(offered, vec![1, 1]);
+    }
+
+    #[test]
+    fn max_age_expires_old_tickets_before_their_latest_start() {
+        let policy = DeferPolicy {
+            max_age: Some(5.0),
+            ..Default::default()
+        };
+        let mut q = DeferredQueue::new(policy);
+        park(&mut q, 1, 1e6); // latest start far away; age is the binding limit
+        let (departed, retests) = q.sweep(SimTime::new(4.0), |_| false);
+        assert!(departed.is_empty(), "within age limit: keep sweeping");
+        assert_eq!(retests, 1);
+        let (departed, retests) = q.sweep(SimTime::new(6.0), |_| {
+            panic!("aged-out tickets must not be re-tested")
+        });
+        assert_eq!(retests, 0);
+        assert_eq!(departed.len(), 1);
+        assert_eq!(departed[0].1, DeferOutcome::Expired);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn state_round_trips_through_serde() {
+        let policy = DeferPolicy {
+            max_retries: 7,
+            max_queue: 33,
+            retest_budget: 5,
+            max_age: Some(1234.5),
+        };
+        let mut q = DeferredQueue::new(policy);
+        park(&mut q, 1, 5e5);
+        park(&mut q, 2, 6e5);
+        q.sweep(SimTime::new(1.0), |_| false); // give tickets some retries
+        let state = q.state();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: DeferState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+        let restored = DeferredQueue::from_state(back);
+        assert_eq!(restored.state(), state);
+        assert_eq!(restored.policy(), &policy);
+        let ids: Vec<u64> = restored.tickets().map(|t| t.id).collect();
+        assert_eq!(ids, vec![0, 1], "age order preserved");
+        // New tickets never collide with restored ids.
+        let mut restored = restored;
+        let new_id = restored
+            .push(
+                task(9, 1e6),
+                SimTime::ZERO,
+                SimTime::new(1e6),
+                Infeasible::NotEnoughNodes,
+            )
+            .unwrap();
+        assert_eq!(new_id, 2);
     }
 
     #[test]

@@ -96,6 +96,51 @@ impl Gateway {
         &self.defer
     }
 
+    /// Verdicts reached for deferred tasks but not yet drained by the engine
+    /// (`None` = accepted, `Some(cause)` = rejected). Part of the durable
+    /// state: a snapshot taken between a re-test sweep and the engine's
+    /// drain must not lose these.
+    pub fn pending_resolutions(&self) -> &[(Task, Option<Infeasible>)] {
+        &self.resolutions
+    }
+
+    /// Reassembles a gateway from journaled parts — the recovery-side
+    /// counterpart of [`controller`](Gateway::controller),
+    /// [`deferred`](Gateway::deferred), [`metrics`](Gateway::metrics), and
+    /// [`pending_resolutions`](Gateway::pending_resolutions).
+    pub fn from_parts(
+        ctl: AdmissionController,
+        defer: DeferredQueue,
+        metrics: ServiceMetrics,
+        resolutions: Vec<(Task, Option<Infeasible>)>,
+    ) -> Self {
+        Gateway {
+            ctl,
+            defer,
+            metrics,
+            resolutions,
+        }
+    }
+
+    /// Re-verifies every waiting plan against the strict admission test at
+    /// time `now`, demoting any no-longer-feasible task to the defer queue
+    /// (or rejecting it when even an idle cluster could not make its
+    /// deadline any more). Recovery runs this after a snapshot + tail-replay
+    /// restore; it is also safe to call at any quiescent point. Returns the
+    /// demoted tasks.
+    pub fn reverify(&mut self, now: SimTime) -> Vec<Task> {
+        let params = *self.ctl.params();
+        let algorithm = self.ctl.algorithm();
+        book::reverify_controller(
+            &mut self.ctl,
+            &mut self.defer,
+            &mut self.metrics,
+            &params,
+            algorithm,
+            now,
+        )
+    }
+
     /// Decides one streaming submission at time `now`.
     pub fn submit(&mut self, task: Task, now: SimTime) -> GatewayDecision {
         let start = Instant::now();

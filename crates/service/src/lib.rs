@@ -77,9 +77,9 @@ pub mod shard;
 /// One-stop imports for serving-layer users.
 pub mod prelude {
     pub use crate::defer::{
-        latest_feasible_start, DeferOutcome, DeferPolicy, DeferTicket, DeferredQueue,
+        latest_feasible_start, DeferOutcome, DeferPolicy, DeferState, DeferTicket, DeferredQueue,
     };
     pub use crate::gateway::{Gateway, GatewayDecision};
-    pub use crate::metrics::{LatencyHistogram, ServiceMetrics};
+    pub use crate::metrics::{LatencyHistogram, MetricsSnapshot, ServiceMetrics};
     pub use crate::shard::{Routing, ShardedGateway};
 }

@@ -1,15 +1,19 @@
 //! Gateway observability: decision counters, defer-queue accounting, and
-//! per-decision latency histograms.
+//! per-decision latency histograms — plus the serializable
+//! [`MetricsSnapshot`] a journal persists so a recovered gateway keeps its
+//! cumulative counters and histograms instead of resetting to zero.
 
 use std::fmt;
 use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
 
 /// A log₂-bucketed latency histogram over nanoseconds.
 ///
 /// Bucket `i` holds samples in `[2^i, 2^(i+1))` ns; quantiles are read off
 /// the bucket boundaries (≤ 2× resolution error, plenty for admission-path
 /// latencies that span orders of magnitude).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LatencyHistogram {
     buckets: [u64; 64],
     count: u64,
@@ -81,6 +85,44 @@ impl LatencyHistogram {
     }
 }
 
+// Hand-written serde: the in-repo derive stand-in has no fixed-size-array
+// support, so the 64 buckets travel as a sequence. Trailing zero buckets are
+// dropped on the way out to keep snapshots small.
+impl Serialize for LatencyHistogram {
+    fn to_value(&self) -> serde::Value {
+        let used = 64 - self.buckets.iter().rev().take_while(|&&b| b == 0).count();
+        serde::Value::Map(vec![
+            (
+                "buckets".to_string(),
+                self.buckets[..used].to_vec().to_value(),
+            ),
+            ("count".to_string(), self.count.to_value()),
+            (
+                "sum_ns".to_string(),
+                (self.sum_ns.min(u64::MAX as u128) as u64).to_value(),
+            ),
+            ("max_ns".to_string(), self.max_ns.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for LatencyHistogram {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let flat: Vec<u64> = serde::helpers::field(v, "buckets")?;
+        if flat.len() > 64 {
+            return Err(serde::Error::msg("histogram has more than 64 buckets"));
+        }
+        let mut buckets = [0u64; 64];
+        buckets[..flat.len()].copy_from_slice(&flat);
+        Ok(LatencyHistogram {
+            buckets,
+            count: serde::helpers::field(v, "count")?,
+            sum_ns: serde::helpers::field::<u64>(v, "sum_ns")? as u128,
+            max_ns: serde::helpers::field(v, "max_ns")?,
+        })
+    }
+}
+
 impl fmt::Display for LatencyHistogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -96,14 +138,13 @@ impl fmt::Display for LatencyHistogram {
     }
 }
 
-/// Aggregated gateway statistics.
-///
-/// Counters split decisions into their *initial* verdict (accepted /
-/// deferred / rejected at submission) and the *final* fate of deferred
-/// tasks (rescued / evicted after max retries / expired past the latest
-/// feasible start). `accepted_total()` is the final admitted count.
-#[derive(Clone, Debug, Default)]
-pub struct ServiceMetrics {
+/// The durable image of the gateway's cumulative counters and latency
+/// histogram — everything in [`ServiceMetrics`] except the process-local
+/// wall-clock window. Journals persist this inside gateway snapshots, and
+/// [`ServiceMetrics`] embeds it directly (reachable through `Deref`), so
+/// the two can never drift apart field-wise.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
     /// Tasks submitted (single and batched).
     pub submitted: u64,
     /// Accepted immediately at submission.
@@ -120,6 +161,17 @@ pub struct ServiceMetrics {
     pub defer_expired: u64,
     /// Deferred tasks flushed when the stream ended.
     pub defer_flushed: u64,
+    /// Previously accepted tasks pushed back out of the waiting queue by a
+    /// post-recovery re-verification (each re-enters as a deferral, or
+    /// counts under [`demote_rejected`](MetricsSnapshot::demote_rejected)
+    /// when past hope — the books stay balanced either way).
+    pub demoted: u64,
+    /// Demoted tasks that could not re-enter the defer queue (even an idle
+    /// cluster could no longer meet the deadline, or the queue was full):
+    /// withdrawn guarantees, counted in
+    /// [`rejected_total`](MetricsSnapshot::rejected_total) but kept apart
+    /// from submission-time rejections.
+    pub demote_rejected: u64,
     /// Re-test attempts performed across all defer-queue sweeps.
     pub retests: u64,
     /// `submit_batch` invocations.
@@ -128,33 +180,23 @@ pub struct ServiceMetrics {
     pub batch_tasks: u64,
     /// Wall-clock latency of each admission decision.
     pub decision_latency: LatencyHistogram,
-    first_decision: Option<Instant>,
-    last_decision: Option<Instant>,
 }
 
-impl ServiceMetrics {
-    /// Fresh, empty metrics.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Stamps the wall-clock window around one decision (or batch).
-    pub fn stamp_decision_window(&mut self, at: Instant) {
-        if self.first_decision.is_none() {
-            self.first_decision = Some(at);
-        }
-        self.last_decision = Some(at);
-    }
-
-    /// Final admitted count: immediate accepts plus rescued defers.
+impl MetricsSnapshot {
+    /// Final admitted count: immediate accepts plus rescued defers, minus
+    /// tasks a recovery re-verification demoted back out of the queue.
     pub fn accepted_total(&self) -> u64 {
-        self.accepted_immediate + self.rescued
+        (self.accepted_immediate + self.rescued).saturating_sub(self.demoted)
     }
 
-    /// Final rejected count: immediate rejects plus every way a deferred
-    /// task can fall out of the queue.
+    /// Final rejected count: submission-time rejects, every way a deferred
+    /// task can fall out of the queue, and recovery demotions past hope.
     pub fn rejected_total(&self) -> u64 {
-        self.rejected_immediate + self.defer_evicted + self.defer_expired + self.defer_flushed
+        self.rejected_immediate
+            + self.defer_evicted
+            + self.defer_expired
+            + self.defer_flushed
+            + self.demote_rejected
     }
 
     /// Fraction of deferred tasks eventually admitted (0 when none were
@@ -175,6 +217,49 @@ impl ServiceMetrics {
             self.accepted_total() as f64 / self.submitted as f64
         }
     }
+}
+
+/// Aggregated gateway statistics: the durable [`MetricsSnapshot`] counters
+/// (all reachable directly on this type through `Deref`) plus the
+/// process-local wall-clock decision window.
+///
+/// Counters split decisions into their *initial* verdict (accepted /
+/// deferred / rejected at submission) and the *final* fate of deferred
+/// tasks (rescued / evicted after max retries / expired past the latest
+/// feasible start). `accepted_total()` is the final admitted count.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceMetrics {
+    counters: MetricsSnapshot,
+    first_decision: Option<Instant>,
+    last_decision: Option<Instant>,
+}
+
+impl std::ops::Deref for ServiceMetrics {
+    type Target = MetricsSnapshot;
+    fn deref(&self) -> &MetricsSnapshot {
+        &self.counters
+    }
+}
+
+impl std::ops::DerefMut for ServiceMetrics {
+    fn deref_mut(&mut self) -> &mut MetricsSnapshot {
+        &mut self.counters
+    }
+}
+
+impl ServiceMetrics {
+    /// Fresh, empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stamps the wall-clock window around one decision (or batch).
+    pub fn stamp_decision_window(&mut self, at: Instant) {
+        if self.first_decision.is_none() {
+            self.first_decision = Some(at);
+        }
+        self.last_decision = Some(at);
+    }
 
     /// Admission decisions per wall-clock second over the observed window
     /// (0 with fewer than two decisions).
@@ -182,6 +267,28 @@ impl ServiceMetrics {
         match (self.first_decision, self.last_decision) {
             (Some(a), Some(b)) if b > a => self.submitted as f64 / (b - a).as_secs_f64(),
             _ => 0.0,
+        }
+    }
+
+    /// Serializable copy of every cumulative counter and histogram. The
+    /// wall-clock decision window ([`decisions_per_sec`]) is process-local
+    /// state (`Instant`s) and intentionally not captured — it restarts with
+    /// the process.
+    ///
+    /// [`decisions_per_sec`]: ServiceMetrics::decisions_per_sec
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.counters.clone()
+    }
+
+    /// Rebuilds metrics from a snapshot so a recovered gateway continues its
+    /// cumulative counters instead of resetting to zero. The inverse of
+    /// [`snapshot`](ServiceMetrics::snapshot) up to the (uncaptured)
+    /// wall-clock window.
+    pub fn restore(snap: &MetricsSnapshot) -> Self {
+        ServiceMetrics {
+            counters: snap.clone(),
+            first_decision: None,
+            last_decision: None,
         }
     }
 }
@@ -202,8 +309,15 @@ impl fmt::Display for ServiceMetrics {
         )?;
         writeln!(
             f,
-            "defer outcomes: rescued {} evicted {} expired {} flushed {} | retests {}",
-            self.rescued, self.defer_evicted, self.defer_expired, self.defer_flushed, self.retests,
+            "defer outcomes: rescued {} evicted {} expired {} flushed {} | retests {} | \
+             demoted {} ({} past hope)",
+            self.rescued,
+            self.defer_evicted,
+            self.defer_expired,
+            self.defer_flushed,
+            self.retests,
+            self.demoted,
+            self.demote_rejected,
         )?;
         if self.decisions_per_sec() > 0.0 {
             writeln!(
@@ -253,6 +367,53 @@ mod tests {
         assert_eq!(m.accepted_total() + m.rejected_total(), m.submitted);
         let text = m.to_string();
         assert!(text.contains("rescue rate"));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_counters_and_histogram() {
+        let mut m = ServiceMetrics::new();
+        m.submitted = 11;
+        m.accepted_immediate = 6;
+        m.deferred = 3;
+        m.rescued = 2;
+        m.defer_expired = 1;
+        m.demoted = 1;
+        m.retests = 40;
+        m.batch_calls = 2;
+        m.batch_tasks = 8;
+        for us in [3u64, 17, 210, 9000] {
+            m.decision_latency.record(Duration::from_micros(us));
+        }
+        m.stamp_decision_window(Instant::now());
+        let snap = m.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        let restored = ServiceMetrics::restore(&back);
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.accepted_total(), m.accepted_total());
+        assert_eq!(restored.rejected_total(), m.rejected_total());
+        assert_eq!(restored.decision_latency, m.decision_latency);
+        assert_eq!(
+            restored.decision_latency.quantile_ns(0.5),
+            m.decision_latency.quantile_ns(0.5)
+        );
+        // The wall-clock window is process-local and resets.
+        assert_eq!(restored.decisions_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn demotion_keeps_totals_balanced() {
+        let mut m = ServiceMetrics::new();
+        m.submitted = 2;
+        m.accepted_immediate = 2;
+        // One accepted task is demoted at recovery and re-enters deferred…
+        m.demoted = 1;
+        m.deferred = 1;
+        assert_eq!(m.accepted_total(), 1);
+        // …and later expires: the books close.
+        m.defer_expired = 1;
+        assert_eq!(m.accepted_total() + m.rejected_total(), m.submitted);
     }
 
     #[test]

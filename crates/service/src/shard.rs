@@ -25,10 +25,12 @@
 
 use std::time::Instant;
 
+use serde::{Deserialize, Serialize};
+
 use rtdls_core::error::ModelError;
 use rtdls_core::prelude::{
-    AdmissionController, AdmissionFailure, AlgorithmKind, ClusterParams, Infeasible, NodeId,
-    PlanConfig, SimTime, Task, TaskId, TaskPlan,
+    AdmissionController, AdmissionFailure, AlgorithmKind, ClusterParams, ControllerState,
+    Infeasible, NodeId, PlanConfig, SimTime, Task, TaskId, TaskPlan,
 };
 use rtdls_sim::frontend::{Frontend, SubmitOutcome};
 
@@ -38,7 +40,7 @@ use crate::gateway::GatewayDecision;
 use crate::metrics::ServiceMetrics;
 
 /// How submissions are routed across shards.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Routing {
     /// Cycle through shards; O(1) routing work.
     RoundRobin,
@@ -213,6 +215,11 @@ impl ShardedGateway {
         self.routing
     }
 
+    /// The algorithm every shard runs.
+    pub fn algorithm(&self) -> AlgorithmKind {
+        self.algorithm
+    }
+
     /// Gateway statistics so far.
     pub fn metrics(&self) -> &ServiceMetrics {
         &self.metrics
@@ -226,6 +233,113 @@ impl ShardedGateway {
     /// Waiting-queue lengths per shard (a load-balance diagnostic).
     pub fn shard_queue_lens(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.ctl.queue_len()).collect()
+    }
+
+    /// The round-robin routing cursor (part of the durable state: replaying
+    /// a journal must deal submissions to the same shards).
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Per-shard controller states, in shard order — the durable image of
+    /// the gateway book a journal snapshots.
+    pub fn shard_states(&self) -> Vec<ControllerState> {
+        self.shards.iter().map(|s| s.ctl.state()).collect()
+    }
+
+    /// Verdicts reached for deferred tasks but not yet drained by the
+    /// engine. See [`Gateway::pending_resolutions`].
+    ///
+    /// [`Gateway::pending_resolutions`]: crate::gateway::Gateway::pending_resolutions
+    pub fn pending_resolutions(&self) -> &[(Task, Option<Infeasible>)] {
+        &self.resolutions
+    }
+
+    /// Reassembles a sharded gateway from journaled parts. Shard offsets are
+    /// re-derived from the shard sizes in order; errors when the shard
+    /// node counts do not tile `params.num_nodes` or a shard's unit costs
+    /// disagree with the cluster's.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        params: ClusterParams,
+        algorithm: AlgorithmKind,
+        routing: Routing,
+        cursor: usize,
+        shard_states: Vec<ControllerState>,
+        defer: DeferredQueue,
+        metrics: ServiceMetrics,
+        resolutions: Vec<(Task, Option<Infeasible>)>,
+    ) -> Result<Self, ModelError> {
+        if shard_states.is_empty() {
+            return Err(ModelError::InvalidParams("at least one shard state"));
+        }
+        let mut shards = Vec::with_capacity(shard_states.len());
+        let mut offset = 0;
+        for state in shard_states {
+            let shard_params = state.params;
+            if shard_params.cms != params.cms || shard_params.cps != params.cps {
+                return Err(ModelError::InvalidParams(
+                    "shard unit costs disagree with the cluster's",
+                ));
+            }
+            shards.push(Shard {
+                ctl: AdmissionController::from_state(state)?,
+                offset,
+            });
+            offset += shard_params.num_nodes;
+        }
+        if offset != params.num_nodes {
+            return Err(ModelError::InvalidParams(
+                "shard sizes do not tile the cluster's node count",
+            ));
+        }
+        if cursor >= shards.len() {
+            // The live gateway keeps its cursor strictly below the shard
+            // count; anything else is a corrupted or version-skewed image.
+            return Err(ModelError::InvalidParams(
+                "routing cursor outside the shard range",
+            ));
+        }
+        Ok(ShardedGateway {
+            params,
+            algorithm,
+            shards,
+            routing,
+            cursor,
+            defer,
+            metrics,
+            resolutions,
+        })
+    }
+
+    /// Re-verifies every shard's waiting plans against the strict admission
+    /// test at time `now`, demoting any no-longer-feasible task to the
+    /// shared defer queue. See [`Gateway::reverify`]; returns all demoted
+    /// tasks across shards.
+    ///
+    /// [`Gateway::reverify`]: crate::gateway::Gateway::reverify
+    pub fn reverify(&mut self, now: SimTime) -> Vec<Task> {
+        let widest = self
+            .shards
+            .iter()
+            .map(|s| s.len())
+            .max()
+            .expect("at least one shard");
+        let widest_params = ClusterParams::new(widest, self.params.cms, self.params.cps)
+            .expect("valid by construction");
+        let algorithm = self.algorithm;
+        let mut demoted = Vec::new();
+        for shard in &mut self.shards {
+            demoted.extend(book::reverify_controller(
+                &mut shard.ctl,
+                &mut self.defer,
+                &mut self.metrics,
+                &widest_params,
+                algorithm,
+                now,
+            ));
+        }
+        demoted
     }
 
     /// Decides one streaming submission at time `now`.

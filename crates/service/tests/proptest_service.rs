@@ -20,13 +20,16 @@ use rtdls_sim::prelude::*;
 use rtdls_workload::prelude::*;
 
 fn defer_policy() -> impl Strategy<Value = DeferPolicy> {
-    (1u32..6, 1usize..40, 1usize..50).prop_map(|(max_retries, max_queue, retest_budget)| {
-        DeferPolicy {
+    (1u32..6, 1usize..40, 1usize..50, 0u64..3).prop_map(
+        |(max_retries, max_queue, retest_budget, age)| DeferPolicy {
             max_retries,
             max_queue,
             retest_budget,
-        }
-    })
+            // 0 = unbounded age; otherwise an age small enough that the
+            // liveness sweeps below actually cross it.
+            max_age: (age > 0).then_some(age as f64 * 7.0),
+        },
+    )
 }
 
 proptest! {
@@ -91,8 +94,16 @@ proptest! {
                         prop_assert_eq!(ticket.retries, policy.max_retries)
                     }
                     DeferOutcome::Rescued => {}
-                    DeferOutcome::Expired | DeferOutcome::Flushed => {
-                        prop_assert!(false, "no expiry/flush in this setup")
+                    DeferOutcome::Expired => {
+                        // The latest feasible start (1e9) never passes in
+                        // these sweeps; only the age bound can expire.
+                        prop_assert!(
+                            policy.max_age.is_some(),
+                            "expiry without an age bound"
+                        )
+                    }
+                    DeferOutcome::Flushed => {
+                        prop_assert!(false, "no flush in this setup")
                     }
                 }
             }

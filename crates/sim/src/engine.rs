@@ -56,6 +56,8 @@ pub struct Simulation<F: Frontend = AdmissionController> {
     ctl: F,
     events: EventQueue,
     now: SimTime,
+    /// Events processed so far (the fault-injection "kill index" clock).
+    events_processed: u64,
     /// Plan-generation stamp; bumped whenever plans may have changed so that
     /// previously scheduled dispatch-due events are recognized as stale.
     generation: u64,
@@ -98,6 +100,7 @@ impl<F: Frontend> Simulation<F> {
             ctl: frontend,
             events: EventQueue::new(),
             now: SimTime::ZERO,
+            events_processed: 0,
             generation: 0,
             node_free_actual: vec![SimTime::ZERO; n],
             node_last_task: vec![None; n],
@@ -124,28 +127,55 @@ impl<F: Frontend> Simulation<F> {
         mut self,
         tasks: impl IntoIterator<Item = Task>,
     ) -> (SimReport, F) {
+        self.prime(tasks);
+        while self.step() {}
+        self.finish()
+    }
+
+    /// Enqueues a workload's arrival events without running anything —
+    /// the setup half of the stepped API ([`step`] / [`finish`]) that
+    /// fault-injection harnesses use to pause a run mid-stream.
+    ///
+    /// [`step`]: Simulation::step
+    /// [`finish`]: Simulation::finish
+    pub fn prime(&mut self, tasks: impl IntoIterator<Item = Task>) {
         let mut tasks: Vec<Task> = tasks.into_iter().collect();
         tasks.sort_by_key(|t| (t.arrival, t.id));
         for t in tasks {
             self.events.push(t.arrival, Event::Arrival(t));
         }
-        while let Some((time, event)) = self.events.pop() {
-            debug_assert!(
-                time >= self.now,
-                "time went backwards: {time:?} < {:?}",
-                self.now
-            );
-            self.now = time;
-            match event {
-                Event::Arrival(task) => self.handle_arrival(task),
-                Event::NodeRelease { node, task } => self.handle_release(node, task),
-                Event::DispatchDue { generation } => {
-                    if generation == self.generation {
-                        self.settle(false);
-                    }
+    }
+
+    /// Processes the next pending event. Returns `false` once the event
+    /// queue has drained (call [`finish`](Simulation::finish) then).
+    pub fn step(&mut self) -> bool {
+        let Some((time, event)) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(
+            time >= self.now,
+            "time went backwards: {time:?} < {:?}",
+            self.now
+        );
+        self.now = time;
+        self.events_processed += 1;
+        match event {
+            Event::Arrival(task) => self.handle_arrival(task),
+            Event::NodeRelease { node, task } => self.handle_release(node, task),
+            Event::DispatchDue { generation } => {
+                if generation == self.generation {
+                    self.settle(false);
                 }
             }
         }
+        true
+    }
+
+    /// Closes the books after the event queue has drained: finalizes the
+    /// frontend (every still-deferred task resolves) and produces the
+    /// report. Must only be called once [`step`](Simulation::step) has
+    /// returned `false`.
+    pub fn finish(mut self) -> (SimReport, F) {
         // No more capacity will ever free up: every still-deferred task must
         // resolve now so the books close.
         self.ctl.finalize(self.now);
@@ -160,6 +190,52 @@ impl<F: Frontend> Simulation<F> {
             },
             self.ctl,
         )
+    }
+
+    /// The simulation clock (the time of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far (arrivals, releases, dispatch-due).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The admission frontend being driven.
+    pub fn frontend(&self) -> &F {
+        &self.ctl
+    }
+
+    /// Mutable access to the admission frontend (e.g. to read-and-reset its
+    /// accounting mid-run).
+    pub fn frontend_mut(&mut self) -> &mut F {
+        &mut self.ctl
+    }
+
+    /// Swaps in a replacement frontend mid-run and returns the old one — the
+    /// restart half of a crash/recovery fault injection. The engine keeps
+    /// its own cluster bookkeeping (running tasks, node completions, pending
+    /// release events): the modeled worker nodes survive a head-node crash.
+    /// Pending dispatch-due events for the old frontend are invalidated and
+    /// the next dispatch is re-armed from the replacement's queue.
+    ///
+    /// Note on accounting: admission metrics the engine already recorded for
+    /// the old frontend are not rewritten, so engine-side accept/reject
+    /// counts straddling a swap are approximate; the guarantee checks
+    /// (deadline misses, Theorem 4 overruns) remain exact.
+    pub fn replace_frontend(&mut self, replacement: F) -> F {
+        let old = std::mem::replace(&mut self.ctl, replacement);
+        self.generation += 1;
+        if let Some(t) = self.ctl.next_dispatch_due() {
+            self.events.push(
+                t.max(self.now),
+                Event::DispatchDue {
+                    generation: self.generation,
+                },
+            );
+        }
+        old
     }
 
     fn handle_arrival(&mut self, task: Task) {

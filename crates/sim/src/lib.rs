@@ -34,6 +34,7 @@
 pub mod config;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod frontend;
 pub mod metrics;
 pub mod trace;
@@ -42,6 +43,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::config::{LinkModel, ReplanPolicy, SimConfig};
     pub use crate::engine::{run_simulation, SimReport, Simulation};
+    pub use crate::fault::{run_with_crash, CrashPlan};
     pub use crate::frontend::{Frontend, SubmitOutcome};
     pub use crate::metrics::Metrics;
     pub use crate::trace::{ChunkRecord, TaskRecord, Trace};
