@@ -1,18 +1,13 @@
-//! The schedulability test and admission controller (Fig. 2 of the paper).
+//! The reference (full-replan) admission engine.
 //!
-//! On each task arrival the scheduler decides, *online*, whether the new task
-//! can be admitted without compromising any previously admitted task. The
-//! test rebuilds a tentative schedule ("TempSchedule") for the waiting queue
-//! plus the newcomer: tasks are taken in policy order, each is planned by the
-//! configured strategy against the evolving node-release vector, and any
-//! estimated deadline miss fails the whole test — the newcomer is rejected
-//! and the previously feasible plans are kept.
-//!
-//! Rejection here corresponds to the paper's deadline renegotiation footnote:
-//! the cluster proxy would bounce the job back to the client with modified
-//! parameters; from the scheduler's perspective the task simply leaves.
+//! [`AdmissionController`] is a literal implementation of the paper's Fig. 2
+//! test: every arrival rebuilds the whole temp schedule over
+//! `waiting ∪ {candidate}`. It is the semantic baseline the incremental
+//! engine ([`super::IncrementalController`]) is differentially tested
+//! against, and remains the right choice for shallow queues where a full
+//! pass is cheap anyway.
 
-use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 use crate::algorithm::AlgorithmKind;
 use crate::error::Infeasible;
@@ -21,151 +16,7 @@ use crate::strategy::{plan_task, NodeAvailability, PlanConfig, TaskPlan};
 use crate::task::{Task, TaskId};
 use crate::time::SimTime;
 
-/// Why (and for which task) a schedulability test failed.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
-pub struct AdmissionFailure {
-    /// The first task in policy order that could not be feasibly planned.
-    pub task: TaskId,
-    /// The planning-level reason.
-    pub reason: Infeasible,
-}
-
-impl core::fmt::Display for AdmissionFailure {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "task {:?} infeasible: {}", self.task, self.reason)
-    }
-}
-
-impl std::error::Error for AdmissionFailure {}
-
-// `Infeasible` is re-serialized through AdmissionFailure in results output.
-impl Serialize for Infeasible {
-    fn to_value(&self) -> serde::Value {
-        serde::Value::Str(self.to_string())
-    }
-}
-
-impl Deserialize for Infeasible {
-    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
-        // Round-trip by display string; unknown strings map to the generic
-        // rejection cause. Only used for result-file ingestion.
-        let s = String::from_value(v)?;
-        Ok(match s.as_str() {
-            "deadline passes before any node is available" => Infeasible::DeadlineBeforeStart,
-            "not enough time to transmit the input data" => Infeasible::NoTimeForTransmission,
-            "no node count within the cluster meets the deadline" => Infeasible::NotEnoughNodes,
-            "user-split node request cannot meet the deadline" => Infeasible::UserRequestInfeasible,
-            _ => Infeasible::CompletionAfterDeadline,
-        })
-    }
-}
-
-/// Runs the Fig. 2 schedulability test.
-///
-/// * `now` — the planning instant (the newcomer's arrival, or the current
-///   event time for a replanning pass).
-/// * `committed_releases` — per-node release times of *dispatched* work only
-///   (index = node id); waiting tasks are replanned from scratch.
-/// * `waiting` — currently admitted but undispatched tasks, any order.
-/// * `candidate` — the newly arrived task, or `None` for a replanning pass.
-///
-/// On success returns the feasible plans in policy (execution) order.
-///
-/// ```
-/// use rtdls_core::prelude::*;
-///
-/// let params = ClusterParams::paper_baseline();
-/// let idle = vec![SimTime::ZERO; params.num_nodes];
-/// let task = Task::new(1, 0.0, 200.0, 30_000.0);
-/// let plans = schedulability_test(
-///     &params,
-///     AlgorithmKind::EDF_DLT,
-///     &PlanConfig::default(),
-///     SimTime::ZERO,
-///     &idle,
-///     &[],          // empty waiting queue
-///     Some(&task),
-/// )
-/// .unwrap();
-/// assert_eq!(plans.len(), 1);
-/// assert!(!plans[0].est_completion.definitely_after(task.absolute_deadline()));
-/// ```
-pub fn schedulability_test(
-    params: &ClusterParams,
-    algorithm: AlgorithmKind,
-    cfg: &PlanConfig,
-    now: SimTime,
-    committed_releases: &[SimTime],
-    waiting: &[Task],
-    candidate: Option<&Task>,
-) -> Result<Vec<TaskPlan>, AdmissionFailure> {
-    debug_assert_eq!(committed_releases.len(), params.num_nodes);
-    let mut tasks: Vec<Task> = Vec::with_capacity(waiting.len() + 1);
-    tasks.extend_from_slice(waiting);
-    if let Some(t) = candidate {
-        tasks.push(*t);
-    }
-    algorithm.policy.sort(&mut tasks);
-
-    let mut releases = committed_releases.to_vec();
-    let mut plans = Vec::with_capacity(tasks.len());
-    for task in &tasks {
-        let avail = NodeAvailability::new(&releases, now);
-        let plan = plan_task(algorithm.strategy, task, &avail, params, cfg).map_err(|reason| {
-            AdmissionFailure {
-                task: task.id,
-                reason,
-            }
-        })?;
-        debug_assert!(
-            !plan
-                .est_completion
-                .definitely_after(task.absolute_deadline()),
-            "strategy returned a plan missing its deadline"
-        );
-        for (node, &rel) in plan.nodes.iter().zip(&plan.node_release_estimates) {
-            releases[node.index()] = rel;
-        }
-        plans.push(plan);
-    }
-    Ok(plans)
-}
-
-/// The outcome of submitting a task to the [`AdmissionController`].
-#[derive(Clone, Debug, PartialEq)]
-pub enum Decision {
-    /// Admitted; the waiting queue was replanned and remains feasible.
-    Accepted,
-    /// Rejected; previously admitted tasks keep their plans.
-    Rejected(Infeasible),
-}
-
-impl Decision {
-    /// `true` if the task was admitted.
-    pub fn is_accepted(&self) -> bool {
-        matches!(self, Decision::Accepted)
-    }
-}
-
-/// The complete serializable state of an [`AdmissionController`] — the
-/// durable "book" a persistence layer journals and a recovery path restores.
-///
-/// Round-trips through the in-repo serde stand-ins
-/// (`AdmissionController::state()` / `AdmissionController::from_state()`);
-/// equality of two states is equality of the controllers they rebuild.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct ControllerState {
-    /// Cluster shape the controller plans against.
-    pub params: ClusterParams,
-    /// Scheduling policy × partitioning strategy.
-    pub algorithm: AlgorithmKind,
-    /// Planning knobs (release bookkeeping, node-count selection).
-    pub cfg: PlanConfig,
-    /// Committed per-node release times (index = node id).
-    pub releases: Vec<SimTime>,
-    /// Waiting tasks with their current plans, in execution order.
-    pub queue: Vec<(Task, TaskPlan)>,
-}
+use super::{schedulability_test, Admission, AdmissionFailure, ControllerState, Decision};
 
 /// Stateful admission layer: the head node's view of the waiting queue, the
 /// committed node releases, and the current feasible plans.
@@ -309,6 +160,12 @@ impl AdmissionController {
     ///   single linear sweep and exactly equivalent to sequential
     ///   policy-order submission.
     ///
+    /// The pass works entirely on scratch state: the committed release
+    /// vector and the installed plans are only replaced after the whole
+    /// batch has settled, so a mid-batch rejection (or wholesale failure)
+    /// can never leave a rejected member's tentative dispatch visible in
+    /// [`committed_releases`](AdmissionController::committed_releases).
+    ///
     /// If the waiting queue *by itself* cannot be replanned at `now` (the
     /// same non-monotonicity that can make [`replan`] fail), the whole
     /// batch is rejected and the existing plans are kept — matching what
@@ -319,8 +176,6 @@ impl AdmissionController {
     /// [`submit`]: AdmissionController::submit
     /// [`replan`]: AdmissionController::replan
     pub fn submit_batch(&mut self, batch: &[Task], now: SimTime) -> Vec<Decision> {
-        use std::collections::HashSet;
-
         if batch.is_empty() {
             return Vec::new();
         }
@@ -448,22 +303,10 @@ impl AdmissionController {
         decisions.into_iter().map(|d| d.expect("decided")).collect()
     }
 
-    /// The committed work outstanding at `now`, in node-time units: the sum
-    /// over nodes of how far past `now` their committed releases reach, plus
-    /// the transmission+compute demand of the waiting queue. Service-layer
-    /// routers use this as a cheap least-loaded signal.
+    /// The committed work outstanding at `now`, in node-time units. See
+    /// [`Admission::backlog`].
     pub fn backlog(&self, now: SimTime) -> f64 {
-        let committed: f64 = self
-            .releases
-            .iter()
-            .map(|r| (r.as_f64() - now.as_f64()).max(0.0))
-            .sum();
-        let waiting: f64 = self
-            .queue
-            .iter()
-            .map(|(t, _)| t.data_size * (self.params.cms + self.params.cps))
-            .sum();
-        committed + waiting
+        Admission::backlog(self, now)
     }
 
     /// Re-plans the waiting queue against the current committed releases
@@ -575,35 +418,7 @@ impl AdmissionController {
     /// compares equal to `c` in every observable way. Errors when the
     /// release vector does not match the cluster shape.
     pub fn from_state(state: ControllerState) -> Result<Self, crate::error::ModelError> {
-        if state.releases.len() != state.params.num_nodes {
-            return Err(crate::error::ModelError::InvalidParams(
-                "release vector length must equal num_nodes",
-            ));
-        }
-        for (task, plan) in &state.queue {
-            if plan.task != task.id {
-                return Err(crate::error::ModelError::InvalidParams(
-                    "queued plan does not belong to its task",
-                ));
-            }
-            if plan
-                .nodes
-                .iter()
-                .any(|n| n.index() >= state.params.num_nodes)
-            {
-                return Err(crate::error::ModelError::InvalidParams(
-                    "queued plan references a node outside the cluster",
-                ));
-            }
-            if plan.nodes.len() != plan.node_release_estimates.len()
-                || plan.nodes.len() != plan.start_times.len()
-                || plan.nodes.len() != plan.fractions.len()
-            {
-                return Err(crate::error::ModelError::InvalidParams(
-                    "queued plan has inconsistent chunk vectors",
-                ));
-            }
-        }
+        state.validate()?;
         Ok(AdmissionController {
             params: state.params,
             algorithm: state.algorithm,
@@ -611,6 +426,70 @@ impl AdmissionController {
             releases: state.releases,
             queue: state.queue,
         })
+    }
+}
+
+impl Admission for AdmissionController {
+    const NAME: &'static str = "full";
+
+    fn new(params: ClusterParams, algorithm: AlgorithmKind, cfg: PlanConfig) -> Self {
+        AdmissionController::new(params, algorithm, cfg)
+    }
+
+    fn params(&self) -> &ClusterParams {
+        AdmissionController::params(self)
+    }
+
+    fn algorithm(&self) -> AlgorithmKind {
+        AdmissionController::algorithm(self)
+    }
+
+    fn config(&self) -> &PlanConfig {
+        AdmissionController::config(self)
+    }
+
+    fn committed_releases(&self) -> &[SimTime] {
+        AdmissionController::committed_releases(self)
+    }
+
+    fn queue(&self) -> &[(Task, TaskPlan)] {
+        AdmissionController::queue(self)
+    }
+
+    fn submit(&mut self, task: Task, now: SimTime) -> Decision {
+        AdmissionController::submit(self, task, now)
+    }
+
+    fn probe_plan(&self, task: &Task, now: SimTime) -> Result<TaskPlan, AdmissionFailure> {
+        AdmissionController::probe_plan(self, task, now)
+    }
+
+    fn submit_batch(&mut self, batch: &[Task], now: SimTime) -> Vec<Decision> {
+        AdmissionController::submit_batch(self, batch, now)
+    }
+
+    fn replan(&mut self, now: SimTime) -> Result<(), AdmissionFailure> {
+        AdmissionController::replan(self, now)
+    }
+
+    fn take_due(&mut self, now: SimTime) -> Vec<(Task, TaskPlan)> {
+        AdmissionController::take_due(self, now)
+    }
+
+    fn set_node_release(&mut self, node: usize, time: SimTime) {
+        AdmissionController::set_node_release(self, node, time)
+    }
+
+    fn remove_waiting(&mut self, id: TaskId) -> Option<Task> {
+        AdmissionController::remove_waiting(self, id)
+    }
+
+    fn state(&self) -> ControllerState {
+        AdmissionController::state(self)
+    }
+
+    fn from_state(state: ControllerState) -> Result<Self, crate::error::ModelError> {
+        AdmissionController::from_state(state)
     }
 }
 
@@ -833,6 +712,52 @@ mod tests {
     }
 
     #[test]
+    fn mid_batch_rejection_leaves_committed_releases_untouched() {
+        // Regression guard for the checkpoint-rewind path: a batch with a
+        // member rejected at an index k < len-1 (here the first member,
+        // evicted by the rollback when the waiting task loses feasibility)
+        // must not leak that member's tentative release updates into the
+        // committed vector — committed releases only ever reflect real
+        // dispatches.
+        let p = params();
+        let e8 = homogeneous::exec_time(&p, 400.0, 8);
+        let e16 = homogeneous::exec_time(&p, 400.0, 16);
+        let mut c = ctl(AlgorithmKind::EDF_DLT);
+        // Commit real work first: a small dispatched task occupies nodes.
+        assert!(c
+            .submit(task(10, 0.0, 50.0, 1e6), SimTime::ZERO)
+            .is_accepted());
+        let _ = c.take_due(SimTime::ZERO);
+        let committed_before = c.committed_releases().to_vec();
+        // A snug waiting task, then a batch whose first member starves it
+        // (rejected via rollback at index 0 of 2) while the second fits.
+        let w = task(1, 0.0, 400.0, e8 * 1.05 + committed_before[0].as_f64());
+        let _ = c.submit(w, SimTime::ZERO);
+        let queue_before = c.queue_len();
+        let m1 = task(2, 0.0, 400.0, e16 * 1.05);
+        let m2 = task(3, 0.0, 10.0, e8 + 10_000.0);
+        let decisions = c.submit_batch(&[m1, m2], SimTime::ZERO);
+        assert!(
+            decisions.iter().any(|d| !d.is_accepted()),
+            "scenario must reject at least one mid-batch member: {decisions:?}"
+        );
+        assert!(c.queue_len() >= queue_before, "waiting tasks survive");
+        assert_eq!(
+            c.committed_releases(),
+            committed_before.as_slice(),
+            "a rejected batch member's tentative dispatch leaked into \
+             committed releases"
+        );
+        // Wholesale-failure path too: an un-replannable queue rejects the
+        // whole batch without touching the committed vector.
+        let late = SimTime::new(1e8);
+        let ds = c.submit_batch(&[task(4, late.as_f64(), 50.0, 1e9)], late);
+        if ds.iter().any(|d| !d.is_accepted()) {
+            assert_eq!(c.committed_releases(), committed_before.as_slice());
+        }
+    }
+
+    #[test]
     fn probe_matches_submit_without_mutation() {
         let mut c = ctl(AlgorithmKind::EDF_DLT);
         let t1 = task(1, 0.0, 200.0, 30_000.0);
@@ -938,35 +863,5 @@ mod tests {
         // The survivor replans fine (it only gained room).
         c.replan(SimTime::ZERO).unwrap();
         assert_eq!(c.queue_len(), 1);
-    }
-
-    #[test]
-    fn schedulability_test_is_pure() {
-        // Direct use of the free function: same inputs, same outputs, no
-        // hidden state.
-        let p = params();
-        let releases = vec![SimTime::ZERO; 16];
-        let t = task(1, 0.0, 200.0, 30_000.0);
-        let a = schedulability_test(
-            &p,
-            AlgorithmKind::EDF_DLT,
-            &PlanConfig::default(),
-            SimTime::ZERO,
-            &releases,
-            &[],
-            Some(&t),
-        )
-        .unwrap();
-        let b = schedulability_test(
-            &p,
-            AlgorithmKind::EDF_DLT,
-            &PlanConfig::default(),
-            SimTime::ZERO,
-            &releases,
-            &[],
-            Some(&t),
-        )
-        .unwrap();
-        assert_eq!(a, b);
     }
 }

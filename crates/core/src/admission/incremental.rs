@@ -1,0 +1,967 @@
+//! The incremental (diff-based) admission engine.
+//!
+//! [`AdmissionController`](super::AdmissionController) re-plans the whole
+//! waiting queue on every arrival — `O(queue)` planning calls per event,
+//! the dominant cost in the admission benches at gateway scale. This module
+//! implements the ROADMAP's *incremental temp-schedule maintenance*: the
+//! engine keeps, for every waiting task, the exact planning inputs its
+//! current plan was derived from, and on each event re-plans only the tasks
+//! whose inputs actually changed.
+//!
+//! ## The reuse invariant
+//!
+//! A queued plan was produced by `plan_task(strategy, task, avail, params,
+//! cfg)` where `avail` is fully determined by the release vector `R` the
+//! temp-schedule walk had built up to that task's policy position, clamped
+//! at the planning instant `t₀`: the availability entries are
+//! `max(R[j], t₀)`. `plan_task` is a pure function, so the cached plan is
+//! *exactly* what a fresh full replan at `now` would produce whenever
+//!
+//! ```text
+//! ∀ j:  max(observed[j], t₀) == max(R'[j], now)
+//! ```
+//!
+//! where `observed` is the release vector the cached plan saw and `R'` is
+//! the vector the current walk has built. (Under
+//! [`NodeCountPolicy::OneShot`] the planning instant additionally enters
+//! the node-count bound directly, so reuse there also requires `t₀ ==
+//! now`.) The walk applies each reused plan's release updates and keeps
+//! going; the first position where the gate fails is re-planned — which is
+//! the *fallback to a full replan* for that task and, transitively, for any
+//! successor whose inputs its new plan perturbs.
+//!
+//! In the steady gateway regime — deep queue, every node committed into the
+//! future, newcomers inserting near the back of the EDF order — the gate
+//! holds for the whole prefix and a submission costs **one** planning call
+//! instead of `queue + 1`. Whenever history shifts under the queue (an
+//! early node release via `set_node_release`, a dispatch that commits
+//! different nodes, a recovery restore with a cold cache), the gate fails
+//! and the engine transparently degrades to the reference full replan.
+//!
+//! Because reuse is gated on provable input equality, the engine is
+//! decision-, plan-, and state-identical to the reference controller; the
+//! differential oracle suite (`tests/differential_admission.rs`) replays
+//! randomized scenarios through both engines and asserts exact equality
+//! after every operation.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::algorithm::AlgorithmKind;
+use crate::params::ClusterParams;
+use crate::strategy::{plan_task, NodeAvailability, NodeCountPolicy, PlanConfig, TaskPlan};
+use crate::task::{Task, TaskId};
+use crate::time::SimTime;
+
+use super::{Admission, AdmissionFailure, ControllerState, Decision};
+
+/// The cached planning inputs that make a queued plan provably reusable.
+#[derive(Clone, Debug, PartialEq)]
+struct PlanMeta {
+    /// The planning instant the cached plan was computed at.
+    planned_at: SimTime,
+    /// The (pre-clamp) release vector the planning walk had built when this
+    /// task was planned; length = `num_nodes`.
+    observed: Vec<SimTime>,
+}
+
+/// Reuse counters: how often the diff path avoided a planning call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Queue positions whose cached plan was reused verbatim.
+    pub plans_reused: u64,
+    /// Queue positions (or candidates) that went through `plan_task`.
+    pub plans_computed: u64,
+}
+
+impl IncrementalStats {
+    /// Fraction of positions served from the cache (0 when nothing ran).
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.plans_reused + self.plans_computed;
+        if total == 0 {
+            0.0
+        } else {
+            self.plans_reused as f64 / total as f64
+        }
+    }
+}
+
+/// Outcome of one incremental planning walk (not yet installed): the
+/// leading `prefix_len` queue entries are kept untouched (not even
+/// cloned — the hot-path win), and `queue_tail`/`meta_tail` replace
+/// everything after them.
+struct Pass {
+    prefix_len: usize,
+    queue_tail: Vec<(Task, TaskPlan)>,
+    meta_tail: Vec<Option<PlanMeta>>,
+}
+
+/// Admission engine with incremental temp-schedule maintenance. Observably
+/// identical to [`AdmissionController`](super::AdmissionController) — same
+/// decisions, plans, releases, and serialized state for every call
+/// sequence — but `O(changed tasks)` planning calls per event instead of
+/// `O(queue)`.
+#[derive(Clone, Debug)]
+pub struct IncrementalController {
+    params: ClusterParams,
+    algorithm: AlgorithmKind,
+    cfg: PlanConfig,
+    /// Per-node release time of committed (dispatched) work.
+    releases: Vec<SimTime>,
+    /// Waiting tasks with their current plans, in policy order.
+    queue: Vec<(Task, TaskPlan)>,
+    /// Parallel to `queue`: the cached planning inputs. `None` means the
+    /// plan must be recomputed before it can be trusted (cold cache, e.g.
+    /// right after `from_state`).
+    meta: Vec<Option<PlanMeta>>,
+    stats: IncrementalStats,
+}
+
+impl IncrementalController {
+    /// An engine for an idle cluster (all nodes available at time zero).
+    pub fn new(params: ClusterParams, algorithm: AlgorithmKind, cfg: PlanConfig) -> Self {
+        IncrementalController {
+            params,
+            algorithm,
+            cfg,
+            releases: vec![SimTime::ZERO; params.num_nodes],
+            queue: Vec::new(),
+            meta: Vec::new(),
+            stats: IncrementalStats::default(),
+        }
+    }
+
+    /// Reuse counters accumulated by the mutating operations so far —
+    /// including the work done by passes that ended in a rejection, so the
+    /// reuse rate honestly reflects rejection-heavy streams. Probes are
+    /// non-mutating and not counted.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// Whether the cached plan behind `meta` is provably identical to what
+    /// a fresh plan at `now` against `releases` would produce (the module
+    /// docs' reuse invariant).
+    fn reusable(&self, meta: &Option<PlanMeta>, releases: &[SimTime], now: SimTime) -> bool {
+        let Some(m) = meta else { return false };
+        if self.cfg.node_count == NodeCountPolicy::OneShot && m.planned_at != now {
+            // OneShot evaluates ñ_min at the raw planning instant.
+            return false;
+        }
+        m.observed
+            .iter()
+            .zip(releases)
+            .all(|(&o, &r)| o.max(m.planned_at) == r.max(now))
+    }
+
+    /// Plans one task against the walk's current release vector, recording
+    /// the inputs for future reuse, and applies its release updates.
+    fn plan_fresh(
+        &self,
+        task: &Task,
+        releases: &mut [SimTime],
+        now: SimTime,
+        out: &mut Pass,
+        work: &mut IncrementalStats,
+    ) -> Result<(), AdmissionFailure> {
+        // The attempt counts as work whether or not it succeeds — a failed
+        // planning call cost just as much CPU.
+        work.plans_computed += 1;
+        let observed = releases.to_vec();
+        let avail = NodeAvailability::new(releases, now);
+        let plan = plan_task(
+            self.algorithm.strategy,
+            task,
+            &avail,
+            &self.params,
+            &self.cfg,
+        )
+        .map_err(|reason| AdmissionFailure {
+            task: task.id,
+            reason,
+        })?;
+        debug_assert!(
+            !plan
+                .est_completion
+                .definitely_after(task.absolute_deadline()),
+            "strategy returned a plan missing its deadline"
+        );
+        for (node, &rel) in plan.nodes.iter().zip(&plan.node_release_estimates) {
+            releases[node.index()] = rel;
+        }
+        out.queue_tail.push((*task, plan));
+        out.meta_tail.push(Some(PlanMeta {
+            planned_at: now,
+            observed,
+        }));
+        Ok(())
+    }
+
+    /// One walk over `waiting ∪ candidate` in policy order: the leading run
+    /// of cached plans whose inputs are provably unchanged is *kept in
+    /// place* (validated and release-applied, but never cloned); from the
+    /// first changed position — the candidate's insertion point or a failed
+    /// reuse gate — a replacement tail is built, inside which still-valid
+    /// cached plans are cloned rather than re-planned. Pure — the caller
+    /// decides whether to install the result.
+    fn pass(
+        &self,
+        now: SimTime,
+        candidate: Option<&Task>,
+        work: &mut IncrementalStats,
+    ) -> Result<Pass, AdmissionFailure> {
+        let policy = self.algorithm.policy;
+        let cand_key = candidate.map(|t| policy.key(t));
+        let mut cand_pending = candidate.copied();
+        let mut releases = self.releases.clone();
+        let mut out = Pass {
+            prefix_len: 0,
+            queue_tail: Vec::new(),
+            meta_tail: Vec::new(),
+        };
+        let mut in_prefix = true;
+        for (i, (task, plan)) in self.queue.iter().enumerate() {
+            // The full engine appends the candidate and stable-sorts, so a
+            // candidate lands *after* any waiting task with an equal key.
+            if let (Some(c), Some(key)) = (cand_pending, cand_key) {
+                if key < policy.key(task) {
+                    in_prefix = false;
+                    self.plan_fresh(&c, &mut releases, now, &mut out, work)?;
+                    cand_pending = None;
+                }
+            }
+            if self.reusable(&self.meta[i], &releases, now) {
+                for (node, &rel) in plan.nodes.iter().zip(&plan.node_release_estimates) {
+                    releases[node.index()] = rel;
+                }
+                if in_prefix {
+                    out.prefix_len += 1;
+                } else {
+                    out.queue_tail.push((*task, plan.clone()));
+                    out.meta_tail.push(self.meta[i].clone());
+                }
+                work.plans_reused += 1;
+            } else {
+                in_prefix = false;
+                self.plan_fresh(task, &mut releases, now, &mut out, work)?;
+            }
+        }
+        if let Some(c) = cand_pending {
+            self.plan_fresh(&c, &mut releases, now, &mut out, work)?;
+        }
+        Ok(out)
+    }
+
+    /// Folds a (possibly failed) pass's work counters into the cumulative
+    /// stats.
+    fn book_work(&mut self, work: IncrementalStats) {
+        self.stats.plans_reused += work.plans_reused;
+        self.stats.plans_computed += work.plans_computed;
+    }
+
+    fn install(&mut self, pass: Pass) {
+        self.queue.truncate(pass.prefix_len);
+        self.queue.extend(pass.queue_tail);
+        self.meta.truncate(pass.prefix_len);
+        self.meta.extend(pass.meta_tail);
+    }
+
+    /// The algorithm this engine runs.
+    pub fn algorithm(&self) -> AlgorithmKind {
+        self.algorithm
+    }
+
+    /// Cluster parameters.
+    pub fn params(&self) -> &ClusterParams {
+        &self.params
+    }
+
+    /// Planning knobs this engine tests with.
+    pub fn config(&self) -> &PlanConfig {
+        &self.cfg
+    }
+
+    /// Committed per-node release times (index = node id).
+    pub fn committed_releases(&self) -> &[SimTime] {
+        &self.releases
+    }
+
+    /// Current waiting tasks and plans, in execution order.
+    pub fn queue(&self) -> &[(Task, TaskPlan)] {
+        &self.queue
+    }
+
+    /// Number of waiting (admitted, undispatched) tasks.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Runs the schedulability test for a newly arrived task at time `now`.
+    /// On acceptance only the tasks whose planning inputs changed are
+    /// re-planned; on rejection nothing changes.
+    pub fn submit(&mut self, task: Task, now: SimTime) -> Decision {
+        let mut work = IncrementalStats::default();
+        let result = self.pass(now, Some(&task), &mut work);
+        self.book_work(work);
+        match result {
+            Ok(pass) => {
+                self.install(pass);
+                Decision::Accepted
+            }
+            Err(f) => Decision::Rejected(f.reason),
+        }
+    }
+
+    /// Non-mutating admission probe; see
+    /// [`AdmissionController::probe`](super::AdmissionController::probe).
+    pub fn probe(&self, task: &Task, now: SimTime) -> Decision {
+        match self.probe_plan(task, now) {
+            Ok(_) => Decision::Accepted,
+            Err(f) => Decision::Rejected(f.reason),
+        }
+    }
+
+    /// Like [`probe`](IncrementalController::probe) but returns the plan the
+    /// candidate would receive. Reuses the cached prefix, so a probe costs
+    /// one planning call (plus any perturbed suffix) instead of a full pass.
+    pub fn probe_plan(&self, task: &Task, now: SimTime) -> Result<TaskPlan, AdmissionFailure> {
+        let mut scratch = IncrementalStats::default();
+        let pass = self.pass(now, Some(task), &mut scratch)?;
+        // Match the reference engine exactly: the first id match over the
+        // whole plan list in policy order (prefix first, then the rebuilt
+        // tail) — load-bearing if the probed id shadows a waiting task's.
+        self.queue[..pass.prefix_len]
+            .iter()
+            .find(|(t, _)| t.id == task.id)
+            .map(|(_, p)| p.clone())
+            .or_else(|| {
+                pass.queue_tail
+                    .into_iter()
+                    .find(|(t, _)| t.id == task.id)
+                    .map(|(_, p)| p)
+            })
+            .ok_or(AdmissionFailure {
+                task: task.id,
+                reason: crate::error::Infeasible::CompletionAfterDeadline,
+            })
+    }
+
+    /// Amortized admission for a burst of tasks: the same resumable
+    /// checkpoint-rewind pass as
+    /// [`AdmissionController::submit_batch`](super::AdmissionController::submit_batch),
+    /// with cached plans reused for waiting-queue positions whose inputs
+    /// are unchanged. The pass works entirely on scratch state; committed
+    /// releases and the installed queue are only replaced once the batch
+    /// has settled, so a mid-batch rejection can never leak a rejected
+    /// member's tentative dispatch into
+    /// [`committed_releases`](IncrementalController::committed_releases).
+    ///
+    /// Returns one [`Decision`] per batch entry, in input order.
+    pub fn submit_batch(&mut self, batch: &[Task], now: SimTime) -> Vec<Decision> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let waiting_index: HashMap<TaskId, usize> = self
+            .queue
+            .iter()
+            .enumerate()
+            .map(|(i, (t, _))| (t.id, i))
+            .collect();
+        let mut ordered: Vec<Task> = self.queue.iter().map(|(t, _)| *t).collect();
+        ordered.extend_from_slice(batch);
+        self.algorithm.policy.sort(&mut ordered);
+
+        /// Rewind point recorded before each planned batch member.
+        struct Checkpoint {
+            ordered_idx: usize,
+            releases: Vec<SimTime>,
+            plans_len: usize,
+        }
+
+        let mut decisions: Vec<Option<Decision>> = vec![None; batch.len()];
+        let mut skipped: HashSet<TaskId> = HashSet::new();
+        let mut evicted_by_rollback: Vec<Task> = Vec::new();
+        let mut releases = self.releases.clone();
+        let mut plans: Vec<(Task, TaskPlan, Option<PlanMeta>)> = Vec::with_capacity(ordered.len());
+        let mut checkpoints: Vec<Checkpoint> = Vec::new();
+        let mut reused = 0u64;
+        let mut computed = 0u64;
+        let batch_index = |id: TaskId| batch.iter().position(|b| b.id == id).expect("member");
+
+        let mut i = 0;
+        while i < ordered.len() {
+            let task = ordered[i];
+            if skipped.contains(&task.id) {
+                i += 1;
+                continue;
+            }
+            let cached = waiting_index.get(&task.id).copied();
+            if let Some(qi) = cached {
+                // Reuse requires the *whole task* to match, not just the
+                // id: a batch member that shares a waiting task's id but
+                // differs in size/deadline must be planned fresh (the
+                // reference engine plans it fresh regardless).
+                if self.queue[qi].0 == task && self.reusable(&self.meta[qi], &releases, now) {
+                    let plan = self.queue[qi].1.clone();
+                    for (node, &rel) in plan.nodes.iter().zip(&plan.node_release_estimates) {
+                        releases[node.index()] = rel;
+                    }
+                    plans.push((task, plan, self.meta[qi].clone()));
+                    reused += 1;
+                    i += 1;
+                    continue;
+                }
+            }
+            let is_batch = cached.is_none();
+            let observed = releases.clone();
+            let avail = NodeAvailability::new(&releases, now);
+            // Every planning attempt counts as work, successful or not.
+            computed += 1;
+            match plan_task(
+                self.algorithm.strategy,
+                &task,
+                &avail,
+                &self.params,
+                &self.cfg,
+            ) {
+                Ok(plan) => {
+                    if is_batch {
+                        checkpoints.push(Checkpoint {
+                            ordered_idx: i,
+                            releases: releases.clone(),
+                            plans_len: plans.len(),
+                        });
+                    }
+                    for (node, &rel) in plan.nodes.iter().zip(&plan.node_release_estimates) {
+                        releases[node.index()] = rel;
+                    }
+                    plans.push((
+                        task,
+                        plan,
+                        Some(PlanMeta {
+                            planned_at: now,
+                            observed,
+                        }),
+                    ));
+                    i += 1;
+                }
+                Err(reason) if is_batch => {
+                    decisions[batch_index(task.id)] = Some(Decision::Rejected(reason));
+                    skipped.insert(task.id);
+                    i += 1;
+                }
+                Err(reason) => {
+                    // A previously admitted task lost feasibility: evict the
+                    // most recently planned batch member and rewind to its
+                    // checkpoint (see the full engine for the rationale).
+                    match checkpoints.pop() {
+                        Some(ck) => {
+                            let evicted = ordered[ck.ordered_idx];
+                            decisions[batch_index(evicted.id)] = Some(Decision::Rejected(reason));
+                            skipped.insert(evicted.id);
+                            evicted_by_rollback.push(evicted);
+                            releases = ck.releases;
+                            plans.truncate(ck.plans_len);
+                            i = ck.ordered_idx;
+                        }
+                        None => {
+                            // The waiting queue alone cannot be replanned at
+                            // `now`: reject the whole batch, keep all plans.
+                            for d in decisions.iter_mut() {
+                                if d.is_none() {
+                                    *d = Some(Decision::Rejected(reason));
+                                }
+                            }
+                            self.stats.plans_reused += reused;
+                            self.stats.plans_computed += computed;
+                            return decisions.into_iter().map(|d| d.expect("decided")).collect();
+                        }
+                    }
+                }
+            }
+        }
+        for (idx, d) in decisions.iter_mut().enumerate() {
+            if d.is_none() {
+                debug_assert!(plans.iter().any(|(_, p, _)| p.task == batch[idx].id));
+                *d = Some(Decision::Accepted);
+            }
+        }
+        self.queue.clear();
+        self.meta.clear();
+        for (t, p, m) in plans {
+            self.queue.push((t, p));
+            self.meta.push(m);
+        }
+        self.stats.plans_reused += reused;
+        self.stats.plans_computed += computed;
+        // Rollback evictions picked a culprit heuristically; give each
+        // evicted member one individual shot at the settled queue.
+        self.algorithm.policy.sort(&mut evicted_by_rollback);
+        for task in evicted_by_rollback {
+            if self.submit(task, now).is_accepted() {
+                decisions[batch_index(task.id)] = Some(Decision::Accepted);
+            }
+        }
+        decisions.into_iter().map(|d| d.expect("decided")).collect()
+    }
+
+    /// The committed work outstanding at `now`, in node-time units. See
+    /// [`Admission::backlog`].
+    pub fn backlog(&self, now: SimTime) -> f64 {
+        Admission::backlog(self, now)
+    }
+
+    /// Re-plans the waiting queue against the current committed releases.
+    /// Positions whose inputs are unchanged keep their plans without a
+    /// planning call; on failure the previous plans stay installed.
+    pub fn replan(&mut self, now: SimTime) -> Result<(), AdmissionFailure> {
+        if self.queue.is_empty() {
+            return Ok(());
+        }
+        let mut work = IncrementalStats::default();
+        let result = self.pass(now, None, &mut work);
+        self.book_work(work);
+        let pass = result?;
+        self.install(pass);
+        Ok(())
+    }
+
+    /// The earliest planned first-transmission instant across the waiting
+    /// queue.
+    pub fn next_dispatch_due(&self) -> Option<SimTime> {
+        self.queue.iter().map(|(_, p)| p.first_start()).min()
+    }
+
+    /// Removes and returns every waiting task whose plan is due at `now`,
+    /// committing its node release estimates; tasks in execution order.
+    ///
+    /// The committed values are exactly the release updates the remaining
+    /// cached plans already observed from this task's temp-schedule slot,
+    /// so a dispatch of a queue *prefix* leaves every remaining plan's
+    /// reuse gate intact — the steady-state path stays diff-only.
+    pub fn take_due(&mut self, now: SimTime) -> Vec<(Task, TaskPlan)> {
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < self.queue.len() {
+            if self.queue[i].1.first_start().at_or_before_eps(now) {
+                let (task, plan) = self.queue.remove(i);
+                self.meta.remove(i);
+                for (node, &rel) in plan.nodes.iter().zip(&plan.node_release_estimates) {
+                    self.releases[node.index()] = rel;
+                }
+                due.push((task, plan));
+            } else {
+                i += 1;
+            }
+        }
+        due
+    }
+
+    /// Overrides one node's committed release time with an *actual* value.
+    /// Cached plans that observed the previous value fail their reuse gate
+    /// and re-plan on the next pass — the fallback the module docs describe.
+    pub fn set_node_release(&mut self, node: usize, time: SimTime) {
+        self.releases[node] = time;
+    }
+
+    /// Removes one waiting task from the queue without touching committed
+    /// releases; see
+    /// [`AdmissionController::remove_waiting`](super::AdmissionController::remove_waiting).
+    pub fn remove_waiting(&mut self, id: TaskId) -> Option<Task> {
+        let pos = self.queue.iter().position(|(t, _)| t.id == id)?;
+        let (task, _) = self.queue.remove(pos);
+        self.meta.remove(pos);
+        Some(task)
+    }
+
+    /// Snapshots the complete engine state for journaling. The reuse cache
+    /// is derived state and deliberately not part of the image — both
+    /// engines share one [`ControllerState`] shape.
+    pub fn state(&self) -> ControllerState {
+        ControllerState {
+            params: self.params,
+            algorithm: self.algorithm,
+            cfg: self.cfg,
+            releases: self.releases.clone(),
+            queue: self.queue.clone(),
+        }
+    }
+
+    /// Rebuilds an engine from a journaled state with a *cold* reuse cache:
+    /// the first pass after a restore re-plans every position (exactly what
+    /// the reference engine does on every pass), re-warming the cache.
+    pub fn from_state(state: ControllerState) -> Result<Self, crate::error::ModelError> {
+        state.validate()?;
+        let meta = vec![None; state.queue.len()];
+        Ok(IncrementalController {
+            params: state.params,
+            algorithm: state.algorithm,
+            cfg: state.cfg,
+            releases: state.releases,
+            queue: state.queue,
+            meta,
+            stats: IncrementalStats::default(),
+        })
+    }
+}
+
+impl Admission for IncrementalController {
+    const NAME: &'static str = "incremental";
+
+    fn new(params: ClusterParams, algorithm: AlgorithmKind, cfg: PlanConfig) -> Self {
+        IncrementalController::new(params, algorithm, cfg)
+    }
+
+    fn params(&self) -> &ClusterParams {
+        IncrementalController::params(self)
+    }
+
+    fn algorithm(&self) -> AlgorithmKind {
+        IncrementalController::algorithm(self)
+    }
+
+    fn config(&self) -> &PlanConfig {
+        IncrementalController::config(self)
+    }
+
+    fn committed_releases(&self) -> &[SimTime] {
+        IncrementalController::committed_releases(self)
+    }
+
+    fn queue(&self) -> &[(Task, TaskPlan)] {
+        IncrementalController::queue(self)
+    }
+
+    fn submit(&mut self, task: Task, now: SimTime) -> Decision {
+        IncrementalController::submit(self, task, now)
+    }
+
+    fn probe_plan(&self, task: &Task, now: SimTime) -> Result<TaskPlan, AdmissionFailure> {
+        IncrementalController::probe_plan(self, task, now)
+    }
+
+    fn submit_batch(&mut self, batch: &[Task], now: SimTime) -> Vec<Decision> {
+        IncrementalController::submit_batch(self, batch, now)
+    }
+
+    fn replan(&mut self, now: SimTime) -> Result<(), AdmissionFailure> {
+        IncrementalController::replan(self, now)
+    }
+
+    fn take_due(&mut self, now: SimTime) -> Vec<(Task, TaskPlan)> {
+        IncrementalController::take_due(self, now)
+    }
+
+    fn set_node_release(&mut self, node: usize, time: SimTime) {
+        IncrementalController::set_node_release(self, node, time)
+    }
+
+    fn remove_waiting(&mut self, id: TaskId) -> Option<Task> {
+        IncrementalController::remove_waiting(self, id)
+    }
+
+    fn state(&self) -> ControllerState {
+        IncrementalController::state(self)
+    }
+
+    fn from_state(state: ControllerState) -> Result<Self, crate::error::ModelError> {
+        IncrementalController::from_state(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::AdmissionController;
+    use super::*;
+    use crate::dlt::homogeneous;
+
+    fn params() -> ClusterParams {
+        ClusterParams::paper_baseline()
+    }
+
+    fn both(algorithm: AlgorithmKind) -> (AdmissionController, IncrementalController) {
+        (
+            AdmissionController::new(params(), algorithm, PlanConfig::default()),
+            IncrementalController::new(params(), algorithm, PlanConfig::default()),
+        )
+    }
+
+    fn task(id: u64, arrival: f64, sigma: f64, rel_deadline: f64) -> Task {
+        Task::new(id, arrival, sigma, rel_deadline)
+    }
+
+    fn assert_same_state(full: &AdmissionController, inc: &IncrementalController) {
+        assert_eq!(full.state(), inc.state(), "engines diverged");
+    }
+
+    #[test]
+    fn mirrors_full_engine_over_a_mixed_sequence() {
+        let (mut full, mut inc) = both(AlgorithmKind::EDF_DLT);
+        let p = params();
+        let e16 = homogeneous::exec_time(&p, 400.0, 16);
+        let seq: Vec<Task> = vec![
+            task(1, 0.0, 400.0, e16 * 8.0),
+            task(2, 5.0, 200.0, e16 * 6.0),
+            task(3, 5.0, 200.0, 100.0), // hopeless
+            task(4, 9.0, 300.0, e16 * 12.0),
+        ];
+        for t in &seq {
+            let now = t.arrival;
+            assert_eq!(full.submit(*t, now), inc.submit(*t, now), "{t:?}");
+            assert_same_state(&full, &inc);
+        }
+        assert_eq!(
+            full.take_due(SimTime::new(9.0)),
+            inc.take_due(SimTime::new(9.0))
+        );
+        assert_same_state(&full, &inc);
+        // Early release → replans diverge from cache, still identical.
+        full.set_node_release(0, SimTime::new(10.0));
+        inc.set_node_release(0, SimTime::new(10.0));
+        assert_eq!(
+            full.replan(SimTime::new(10.0)).is_ok(),
+            inc.replan(SimTime::new(10.0)).is_ok()
+        );
+        assert_same_state(&full, &inc);
+    }
+
+    #[test]
+    fn deep_queue_submit_reuses_the_prefix() {
+        let (_, mut inc) = both(AlgorithmKind::EDF_DLT);
+        // Feasible deep queue: loose, strictly increasing deadlines.
+        for i in 0..64 {
+            let t = task(i, 0.0, 100.0, 1e7 + i as f64 * 1e4);
+            assert!(inc.submit(t, SimTime::ZERO).is_accepted());
+        }
+        let before = inc.stats();
+        let probe = task(999, 0.0, 100.0, 9e8);
+        assert!(inc.submit(probe, SimTime::ZERO).is_accepted());
+        let after = inc.stats();
+        assert_eq!(
+            after.plans_computed - before.plans_computed,
+            1,
+            "a back-of-queue submit must plan exactly the newcomer"
+        );
+        assert_eq!(after.plans_reused - before.plans_reused, 64);
+    }
+
+    #[test]
+    fn cold_cache_after_from_state_stays_conformant() {
+        let (mut full, mut inc) = both(AlgorithmKind::EDF_DLT);
+        for i in 0..8 {
+            let t = task(i, 0.0, 150.0, 5e5 + i as f64 * 1e4);
+            full.submit(t, SimTime::ZERO);
+            inc.submit(t, SimTime::ZERO);
+        }
+        let mut thawed = IncrementalController::from_state(inc.state()).unwrap();
+        let t = task(100, 1.0, 200.0, 8e5);
+        assert_eq!(
+            full.submit(t, SimTime::new(1.0)),
+            thawed.submit(t, SimTime::new(1.0))
+        );
+        assert_eq!(full.state(), thawed.state());
+        // The pass after the restore re-warmed the cache: the next
+        // back-of-queue submit is diff-only again.
+        let before = thawed.stats();
+        let t2 = task(101, 1.0, 200.0, 9e5);
+        assert!(thawed.submit(t2, SimTime::new(1.0)).is_accepted());
+        assert_eq!(thawed.stats().plans_computed - before.plans_computed, 1);
+    }
+
+    #[test]
+    fn rejection_keeps_state_and_cache_intact() {
+        let (mut full, mut inc) = both(AlgorithmKind::EDF_DLT);
+        let p = params();
+        let e16 = homogeneous::exec_time(&p, 800.0, 16);
+        for i in 0..4 {
+            let t = task(i, 0.0, 800.0, e16 * (1.2 + i as f64));
+            assert_eq!(full.submit(t, SimTime::ZERO), inc.submit(t, SimTime::ZERO));
+        }
+        // An overload candidate rejected by both; nothing may change.
+        let bad = task(50, 0.0, 800.0, e16 * 1.1);
+        assert_eq!(
+            full.submit(bad, SimTime::ZERO),
+            inc.submit(bad, SimTime::ZERO)
+        );
+        assert!(!full.submit(bad, SimTime::ZERO).is_accepted());
+        assert_same_state(&full, &inc);
+        // And the cache still serves the prefix on the next acceptance.
+        let before = inc.stats();
+        let ok = task(51, 0.0, 100.0, e16 * 40.0);
+        assert_eq!(
+            full.submit(ok, SimTime::ZERO),
+            inc.submit(ok, SimTime::ZERO)
+        );
+        assert_same_state(&full, &inc);
+        assert!(inc.stats().plans_reused > before.plans_reused);
+    }
+
+    #[test]
+    fn probe_plan_matches_full_engine_and_does_not_mutate() {
+        let (mut full, mut inc) = both(AlgorithmKind::EDF_DLT);
+        for i in 0..6 {
+            let t = task(i, 0.0, 150.0, 4e5 + i as f64 * 3e4);
+            full.submit(t, SimTime::ZERO);
+            inc.submit(t, SimTime::ZERO);
+        }
+        let probe = task(77, 2.0, 300.0, 6e5);
+        let a = full.probe_plan(&probe, SimTime::new(2.0));
+        let b = inc.probe_plan(&probe, SimTime::new(2.0));
+        assert_eq!(a, b);
+        assert_same_state(&full, &inc);
+    }
+
+    #[test]
+    fn probe_with_shadowed_id_matches_full_engine() {
+        // A probe whose id duplicates a waiting task's must return the
+        // same plan the reference engine returns (the first id match in
+        // policy order — the waiting task's plan, not the candidate's).
+        let (mut full, mut inc) = both(AlgorithmKind::EDF_DLT);
+        for i in 0..4 {
+            let t = task(i, 0.0, 150.0, 3e5 + i as f64 * 2e4);
+            assert_eq!(full.submit(t, SimTime::ZERO), inc.submit(t, SimTime::ZERO));
+        }
+        // Same id as waiting task 1, later deadline → planned after it.
+        let shadow = task(1, 0.0, 300.0, 7e5);
+        let a = full.probe_plan(&shadow, SimTime::ZERO);
+        let b = inc.probe_plan(&shadow, SimTime::ZERO);
+        assert_eq!(a, b);
+        assert_same_state(&full, &inc);
+    }
+
+    #[test]
+    fn rejected_passes_still_book_their_planning_work() {
+        // A rejection-heavy stream must not inflate the reuse rate: the
+        // work done by failed passes counts too.
+        let p = params();
+        let e16 = homogeneous::exec_time(&p, 800.0, 16);
+        let (_, mut inc) = both(AlgorithmKind::EDF_DLT);
+        assert!(inc
+            .submit(task(0, 0.0, 800.0, e16 * 1.2), SimTime::ZERO)
+            .is_accepted());
+        let before = inc.stats();
+        // Hopeless newcomer: its own plan fails after the prefix walk.
+        assert!(!inc
+            .submit(task(1, 0.0, 800.0, e16 * 0.5), SimTime::ZERO)
+            .is_accepted());
+        let after = inc.stats();
+        assert!(
+            after.plans_computed > before.plans_computed
+                || after.plans_reused > before.plans_reused,
+            "rejected pass left no trace in the stats: {after:?}"
+        );
+    }
+
+    #[test]
+    fn batch_matches_full_engine_including_rollback() {
+        let p = params();
+        let e8 = homogeneous::exec_time(&p, 400.0, 8);
+        let e16 = homogeneous::exec_time(&p, 400.0, 16);
+        let (mut full, mut inc) = both(AlgorithmKind::EDF_DLT);
+        let w = task(1, 0.0, 400.0, e8 * 1.005);
+        assert_eq!(full.submit(w, SimTime::ZERO), inc.submit(w, SimTime::ZERO));
+        let m1 = task(2, 0.0, 400.0, e16 * 1.05);
+        let m2 = task(3, 0.0, 10.0, e8 * 0.8);
+        assert_eq!(
+            full.submit_batch(&[m1, m2], SimTime::ZERO),
+            inc.submit_batch(&[m1, m2], SimTime::ZERO)
+        );
+        assert_same_state(&full, &inc);
+    }
+
+    #[test]
+    fn batch_member_shadowing_a_waiting_id_is_planned_fresh() {
+        // A batch member that shares a waiting task's id but differs in
+        // shape must NOT inherit the cached plan — the reference engine
+        // plans it fresh, and so must the diff engine (regression for the
+        // id-keyed reuse cache).
+        let (mut full, mut inc) = both(AlgorithmKind::EDF_DLT);
+        let w = task(7, 0.0, 100.0, 1e6);
+        assert_eq!(full.submit(w, SimTime::ZERO), inc.submit(w, SimTime::ZERO));
+        let shadow = task(7, 0.0, 800.0, 5e5);
+        assert_eq!(
+            full.submit_batch(&[shadow], SimTime::ZERO),
+            inc.submit_batch(&[shadow], SimTime::ZERO)
+        );
+        assert_same_state(&full, &inc);
+        // And a *fully identical* duplicate also stays conformant (its
+        // second occurrence sees post-first-copy releases, so the cache
+        // input gate rejects reuse).
+        let (mut full, mut inc) = both(AlgorithmKind::EDF_DLT);
+        assert_eq!(full.submit(w, SimTime::ZERO), inc.submit(w, SimTime::ZERO));
+        assert_eq!(
+            full.submit_batch(&[w], SimTime::ZERO),
+            inc.submit_batch(&[w], SimTime::ZERO)
+        );
+        assert_same_state(&full, &inc);
+    }
+
+    #[test]
+    fn mid_batch_rejection_leaves_committed_releases_untouched() {
+        // The incremental regression twin of the full engine's test: the
+        // checkpoint-rewind pass may never leak tentative dispatches.
+        let p = params();
+        let e8 = homogeneous::exec_time(&p, 400.0, 8);
+        let e16 = homogeneous::exec_time(&p, 400.0, 16);
+        let mut c = IncrementalController::new(p, AlgorithmKind::EDF_DLT, PlanConfig::default());
+        assert!(c
+            .submit(task(10, 0.0, 50.0, 1e6), SimTime::ZERO)
+            .is_accepted());
+        let _ = c.take_due(SimTime::ZERO);
+        let committed_before = c.committed_releases().to_vec();
+        let w = task(1, 0.0, 400.0, e8 * 1.05 + committed_before[0].as_f64());
+        let _ = c.submit(w, SimTime::ZERO);
+        let m1 = task(2, 0.0, 400.0, e16 * 1.05);
+        let m2 = task(3, 0.0, 10.0, e8 + 10_000.0);
+        let decisions = c.submit_batch(&[m1, m2], SimTime::ZERO);
+        assert!(
+            decisions.iter().any(|d| !d.is_accepted()),
+            "scenario must reject a mid-batch member: {decisions:?}"
+        );
+        assert_eq!(c.committed_releases(), committed_before.as_slice());
+    }
+
+    #[test]
+    fn one_shot_node_count_disables_cross_instant_reuse() {
+        // OneShot evaluates ñ_min at the raw instant, so a cached plan from
+        // t=0 must not be reused at t=1 even with identical availability.
+        let cfg = PlanConfig {
+            node_count: NodeCountPolicy::OneShot,
+            ..Default::default()
+        };
+        let mut full = AdmissionController::new(params(), AlgorithmKind::EDF_DLT, cfg);
+        let mut inc = IncrementalController::new(params(), AlgorithmKind::EDF_DLT, cfg);
+        for i in 0..4 {
+            let t = task(i, 0.0, 200.0, 5e5 + i as f64 * 1e4);
+            assert_eq!(full.submit(t, SimTime::ZERO), inc.submit(t, SimTime::ZERO));
+        }
+        let t = task(10, 1.0, 200.0, 6e5);
+        assert_eq!(
+            full.submit(t, SimTime::new(1.0)),
+            inc.submit(t, SimTime::new(1.0))
+        );
+        assert_eq!(full.state(), inc.state());
+    }
+
+    #[test]
+    fn state_round_trips_and_remove_waiting_conforms() {
+        let (mut full, mut inc) = both(AlgorithmKind::EDF_DLT);
+        for i in 0..5 {
+            let t = task(i, 0.0, 150.0, 4e5 + i as f64 * 2e4);
+            full.submit(t, SimTime::ZERO);
+            inc.submit(t, SimTime::ZERO);
+        }
+        assert_eq!(
+            full.remove_waiting(TaskId(2)),
+            inc.remove_waiting(TaskId(2))
+        );
+        assert_eq!(
+            full.remove_waiting(TaskId(99)),
+            inc.remove_waiting(TaskId(99))
+        );
+        assert_same_state(&full, &inc);
+        let json = serde_json::to_string(&inc.state()).unwrap();
+        let back: ControllerState = serde_json::from_str(&json).unwrap();
+        let thawed = IncrementalController::from_state(back).unwrap();
+        assert_eq!(thawed.state(), inc.state());
+    }
+}

@@ -1,0 +1,412 @@
+//! The schedulability test and the admission engines (Fig. 2 of the paper).
+//!
+//! On each task arrival the scheduler decides, *online*, whether the new task
+//! can be admitted without compromising any previously admitted task. The
+//! test rebuilds a tentative schedule ("TempSchedule") for the waiting queue
+//! plus the newcomer: tasks are taken in policy order, each is planned by the
+//! configured strategy against the evolving node-release vector, and any
+//! estimated deadline miss fails the whole test — the newcomer is rejected
+//! and the previously feasible plans are kept.
+//!
+//! Two engines implement that contract behind the [`Admission`] trait:
+//!
+//! * [`AdmissionController`] ([`full`]) — the reference engine: a literal
+//!   whole-queue replan per event, exactly the paper's pseudocode. `O(queue)`
+//!   planning calls per arrival.
+//! * [`IncrementalController`] ([`incremental`]) — the production engine: it
+//!   caches, per waiting task, the exact planning inputs its current plan
+//!   was derived from, and on each event re-plans only the tasks whose
+//!   inputs actually changed (typically the suffix after the newcomer's
+//!   policy position). Reuse is gated on *provable input equality*, so the
+//!   engine is decision- and plan-identical to the reference — the
+//!   differential oracle suite (`tests/differential_admission.rs`) replays
+//!   every scenario through both and asserts exact equality.
+//!
+//! Rejection here corresponds to the paper's deadline renegotiation footnote:
+//! the cluster proxy would bounce the job back to the client with modified
+//! parameters; from the scheduler's perspective the task simply leaves.
+
+use serde::{Deserialize, Serialize};
+
+use crate::algorithm::AlgorithmKind;
+use crate::error::{Infeasible, ModelError};
+use crate::params::ClusterParams;
+use crate::strategy::{plan_task, NodeAvailability, PlanConfig, TaskPlan};
+use crate::task::{Task, TaskId};
+use crate::time::SimTime;
+
+pub mod full;
+pub mod incremental;
+
+pub use full::AdmissionController;
+pub use incremental::{IncrementalController, IncrementalStats};
+
+/// Why (and for which task) a schedulability test failed.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct AdmissionFailure {
+    /// The first task in policy order that could not be feasibly planned.
+    pub task: TaskId,
+    /// The planning-level reason.
+    pub reason: Infeasible,
+}
+
+impl core::fmt::Display for AdmissionFailure {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "task {:?} infeasible: {}", self.task, self.reason)
+    }
+}
+
+impl std::error::Error for AdmissionFailure {}
+
+// `Infeasible` is re-serialized through AdmissionFailure in results output.
+impl Serialize for Infeasible {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Infeasible {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        // Round-trip by display string; unknown strings map to the generic
+        // rejection cause. Only used for result-file ingestion.
+        let s = String::from_value(v)?;
+        Ok(match s.as_str() {
+            "deadline passes before any node is available" => Infeasible::DeadlineBeforeStart,
+            "not enough time to transmit the input data" => Infeasible::NoTimeForTransmission,
+            "no node count within the cluster meets the deadline" => Infeasible::NotEnoughNodes,
+            "user-split node request cannot meet the deadline" => Infeasible::UserRequestInfeasible,
+            _ => Infeasible::CompletionAfterDeadline,
+        })
+    }
+}
+
+/// Runs the Fig. 2 schedulability test.
+///
+/// * `now` — the planning instant (the newcomer's arrival, or the current
+///   event time for a replanning pass).
+/// * `committed_releases` — per-node release times of *dispatched* work only
+///   (index = node id); waiting tasks are replanned from scratch.
+/// * `waiting` — currently admitted but undispatched tasks, any order.
+/// * `candidate` — the newly arrived task, or `None` for a replanning pass.
+///
+/// On success returns the feasible plans in policy (execution) order.
+///
+/// ```
+/// use rtdls_core::prelude::*;
+///
+/// let params = ClusterParams::paper_baseline();
+/// let idle = vec![SimTime::ZERO; params.num_nodes];
+/// let task = Task::new(1, 0.0, 200.0, 30_000.0);
+/// let plans = schedulability_test(
+///     &params,
+///     AlgorithmKind::EDF_DLT,
+///     &PlanConfig::default(),
+///     SimTime::ZERO,
+///     &idle,
+///     &[],          // empty waiting queue
+///     Some(&task),
+/// )
+/// .unwrap();
+/// assert_eq!(plans.len(), 1);
+/// assert!(!plans[0].est_completion.definitely_after(task.absolute_deadline()));
+/// ```
+pub fn schedulability_test(
+    params: &ClusterParams,
+    algorithm: AlgorithmKind,
+    cfg: &PlanConfig,
+    now: SimTime,
+    committed_releases: &[SimTime],
+    waiting: &[Task],
+    candidate: Option<&Task>,
+) -> Result<Vec<TaskPlan>, AdmissionFailure> {
+    debug_assert_eq!(committed_releases.len(), params.num_nodes);
+    let mut tasks: Vec<Task> = Vec::with_capacity(waiting.len() + 1);
+    tasks.extend_from_slice(waiting);
+    if let Some(t) = candidate {
+        tasks.push(*t);
+    }
+    algorithm.policy.sort(&mut tasks);
+
+    let mut releases = committed_releases.to_vec();
+    let mut plans = Vec::with_capacity(tasks.len());
+    for task in &tasks {
+        let avail = NodeAvailability::new(&releases, now);
+        let plan = plan_task(algorithm.strategy, task, &avail, params, cfg).map_err(|reason| {
+            AdmissionFailure {
+                task: task.id,
+                reason,
+            }
+        })?;
+        debug_assert!(
+            !plan
+                .est_completion
+                .definitely_after(task.absolute_deadline()),
+            "strategy returned a plan missing its deadline"
+        );
+        for (node, &rel) in plan.nodes.iter().zip(&plan.node_release_estimates) {
+            releases[node.index()] = rel;
+        }
+        plans.push(plan);
+    }
+    Ok(plans)
+}
+
+/// The outcome of submitting a task to an admission engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decision {
+    /// Admitted; the waiting queue was replanned and remains feasible.
+    Accepted,
+    /// Rejected; previously admitted tasks keep their plans.
+    Rejected(Infeasible),
+}
+
+impl Decision {
+    /// `true` if the task was admitted.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Decision::Accepted)
+    }
+}
+
+/// The complete serializable state of an admission engine — the durable
+/// "book" a persistence layer journals and a recovery path restores.
+///
+/// Both engines produce and consume the same shape (the incremental
+/// engine's reuse cache is derived state, rebuilt lazily), so a journal
+/// written under one engine recovers under the other. Round-trips through
+/// the in-repo serde stand-ins ([`Admission::state`] /
+/// [`Admission::from_state`]); equality of two states is equality of the
+/// controllers they rebuild.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ControllerState {
+    /// Cluster shape the controller plans against.
+    pub params: ClusterParams,
+    /// Scheduling policy × partitioning strategy.
+    pub algorithm: AlgorithmKind,
+    /// Planning knobs (release bookkeeping, node-count selection).
+    pub cfg: PlanConfig,
+    /// Committed per-node release times (index = node id).
+    pub releases: Vec<SimTime>,
+    /// Waiting tasks with their current plans, in execution order.
+    pub queue: Vec<(Task, TaskPlan)>,
+}
+
+impl ControllerState {
+    /// Structural validation shared by every engine's `from_state`: the
+    /// release vector matches the cluster shape and each queued plan is
+    /// internally consistent and belongs to its task.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.releases.len() != self.params.num_nodes {
+            return Err(ModelError::InvalidParams(
+                "release vector length must equal num_nodes",
+            ));
+        }
+        for (task, plan) in &self.queue {
+            if plan.task != task.id {
+                return Err(ModelError::InvalidParams(
+                    "queued plan does not belong to its task",
+                ));
+            }
+            if plan
+                .nodes
+                .iter()
+                .any(|n| n.index() >= self.params.num_nodes)
+            {
+                return Err(ModelError::InvalidParams(
+                    "queued plan references a node outside the cluster",
+                ));
+            }
+            if plan.nodes.len() != plan.node_release_estimates.len()
+                || plan.nodes.len() != plan.start_times.len()
+                || plan.nodes.len() != plan.fractions.len()
+            {
+                return Err(ModelError::InvalidParams(
+                    "queued plan has inconsistent chunk vectors",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The contract every admission engine satisfies: the head node's view of
+/// the waiting queue, the committed node releases, and the current feasible
+/// plans.
+///
+/// Engines are clock-agnostic — callers (the discrete-event simulator, or a
+/// real dispatcher) drive them with explicit times. Invariants:
+///
+/// * every waiting task has a plan whose estimate meets its deadline;
+/// * plans are kept in policy order (`queue()[0]` executes first);
+/// * committed releases only ever refer to dispatched work;
+/// * all engines are **observably identical**: the same call sequence
+///   produces the same decisions, plans, releases, and state on every
+///   implementation (the differential oracle suite enforces this).
+pub trait Admission: Clone + core::fmt::Debug {
+    /// Short engine name for logs, benches, and config surfaces.
+    const NAME: &'static str;
+
+    /// An engine for an idle cluster (all nodes available at time zero).
+    fn new(params: ClusterParams, algorithm: AlgorithmKind, cfg: PlanConfig) -> Self;
+
+    /// Cluster parameters.
+    fn params(&self) -> &ClusterParams;
+
+    /// The algorithm this engine runs.
+    fn algorithm(&self) -> AlgorithmKind;
+
+    /// Planning knobs this engine tests with.
+    fn config(&self) -> &PlanConfig;
+
+    /// Committed per-node release times (index = node id).
+    fn committed_releases(&self) -> &[SimTime];
+
+    /// Current waiting tasks and plans, in execution order.
+    fn queue(&self) -> &[(Task, TaskPlan)];
+
+    /// Number of waiting (admitted, undispatched) tasks.
+    fn queue_len(&self) -> usize {
+        self.queue().len()
+    }
+
+    /// The current plan of a waiting task (first id match in execution
+    /// order), if any.
+    fn find_plan(&self, id: TaskId) -> Option<&TaskPlan> {
+        self.queue()
+            .iter()
+            .find(|(t, _)| t.id == id)
+            .map(|(_, p)| p)
+    }
+
+    /// Runs the schedulability test for a newly arrived task at time `now`
+    /// (normally `task.arrival`). On acceptance the whole waiting queue is
+    /// (logically) re-planned; on rejection nothing changes.
+    fn submit(&mut self, task: Task, now: SimTime) -> Decision;
+
+    /// Non-mutating admission probe: the same test as [`submit`] runs, but
+    /// the engine state is untouched either way.
+    ///
+    /// [`submit`]: Admission::submit
+    fn probe(&self, task: &Task, now: SimTime) -> Decision {
+        match self.probe_plan(task, now) {
+            Ok(_) => Decision::Accepted,
+            Err(f) => Decision::Rejected(f.reason),
+        }
+    }
+
+    /// Like [`probe`](Admission::probe) but returns the plan the candidate
+    /// would receive (with its completion estimate, for best-fit routing)
+    /// instead of a bare decision.
+    fn probe_plan(&self, task: &Task, now: SimTime) -> Result<TaskPlan, AdmissionFailure>;
+
+    /// Amortized admission for a burst of tasks; decides like calling
+    /// [`submit`](Admission::submit) once per task in policy order. Returns
+    /// one [`Decision`] per batch entry, in input order.
+    fn submit_batch(&mut self, batch: &[Task], now: SimTime) -> Vec<Decision>;
+
+    /// Re-plans the waiting queue against the current committed releases
+    /// (used when nodes free up earlier than estimated). Failure indicates
+    /// the queue cannot be replanned at `now` and leaves the previous plans
+    /// installed.
+    fn replan(&mut self, now: SimTime) -> Result<(), AdmissionFailure>;
+
+    /// Removes and returns every waiting task whose plan is due at `now`
+    /// (first transmission start ≤ `now` within tolerance), committing its
+    /// node release estimates. Returns tasks in execution order.
+    fn take_due(&mut self, now: SimTime) -> Vec<(Task, TaskPlan)>;
+
+    /// The earliest planned first-transmission instant across the waiting
+    /// queue — when the next dispatch is due (if plans do not change first).
+    fn next_dispatch_due(&self) -> Option<SimTime> {
+        self.queue().iter().map(|(_, p)| p.first_start()).min()
+    }
+
+    /// Overrides one node's committed release time with an *actual* value
+    /// (e.g. the exact completion computed at dispatch, or an early release).
+    fn set_node_release(&mut self, node: usize, time: SimTime);
+
+    /// Removes one waiting task (with its plan) from the queue without
+    /// touching committed releases — a waiting plan reserves nothing until
+    /// dispatch, so removal is always safe for the remaining plans.
+    fn remove_waiting(&mut self, id: TaskId) -> Option<Task>;
+
+    /// The committed work outstanding at `now`, in node-time units: the sum
+    /// over nodes of how far past `now` their committed releases reach, plus
+    /// the transmission+compute demand of the waiting queue. Service-layer
+    /// routers use this as a cheap least-loaded signal.
+    fn backlog(&self, now: SimTime) -> f64 {
+        let params = *self.params();
+        let committed: f64 = self
+            .committed_releases()
+            .iter()
+            .map(|r| (r.as_f64() - now.as_f64()).max(0.0))
+            .sum();
+        let waiting: f64 = self
+            .queue()
+            .iter()
+            .map(|(t, _)| t.data_size * (params.cms + params.cps))
+            .sum();
+        committed + waiting
+    }
+
+    /// Snapshots the complete engine state for journaling.
+    fn state(&self) -> ControllerState;
+
+    /// Rebuilds an engine from a journaled state. The inverse of
+    /// [`state`](Admission::state): `from_state(c.state())` compares equal
+    /// to `c` in every observable way. Errors when the state fails
+    /// [`ControllerState::validate`].
+    fn from_state(state: ControllerState) -> Result<Self, ModelError>
+    where
+        Self: Sized;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::NodeCountPolicy;
+
+    #[test]
+    fn schedulability_test_is_pure() {
+        // Direct use of the free function: same inputs, same outputs, no
+        // hidden state.
+        let p = ClusterParams::paper_baseline();
+        let releases = vec![SimTime::ZERO; 16];
+        let t = Task::new(1, 0.0, 200.0, 30_000.0);
+        let a = schedulability_test(
+            &p,
+            AlgorithmKind::EDF_DLT,
+            &PlanConfig::default(),
+            SimTime::ZERO,
+            &releases,
+            &[],
+            Some(&t),
+        )
+        .unwrap();
+        let b = schedulability_test(
+            &p,
+            AlgorithmKind::EDF_DLT,
+            &PlanConfig::default(),
+            SimTime::ZERO,
+            &releases,
+            &[],
+            Some(&t),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn controller_state_validate_catches_shape_errors() {
+        let c = AdmissionController::new(
+            ClusterParams::paper_baseline(),
+            AlgorithmKind::EDF_DLT,
+            PlanConfig {
+                node_count: NodeCountPolicy::FixedPoint,
+                ..Default::default()
+            },
+        );
+        let mut bad = Admission::state(&c);
+        bad.releases.pop();
+        assert!(bad.validate().is_err());
+    }
+}

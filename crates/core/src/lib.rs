@@ -67,7 +67,8 @@ pub mod time;
 /// One-stop imports for typical users of the crate.
 pub mod prelude {
     pub use crate::admission::{
-        schedulability_test, AdmissionController, AdmissionFailure, ControllerState, Decision,
+        schedulability_test, Admission, AdmissionController, AdmissionFailure, ControllerState,
+        Decision, IncrementalController, IncrementalStats,
     };
     pub use crate::algorithm::AlgorithmKind;
     pub use crate::dlt::heterogeneous::HeterogeneousModel;

@@ -1,0 +1,429 @@
+//! The differential oracle: every scenario is replayed through BOTH
+//! admission engines — the reference full-replan [`AdmissionController`]
+//! and the diff-based [`IncrementalController`] — and the two must agree
+//! **exactly** after every single operation: same decisions, same plans,
+//! same committed releases, same serialized [`ControllerState`], same
+//! backlog and dispatch horizon.
+//!
+//! Because the incremental engine can silently diverge (a reuse gate that
+//! is one epsilon too permissive would admit a task the reference engine
+//! rejects, or install a stale plan), this suite is the heart of the
+//! engine's correctness story: scenarios cover streaming submissions,
+//! bursts through the checkpoint-rewind batch path, dispatches, early node
+//! releases, replans, demote-style removals, and real workload streams
+//! (Poisson, bursty, and heavy-tailed sizes) at >1000 generated cases.
+//!
+//! On divergence the failing scenario is greedily *shrunk* — ops are
+//! removed one at a time while the divergence persists — and the minimal
+//! reproducer is printed in the panic message.
+
+use proptest::prelude::*;
+use rtdls_core::dlt::homogeneous;
+use rtdls_core::prelude::*;
+use rtdls_workload::prelude::*;
+
+/// One scripted operation, derived from raw generated floats so scenarios
+/// stay self-contained and trivially shrinkable.
+#[derive(Clone, Debug)]
+enum Op {
+    Submit {
+        sigma: f64,
+        dc: f64,
+        dt: f64,
+        user: Option<usize>,
+    },
+    Batch {
+        members: Vec<(f64, f64)>,
+        dt: f64,
+    },
+    Probe {
+        sigma: f64,
+        dc: f64,
+    },
+    TakeDue {
+        dt: f64,
+    },
+    EarlyRelease {
+        node: usize,
+        frac: f64,
+    },
+    Replan {
+        dt: f64,
+    },
+    RemoveWaiting {
+        pick: usize,
+    },
+}
+
+/// Decodes a raw generated tuple into an [`Op`]. Pure, so the same raw
+/// scenario always replays identically.
+fn decode(raw: &(u8, f64, f64, f64)) -> Op {
+    let (kind, a, b, c) = *raw;
+    let sigma = 10.0 + a * 790.0;
+    let user = (b > 0.25).then(|| 1 + (a * 97.0) as usize % 16);
+    match kind % 8 {
+        // Submissions get double weight (0 and 1): they are the hot path.
+        0 | 1 => Op::Submit {
+            sigma,
+            dc: 0.3 + b * 15.0,
+            dt: c * 1_500.0,
+            user,
+        },
+        2 => {
+            let n = 1 + (a * 5.0) as usize;
+            let members = (0..n)
+                .map(|i| {
+                    let fi = i as f64;
+                    (
+                        10.0 + ((a * 613.0 + fi * 131.0) % 790.0),
+                        0.3 + ((b * 11.0 + fi * 2.3) % 15.0),
+                    )
+                })
+                .collect();
+            Op::Batch {
+                members,
+                dt: c * 1_000.0,
+            }
+        }
+        3 => Op::Probe {
+            sigma,
+            dc: 0.3 + b * 15.0,
+        },
+        4 => Op::TakeDue { dt: a * 2_000.0 },
+        5 => Op::EarlyRelease {
+            node: (a * 1_000.0) as usize,
+            frac: b,
+        },
+        6 => Op::Replan { dt: a * 500.0 },
+        _ => Op::RemoveWaiting {
+            pick: (a * 1_000.0) as usize,
+        },
+    }
+}
+
+/// Both engines side by side, plus the scenario clock and id allocator.
+struct Harness {
+    full: AdmissionController,
+    inc: IncrementalController,
+    now: f64,
+    next_id: u64,
+}
+
+impl Harness {
+    fn new(algorithm: AlgorithmKind) -> Self {
+        let params = ClusterParams::paper_baseline();
+        let cfg = PlanConfig::default();
+        Harness {
+            full: AdmissionController::new(params, algorithm, cfg),
+            inc: IncrementalController::new(params, algorithm, cfg),
+            now: 0.0,
+            next_id: 0,
+        }
+    }
+
+    fn mk_task(&mut self, sigma: f64, dc: f64, user: Option<usize>) -> Task {
+        let p = *self.full.params();
+        let e16 = homogeneous::exec_time(&p, sigma, p.num_nodes);
+        let id = self.next_id;
+        self.next_id += 1;
+        Task::new(id, self.now, sigma, dc * e16).with_user_nodes(user)
+    }
+
+    /// Asserts full observable equality between the two engines.
+    fn check(&self, context: &str) -> Result<(), String> {
+        let (fs, is) = (self.full.state(), self.inc.state());
+        if fs != is {
+            return Err(format!(
+                "{context}: ControllerState diverged\n full: {fs:?}\n incr: {is:?}"
+            ));
+        }
+        let now = SimTime::new(self.now);
+        if self.full.backlog(now) != self.inc.backlog(now) {
+            return Err(format!("{context}: backlog diverged"));
+        }
+        if self.full.next_dispatch_due() != self.inc.next_dispatch_due() {
+            return Err(format!("{context}: next_dispatch_due diverged"));
+        }
+        Ok(())
+    }
+
+    /// Applies one op to both engines, checking decision and state
+    /// equality.
+    fn apply(&mut self, i: usize, op: &Op) -> Result<(), String> {
+        match op {
+            Op::Submit {
+                sigma,
+                dc,
+                dt,
+                user,
+            } => {
+                self.now += dt;
+                let task = self.mk_task(*sigma, *dc, *user);
+                let now = SimTime::new(self.now);
+                let a = self.full.submit(task, now);
+                let b = self.inc.submit(task, now);
+                if a != b {
+                    return Err(format!("op {i} {op:?}: decision diverged {a:?} vs {b:?}"));
+                }
+            }
+            Op::Batch { members, dt } => {
+                self.now += dt;
+                let batch: Vec<Task> = members
+                    .iter()
+                    .map(|&(sigma, dc)| self.mk_task(sigma, dc, None))
+                    .collect();
+                let now = SimTime::new(self.now);
+                let a = self.full.submit_batch(&batch, now);
+                let b = self.inc.submit_batch(&batch, now);
+                if a != b {
+                    return Err(format!(
+                        "op {i} {op:?}: batch decisions diverged {a:?} vs {b:?}"
+                    ));
+                }
+            }
+            Op::Probe { sigma, dc } => {
+                let task = self.mk_task(*sigma, *dc, None);
+                let now = SimTime::new(self.now);
+                let a = self.full.probe_plan(&task, now);
+                let b = self.inc.probe_plan(&task, now);
+                if a != b {
+                    return Err(format!("op {i} {op:?}: probe diverged {a:?} vs {b:?}"));
+                }
+            }
+            Op::TakeDue { dt } => {
+                self.now += dt;
+                let now = SimTime::new(self.now);
+                let a = self.full.take_due(now);
+                let b = self.inc.take_due(now);
+                if a != b {
+                    return Err(format!("op {i} {op:?}: take_due diverged {a:?} vs {b:?}"));
+                }
+            }
+            Op::EarlyRelease { node, frac } => {
+                let node = node % self.full.params().num_nodes;
+                // Pull the node's committed release part-way back toward
+                // `now` — the "node freed earlier than estimated" event.
+                let rel = self.full.committed_releases()[node].as_f64();
+                let time = SimTime::new(self.now + frac * (rel - self.now).max(0.0));
+                self.full.set_node_release(node, time);
+                self.inc.set_node_release(node, time);
+            }
+            Op::Replan { dt } => {
+                self.now += dt;
+                let now = SimTime::new(self.now);
+                let a = self.full.replan(now);
+                let b = self.inc.replan(now);
+                if a != b {
+                    return Err(format!("op {i} {op:?}: replan diverged {a:?} vs {b:?}"));
+                }
+            }
+            Op::RemoveWaiting { pick } => {
+                if self.full.queue_len() > 0 {
+                    let id = self.full.queue()[pick % self.full.queue_len()].0.id;
+                    let a = self.full.remove_waiting(id);
+                    let b = self.inc.remove_waiting(id);
+                    if a != b {
+                        return Err(format!("op {i} {op:?}: remove diverged {a:?} vs {b:?}"));
+                    }
+                }
+            }
+        }
+        self.check(&format!("op {i} {op:?}"))
+    }
+}
+
+/// Replays one raw scenario through both engines; `Err` describes the
+/// first divergence.
+fn check_scenario(algorithm: AlgorithmKind, raws: &[(u8, f64, f64, f64)]) -> Result<(), String> {
+    let mut h = Harness::new(algorithm);
+    h.check("initial")?;
+    for (i, raw) in raws.iter().enumerate() {
+        let op = decode(raw);
+        h.apply(i, &op)?;
+    }
+    Ok(())
+}
+
+/// Greedy delta-debugging: drop raw ops one at a time while the divergence
+/// persists, then panic with the minimal reproducer.
+fn shrink_and_report(
+    algorithm: AlgorithmKind,
+    raws: &[(u8, f64, f64, f64)],
+    first_error: String,
+) -> ! {
+    let mut ops = raws.to_vec();
+    loop {
+        let mut reduced = false;
+        let mut i = ops.len();
+        while i > 0 {
+            i -= 1;
+            let mut cand = ops.clone();
+            cand.remove(i);
+            if check_scenario(algorithm, &cand).is_err() {
+                ops = cand;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            break;
+        }
+    }
+    let minimal_error = check_scenario(algorithm, &ops).unwrap_err();
+    let decoded: Vec<Op> = ops.iter().map(decode).collect();
+    panic!(
+        "differential oracle: engines diverged.\n\
+         original error: {first_error}\n\
+         minimal scenario ({} ops, algorithm {algorithm}):\n{decoded:#?}\n\
+         raw tuples for replay: {ops:?}\n\
+         minimal error: {minimal_error}",
+        ops.len()
+    );
+}
+
+fn algorithms() -> Vec<AlgorithmKind> {
+    vec![
+        AlgorithmKind::EDF_DLT,
+        AlgorithmKind::FIFO_DLT,
+        AlgorithmKind::EDF_OPR_MN,
+        AlgorithmKind::EDF_USER_SPLIT,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(600))]
+    #[test]
+    fn differential_random_ops(
+        algorithm in prop::sample::select(algorithms()),
+        raws in prop::collection::vec((0u8..8, 0.0..1.0, 0.0..1.0, 0.0..1.0), 1..30),
+    ) {
+        if let Err(e) = check_scenario(algorithm, &raws) {
+            shrink_and_report(algorithm, &raws, e);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+    #[test]
+    fn differential_batch_heavy(
+        algorithm in prop::sample::select(vec![AlgorithmKind::EDF_DLT, AlgorithmKind::FIFO_DLT]),
+        raws in prop::collection::vec(
+            // Kinds 2/4/5 dominate: bursts through the checkpoint-rewind
+            // path, interleaved with dispatches and early releases.
+            (prop::sample::select(vec![2u8, 2, 2, 4, 5, 0]), 0.0..1.0, 0.0..1.0, 0.0..1.0),
+            1..16,
+        ),
+    ) {
+        if let Err(e) = check_scenario(algorithm, &raws) {
+            shrink_and_report(algorithm, &raws, e);
+        }
+    }
+}
+
+/// Drives both engines with a real workload stream: submissions at their
+/// arrival instants, a dispatch sweep before each, an early release every
+/// seventh task, and a closing burst through the batch path.
+fn check_workload_stream(tasks: &[Task], algorithm: AlgorithmKind) -> Result<(), String> {
+    let mut h = Harness::new(algorithm);
+    let (head, tail) = tasks.split_at(tasks.len().saturating_sub(5));
+    for (i, t) in head.iter().enumerate() {
+        h.now = t.arrival.as_f64();
+        let now = t.arrival;
+        let a = h.full.take_due(now);
+        let b = h.inc.take_due(now);
+        if a != b {
+            return Err(format!("task {i}: take_due diverged"));
+        }
+        if i % 7 == 3 {
+            let node = i % h.full.params().num_nodes;
+            let rel = h.full.committed_releases()[node].as_f64();
+            let time = SimTime::new(h.now + 0.5 * (rel - h.now).max(0.0));
+            h.full.set_node_release(node, time);
+            h.inc.set_node_release(node, time);
+            let ra = h.full.replan(now);
+            let rb = h.inc.replan(now);
+            if ra != rb {
+                return Err(format!("task {i}: replan diverged {ra:?} vs {rb:?}"));
+            }
+        }
+        let da = h.full.submit(*t, now);
+        let db = h.inc.submit(*t, now);
+        if da != db {
+            return Err(format!(
+                "task {i} {t:?}: decision diverged {da:?} vs {db:?}"
+            ));
+        }
+        h.check(&format!("task {i}"))?;
+    }
+    if let Some(last) = tail.last() {
+        h.now = last.arrival.as_f64();
+        let now = last.arrival;
+        let a = h.full.submit_batch(tail, now);
+        let b = h.inc.submit_batch(tail, now);
+        if a != b {
+            return Err("closing batch decisions diverged".into());
+        }
+        h.check("closing batch")?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(220))]
+    #[test]
+    fn differential_workload_streams(
+        seed in 0u64..1_000_000,
+        load in 0.4..2.0,
+        flavor in 0u8..3,
+        algorithm in prop::sample::select(vec![AlgorithmKind::EDF_DLT, AlgorithmKind::FIFO_DLT]),
+    ) {
+        let mut spec = WorkloadSpec::paper_baseline(load);
+        spec.dc_ratio = 6.0;
+        spec.horizon = 1e9; // bound by take() below, not the horizon
+        let tasks: Vec<Task> = match flavor {
+            // Bursty arrivals (the gateway's stress regime).
+            0 => {
+                spec.horizon = 40.0 * spec.mean_interarrival();
+                let profile = BurstProfile { rate_factor: 3.0, ..BurstProfile::moderate(&spec) };
+                BurstyPoisson::new(spec, profile, seed).take(40).collect()
+            }
+            // Heavy-tailed sizes (rare huge tasks between many small ones).
+            1 => {
+                spec = spec.with_size_model(SizeModel::HeavyTailed);
+                WorkloadGenerator::new(spec, seed).take(40).collect()
+            }
+            // The paper's plain Poisson/normal stream.
+            _ => WorkloadGenerator::new(spec, seed).take(40).collect(),
+        };
+        prop_assume!(!tasks.is_empty());
+        if let Err(e) = check_workload_stream(&tasks, algorithm) {
+            panic!(
+                "differential oracle (workload stream): {e}\n\
+                 seed={seed} load={load} flavor={flavor} algorithm={algorithm}"
+            );
+        }
+    }
+}
+
+#[test]
+fn steady_deep_queue_actually_exercises_the_diff_path() {
+    // Guard against the incremental engine silently degrading to
+    // replan-always (it would still pass every differential check): in the
+    // steady deep-queue regime the reuse rate must be overwhelming.
+    let params = ClusterParams::paper_baseline();
+    let mut inc = IncrementalController::new(params, AlgorithmKind::EDF_DLT, PlanConfig::default());
+    for i in 0..128u64 {
+        let t = Task::new(i, 0.0, 100.0, 5e6 + i as f64 * 1e4);
+        assert!(inc.submit(t, SimTime::ZERO).is_accepted());
+    }
+    let stats = inc.stats();
+    assert!(
+        stats.reuse_rate() > 0.9,
+        "deep-queue streaming should be ~all reuse, got {:?}",
+        stats
+    );
+    // 128 submissions into an EDF-ordered queue with increasing deadlines:
+    // exactly one fresh plan each, everything before it reused.
+    assert_eq!(stats.plans_computed, 128);
+}

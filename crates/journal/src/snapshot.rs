@@ -13,7 +13,7 @@
 use serde::{Deserialize, Serialize};
 
 use rtdls_core::prelude::{
-    AdmissionController, AlgorithmKind, ClusterParams, ControllerState, Infeasible, SimTime, Task,
+    Admission, AlgorithmKind, ClusterParams, ControllerState, Infeasible, SimTime, Task,
 };
 use rtdls_service::prelude::{
     DeferState, DeferredQueue, Gateway, GatewayDecision, MetricsSnapshot, Routing, ServiceMetrics,
@@ -144,7 +144,7 @@ pub trait Recoverable: Frontend + Sized {
     fn pending_resolutions(&self) -> &[(Task, Option<Infeasible>)];
 }
 
-impl Recoverable for Gateway {
+impl<A: Admission> Recoverable for Gateway<A> {
     fn capture(&self) -> GatewaySnapshot {
         GatewaySnapshot {
             sharded: false,
@@ -165,7 +165,7 @@ impl Recoverable for Gateway {
                 "snapshot is not a single-cluster gateway image",
             ));
         }
-        let ctl = AdmissionController::from_state(snap.shards[0].clone())?;
+        let ctl = A::from_state(snap.shards[0].clone())?;
         if ctl.params() != &snap.params {
             return Err(JournalError::Incompatible(
                 "controller shape disagrees with the snapshot's cluster",
@@ -204,7 +204,7 @@ impl Recoverable for Gateway {
     }
 }
 
-impl Recoverable for ShardedGateway {
+impl<A: Admission> Recoverable for ShardedGateway<A> {
     fn capture(&self) -> GatewaySnapshot {
         GatewaySnapshot {
             sharded: true,
@@ -308,7 +308,7 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: GatewaySnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
-        let restored = ShardedGateway::restore(&back).unwrap();
+        let restored: ShardedGateway = ShardedGateway::restore(&back).unwrap();
         assert_eq!(restored.capture(), snap);
         assert_eq!(restored.shard_queue_lens(), g.shard_queue_lens());
         assert_eq!(restored.deferred().len(), g.deferred().len());
@@ -330,17 +330,17 @@ mod tests {
         g.submit(Task::new(1, 0.0, 200.0, 30_000.0), SimTime::ZERO);
         let snap = g.capture();
         assert!(!snap.sharded);
-        let restored = Gateway::restore(&snap).unwrap();
+        let restored: Gateway = Gateway::restore(&snap).unwrap();
         assert_eq!(restored.capture(), snap);
         // Cross-type restores are refused.
-        assert!(ShardedGateway::restore(&snap).is_err());
-        assert!(Gateway::restore(&busy_sharded().capture()).is_err());
+        assert!(ShardedGateway::<AdmissionController>::restore(&snap).is_err());
+        assert!(Gateway::<AdmissionController>::restore(&busy_sharded().capture()).is_err());
     }
 
     #[test]
     fn restored_gateway_keeps_deciding_identically() {
         let mut live = busy_sharded();
-        let mut restored = ShardedGateway::restore(&live.capture()).unwrap();
+        let mut restored: ShardedGateway = ShardedGateway::restore(&live.capture()).unwrap();
         let probe = Task::new(200, 10.0, 150.0, 80_000.0);
         assert_eq!(
             live.decide(probe, SimTime::new(10.0)),

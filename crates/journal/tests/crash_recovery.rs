@@ -185,6 +185,69 @@ fn outage_long_enough_to_defeat_a_plan_demotes_it_explicitly() {
 }
 
 #[test]
+fn incremental_engine_recovers_to_the_same_state_from_the_same_wal() {
+    // Engine-conformance across the durability boundary: one WAL, written
+    // by a live full-replan gateway, recovered twice — once as
+    // `ShardedGateway<AdmissionController>` and once as
+    // `ShardedGateway<IncrementalController>`. The two engines are
+    // observably identical state machines over the journal's input events,
+    // so snapshot-restore + tail-replay + strict re-admission must land
+    // both on the *same* per-shard `ControllerState`s, the same demotions,
+    // and the same future decisions.
+    type IncJG = JournaledGateway<ShardedGateway<IncrementalController>>;
+    for kill_at in [5usize, 37, 120] {
+        // Build the WAL with a live (full-engine) gateway driven by the
+        // stepped engine API, crashing after `kill_at` events.
+        let tasks = bursty_tasks(23);
+        let cfg = SimConfig::new(params(), AlgorithmKind::EDF_DLT).strict();
+        let mut sim = Simulation::with_frontend(cfg, fresh_gateway(16));
+        sim.prime(tasks);
+        while sim.events_processed() < kill_at as u64 && sim.step() {}
+        let crash_time = sim.now();
+        let wal = sim.frontend().journal().bytes().to_vec();
+
+        let (full_rec, full_report) =
+            recover::<ShardedGateway>(&wal, crash_time, JournalConfig::default(), None)
+                .expect("full-engine recovery");
+        let (inc_rec, inc_report): (IncJG, _) = recover::<ShardedGateway<IncrementalController>>(
+            &wal,
+            crash_time,
+            JournalConfig::default(),
+            None,
+        )
+        .expect("incremental-engine recovery");
+
+        assert_eq!(
+            full_report.demoted, inc_report.demoted,
+            "kill_at={kill_at}: demotions diverged"
+        );
+        assert_eq!(
+            full_rec.inner().shard_states(),
+            inc_rec.inner().shard_states(),
+            "kill_at={kill_at}: recovered ControllerStates diverged"
+        );
+        assert_eq!(
+            full_rec.inner().capture().normalized(),
+            inc_rec.inner().capture().normalized(),
+            "kill_at={kill_at}: full gateway snapshots diverged"
+        );
+        // And both recovered gateways keep deciding identically.
+        let mut full_rec = full_rec;
+        let mut inc_rec = inc_rec;
+        let probe = Task::new(9_000_001, crash_time.as_f64() + 1.0, 150.0, 80_000.0);
+        assert_eq!(
+            full_rec.submit(probe, probe.arrival),
+            inc_rec.submit(probe, probe.arrival),
+            "kill_at={kill_at}"
+        );
+        assert_eq!(
+            full_rec.inner().shard_states(),
+            inc_rec.inner().shard_states()
+        );
+    }
+}
+
+#[test]
 fn recovery_through_a_journal_file_survives_process_boundaries() {
     // Phase 1 writes the WAL to disk; phase 2 recovers from the file alone
     // (same process here, but nothing except the path crosses the "boundary").

@@ -8,9 +8,7 @@
 
 use std::time::Instant;
 
-use rtdls_core::prelude::{
-    AdmissionController, AlgorithmKind, ClusterParams, Infeasible, SimTime, Task,
-};
+use rtdls_core::prelude::{Admission, AlgorithmKind, ClusterParams, Infeasible, SimTime, Task};
 
 use crate::defer::{latest_feasible_start, DeferOutcome, DeferTicket, DeferredQueue};
 use crate::gateway::GatewayDecision;
@@ -92,8 +90,8 @@ pub(crate) fn flush_all(
 /// the very next re-test sweep can rescue it.
 ///
 /// Returns the demoted tasks in demotion order.
-pub(crate) fn reverify_controller(
-    ctl: &mut AdmissionController,
+pub(crate) fn reverify_controller<A: Admission>(
+    ctl: &mut A,
     defer: &mut DeferredQueue,
     metrics: &mut ServiceMetrics,
     widest_params: &ClusterParams,

@@ -23,8 +23,8 @@
 use std::time::Instant;
 
 use rtdls_core::prelude::{
-    AdmissionController, AdmissionFailure, AlgorithmKind, ClusterParams, Decision, Infeasible,
-    PlanConfig, SimTime, Task, TaskId, TaskPlan,
+    Admission, AdmissionController, AdmissionFailure, AlgorithmKind, ClusterParams, Decision,
+    Infeasible, PlanConfig, SimTime, Task, TaskId, TaskPlan,
 };
 use rtdls_sim::frontend::{Frontend, SubmitOutcome};
 
@@ -55,34 +55,49 @@ impl GatewayDecision {
     }
 }
 
-/// Online admission gateway over one cluster.
+/// Online admission gateway over one cluster, generic over the admission
+/// engine `A` (the reference full-replan controller by default; the
+/// incremental diff engine via [`Gateway::with_engine`]).
 #[derive(Clone, Debug)]
-pub struct Gateway {
-    ctl: AdmissionController,
+pub struct Gateway<A: Admission = AdmissionController> {
+    ctl: A,
     defer: DeferredQueue,
     metrics: ServiceMetrics,
     /// Verdicts reached for deferred tasks since the last drain.
     resolutions: Vec<(Task, Option<Infeasible>)>,
 }
 
-impl Gateway {
-    /// A gateway over an idle cluster.
+impl Gateway<AdmissionController> {
+    /// A gateway over an idle cluster, on the reference full-replan engine.
     pub fn new(
         params: ClusterParams,
         algorithm: AlgorithmKind,
         cfg: PlanConfig,
         defer_policy: DeferPolicy,
     ) -> Self {
+        Gateway::with_engine(params, algorithm, cfg, defer_policy)
+    }
+}
+
+impl<A: Admission> Gateway<A> {
+    /// A gateway over an idle cluster, on the admission engine `A` (e.g.
+    /// `Gateway::<IncrementalController>::with_engine(...)`).
+    pub fn with_engine(
+        params: ClusterParams,
+        algorithm: AlgorithmKind,
+        cfg: PlanConfig,
+        defer_policy: DeferPolicy,
+    ) -> Self {
         Gateway {
-            ctl: AdmissionController::new(params, algorithm, cfg),
+            ctl: A::new(params, algorithm, cfg),
             defer: DeferredQueue::new(defer_policy),
             metrics: ServiceMetrics::new(),
             resolutions: Vec::new(),
         }
     }
 
-    /// The underlying admission controller.
-    pub fn controller(&self) -> &AdmissionController {
+    /// The underlying admission engine.
+    pub fn controller(&self) -> &A {
         &self.ctl
     }
 
@@ -109,7 +124,7 @@ impl Gateway {
     /// [`deferred`](Gateway::deferred), [`metrics`](Gateway::metrics), and
     /// [`pending_resolutions`](Gateway::pending_resolutions).
     pub fn from_parts(
-        ctl: AdmissionController,
+        ctl: A,
         defer: DeferredQueue,
         metrics: ServiceMetrics,
         resolutions: Vec<(Task, Option<Infeasible>)>,
@@ -205,7 +220,7 @@ impl Gateway {
     }
 }
 
-impl Frontend for Gateway {
+impl<A: Admission> Frontend for Gateway<A> {
     fn submit(&mut self, task: Task, now: SimTime) -> SubmitOutcome {
         match Gateway::submit(self, task, now) {
             GatewayDecision::Accepted => SubmitOutcome::Accepted,
@@ -239,7 +254,7 @@ impl Frontend for Gateway {
     }
 
     fn find_plan(&self, task: TaskId) -> Option<&TaskPlan> {
-        Frontend::find_plan(&self.ctl, task)
+        Admission::find_plan(&self.ctl, task)
     }
 
     fn on_event(&mut self, now: SimTime) {
@@ -328,6 +343,47 @@ mod tests {
         assert!(!plan
             .est_completion
             .definitely_after(near_miss.absolute_deadline()));
+    }
+
+    #[test]
+    fn incremental_engine_gateway_mirrors_full_engine_gateway() {
+        use rtdls_core::prelude::IncrementalController;
+        let p = ClusterParams::paper_baseline();
+        let e16 = homogeneous::exec_time(&p, 800.0, 16);
+        let mut full = gateway();
+        let mut inc = Gateway::<IncrementalController>::with_engine(
+            p,
+            AlgorithmKind::EDF_DLT,
+            PlanConfig::default(),
+            DeferPolicy::default(),
+        );
+        // Accept, defer, reject — all three verdicts must coincide, and so
+        // must the controller books underneath.
+        let stream = [
+            Task::new(1, 0.0, 800.0, e16 * 1.05),
+            Task::new(2, 0.0, 800.0, e16 * 1.5), // deferred
+            Task::new(3, 0.0, 200.0, 100.0),     // hopeless
+            Task::new(4, 1.0, 100.0, e16 * 40.0),
+        ];
+        for t in &stream {
+            let a = full.submit(*t, t.arrival);
+            let b = inc.submit(*t, t.arrival);
+            assert_eq!(a, b, "{t:?}");
+        }
+        assert_eq!(full.controller().state(), inc.controller().state());
+        assert_eq!(full.metrics().deferred, inc.metrics().deferred);
+        // The defer re-test sweep rescues identically after early releases.
+        Frontend::take_due(&mut full, SimTime::new(1.0));
+        Frontend::take_due(&mut inc, SimTime::new(1.0));
+        let early = SimTime::new(e16 * 0.3);
+        for node in 0..16 {
+            Frontend::set_node_release(&mut full, node, early);
+            Frontend::set_node_release(&mut inc, node, early);
+        }
+        full.retest_deferred(early);
+        inc.retest_deferred(early);
+        assert_eq!(full.metrics().rescued, inc.metrics().rescued);
+        assert_eq!(full.controller().state(), inc.controller().state());
     }
 
     #[test]

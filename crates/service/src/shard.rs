@@ -29,8 +29,8 @@ use serde::{Deserialize, Serialize};
 
 use rtdls_core::error::ModelError;
 use rtdls_core::prelude::{
-    AdmissionController, AdmissionFailure, AlgorithmKind, ClusterParams, ControllerState,
-    Infeasible, NodeId, PlanConfig, SimTime, Task, TaskId, TaskPlan,
+    Admission, AdmissionController, AdmissionFailure, AlgorithmKind, ClusterParams,
+    ControllerState, Decision, Infeasible, NodeId, PlanConfig, SimTime, Task, TaskId, TaskPlan,
 };
 use rtdls_sim::frontend::{Frontend, SubmitOutcome};
 
@@ -50,15 +50,15 @@ pub enum Routing {
     BestFit,
 }
 
-/// One shard: an admission controller plus its node-id offset into the
+/// One shard: an admission engine plus its node-id offset into the
 /// global cluster.
 #[derive(Clone, Debug)]
-struct Shard {
-    ctl: AdmissionController,
+struct Shard<A: Admission> {
+    ctl: A,
     offset: usize,
 }
 
-impl Shard {
+impl<A: Admission> Shard<A> {
     fn len(&self) -> usize {
         self.ctl.params().num_nodes
     }
@@ -75,8 +75,8 @@ fn globalize(mut plan: TaskPlan, offset: usize) -> TaskPlan {
 /// Tries shards in routing order, skipping `exclude` (a shard already known
 /// to reject, e.g. from a batch pass); `Ok(shard)` on the first acceptance,
 /// `Err(a rejection cause)` when every candidate rejects (or none remain).
-fn try_admit(
-    shards: &mut [Shard],
+fn try_admit<A: Admission>(
+    shards: &mut [Shard<A>],
     routing: Routing,
     cursor: &mut usize,
     task: &Task,
@@ -135,8 +135,8 @@ fn try_admit(
             continue;
         }
         match shards[s].ctl.submit(*task, now) {
-            rtdls_core::prelude::Decision::Accepted => return Ok(s),
-            rtdls_core::prelude::Decision::Rejected(cause) => {
+            Decision::Accepted => return Ok(s),
+            Decision::Rejected(cause) => {
                 first_cause.get_or_insert(cause);
             }
         }
@@ -144,12 +144,15 @@ fn try_admit(
     Err(first_cause.unwrap_or(Infeasible::NotEnoughNodes))
 }
 
-/// Online admission gateway over `K` independent cluster shards.
+/// Online admission gateway over `K` independent cluster shards, generic
+/// over the per-shard admission engine `A` (the reference full-replan
+/// controller by default; the incremental diff engine via
+/// [`ShardedGateway::with_engine`]).
 #[derive(Clone, Debug)]
-pub struct ShardedGateway {
+pub struct ShardedGateway<A: Admission = AdmissionController> {
     params: ClusterParams,
     algorithm: AlgorithmKind,
-    shards: Vec<Shard>,
+    shards: Vec<Shard<A>>,
     routing: Routing,
     cursor: usize,
     defer: DeferredQueue,
@@ -157,11 +160,28 @@ pub struct ShardedGateway {
     resolutions: Vec<(Task, Option<Infeasible>)>,
 }
 
-impl ShardedGateway {
+impl ShardedGateway<AdmissionController> {
     /// Partitions `params.num_nodes` nodes into `num_shards` contiguous
-    /// shards (sizes differing by at most one). Errors when `num_shards`
-    /// is zero or exceeds the node count.
+    /// shards (sizes differing by at most one), each on the reference
+    /// full-replan engine. Errors when `num_shards` is zero or exceeds the
+    /// node count.
     pub fn new(
+        params: ClusterParams,
+        num_shards: usize,
+        algorithm: AlgorithmKind,
+        cfg: PlanConfig,
+        routing: Routing,
+        defer_policy: DeferPolicy,
+    ) -> Result<Self, ModelError> {
+        ShardedGateway::with_engine(params, num_shards, algorithm, cfg, routing, defer_policy)
+    }
+}
+
+impl<A: Admission> ShardedGateway<A> {
+    /// Like [`ShardedGateway::new`], with every shard on the admission
+    /// engine `A` (e.g.
+    /// `ShardedGateway::<IncrementalController>::with_engine(...)`).
+    pub fn with_engine(
         params: ClusterParams,
         num_shards: usize,
         algorithm: AlgorithmKind,
@@ -183,7 +203,7 @@ impl ShardedGateway {
             let size = base + usize::from(i < extra);
             let shard_params = ClusterParams::new(size, params.cms, params.cps)?;
             shards.push(Shard {
-                ctl: AdmissionController::new(shard_params, algorithm, cfg),
+                ctl: A::new(shard_params, algorithm, cfg),
                 offset,
             });
             offset += size;
@@ -283,7 +303,7 @@ impl ShardedGateway {
                 ));
             }
             shards.push(Shard {
-                ctl: AdmissionController::from_state(state)?,
+                ctl: A::from_state(state)?,
                 offset,
             });
             offset += shard_params.num_nodes;
@@ -407,11 +427,11 @@ impl ShardedGateway {
             let decisions = self.shards[s].ctl.submit_batch(&tasks, now);
             for (&i, decision) in group.iter().zip(decisions) {
                 match decision {
-                    rtdls_core::prelude::Decision::Accepted => {
+                    Decision::Accepted => {
                         self.metrics.accepted_immediate += 1;
                         out[i] = Some(GatewayDecision::Accepted);
                     }
-                    rtdls_core::prelude::Decision::Rejected(cause) => {
+                    Decision::Rejected(cause) => {
                         spilled.push((i, s, cause));
                     }
                 }
@@ -489,7 +509,7 @@ impl ShardedGateway {
     }
 }
 
-impl Frontend for ShardedGateway {
+impl<A: Admission> Frontend for ShardedGateway<A> {
     fn submit(&mut self, task: Task, now: SimTime) -> SubmitOutcome {
         match ShardedGateway::submit(self, task, now) {
             GatewayDecision::Accepted => SubmitOutcome::Accepted,

@@ -33,6 +33,25 @@ pub enum LinkModel {
     SharedGlobal,
 }
 
+/// Which admission engine the default-constructed simulation drives
+/// (see `rtdls_core::admission`): the reference full-replan controller or
+/// the diff-based incremental one. The two are decision- and plan-identical
+/// (enforced by the differential oracle suite), so this knob only trades
+/// admission CPU cost; `Incremental` is the production choice for deep
+/// queues.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum AdmissionEngine {
+    /// Whole-queue replan per event ([`AdmissionController`]).
+    ///
+    /// [`AdmissionController`]: rtdls_core::admission::AdmissionController
+    #[default]
+    Full,
+    /// Release-vector-diff maintenance ([`IncrementalController`]).
+    ///
+    /// [`IncrementalController`]: rtdls_core::admission::IncrementalController
+    Incremental,
+}
+
 /// Everything needed to run one simulation (workload arrives separately).
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -46,6 +65,10 @@ pub struct SimConfig {
     pub replan: ReplanPolicy,
     /// Link contention model.
     pub link: LinkModel,
+    /// Which admission engine [`Simulation::new`] constructs.
+    ///
+    /// [`Simulation::new`]: crate::engine::Simulation::new
+    pub engine: AdmissionEngine,
     /// Record a full execution trace (memory-heavy; for tests/examples).
     pub record_trace: bool,
     /// Panic if an accepted task misses its deadline or overshoots its
@@ -63,9 +86,16 @@ impl SimConfig {
             plan: PlanConfig::default(),
             replan: ReplanPolicy::default(),
             link: LinkModel::default(),
+            engine: AdmissionEngine::default(),
             record_trace: false,
             strict_guarantees: false,
         }
+    }
+
+    /// Overrides the admission engine.
+    pub fn with_engine(mut self, engine: AdmissionEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Enables panicking on any real-time guarantee violation.
@@ -121,7 +151,15 @@ mod tests {
         let cfg = SimConfig::new(ClusterParams::paper_baseline(), AlgorithmKind::EDF_DLT);
         assert_eq!(cfg.replan, ReplanPolicy::OnRelease);
         assert_eq!(cfg.link, LinkModel::PerTask);
+        assert_eq!(cfg.engine, AdmissionEngine::Full);
         assert!(!cfg.record_trace);
         assert!(!cfg.strict_guarantees);
+    }
+
+    #[test]
+    fn engine_override_sticks() {
+        let cfg = SimConfig::new(ClusterParams::paper_baseline(), AlgorithmKind::EDF_DLT)
+            .with_engine(AdmissionEngine::Incremental);
+        assert_eq!(cfg.engine, AdmissionEngine::Incremental);
     }
 }

@@ -20,8 +20,11 @@
 //!   rejected`).
 
 use rtdls_core::prelude::{
-    AdmissionController, AdmissionFailure, Decision, Infeasible, SimTime, Task, TaskId, TaskPlan,
+    AdmissionController, AdmissionFailure, Decision, IncrementalController, Infeasible, SimTime,
+    Task, TaskId, TaskPlan,
 };
+
+use crate::config::{AdmissionEngine, SimConfig};
 
 /// The engine-visible outcome of submitting one task to a [`Frontend`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -124,10 +127,122 @@ impl Frontend for AdmissionController {
     }
 
     fn find_plan(&self, task: TaskId) -> Option<&TaskPlan> {
-        self.queue()
-            .iter()
-            .find(|(t, _)| t.id == task)
-            .map(|(_, p)| p)
+        rtdls_core::admission::Admission::find_plan(self, task)
+    }
+}
+
+impl Frontend for IncrementalController {
+    fn submit(&mut self, task: Task, now: SimTime) -> SubmitOutcome {
+        SubmitOutcome::from_decision(IncrementalController::submit(self, task, now))
+    }
+
+    fn replan(&mut self, now: SimTime) -> Result<(), AdmissionFailure> {
+        IncrementalController::replan(self, now)
+    }
+
+    fn take_due(&mut self, now: SimTime) -> Vec<(Task, TaskPlan)> {
+        IncrementalController::take_due(self, now)
+    }
+
+    fn next_dispatch_due(&self) -> Option<SimTime> {
+        IncrementalController::next_dispatch_due(self)
+    }
+
+    fn committed_release(&self, node: usize) -> SimTime {
+        self.committed_releases()[node]
+    }
+
+    fn set_node_release(&mut self, node: usize, time: SimTime) {
+        IncrementalController::set_node_release(self, node, time);
+    }
+
+    fn waiting_len(&self) -> usize {
+        self.queue_len()
+    }
+
+    fn find_plan(&self, task: TaskId) -> Option<&TaskPlan> {
+        rtdls_core::admission::Admission::find_plan(self, task)
+    }
+}
+
+/// A [`Frontend`] whose engine is chosen at run time from
+/// [`SimConfig::engine`] — what [`Simulation::new`] drives. Both variants
+/// are observably identical deciders (see `rtdls_core::admission`), so the
+/// choice only affects admission CPU cost.
+///
+/// [`Simulation::new`]: crate::engine::Simulation::new
+#[derive(Clone, Debug)]
+pub enum EngineFrontend {
+    /// The reference full-replan controller.
+    Full(AdmissionController),
+    /// The diff-based incremental controller.
+    Incremental(IncrementalController),
+}
+
+impl EngineFrontend {
+    /// Builds the engine `cfg` selects, over an idle cluster.
+    pub fn from_config(cfg: &SimConfig) -> Self {
+        match cfg.engine {
+            AdmissionEngine::Full => EngineFrontend::Full(AdmissionController::new(
+                cfg.params,
+                cfg.algorithm,
+                cfg.plan,
+            )),
+            AdmissionEngine::Incremental => EngineFrontend::Incremental(
+                IncrementalController::new(cfg.params, cfg.algorithm, cfg.plan),
+            ),
+        }
+    }
+
+    /// Which engine this frontend runs.
+    pub fn kind(&self) -> AdmissionEngine {
+        match self {
+            EngineFrontend::Full(_) => AdmissionEngine::Full,
+            EngineFrontend::Incremental(_) => AdmissionEngine::Incremental,
+        }
+    }
+}
+
+macro_rules! delegate_engine {
+    ($self:ident, $ctl:ident => $body:expr) => {
+        match $self {
+            EngineFrontend::Full($ctl) => $body,
+            EngineFrontend::Incremental($ctl) => $body,
+        }
+    };
+}
+
+impl Frontend for EngineFrontend {
+    fn submit(&mut self, task: Task, now: SimTime) -> SubmitOutcome {
+        delegate_engine!(self, c => Frontend::submit(c, task, now))
+    }
+
+    fn replan(&mut self, now: SimTime) -> Result<(), AdmissionFailure> {
+        delegate_engine!(self, c => Frontend::replan(c, now))
+    }
+
+    fn take_due(&mut self, now: SimTime) -> Vec<(Task, TaskPlan)> {
+        delegate_engine!(self, c => Frontend::take_due(c, now))
+    }
+
+    fn next_dispatch_due(&self) -> Option<SimTime> {
+        delegate_engine!(self, c => Frontend::next_dispatch_due(c))
+    }
+
+    fn committed_release(&self, node: usize) -> SimTime {
+        delegate_engine!(self, c => Frontend::committed_release(c, node))
+    }
+
+    fn set_node_release(&mut self, node: usize, time: SimTime) {
+        delegate_engine!(self, c => Frontend::set_node_release(c, node, time))
+    }
+
+    fn waiting_len(&self) -> usize {
+        delegate_engine!(self, c => Frontend::waiting_len(c))
+    }
+
+    fn find_plan(&self, task: TaskId) -> Option<&TaskPlan> {
+        delegate_engine!(self, c => Frontend::find_plan(c, task))
     }
 }
 

@@ -94,6 +94,45 @@ impl Normal {
     }
 }
 
+/// Pareto (power-law) distribution with the given scale `x_m` and shape
+/// `α`: `P(X > x) = (x_m / x)^α` for `x ≥ x_m`.
+///
+/// The heavy-tailed size model (`SizeModel::HeavyTailed`) uses it for
+/// task data sizes: with `α ≤ 2` the variance is infinite, so a stream
+/// mixes many small tasks with rare huge ones — the regime where a
+/// scheduler's queue depth and admission cost are stressed far beyond
+/// what the paper's normal sizes produce.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// `scale` and `shape` must be finite and positive.
+    pub fn new(scale: f64, shape: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "pareto scale must be > 0");
+        assert!(shape.is_finite() && shape > 0.0, "pareto shape must be > 0");
+        Pareto { scale, shape }
+    }
+
+    /// The distribution mean (`α·x_m / (α − 1)`); infinite for `α ≤ 1`.
+    pub fn mean(&self) -> f64 {
+        if self.shape <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.shape * self.scale / (self.shape - 1.0)
+        }
+    }
+
+    /// Draws one variate by inverse CDF: `x_m / (1 − U)^{1/α}`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // gen::<f64>() ∈ [0, 1): 1 − U ∈ (0, 1], so the power is finite.
+        let u: f64 = rng.gen();
+        self.scale / (1.0 - u).powf(1.0 / self.shape)
+    }
+}
+
 /// Continuous uniform distribution over `[low, high)`.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct UniformRange {
@@ -183,6 +222,28 @@ mod tests {
             (m / (200.0 * 1.2876) - 1.0).abs() < 0.02,
             "truncated mean {m}"
         );
+    }
+
+    #[test]
+    fn pareto_moments_and_tail_match() {
+        let d = Pareto::new(100.0, 1.5);
+        assert!((d.mean() - 300.0).abs() < 1e-9);
+        let mut r = rng(5);
+        let xs: Vec<f64> = (0..N).map(|_| d.sample(&mut r)).collect();
+        assert!(xs.iter().all(|&x| x >= 100.0), "support starts at x_m");
+        // Tail probability: P(X > 10·x_m) = 10^-1.5 ≈ 3.16%.
+        let tail = xs.iter().filter(|&&x| x > 1000.0).count() as f64 / N as f64;
+        assert!((tail - 0.0316).abs() < 0.005, "tail mass {tail}");
+        // The sample mean of an infinite-variance law converges slowly;
+        // only sanity-check the right order of magnitude.
+        let m = mean_of(&xs);
+        assert!((150.0..600.0).contains(&m), "mean {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be > 0")]
+    fn pareto_rejects_bad_shape() {
+        let _ = Pareto::new(1.0, 0.0);
     }
 
     #[test]

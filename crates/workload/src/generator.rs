@@ -19,8 +19,8 @@ use rand::{Rng, SeedableRng};
 
 use rtdls_core::prelude::{user_split_n_min, Task};
 
-use crate::distributions::{Exponential, Normal, UniformRange};
-use crate::spec::{FloorMode, SizeModel, WorkloadSpec, TRUNCATED_MEAN_FACTOR};
+use crate::distributions::{Exponential, Normal, Pareto, UniformRange};
+use crate::spec::{FloorMode, SizeModel, WorkloadSpec, HEAVY_TAIL_SHAPE, TRUNCATED_MEAN_FACTOR};
 
 /// Deterministic task-stream generator; implements [`Iterator`].
 #[derive(Clone, Debug)]
@@ -29,6 +29,7 @@ pub struct WorkloadGenerator {
     rng: SmallRng,
     interarrival: Exponential,
     size: Normal,
+    heavy_size: Pareto,
     deadline: UniformRange,
     next_id: u64,
     clock: f64,
@@ -38,13 +39,16 @@ pub struct WorkloadGenerator {
 impl WorkloadGenerator {
     /// Draws one data size according to the spec's [`SizeModel`].
     fn sample_size(&mut self) -> f64 {
-        let raw = self.size.sample_positive(&mut self.rng);
         match self.spec.size_model {
             // Rescale the positive-truncated draw so the realized mean is
             // exactly Avgσ — the SystemLoad axis then offers exactly the
             // nominal fraction of full-cluster capacity.
-            SizeModel::Calibrated => raw / TRUNCATED_MEAN_FACTOR,
-            SizeModel::TruncatedRaw => raw,
+            SizeModel::Calibrated => {
+                self.size.sample_positive(&mut self.rng) / TRUNCATED_MEAN_FACTOR
+            }
+            SizeModel::TruncatedRaw => self.size.sample_positive(&mut self.rng),
+            // Pareto with mean Avgσ: always positive by construction.
+            SizeModel::HeavyTailed => self.heavy_size.sample(&mut self.rng),
         }
     }
 
@@ -57,6 +61,12 @@ impl WorkloadGenerator {
             rng: SmallRng::seed_from_u64(seed),
             interarrival: Exponential::new(spec.mean_interarrival()),
             size: Normal::new(spec.avg_sigma, spec.avg_sigma),
+            // Scale so the Pareto mean is exactly Avgσ:
+            // mean = α·x_m/(α−1) ⇒ x_m = Avgσ·(α−1)/α.
+            heavy_size: Pareto::new(
+                spec.avg_sigma * (HEAVY_TAIL_SHAPE - 1.0) / HEAVY_TAIL_SHAPE,
+                HEAVY_TAIL_SHAPE,
+            ),
             deadline: UniformRange::new(avg_d / 2.0, avg_d * 1.5),
             next_id: 0,
             clock: 0.0,
@@ -203,6 +213,40 @@ mod tests {
         let tasks: Vec<Task> = WorkloadGenerator::new(spec, 21).collect();
         let mean = tasks.iter().map(|t| t.data_size).sum::<f64>() / tasks.len() as f64;
         assert!((mean / 200.0 - 1.0).abs() < 0.05, "size mean {mean}");
+    }
+
+    #[test]
+    fn heavy_tailed_sizes_are_heavy_tailed_but_feasible() {
+        // The Pareto model must actually produce a heavier tail than the
+        // truncated normal (whose draws essentially never exceed ~4·Avgσ),
+        // while the deadline-floor resampling keeps every emitted task
+        // individually schedulable.
+        let spec = WorkloadSpec::paper_baseline(1.0)
+            .with_floor_mode(FloorMode::Clamp)
+            .with_size_model(SizeModel::HeavyTailed);
+        let tasks: Vec<Task> = WorkloadGenerator::new(spec, 21).collect();
+        assert!(tasks.iter().all(|t| t.data_size > 0.0));
+        // Support starts at x_m = Avgσ/3.
+        let x_m = spec.avg_sigma * (HEAVY_TAIL_SHAPE - 1.0) / HEAVY_TAIL_SHAPE;
+        assert!(tasks.iter().all(|t| t.data_size >= x_m - 1e-9));
+        // Unclamped draws have mean Avgσ; the sample mean of an
+        // infinite-variance law wanders, so only order-of-magnitude.
+        let mean = tasks.iter().map(|t| t.data_size).sum::<f64>() / tasks.len() as f64;
+        assert!((100.0..600.0).contains(&mean), "size mean {mean}");
+        // Tail: a visible fraction of tasks beyond 3·Avgσ (the truncated
+        // normal puts ~zero mass there); P(X > 3Avgσ) = (1/9)^1.5 ≈ 3.7%.
+        let tail = tasks
+            .iter()
+            .filter(|t| t.data_size > 3.0 * spec.avg_sigma)
+            .count() as f64
+            / tasks.len() as f64;
+        assert!((0.01..0.10).contains(&tail), "tail mass {tail}");
+        // Under Resample mode every emitted deadline clears its floor.
+        let spec_rs = WorkloadSpec::paper_baseline(1.0).with_size_model(SizeModel::HeavyTailed);
+        let tasks_rs: Vec<Task> = WorkloadGenerator::new(spec_rs, 3).collect();
+        for t in &tasks_rs {
+            assert!(t.rel_deadline > spec_rs.deadline_floor_value(t.data_size));
+        }
     }
 
     #[test]

@@ -28,9 +28,9 @@ pub mod spec;
 /// One-stop imports.
 pub mod prelude {
     pub use crate::arrivals::{BurstProfile, BurstyPoisson};
-    pub use crate::distributions::{Exponential, Normal, UniformRange};
+    pub use crate::distributions::{Exponential, Normal, Pareto, UniformRange};
     pub use crate::generator::WorkloadGenerator;
     pub use crate::spec::{
-        DeadlineFloor, FloorMode, SizeModel, WorkloadSpec, TRUNCATED_MEAN_FACTOR,
+        DeadlineFloor, FloorMode, SizeModel, WorkloadSpec, HEAVY_TAIL_SHAPE, TRUNCATED_MEAN_FACTOR,
     };
 }

@@ -53,7 +53,18 @@ pub enum SizeModel {
     /// Plain rejection sampling of `N(Avgσ, Avgσ)` until positive; realized
     /// mean `≈1.2876·Avgσ` (ablation `abl-sizes`).
     TruncatedRaw,
+    /// Heavy-tailed sizes: Pareto with shape [`HEAVY_TAIL_SHAPE`] (= 1.5 —
+    /// finite mean, infinite variance), scale chosen so the mean is exactly
+    /// `Avgσ`. Beyond the paper's workload model: many small tasks mixed
+    /// with rare huge ones, the regime that stresses queue depth and
+    /// admission cost (ROADMAP "heavy-tailed size distributions").
+    HeavyTailed,
 }
+
+/// Pareto shape parameter of [`SizeModel::HeavyTailed`]. `1 < α ≤ 2`:
+/// finite mean (so `SystemLoad` stays meaningful) but infinite variance
+/// (a genuinely heavy tail).
+pub const HEAVY_TAIL_SHAPE: f64 = 1.5;
 
 /// `1 + φ(1)/Φ(1)`: the mean of a `N(μ, μ)` normal truncated to `(0, ∞)`,
 /// in units of `μ` (standard normal pdf/cdf at `z = 1`).

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# CI guard: compare the freshly emitted incremental-admission baseline
+# (target/incremental_admission_baseline.json, written by
+# `cargo bench -p rtdls-bench --bench incremental_admission`) against the
+# committed reference in crates/bench/baselines/. Fails when the measured
+# full→incremental speedup drops below the 3x acceptance floor or regresses
+# more than 20% relative to the committed run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ ! -f target/incremental_admission_baseline.json ]; then
+    echo "no fresh baseline found; running the bench first..."
+    cargo bench -p rtdls-bench --bench incremental_admission
+fi
+cargo run -q -p rtdls-bench --bin check_incremental_baseline
