@@ -309,6 +309,24 @@ impl AdmissionController {
         Admission::backlog(self, now)
     }
 
+    /// The earliest instant `t ≥ now` at which `task` would be admitted,
+    /// assuming no further arrivals: the release-vector-driven search over
+    /// the queue's dispatch instants (see
+    /// [`earliest_feasible_start_search`](super::earliest_feasible_start_search)).
+    /// Non-mutating; `Some(now)` iff [`probe`](AdmissionController::probe)
+    /// accepts right now.
+    pub fn earliest_feasible_start(&self, task: &Task, now: SimTime) -> Option<SimTime> {
+        super::earliest_feasible_start_search(
+            &self.params,
+            self.algorithm,
+            &self.cfg,
+            now,
+            &self.releases,
+            &self.queue,
+            task,
+        )
+    }
+
     /// Re-plans the waiting queue against the current committed releases
     /// (used when nodes free up earlier than estimated, letting waiting
     /// tasks "utilize a processor as soon as it becomes available").
@@ -466,6 +484,10 @@ impl Admission for AdmissionController {
 
     fn submit_batch(&mut self, batch: &[Task], now: SimTime) -> Vec<Decision> {
         AdmissionController::submit_batch(self, batch, now)
+    }
+
+    fn earliest_feasible_start(&self, task: &Task, now: SimTime) -> Option<SimTime> {
+        AdmissionController::earliest_feasible_start(self, task, now)
     }
 
     fn replan(&mut self, now: SimTime) -> Result<(), AdmissionFailure> {

@@ -510,6 +510,30 @@ impl IncrementalController {
         Admission::backlog(self, now)
     }
 
+    /// The earliest instant `t ≥ now` at which `task` would be admitted,
+    /// assuming no further arrivals. Decision-identical to
+    /// [`AdmissionController::earliest_feasible_start`](super::AdmissionController::earliest_feasible_start)
+    /// (the differential oracle replays this op through both engines), but
+    /// the `t = now` probe — the common case, answered instantly for an
+    /// admissible task — runs through the incremental pass and reuses the
+    /// cached plan prefix; only the search over future dispatch instants
+    /// falls back to fresh temp-schedule walks.
+    pub fn earliest_feasible_start(&self, task: &Task, now: SimTime) -> Option<SimTime> {
+        let mut scratch = IncrementalStats::default();
+        if self.pass(now, Some(task), &mut scratch).is_ok() {
+            return Some(now);
+        }
+        super::earliest_feasible_start_search(
+            &self.params,
+            self.algorithm,
+            &self.cfg,
+            now,
+            &self.releases,
+            &self.queue,
+            task,
+        )
+    }
+
     /// Re-plans the waiting queue against the current committed releases.
     /// Positions whose inputs are unchanged keep their plans without a
     /// planning call; on failure the previous plans stay installed.
@@ -641,6 +665,10 @@ impl Admission for IncrementalController {
 
     fn submit_batch(&mut self, batch: &[Task], now: SimTime) -> Vec<Decision> {
         IncrementalController::submit_batch(self, batch, now)
+    }
+
+    fn earliest_feasible_start(&self, task: &Task, now: SimTime) -> Option<SimTime> {
+        IncrementalController::earliest_feasible_start(self, task, now)
     }
 
     fn replan(&mut self, now: SimTime) -> Result<(), AdmissionFailure> {

@@ -151,6 +151,85 @@ pub fn schedulability_test(
     Ok(plans)
 }
 
+/// Release-vector-driven search for the earliest instant `t ≥ now` at
+/// which `task` would pass the schedulability test, given the engine's
+/// current book (committed releases + waiting queue) and assuming no
+/// further arrivals.
+///
+/// The engine's deterministic future has one kind of state change left:
+/// *dispatches*. When the clock reaches a waiting plan's first transmission
+/// start, the task leaves the queue and its release estimates become
+/// committed — after which a candidate is planned *behind* it instead of
+/// competing with it in policy order (the mechanism that lets an
+/// EDF-early candidate stop starving a later-deadline waiting task it
+/// would otherwise push past its deadline). Between dispatch instants the
+/// test's inputs only get worse with time (availability is `max(r, t)`,
+/// non-decreasing in `t`), so feasibility within an interval is decided at
+/// its left endpoint: the candidate instants are exactly
+/// `{now} ∪ {first_start(p) > now}` and the first feasible one is the
+/// earliest feasible start overall.
+///
+/// Returns `None` when no candidate instant passes — the task can never be
+/// admitted against this book without some *external* change (an early
+/// release, a removal, a competing arrival being rejected).
+pub fn earliest_feasible_start_search(
+    params: &ClusterParams,
+    algorithm: AlgorithmKind,
+    cfg: &PlanConfig,
+    now: SimTime,
+    committed_releases: &[SimTime],
+    queue: &[(Task, TaskPlan)],
+    task: &Task,
+) -> Option<SimTime> {
+    // t = now: the engine's plain admission test (probe semantics — due
+    // but undispatched plans still count as waiting, exactly as a `submit`
+    // at this instant would see them). Some(now) iff a probe accepts.
+    let waiting_now: Vec<Task> = queue.iter().map(|(t, _)| *t).collect();
+    if schedulability_test(
+        params,
+        algorithm,
+        cfg,
+        now,
+        committed_releases,
+        &waiting_now,
+        Some(task),
+    )
+    .is_ok()
+    {
+        return Some(now);
+    }
+    // Future instants: the activation protocol is "dispatches at `t`
+    // commit first, then the task is submitted", so each candidate instant
+    // is tested against the post-dispatch book.
+    let mut instants: Vec<SimTime> = queue
+        .iter()
+        .map(|(_, plan)| plan.first_start())
+        .filter(|start| start.definitely_after(now))
+        .collect();
+    instants.sort_unstable();
+    instants.dedup();
+    for t in instants {
+        // Simulate the dispatches due by `t`, exactly as `take_due` would:
+        // scan in execution order, commit each due plan's release
+        // estimates, keep the rest waiting.
+        let mut releases = committed_releases.to_vec();
+        let mut waiting: Vec<Task> = Vec::with_capacity(queue.len());
+        for (w, plan) in queue {
+            if plan.first_start().at_or_before_eps(t) {
+                for (node, &rel) in plan.nodes.iter().zip(&plan.node_release_estimates) {
+                    releases[node.index()] = rel;
+                }
+            } else {
+                waiting.push(*w);
+            }
+        }
+        if schedulability_test(params, algorithm, cfg, t, &releases, &waiting, Some(task)).is_ok() {
+            return Some(t);
+        }
+    }
+    None
+}
+
 /// The outcome of submitting a task to an admission engine.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Decision {
@@ -302,6 +381,14 @@ pub trait Admission: Clone + core::fmt::Debug {
     /// [`submit`](Admission::submit) once per task in policy order. Returns
     /// one [`Decision`] per batch entry, in input order.
     fn submit_batch(&mut self, batch: &[Task], now: SimTime) -> Vec<Decision>;
+
+    /// The earliest instant `t ≥ now` at which `task` would pass the
+    /// schedulability test against this engine's current book, assuming no
+    /// further arrivals (see [`earliest_feasible_start_search`]). Some(now)
+    /// iff the task is admissible right now; `None` when no dispatch of the
+    /// current queue ever makes room. Non-mutating. The service layer's
+    /// reservation verdict (`Reserved { start_at, .. }`) is built on this.
+    fn earliest_feasible_start(&self, task: &Task, now: SimTime) -> Option<SimTime>;
 
     /// Re-plans the waiting queue against the current committed releases
     /// (used when nodes free up earlier than estimated). Failure indicates

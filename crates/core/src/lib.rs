@@ -60,6 +60,7 @@ pub mod error;
 pub mod nmin;
 pub mod params;
 pub mod policy;
+pub mod request;
 pub mod strategy;
 pub mod task;
 pub mod time;
@@ -77,6 +78,7 @@ pub mod prelude {
     pub use crate::nmin::{min_feasible_nodes, n_tilde_min};
     pub use crate::params::{ClusterParams, NodeId};
     pub use crate::policy::Policy;
+    pub use crate::request::{QosClass, SubmitRequest, TenantId, TenantMix};
     pub use crate::strategy::{
         plan_task, user_split_n_min, NodeAvailability, NodeCountPolicy, PlanConfig,
         ReleaseEstimate, StrategyKind, TaskPlan,

@@ -40,6 +40,10 @@ enum Op {
         sigma: f64,
         dc: f64,
     },
+    EarliestFeasibleStart {
+        sigma: f64,
+        dc: f64,
+    },
     TakeDue {
         dt: f64,
     },
@@ -61,7 +65,7 @@ fn decode(raw: &(u8, f64, f64, f64)) -> Op {
     let (kind, a, b, c) = *raw;
     let sigma = 10.0 + a * 790.0;
     let user = (b > 0.25).then(|| 1 + (a * 97.0) as usize % 16);
-    match kind % 8 {
+    match kind % 9 {
         // Submissions get double weight (0 and 1): they are the hot path.
         0 | 1 => Op::Submit {
             sigma,
@@ -95,8 +99,14 @@ fn decode(raw: &(u8, f64, f64, f64)) -> Op {
             frac: b,
         },
         6 => Op::Replan { dt: a * 500.0 },
-        _ => Op::RemoveWaiting {
+        7 => Op::RemoveWaiting {
             pick: (a * 1_000.0) as usize,
+        },
+        // Deliberately tight deadline factors: the reservation search only
+        // does interesting work on tasks the plain test rejects.
+        _ => Op::EarliestFeasibleStart {
+            sigma,
+            dc: 0.2 + b * 3.0,
         },
     }
 }
@@ -188,6 +198,36 @@ impl Harness {
                 let b = self.inc.probe_plan(&task, now);
                 if a != b {
                     return Err(format!("op {i} {op:?}: probe diverged {a:?} vs {b:?}"));
+                }
+            }
+            Op::EarliestFeasibleStart { sigma, dc } => {
+                let task = self.mk_task(*sigma, *dc, None);
+                let now = SimTime::new(self.now);
+                let a = self.full.earliest_feasible_start(&task, now);
+                let b = self.inc.earliest_feasible_start(&task, now);
+                if a != b {
+                    return Err(format!(
+                        "op {i} {op:?}: earliest_feasible_start diverged {a:?} vs {b:?}"
+                    ));
+                }
+                // Contract checks against the reference engine itself:
+                // Some(now) iff the plain probe accepts, and a promised
+                // start honors the dispatch-then-resubmit protocol.
+                let probe_accepts = self.full.probe(&task, now).is_accepted();
+                if (a == Some(now)) != probe_accepts {
+                    return Err(format!(
+                        "op {i} {op:?}: Some(now)={:?} disagrees with probe={probe_accepts}",
+                        a
+                    ));
+                }
+                if let Some(start) = a.filter(|s| s.definitely_after(now)) {
+                    let mut replay = self.full.clone();
+                    let _ = replay.take_due(start);
+                    if !replay.submit(task, start).is_accepted() {
+                        return Err(format!(
+                            "op {i} {op:?}: promised start {start:?} dishonored"
+                        ));
+                    }
                 }
             }
             Op::TakeDue { dt } => {
@@ -295,7 +335,7 @@ proptest! {
     #[test]
     fn differential_random_ops(
         algorithm in prop::sample::select(algorithms()),
-        raws in prop::collection::vec((0u8..8, 0.0..1.0, 0.0..1.0, 0.0..1.0), 1..30),
+        raws in prop::collection::vec((0u8..9, 0.0..1.0, 0.0..1.0, 0.0..1.0), 1..30),
     ) {
         if let Err(e) = check_scenario(algorithm, &raws) {
             shrink_and_report(algorithm, &raws, e);
@@ -310,8 +350,9 @@ proptest! {
         algorithm in prop::sample::select(vec![AlgorithmKind::EDF_DLT, AlgorithmKind::FIFO_DLT]),
         raws in prop::collection::vec(
             // Kinds 2/4/5 dominate: bursts through the checkpoint-rewind
-            // path, interleaved with dispatches and early releases.
-            (prop::sample::select(vec![2u8, 2, 2, 4, 5, 0]), 0.0..1.0, 0.0..1.0, 0.0..1.0),
+            // path, interleaved with dispatches, early releases, and the
+            // reservation search (kind 8).
+            (prop::sample::select(vec![2u8, 2, 2, 4, 5, 0, 8]), 0.0..1.0, 0.0..1.0, 0.0..1.0),
             1..16,
         ),
     ) {
@@ -345,6 +386,17 @@ fn check_workload_stream(tasks: &[Task], algorithm: AlgorithmKind) -> Result<(),
             let rb = h.inc.replan(now);
             if ra != rb {
                 return Err(format!("task {i}: replan diverged {ra:?} vs {rb:?}"));
+            }
+        }
+        if i % 5 == 2 {
+            // A reservation search for the incoming task before deciding
+            // it: both engines must name the same instant (or none).
+            let ea = h.full.earliest_feasible_start(t, now);
+            let eb = h.inc.earliest_feasible_start(t, now);
+            if ea != eb {
+                return Err(format!(
+                    "task {i}: earliest_feasible_start diverged {ea:?} vs {eb:?}"
+                ));
             }
         }
         let da = h.full.submit(*t, now);

@@ -1,0 +1,281 @@
+//! `journalctl`-style audit inspector for rtdls WAL files.
+//!
+//! Walks a journal's frames ([`wire::decode_frames`]) and pretty-prints
+//! each record with its byte offset: snapshots as one-line gateway
+//! summaries, inputs as the replayed command stream, and audit records as
+//! the decision history — accepted plans, defer tickets, demotions, and
+//! the v2 reservation / activation / quota events. The tail status closes
+//! the listing, so a torn or corrupt log is visible at a glance.
+//!
+//! ```text
+//! Usage: inspect <journal-file> [--inputs | --audit] [--limit N]
+//! ```
+
+use std::process::ExitCode;
+
+use rtdls_journal::event::JournalEvent;
+use rtdls_journal::snapshot::GatewaySnapshot;
+use rtdls_journal::wire::{self, RecordKind, TailStatus};
+
+/// One line per snapshot: the gateway shape and the sizes of its books.
+fn describe_snapshot(snap: &GatewaySnapshot) -> String {
+    let queues: Vec<usize> = snap.shards.iter().map(|s| s.queue.len()).collect();
+    format!(
+        "SNAPSHOT {} {} nodes × {} shard(s) | waiting {:?} | defer {} | reservations {} | \
+         tenants {} | submitted {} accepted {} rejected {}",
+        if snap.sharded { "sharded" } else { "single" },
+        snap.params.num_nodes,
+        snap.shards.len(),
+        queues,
+        snap.defer.tickets.len(),
+        snap.reservations.reservations.len(),
+        snap.metrics.tenants.len(),
+        snap.metrics.submitted,
+        snap.metrics.accepted_total(),
+        snap.metrics.rejected_total(),
+    )
+}
+
+/// One line per event, input commands prefixed `IN`, audit records `AUDIT`.
+fn describe_event(ev: &JournalEvent) -> String {
+    let class = if ev.is_input() { "IN   " } else { "AUDIT" };
+    let body = match ev {
+        JournalEvent::Submitted { task, at } => format!(
+            "submit task {} (σ={} D={}) at {at}",
+            task.id.0, task.data_size, task.rel_deadline
+        ),
+        JournalEvent::RequestSubmitted { request, at } => format!(
+            "request task {} tenant {} {:?} max_delay {:?} at {at}",
+            request.task.id.0, request.tenant.0, request.qos, request.max_delay
+        ),
+        JournalEvent::BatchSubmitted { tasks, at } => {
+            let ids: Vec<u64> = tasks.iter().map(|t| t.id.0).collect();
+            format!("batch of {} {ids:?} at {at}", tasks.len())
+        }
+        JournalEvent::Completed { node, at } => format!("node {node} released at {at}"),
+        JournalEvent::DispatchDue { at } => format!("dispatch due at {at}"),
+        JournalEvent::Replanned { at } => format!("replanned at {at}"),
+        JournalEvent::Retested { at } => format!("defer sweep at {at}"),
+        JournalEvent::ActivationDue { at } => format!("reservation activation sweep at {at}"),
+        JournalEvent::Finalized { at } => format!("finalized at {at}"),
+        JournalEvent::Drained => "resolutions drained".to_string(),
+        JournalEvent::Accepted { task, plan } => format!(
+            "task {task} ACCEPTED on {} node(s), est completion {}",
+            plan.distinct_nodes(),
+            plan.est_completion
+        ),
+        JournalEvent::Deferred { task, ticket } => {
+            format!("task {task} DEFERRED under ticket {ticket}")
+        }
+        JournalEvent::Rejected { task, cause } => format!("task {task} REJECTED: {cause}"),
+        JournalEvent::Rescued { task } => format!("task {task} RESCUED from the defer queue"),
+        JournalEvent::Demoted { task, at } => {
+            format!("task {task} DEMOTED by recovery re-verification at {at}")
+        }
+        JournalEvent::Reserved {
+            task,
+            ticket,
+            start_at,
+        } => format!("task {task} RESERVED (ticket {ticket}) to start at {start_at}"),
+        JournalEvent::ReservationActivated {
+            task,
+            ticket,
+            at,
+            admitted,
+        } => format!(
+            "reservation {ticket} (task {task}) activated at {at}: {}",
+            if *admitted { "ADMITTED" } else { "MISSED" }
+        ),
+        JournalEvent::Throttled { task, tenant } => {
+            format!("task {task} THROTTLED (tenant {tenant} over quota)")
+        }
+    };
+    format!("{class} {body}")
+}
+
+/// Renders the whole log. `filter`: None = everything, Some(true) = inputs
+/// only, Some(false) = audit records only (snapshots always print).
+fn render(bytes: &[u8], filter: Option<bool>, limit: usize) -> (Vec<String>, TailStatus) {
+    let (frames, tail) = wire::decode_frames(bytes);
+    // Describe the frames that survive the filter first, so the
+    // truncation marker counts exactly what the listing omits.
+    let mut entries: Vec<String> = Vec::new();
+    for frame in &frames {
+        let payload = String::from_utf8_lossy(&frame.payload);
+        let line = match frame.kind {
+            RecordKind::Snapshot => match serde_json::from_str::<GatewaySnapshot>(&payload) {
+                Ok(snap) => describe_snapshot(&snap),
+                Err(e) => format!("SNAPSHOT <undecodable: {e}>"),
+            },
+            RecordKind::Event => match serde_json::from_str::<JournalEvent>(&payload) {
+                Ok(ev) => {
+                    if let Some(inputs_only) = filter {
+                        if ev.is_input() != inputs_only {
+                            continue;
+                        }
+                    }
+                    describe_event(&ev)
+                }
+                Err(e) => format!("EVENT <undecodable: {e}>"),
+            },
+        };
+        entries.push(format!("{:>10}  {line}", frame.offset));
+    }
+    let omitted = entries.len().saturating_sub(limit);
+    let mut lines = entries;
+    if omitted > 0 {
+        lines.truncate(limit);
+        lines.push(format!("… {omitted} more record(s)"));
+    }
+    (lines, tail)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut filter = None;
+    let mut limit = usize::MAX;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--inputs" => filter = Some(true),
+            "--audit" => filter = Some(false),
+            "--limit" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => limit = n,
+                None => {
+                    eprintln!("--limit needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("Usage: inspect <journal-file> [--inputs | --audit] [--limit N]");
+                return ExitCode::SUCCESS;
+            }
+            other => path = Some(other.to_string()),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("Usage: inspect <journal-file> [--inputs | --audit] [--limit N]");
+        return ExitCode::FAILURE;
+    };
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (lines, tail) = render(&bytes, filter, limit);
+    println!("{path}: {} byte(s)", bytes.len());
+    for line in lines {
+        println!("{line}");
+    }
+    match tail {
+        TailStatus::Clean => {
+            println!("tail: clean");
+            ExitCode::SUCCESS
+        }
+        TailStatus::Truncated { offset } => {
+            println!("tail: TORN WRITE at byte {offset} (records before it are intact)");
+            ExitCode::FAILURE
+        }
+        TailStatus::Corrupt { offset } => {
+            println!("tail: CORRUPT at byte {offset} (records before it are intact)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdls_core::prelude::*;
+    use rtdls_journal::prelude::*;
+    use rtdls_service::prelude::*;
+    use rtdls_sim::frontend::Frontend;
+
+    /// A small real WAL: one accept, one reject, a dispatch, a v2 request.
+    fn sample_wal() -> Vec<u8> {
+        let gateway = ShardedGateway::new(
+            ClusterParams::paper_baseline(),
+            2,
+            AlgorithmKind::EDF_DLT,
+            PlanConfig::default(),
+            Routing::RoundRobin,
+            DeferPolicy::default(),
+        )
+        .unwrap();
+        let mut j = JournaledGateway::new(gateway, JournalConfig::default());
+        assert!(j
+            .submit(Task::new(1, 0.0, 200.0, 30_000.0), SimTime::ZERO)
+            .is_accepted());
+        let _ = j.submit(Task::new(2, 0.0, 200.0, 10.0), SimTime::ZERO);
+        let _ = Frontend::take_due(&mut j, SimTime::ZERO);
+        let req = SubmitRequest::new(Task::new(3, 1.0, 100.0, 50_000.0))
+            .with_tenant(TenantId(5))
+            .with_qos(QosClass::Premium);
+        assert!(j.submit_request(&req, SimTime::new(1.0)).is_accepted());
+        j.journal().bytes().to_vec()
+    }
+
+    #[test]
+    fn renders_every_frame_with_offsets_and_clean_tail() {
+        let wal = sample_wal();
+        let (lines, tail) = render(&wal, None, usize::MAX);
+        assert_eq!(tail, TailStatus::Clean);
+        let text = lines.join("\n");
+        assert!(text.contains("SNAPSHOT sharded"), "{text}");
+        assert!(text.contains("submit task 1"), "{text}");
+        assert!(text.contains("ACCEPTED"), "{text}");
+        assert!(text.contains("REJECTED"), "{text}");
+        assert!(text.contains("dispatch due"), "{text}");
+        assert!(text.contains("request task 3 tenant 5 Premium"), "{text}");
+        // Every line leads with its frame byte offset.
+        assert!(lines.iter().all(|l| l
+            .trim_start()
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit())));
+    }
+
+    #[test]
+    fn input_and_audit_filters_partition_the_events() {
+        let wal = sample_wal();
+        let (all, _) = render(&wal, None, usize::MAX);
+        let (inputs, _) = render(&wal, Some(true), usize::MAX);
+        let (audit, _) = render(&wal, Some(false), usize::MAX);
+        // 1 snapshot line is in all three listings.
+        assert_eq!(inputs.len() + audit.len(), all.len() + 1);
+        assert!(inputs.iter().any(|l| l.contains("IN   ")));
+        assert!(audit.iter().all(|l| !l.contains("IN   ")));
+    }
+
+    #[test]
+    fn limit_truncates_with_an_accurate_marker() {
+        let wal = sample_wal();
+        let (all, _) = render(&wal, None, usize::MAX);
+        let (lines, _) = render(&wal, None, 2);
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            *lines.last().unwrap(),
+            format!("… {} more record(s)", all.len() - 2)
+        );
+        // Under a filter the marker counts only the filtered remainder.
+        let (audit, _) = render(&wal, Some(false), usize::MAX);
+        let (limited, _) = render(&wal, Some(false), 2);
+        assert_eq!(
+            *limited.last().unwrap(),
+            format!("… {} more record(s)", audit.len() - 2)
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_reported_not_fatal() {
+        let mut wal = sample_wal();
+        let cut = wal.len() - 3;
+        wal.truncate(cut);
+        let (lines, tail) = render(&wal, None, usize::MAX);
+        assert!(matches!(tail, TailStatus::Truncated { .. }));
+        assert!(!lines.is_empty(), "intact frames still render");
+    }
+}

@@ -17,16 +17,31 @@
 
 use serde::{Deserialize, Serialize};
 
-use rtdls_core::prelude::{Infeasible, SimTime, Task, TaskPlan};
+use rtdls_core::prelude::{Infeasible, SimTime, SubmitRequest, Task, TaskPlan};
 
 /// One journal record (see the module docs for the input/audit split).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum JournalEvent {
-    /// Input: one streaming submission at time `at`.
+    /// Input: one streaming submission at time `at` (the legacy v1
+    /// envelope: anonymous tenant, no reservation tolerance).
     Submitted {
         /// The submitted task.
         task: Task,
         /// Submission instant.
+        at: SimTime,
+    },
+    /// Input: one v2 submission envelope (task + tenant + QoS class +
+    /// reservation tolerance) at time `at`.
+    RequestSubmitted {
+        /// The full submission envelope.
+        request: SubmitRequest,
+        /// Submission instant.
+        at: SimTime,
+    },
+    /// Input: reservations due at `at` were activated (the post-dispatch
+    /// activation sweep ran). Replays through the same sweep.
+    ActivationDue {
+        /// The activation instant.
         at: SimTime,
     },
     /// Input: a burst decided through the batched path at time `at`.
@@ -106,6 +121,37 @@ pub enum JournalEvent {
         /// The recovery instant.
         at: SimTime,
     },
+    /// Audit: the task was booked as a reservation — the gateway promised
+    /// admission at `start_at`.
+    Reserved {
+        /// The reserved task's id.
+        task: u64,
+        /// The reservation ticket id.
+        ticket: u64,
+        /// The promised admission instant.
+        start_at: SimTime,
+    },
+    /// Audit: a due reservation was activated — `admitted` records whether
+    /// the re-run admission test honored the promise (a miss falls back to
+    /// the defer-or-reject protocol, which journals its own outcome).
+    ReservationActivated {
+        /// The reservation's task id.
+        task: u64,
+        /// The reservation ticket id.
+        ticket: u64,
+        /// The activation instant.
+        at: SimTime,
+        /// Whether the activation admission test passed.
+        admitted: bool,
+    },
+    /// Audit: the task was refused over its tenant's quota before any
+    /// admission test ran.
+    Throttled {
+        /// The refused task's id.
+        task: u64,
+        /// The over-quota tenant.
+        tenant: u32,
+    },
 }
 
 impl JournalEvent {
@@ -114,11 +160,13 @@ impl JournalEvent {
         matches!(
             self,
             JournalEvent::Submitted { .. }
+                | JournalEvent::RequestSubmitted { .. }
                 | JournalEvent::BatchSubmitted { .. }
                 | JournalEvent::Completed { .. }
                 | JournalEvent::DispatchDue { .. }
                 | JournalEvent::Replanned { .. }
                 | JournalEvent::Retested { .. }
+                | JournalEvent::ActivationDue { .. }
                 | JournalEvent::Finalized { .. }
                 | JournalEvent::Drained
         )
@@ -169,6 +217,28 @@ mod tests {
                 at: SimTime::new(11.0),
             },
             JournalEvent::Drained,
+            JournalEvent::RequestSubmitted {
+                request: rtdls_core::prelude::SubmitRequest::new(Task::new(8, 1.0, 120.0, 9e5))
+                    .with_tenant(rtdls_core::prelude::TenantId(3))
+                    .with_qos(rtdls_core::prelude::QosClass::Premium)
+                    .with_max_delay(Some(777.0)),
+                at: SimTime::new(1.0),
+            },
+            JournalEvent::ActivationDue {
+                at: SimTime::new(13.0),
+            },
+            JournalEvent::Reserved {
+                task: 8,
+                ticket: 2,
+                start_at: SimTime::new(42.0),
+            },
+            JournalEvent::ReservationActivated {
+                task: 8,
+                ticket: 2,
+                at: SimTime::new(42.0),
+                admitted: true,
+            },
+            JournalEvent::Throttled { task: 9, tenant: 3 },
             JournalEvent::Accepted {
                 task: 4,
                 plan: sample_plan(),
@@ -194,7 +264,27 @@ mod tests {
     #[test]
     fn input_classification_matches_the_replay_contract() {
         assert!(JournalEvent::DispatchDue { at: SimTime::ZERO }.is_input());
+        assert!(JournalEvent::ActivationDue { at: SimTime::ZERO }.is_input());
+        assert!(JournalEvent::RequestSubmitted {
+            request: rtdls_core::prelude::SubmitRequest::new(Task::new(1, 0.0, 1.0, 1.0)),
+            at: SimTime::ZERO,
+        }
+        .is_input());
         assert!(!JournalEvent::Rescued { task: 1 }.is_input());
+        assert!(!JournalEvent::Reserved {
+            task: 1,
+            ticket: 0,
+            start_at: SimTime::ZERO
+        }
+        .is_input());
+        assert!(!JournalEvent::ReservationActivated {
+            task: 1,
+            ticket: 0,
+            at: SimTime::ZERO,
+            admitted: false
+        }
+        .is_input());
+        assert!(!JournalEvent::Throttled { task: 1, tenant: 0 }.is_input());
         assert!(!JournalEvent::Accepted {
             task: 4,
             plan: sample_plan()

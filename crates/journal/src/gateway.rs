@@ -12,8 +12,11 @@
 //! engine polls far more often than state changes, and replaying a no-op is
 //! itself a no-op, so the log stays proportional to *actual* state changes.
 
-use rtdls_core::prelude::{AdmissionFailure, Infeasible, SimTime, Task, TaskId, TaskPlan};
-use rtdls_service::prelude::{DeferredQueue, GatewayDecision, ServiceMetrics};
+use rtdls_core::prelude::{
+    AdmissionFailure, Infeasible, SimTime, SubmitRequest, Task, TaskId, TaskPlan,
+};
+use rtdls_service::gateway::GatewayDecision;
+use rtdls_service::prelude::{DeferredQueue, ServiceMetrics, Verdict};
 use rtdls_sim::frontend::{Frontend, SubmitOutcome};
 
 use crate::event::JournalEvent;
@@ -87,6 +90,21 @@ impl<G: Recoverable> JournaledGateway<G> {
         decision
     }
 
+    /// Decides one v2 submission envelope at time `now`, journaling the
+    /// full request first (write-ahead: tenant, QoS, and tolerance all
+    /// shape the verdict, so replay needs all of them) and the verdict
+    /// after.
+    pub fn submit_request(&mut self, request: &SubmitRequest, now: SimTime) -> Verdict {
+        self.journal.append_event(&JournalEvent::RequestSubmitted {
+            request: *request,
+            at: now,
+        });
+        let verdict = self.inner.decide_request(request, now);
+        self.audit_verdict(request, &verdict);
+        self.maybe_snapshot();
+        verdict
+    }
+
     /// Decides a whole burst at once (see `submit_batch` on the wrapped
     /// gateway), journaling the burst as one command.
     pub fn submit_batch(&mut self, batch: &[Task], now: SimTime) -> Vec<GatewayDecision> {
@@ -123,6 +141,52 @@ impl<G: Recoverable> JournaledGateway<G> {
         self.journal.append_event(&ev);
     }
 
+    fn audit_verdict(&mut self, request: &SubmitRequest, verdict: &Verdict) {
+        let task = request.task.id;
+        let ev = match verdict {
+            Verdict::Accepted => JournalEvent::Accepted {
+                task: task.0,
+                plan: match Frontend::find_plan(&self.inner, task) {
+                    Some(plan) => plan.clone(),
+                    None => return, // defensively skip a plan-less accept
+                },
+            },
+            Verdict::Reserved { start_at, ticket } => JournalEvent::Reserved {
+                task: task.0,
+                ticket: *ticket,
+                start_at: *start_at,
+            },
+            Verdict::Deferred(ticket) => JournalEvent::Deferred {
+                task: task.0,
+                ticket: *ticket,
+            },
+            Verdict::Rejected(cause) => JournalEvent::Rejected {
+                task: task.0,
+                cause: *cause,
+            },
+            Verdict::Throttled => JournalEvent::Throttled {
+                task: task.0,
+                tenant: request.tenant.0,
+            },
+        };
+        self.journal.append_event(&ev);
+    }
+
+    /// Appends the activation audit records the last activation sweep
+    /// produced (a miss's defer-or-reject fallback is audited by the
+    /// resolution drain like any other ticket outcome).
+    fn audit_activations(&mut self) {
+        for rec in self.inner.take_activation_log() {
+            self.journal
+                .append_event(&JournalEvent::ReservationActivated {
+                    task: rec.task,
+                    ticket: rec.ticket,
+                    at: rec.at,
+                    admitted: rec.admitted,
+                });
+        }
+    }
+
     fn maybe_snapshot(&mut self) {
         if self.journal.wants_snapshot() {
             self.journal.append_snapshot(&self.inner.capture());
@@ -144,6 +208,15 @@ impl<G: Recoverable> Frontend for JournaledGateway<G> {
             GatewayDecision::Accepted => SubmitOutcome::Accepted,
             GatewayDecision::Deferred(_) => SubmitOutcome::Pending,
             GatewayDecision::Rejected(cause) => SubmitOutcome::Rejected(cause),
+        }
+    }
+
+    fn submit_request(&mut self, request: &SubmitRequest, now: SimTime) -> SubmitOutcome {
+        match JournaledGateway::submit_request(self, request, now) {
+            Verdict::Accepted => SubmitOutcome::Accepted,
+            Verdict::Reserved { .. } | Verdict::Deferred(_) => SubmitOutcome::Pending,
+            Verdict::Rejected(cause) => SubmitOutcome::Rejected(cause),
+            Verdict::Throttled => SubmitOutcome::Rejected(Infeasible::NotEnoughNodes),
         }
     }
 
@@ -204,6 +277,28 @@ impl<G: Recoverable> Frontend for JournaledGateway<G> {
             self.inner.on_event(now);
             self.maybe_snapshot();
         }
+    }
+
+    fn activate(&mut self, now: SimTime) {
+        // Activation mutates state only when a reservation is actually due
+        // — mirror the gateway's own condition so the log stays
+        // proportional to real state changes.
+        let due = self
+            .inner
+            .reservation_book()
+            .next_activation()
+            .is_some_and(|t| t.at_or_before_eps(now));
+        if due {
+            self.journal
+                .append_event(&JournalEvent::ActivationDue { at: now });
+            self.inner.activate_reservations(now);
+            self.audit_activations();
+            self.maybe_snapshot();
+        }
+    }
+
+    fn next_wakeup(&self) -> Option<SimTime> {
+        self.inner.reservation_book().next_activation()
     }
 
     fn drain_resolutions(&mut self) -> Vec<(Task, Option<Infeasible>)> {

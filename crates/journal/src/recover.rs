@@ -57,6 +57,15 @@ pub fn apply_event<G: Recoverable>(gateway: &mut G, event: &JournalEvent) {
         JournalEvent::Submitted { task, at } => {
             let _ = gateway.decide(*task, *at);
         }
+        JournalEvent::RequestSubmitted { request, at } => {
+            let _ = gateway.decide_request(request, *at);
+        }
+        JournalEvent::ActivationDue { at } => {
+            gateway.activate_reservations(*at);
+            // Replay regenerates (and discards) the activation audit; the
+            // recovery journal re-audits from its own fresh activations.
+            let _ = gateway.take_activation_log();
+        }
         JournalEvent::BatchSubmitted { tasks, at } => {
             let _ = gateway.decide_batch(tasks, *at);
         }
@@ -79,7 +88,10 @@ pub fn apply_event<G: Recoverable>(gateway: &mut G, event: &JournalEvent) {
         | JournalEvent::Deferred { .. }
         | JournalEvent::Rejected { .. }
         | JournalEvent::Rescued { .. }
-        | JournalEvent::Demoted { .. } => {}
+        | JournalEvent::Demoted { .. }
+        | JournalEvent::Reserved { .. }
+        | JournalEvent::ReservationActivated { .. }
+        | JournalEvent::Throttled { .. } => {}
     }
 }
 

@@ -13,11 +13,15 @@
 use serde::{Deserialize, Serialize};
 
 use rtdls_core::prelude::{
-    Admission, AlgorithmKind, ClusterParams, ControllerState, Infeasible, SimTime, Task,
+    Admission, AlgorithmKind, ClusterParams, ControllerState, Infeasible, SimTime, SubmitRequest,
+    Task,
 };
+use rtdls_service::book::ServiceBook;
+use rtdls_service::gateway::{Gateway, GatewayDecision};
 use rtdls_service::prelude::{
-    DeferState, DeferredQueue, Gateway, GatewayDecision, MetricsSnapshot, Routing, ServiceMetrics,
-    ShardedGateway,
+    ActivationRecord, DeferState, DeferredQueue, MetricsSnapshot, QuotaPolicy, ReservationBook,
+    ReservationState, Routing, ServiceMetrics, ShardedGateway, TenantLedger, TenantLedgerState,
+    Verdict,
 };
 use rtdls_sim::frontend::Frontend;
 
@@ -69,7 +73,13 @@ impl From<rtdls_core::error::ModelError> for JournalError {
 }
 
 /// The complete durable image of a gateway (see the module docs).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Deserialization is hand-written: the reservation/tenant/quota fields
+/// arrived with the v2 request/verdict redesign, and a WAL written before
+/// it (whose snapshots lack them) must still recover — missing fields
+/// default to an empty reservation book, an empty ledger, and unlimited
+/// quotas, which is exactly the pre-redesign behavior.
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct GatewaySnapshot {
     /// `true` for a [`ShardedGateway`] image, `false` for a [`Gateway`].
     pub sharded: bool,
@@ -86,10 +96,44 @@ pub struct GatewaySnapshot {
     pub shards: Vec<ControllerState>,
     /// The defer queue: policy, ticket-id counter, parked tickets.
     pub defer: DeferState,
+    /// The reservation book: ticket counter plus live reservations.
+    pub reservations: ReservationState,
+    /// Waiting-task → tenant ownership pairs.
+    pub ledger: TenantLedgerState,
+    /// The per-tenant quota policy in force.
+    pub quota: QuotaPolicy,
     /// Cumulative service metrics.
     pub metrics: MetricsSnapshot,
-    /// Defer verdicts reached but not yet drained by the engine.
+    /// Defer/reservation verdicts reached but not yet drained by the
+    /// engine.
     pub resolutions: Vec<(Task, Option<Infeasible>)>,
+}
+
+impl Deserialize for GatewaySnapshot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        use serde::helpers::{field, field_or_default};
+        Ok(GatewaySnapshot {
+            sharded: field(v, "sharded")?,
+            params: field(v, "params")?,
+            algorithm: field(v, "algorithm")?,
+            // `routing` predates the redesign: every writer serializes it
+            // (null for single-cluster images), so a missing key is
+            // corruption and must fail like any other v1 field.
+            routing: field(v, "routing")?,
+            cursor: field(v, "cursor")?,
+            shards: field(v, "shards")?,
+            defer: field(v, "defer")?,
+            // v2 request/verdict fields: absent in pre-redesign WALs.
+            reservations: field_or_default(v, "reservations")?,
+            ledger: field_or_default(v, "ledger")?,
+            quota: match v.get("quota") {
+                Some(q) => QuotaPolicy::from_value(q)?,
+                None => QuotaPolicy::default(),
+            },
+            metrics: field(v, "metrics")?,
+            resolutions: field(v, "resolutions")?,
+        })
+    }
 }
 
 impl GatewaySnapshot {
@@ -103,6 +147,7 @@ impl GatewaySnapshot {
     /// round-trips.
     pub fn normalized(mut self) -> Self {
         self.metrics.decision_latency = Default::default();
+        self.metrics.tenants = self.metrics.tenants.normalized();
         self
     }
 }
@@ -126,8 +171,23 @@ pub trait Recoverable: Frontend + Sized {
     /// [`JournalEvent::Submitted`](crate::event::JournalEvent::Submitted)).
     fn decide(&mut self, task: Task, now: SimTime) -> GatewayDecision;
 
+    /// Service-level v2 submission (the journaled command behind
+    /// [`JournalEvent::RequestSubmitted`](crate::event::JournalEvent::RequestSubmitted)).
+    fn decide_request(&mut self, request: &SubmitRequest, now: SimTime) -> Verdict;
+
     /// Service-level batched submission.
     fn decide_batch(&mut self, batch: &[Task], now: SimTime) -> Vec<GatewayDecision>;
+
+    /// The gateway's reservation book.
+    fn reservation_book(&self) -> &ReservationBook;
+
+    /// Activates every due reservation at `now` (the journaled command
+    /// behind [`JournalEvent::ActivationDue`](crate::event::JournalEvent::ActivationDue)).
+    fn activate_reservations(&mut self, now: SimTime);
+
+    /// Drains the activation audit records accumulated since the last
+    /// call (regenerated on replay; journaled as audit output).
+    fn take_activation_log(&mut self) -> Vec<ActivationRecord>;
 
     /// Post-recovery re-verification: re-run the strict admission test over
     /// every restored waiting plan at `now`, demoting newly infeasible
@@ -144,6 +204,18 @@ pub trait Recoverable: Frontend + Sized {
     fn pending_resolutions(&self) -> &[(Task, Option<Infeasible>)];
 }
 
+/// Rebuilds the shared serving-layer book from a snapshot's fields.
+fn book_from_snapshot(snap: &GatewaySnapshot) -> ServiceBook {
+    ServiceBook::from_parts(
+        DeferredQueue::from_state(snap.defer.clone()),
+        ReservationBook::from_state(snap.reservations.clone()),
+        TenantLedger::from_state(snap.ledger.clone()),
+        snap.quota,
+        ServiceMetrics::restore(&snap.metrics),
+        snap.resolutions.clone(),
+    )
+}
+
 impl<A: Admission> Recoverable for Gateway<A> {
     fn capture(&self) -> GatewaySnapshot {
         GatewaySnapshot {
@@ -154,6 +226,9 @@ impl<A: Admission> Recoverable for Gateway<A> {
             cursor: 0,
             shards: vec![self.controller().state()],
             defer: self.deferred().state(),
+            reservations: self.reservations().state(),
+            ledger: self.ledger().state(),
+            quota: *self.quota(),
             metrics: self.metrics().snapshot(),
             resolutions: self.pending_resolutions().to_vec(),
         }
@@ -171,20 +246,31 @@ impl<A: Admission> Recoverable for Gateway<A> {
                 "controller shape disagrees with the snapshot's cluster",
             ));
         }
-        Ok(Gateway::from_parts(
-            ctl,
-            DeferredQueue::from_state(snap.defer.clone()),
-            ServiceMetrics::restore(&snap.metrics),
-            snap.resolutions.clone(),
-        ))
+        Ok(Gateway::from_parts(ctl, book_from_snapshot(snap)))
     }
 
     fn decide(&mut self, task: Task, now: SimTime) -> GatewayDecision {
         Gateway::submit(self, task, now)
     }
 
+    fn decide_request(&mut self, request: &SubmitRequest, now: SimTime) -> Verdict {
+        Gateway::submit_request(self, request, now)
+    }
+
     fn decide_batch(&mut self, batch: &[Task], now: SimTime) -> Vec<GatewayDecision> {
         Gateway::submit_batch(self, batch, now)
+    }
+
+    fn reservation_book(&self) -> &ReservationBook {
+        self.reservations()
+    }
+
+    fn activate_reservations(&mut self, now: SimTime) {
+        Gateway::activate_reservations(self, now)
+    }
+
+    fn take_activation_log(&mut self) -> Vec<ActivationRecord> {
+        Gateway::take_activation_log(self)
     }
 
     fn reverify(&mut self, now: SimTime) -> Vec<Task> {
@@ -214,6 +300,9 @@ impl<A: Admission> Recoverable for ShardedGateway<A> {
             cursor: self.cursor(),
             shards: self.shard_states(),
             defer: self.deferred().state(),
+            reservations: self.reservations().state(),
+            ledger: self.ledger().state(),
+            quota: *self.quota(),
             metrics: self.metrics().snapshot(),
             resolutions: self.pending_resolutions().to_vec(),
         }
@@ -234,9 +323,7 @@ impl<A: Admission> Recoverable for ShardedGateway<A> {
             routing,
             snap.cursor,
             snap.shards.clone(),
-            DeferredQueue::from_state(snap.defer.clone()),
-            ServiceMetrics::restore(&snap.metrics),
-            snap.resolutions.clone(),
+            book_from_snapshot(snap),
         )
         .map_err(JournalError::from)
     }
@@ -245,8 +332,24 @@ impl<A: Admission> Recoverable for ShardedGateway<A> {
         ShardedGateway::submit(self, task, now)
     }
 
+    fn decide_request(&mut self, request: &SubmitRequest, now: SimTime) -> Verdict {
+        ShardedGateway::submit_request(self, request, now)
+    }
+
     fn decide_batch(&mut self, batch: &[Task], now: SimTime) -> Vec<GatewayDecision> {
         ShardedGateway::submit_batch(self, batch, now)
+    }
+
+    fn reservation_book(&self) -> &ReservationBook {
+        self.reservations()
+    }
+
+    fn activate_reservations(&mut self, now: SimTime) {
+        ShardedGateway::activate_reservations(self, now)
+    }
+
+    fn take_activation_log(&mut self) -> Vec<ActivationRecord> {
+        ShardedGateway::take_activation_log(self)
     }
 
     fn reverify(&mut self, now: SimTime) -> Vec<Task> {

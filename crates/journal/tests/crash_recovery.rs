@@ -173,6 +173,19 @@ fn outage_long_enough_to_defeat_a_plan_demotes_it_explicitly() {
     assert_eq!(recovered.metrics().rejected_immediate, 0);
     assert_eq!(recovered.metrics().rejected_total(), 1);
     assert_eq!(recovered.metrics().accepted_total(), 1, "A keeps its book");
+    // The tenant book mirrors the demotion correction: both tasks were
+    // submitted (anonymous tenant), both accepted gross, one demoted to a
+    // rejection — net admitted + rejected = submitted.
+    let t0 = recovered
+        .metrics()
+        .tenants
+        .get(TenantId(0))
+        .expect("anonymous tenant book");
+    assert_eq!(
+        (t0.submitted, t0.accepted, t0.demoted, t0.rejected),
+        (2, 2, 1, 1)
+    );
+    assert_eq!(t0.accepted_net() + t0.rejected, t0.submitted);
     // And the demotion is in the new journal (checked via the audit path).
     let (frames, _) = rtdls_journal::wire::decode_frames(recovered.journal().bytes());
     let has_demoted = frames.iter().any(|f| {
@@ -245,6 +258,287 @@ fn incremental_engine_recovers_to_the_same_state_from_the_same_wal() {
             inc_rec.inner().shard_states()
         );
     }
+}
+
+/// Recursively strips the named keys from a JSON value tree — used to
+/// down-convert a current-format record into its pre-redesign shape (the
+/// v2 fields did not exist, so a faithful old writer simply omits them).
+fn strip_keys(v: &serde::Value, keys: &[&str]) -> serde::Value {
+    match v {
+        serde::Value::Map(entries) => serde::Value::Map(
+            entries
+                .iter()
+                .filter(|(k, _)| !keys.contains(&k.as_str()))
+                .map(|(k, inner)| (k.clone(), strip_keys(inner, keys)))
+                .collect(),
+        ),
+        serde::Value::Seq(items) => {
+            serde::Value::Seq(items.iter().map(|x| strip_keys(x, keys)).collect())
+        }
+        other => other.clone(),
+    }
+}
+
+/// The v2 fields a pre-redesign writer never emitted, anywhere in a
+/// snapshot tree (gateway-level books, metrics, defer tickets).
+const V2_FIELDS: &[&str] = &[
+    "reservations",
+    "ledger",
+    "quota",
+    "reserved",
+    "reservations_activated",
+    "reservation_misses",
+    "reservations_flushed",
+    "throttled",
+    "tenants",
+    "tenant",
+    "qos",
+];
+
+#[test]
+fn pre_redesign_wal_recovers_with_identical_shard_states() {
+    // A WAL exactly as yesterday's writer produced it: a genesis snapshot
+    // and events in the pre-v2 vocabulary, with none of the reservation /
+    // tenant / quota fields. Recovery under today's gateway must accept it
+    // and land on the same shard states a live gateway reaches from the
+    // same command stream.
+    let p = params();
+    let mk_gateway = || {
+        ShardedGateway::new(
+            p,
+            2,
+            AlgorithmKind::EDF_DLT,
+            PlanConfig::default(),
+            Routing::RoundRobin,
+            DeferPolicy::default(),
+        )
+        .unwrap()
+    };
+    let e8 = rtdls_core::dlt::homogeneous::exec_time(&p, 400.0, 8);
+    let commands = vec![
+        JournalEvent::Submitted {
+            task: Task::new(1, 0.0, 400.0, e8 * 6.0),
+            at: SimTime::ZERO,
+        },
+        JournalEvent::Submitted {
+            task: Task::new(2, 0.0, 400.0, e8 * 1.05),
+            at: SimTime::ZERO,
+        },
+        JournalEvent::BatchSubmitted {
+            tasks: vec![
+                Task::new(3, 1.0, 200.0, e8 * 4.0),
+                Task::new(4, 1.0, 400.0, e8 * 1.2), // near-miss shape
+            ],
+            at: SimTime::new(1.0),
+        },
+        JournalEvent::DispatchDue {
+            at: SimTime::new(1.0),
+        },
+        JournalEvent::Completed {
+            node: 0,
+            at: SimTime::new(2.0),
+        },
+        JournalEvent::Retested {
+            at: SimTime::new(2.0),
+        },
+    ];
+    // The old-format WAL: genesis snapshot (v2 fields stripped) + commands.
+    let live = mk_gateway();
+    let genesis: serde::Value =
+        serde_json::from_str(&serde_json::to_string(&live.capture()).unwrap()).unwrap();
+    let old_genesis = strip_keys(&genesis, V2_FIELDS);
+    let mut wal = rtdls_journal::wire::encode_frame(
+        rtdls_journal::wire::RecordKind::Snapshot,
+        serde_json::to_string(&old_genesis).unwrap().as_bytes(),
+    );
+    for ev in &commands {
+        wal.extend(rtdls_journal::wire::encode_frame(
+            rtdls_journal::wire::RecordKind::Event,
+            serde_json::to_string(ev).unwrap().as_bytes(),
+        ));
+    }
+    // Reference: a live gateway driven through the same commands, plus the
+    // strict re-admission pass recovery always ends with.
+    let mut reference = live;
+    for ev in &commands {
+        rtdls_journal::apply_event(&mut reference, ev);
+    }
+    let demoted = reference.reverify(SimTime::new(2.0));
+    assert!(demoted.is_empty(), "scenario stays feasible: {demoted:?}");
+    let (recovered, report) =
+        recover::<ShardedGateway>(&wal, SimTime::new(2.0), JournalConfig::default(), None)
+            .expect("pre-redesign WAL must recover");
+    assert!(report.tail.is_clean());
+    assert_eq!(report.events_replayed, commands.len());
+    assert_eq!(
+        recovered.inner().shard_states(),
+        reference.shard_states(),
+        "shard states diverged from the live reference"
+    );
+    assert_eq!(recovered.deferred().len(), reference.deferred().len());
+    // The absent v2 fields defaulted: empty books, unlimited quotas.
+    assert!(recovered.inner().reservations().is_empty());
+    assert_eq!(recovered.inner().quota().max_inflight, None);
+    // The recovered gateway serves v2 traffic immediately.
+    let mut recovered = recovered;
+    let req = SubmitRequest::new(Task::new(50, 3.0, 100.0, 1e6)).with_tenant(TenantId(4));
+    assert!(recovered
+        .submit_request(&req, SimTime::new(3.0))
+        .is_accepted());
+    assert_eq!(
+        recovered
+            .metrics()
+            .tenants
+            .get(TenantId(4))
+            .unwrap()
+            .accepted,
+        1
+    );
+}
+
+/// The deterministic EDF priority-inversion scenario on one 16-node shard:
+/// all nodes committed to t=1000, a snug all-node OPR task waiting, and a
+/// small earlier-deadline candidate that must be Reserved at t=1000.
+fn reservation_wal() -> (Vec<u8>, SimTime, Task) {
+    let p = params();
+    let e16 = rtdls_core::dlt::homogeneous::exec_time(&p, 800.0, 16);
+    let e15 = rtdls_core::dlt::homogeneous::exec_time(&p, 800.0, 15);
+    let slack_w = (e15 - e16) * 0.75;
+    let slack_c = slack_w * 0.8;
+    let gateway = ShardedGateway::new(
+        p,
+        1,
+        AlgorithmKind::EDF_OPR_MN,
+        PlanConfig::default(),
+        Routing::RoundRobin,
+        DeferPolicy::default(),
+    )
+    .unwrap();
+    let mut j = JournaledGateway::new(gateway, JournalConfig::default());
+    for node in 0..16 {
+        Frontend::set_node_release(&mut j, node, SimTime::new(1000.0));
+    }
+    let w = Task::new(1, 0.0, 800.0, 1000.0 + e16 + slack_w);
+    assert!(j.submit(w, SimTime::ZERO).is_accepted());
+    let c = Task::new(2, 0.0, 10.0, 1000.0 + e16 + slack_c);
+    let req = SubmitRequest::new(c).with_max_delay(Some(2000.0));
+    let verdict = j.submit_request(&req, SimTime::ZERO);
+    let Verdict::Reserved { start_at, .. } = verdict else {
+        panic!("expected Reserved, got {verdict:?}");
+    };
+    assert_eq!(start_at, SimTime::new(1000.0));
+    (j.journal().bytes().to_vec(), start_at, c)
+}
+
+#[test]
+fn reservation_bearing_wal_recovers_with_its_book_intact_under_both_engines() {
+    let (wal, start_at, c) = reservation_wal();
+    let (full_rec, _) =
+        recover::<ShardedGateway>(&wal, SimTime::ZERO, JournalConfig::default(), None)
+            .expect("full-engine recovery");
+    let (inc_rec, _) = recover::<ShardedGateway<IncrementalController>>(
+        &wal,
+        SimTime::ZERO,
+        JournalConfig::default(),
+        None,
+    )
+    .expect("incremental-engine recovery");
+    for (name, rec) in [
+        ("full", full_rec.inner().capture()),
+        ("inc", inc_rec.inner().capture()),
+    ] {
+        assert_eq!(rec.reservations.reservations.len(), 1, "{name}");
+        let res = &rec.reservations.reservations[0];
+        assert_eq!(res.task.id, c.id, "{name}");
+        assert_eq!(res.start_at, start_at, "{name}");
+        assert_eq!(res.ticket, 0, "{name}");
+    }
+    assert_eq!(
+        full_rec.inner().capture().normalized(),
+        inc_rec.inner().capture().normalized(),
+        "recovered gateways diverged across engines"
+    );
+    // Both recovered gateways honor the promise: dispatch the blocker at
+    // start_at, then the activation sweep admits the reserved task.
+    let mut full_rec = full_rec;
+    let mut inc_rec = inc_rec;
+    for j in [
+        &mut full_rec as &mut dyn Frontend,
+        &mut inc_rec as &mut dyn Frontend,
+    ] {
+        assert_eq!(j.next_wakeup(), Some(start_at), "wakeup re-armed");
+        let due = j.take_due(start_at);
+        assert_eq!(due.len(), 1);
+        j.activate(start_at);
+        let resolutions = j.drain_resolutions();
+        assert_eq!(resolutions.len(), 1);
+        assert!(resolutions[0].1.is_none(), "activation = accepted");
+    }
+    assert_eq!(full_rec.metrics().reservations_activated, 1);
+    assert_eq!(
+        full_rec.inner().shard_states(),
+        inc_rec.inner().shard_states()
+    );
+}
+
+#[test]
+fn tenant_counters_survive_a_crash_and_restart() {
+    // Per-tenant metrics (counters + latency histograms) must round-trip
+    // through snapshot()/restore() across the durability boundary: drive
+    // tenant-tagged traffic (including a quota rejection), crash, recover,
+    // and compare the tenant books.
+    let gateway = ShardedGateway::new(
+        params(),
+        2,
+        AlgorithmKind::EDF_DLT,
+        PlanConfig::default(),
+        Routing::LeastLoaded,
+        DeferPolicy::default(),
+    )
+    .unwrap()
+    .with_quota(QuotaPolicy {
+        max_inflight: Some(2),
+        max_reservations: None,
+        exempt_premium: true,
+    });
+    let mut j = JournaledGateway::new(gateway, JournalConfig::default());
+    let mk = |id: u64, tenant: u32| {
+        SubmitRequest::new(Task::new(id, 0.0, 50.0, 1e6)).with_tenant(TenantId(tenant))
+    };
+    assert!(j.submit_request(&mk(1, 1), SimTime::ZERO).is_accepted());
+    assert!(j.submit_request(&mk(2, 1), SimTime::ZERO).is_accepted());
+    assert!(j.submit_request(&mk(3, 1), SimTime::ZERO).is_throttled());
+    assert!(j.submit_request(&mk(4, 2), SimTime::ZERO).is_accepted());
+    assert!(j
+        .submit_request(&mk(5, 1).with_qos(QosClass::Premium), SimTime::ZERO)
+        .is_accepted());
+    let live_tenants = j.metrics().snapshot().tenants;
+    let wal = j.journal().bytes().to_vec();
+    drop(j); // the crash
+
+    let (recovered, _) =
+        recover::<ShardedGateway>(&wal, SimTime::ZERO, JournalConfig::default(), None).unwrap();
+    let recovered_tenants = recovered.metrics().snapshot().tenants;
+    // Counters are deterministic and must match exactly; the latency
+    // histograms are wall-clock and compare only after normalization.
+    assert_eq!(
+        recovered_tenants.clone().normalized(),
+        live_tenants.clone().normalized()
+    );
+    let t1 = recovered_tenants.get(TenantId(1)).unwrap();
+    assert_eq!((t1.submitted, t1.accepted, t1.throttled), (4, 3, 1));
+    assert_eq!(
+        t1.decision_latency.count(),
+        4,
+        "tenant latency histogram has a serialization path"
+    );
+    let t2 = recovered_tenants.get(TenantId(2)).unwrap();
+    assert_eq!((t2.submitted, t2.accepted), (1, 1));
+    // The quota policy survived too: tenant 1 is still throttled.
+    let mut recovered = recovered;
+    assert!(recovered
+        .submit_request(&mk(6, 1), SimTime::ZERO)
+        .is_throttled());
 }
 
 #[test]

@@ -1,81 +1,317 @@
-//! Shared bookkeeping between the single-cluster [`Gateway`] and the
-//! [`ShardedGateway`]: defer-queue departures, the defer-or-reject verdict,
-//! end-of-stream flushing, and decision latency accounting. One copy, so
-//! counters and resolutions can never drift between the two gateways.
+//! [`ServiceBook`]: the gateway-level bookkeeping shared between the
+//! single-cluster [`Gateway`] and the [`ShardedGateway`] — the defer
+//! queue, the reservation book, the tenant ledger, quota policy, metrics,
+//! and the engine-visible resolutions — plus the one copy of the v2
+//! request/verdict decision flow both gateways drive with their own
+//! engine closures. One copy, so verdicts, counters, and resolutions can
+//! never drift between the two gateways.
 //!
 //! [`Gateway`]: crate::gateway::Gateway
 //! [`ShardedGateway`]: crate::shard::ShardedGateway
 
 use std::time::Instant;
 
-use rtdls_core::prelude::{Admission, AlgorithmKind, ClusterParams, Infeasible, SimTime, Task};
+use rtdls_core::prelude::{
+    AlgorithmKind, ClusterParams, Decision, Infeasible, QosClass, SimTime, SubmitRequest, Task,
+    TenantId,
+};
 
-use crate::defer::{latest_feasible_start, DeferOutcome, DeferTicket, DeferredQueue};
-use crate::gateway::GatewayDecision;
+use crate::defer::{latest_feasible_start, DeferOutcome, DeferPolicy, DeferTicket, DeferredQueue};
 use crate::metrics::ServiceMetrics;
+use crate::request::{QuotaPolicy, Verdict};
+use crate::reserve::{ActivationRecord, ReservationBook};
+use crate::tenant::TenantLedger;
+
+/// The shared serving-layer state both gateways embed: everything a
+/// journal snapshots besides the admission engines themselves.
+#[derive(Clone, Debug)]
+pub struct ServiceBook {
+    /// Parked near-miss tickets.
+    pub defer: DeferredQueue,
+    /// Booked future admissions.
+    pub reservations: ReservationBook,
+    /// Waiting-task → tenant ownership (quota input).
+    pub ledger: TenantLedger,
+    /// Per-tenant admission quotas.
+    pub quota: QuotaPolicy,
+    /// Cumulative gateway statistics.
+    pub metrics: ServiceMetrics,
+    /// Verdicts reached for pending (deferred/reserved) tasks since the
+    /// last engine drain.
+    pub resolutions: Vec<(Task, Option<Infeasible>)>,
+    /// Activation attempts since the last audit drain (journal-only;
+    /// regenerated on replay, so not part of the captured state).
+    activation_log: Vec<ActivationRecord>,
+}
+
+impl ServiceBook {
+    /// A fresh book under the given defer and quota policies.
+    pub fn new(defer_policy: DeferPolicy, quota: QuotaPolicy) -> Self {
+        ServiceBook {
+            defer: DeferredQueue::new(defer_policy),
+            reservations: ReservationBook::new(),
+            ledger: TenantLedger::new(),
+            quota,
+            metrics: ServiceMetrics::new(),
+            resolutions: Vec::new(),
+            activation_log: Vec::new(),
+        }
+    }
+
+    /// Reassembles a book from journaled parts (the recovery-side
+    /// counterpart of the field accessors).
+    pub fn from_parts(
+        defer: DeferredQueue,
+        reservations: ReservationBook,
+        ledger: TenantLedger,
+        quota: QuotaPolicy,
+        metrics: ServiceMetrics,
+        resolutions: Vec<(Task, Option<Infeasible>)>,
+    ) -> Self {
+        ServiceBook {
+            defer,
+            reservations,
+            ledger,
+            quota,
+            metrics,
+            resolutions,
+            activation_log: Vec::new(),
+        }
+    }
+
+    /// A tenant's current undispatched liabilities: waiting + deferred +
+    /// reserved tasks.
+    pub fn inflight(&self, tenant: TenantId) -> u32 {
+        self.ledger.count_for(tenant)
+            + self.defer.count_for(tenant)
+            + self.reservations.count_for(tenant)
+    }
+
+    /// Drains the activation audit records accumulated since the last
+    /// call (for write-ahead journaling; process-local, like latency).
+    pub fn take_activation_log(&mut self) -> Vec<ActivationRecord> {
+        std::mem::take(&mut self.activation_log)
+    }
+}
+
+/// Books one admission into the waiting queue: ledger ownership plus the
+/// global and per-tenant accept counters. The single copy behind every
+/// accept path (request flow, legacy batch, spillover) so the books can
+/// never drift between them.
+pub(crate) fn book_accept(
+    book: &mut ServiceBook,
+    task: rtdls_core::prelude::TaskId,
+    tenant: TenantId,
+) {
+    book.ledger.insert(task, tenant);
+    book.metrics.accepted_immediate += 1;
+    book.metrics.tenants.counters_mut(tenant).accepted += 1;
+}
 
 /// Books the tickets that left the defer queue in one sweep: metric
-/// counters plus the engine-visible resolutions (`None` = rescued/accepted,
+/// counters (global and per-tenant), ledger entries for rescued tasks,
+/// and the engine-visible resolutions (`None` = rescued/accepted,
 /// `Some(cause)` = rejected).
-pub(crate) fn apply_departures(
-    departed: Vec<(DeferTicket, DeferOutcome)>,
-    metrics: &mut ServiceMetrics,
-    resolutions: &mut Vec<(Task, Option<Infeasible>)>,
-) {
+pub(crate) fn apply_departures(book: &mut ServiceBook, departed: Vec<(DeferTicket, DeferOutcome)>) {
     for (ticket, outcome) in departed {
+        let tenant = book.metrics.tenants.counters_mut(ticket.tenant);
         match outcome {
             DeferOutcome::Rescued => {
-                metrics.rescued += 1;
-                resolutions.push((ticket.task, None));
+                tenant.accepted += 1;
+                book.metrics.rescued += 1;
+                book.ledger.insert(ticket.task.id, ticket.tenant);
+                book.resolutions.push((ticket.task, None));
             }
             DeferOutcome::Expired => {
-                metrics.defer_expired += 1;
-                resolutions.push((ticket.task, Some(ticket.cause)));
+                tenant.rejected += 1;
+                book.metrics.defer_expired += 1;
+                book.resolutions.push((ticket.task, Some(ticket.cause)));
             }
             DeferOutcome::Evicted => {
-                metrics.defer_evicted += 1;
-                resolutions.push((ticket.task, Some(ticket.cause)));
+                tenant.rejected += 1;
+                book.metrics.defer_evicted += 1;
+                book.resolutions.push((ticket.task, Some(ticket.cause)));
             }
             DeferOutcome::Flushed => {
-                metrics.defer_flushed += 1;
-                resolutions.push((ticket.task, Some(ticket.cause)));
+                tenant.rejected += 1;
+                book.metrics.defer_flushed += 1;
+                book.resolutions.push((ticket.task, Some(ticket.cause)));
             }
         }
     }
 }
 
-/// The Defer-or-Reject verdict for a task every admission target rejected:
-/// park it when a cluster of `widest_params` shape could still meet the
-/// deadline with slack (and the queue has room), reject otherwise.
+/// The Defer-or-Reject verdict for a request every admission target
+/// rejected (and that did not qualify for a reservation): park it when a
+/// cluster of `widest_params` shape could still meet the deadline with
+/// slack (and the queue has room), reject otherwise.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn defer_or_reject(
-    defer: &mut DeferredQueue,
-    metrics: &mut ServiceMetrics,
+    book: &mut ServiceBook,
     widest_params: &ClusterParams,
     algorithm: AlgorithmKind,
     task: Task,
+    tenant: TenantId,
+    qos: QosClass,
     now: SimTime,
     cause: Infeasible,
-) -> GatewayDecision {
+) -> Verdict {
     if let Some(latest) = latest_feasible_start(widest_params, algorithm, &task) {
         if latest.definitely_after(now) {
-            if let Some(id) = defer.push(task, now, latest, cause) {
-                metrics.deferred += 1;
-                return GatewayDecision::Deferred(id);
+            if let Some(id) = book.defer.push(task, tenant, qos, now, latest, cause) {
+                book.metrics.deferred += 1;
+                book.metrics.tenants.counters_mut(tenant).deferred += 1;
+                return Verdict::Deferred(id);
             }
         }
     }
-    metrics.rejected_immediate += 1;
-    GatewayDecision::Rejected(cause)
+    book.metrics.rejected_immediate += 1;
+    book.metrics.tenants.counters_mut(tenant).rejected += 1;
+    Verdict::Rejected(cause)
 }
 
-/// End of stream: every still-parked ticket resolves as rejected.
-pub(crate) fn flush_all(
-    defer: &mut DeferredQueue,
-    metrics: &mut ServiceMetrics,
-    resolutions: &mut Vec<(Task, Option<Infeasible>)>,
+/// The engine-side operations the shared decision flow needs — one
+/// adapter per gateway shape (a bare engine for [`Gateway`], the routed
+/// shard set for [`ShardedGateway`]).
+///
+/// [`Gateway`]: crate::gateway::Gateway
+/// [`ShardedGateway`]: crate::shard::ShardedGateway
+pub(crate) trait EngineOps {
+    /// The mutating admission test.
+    fn submit(&mut self, task: &Task, now: SimTime) -> Decision;
+    /// The reservation search (non-mutating on the engine).
+    fn earliest_feasible_start(&self, task: &Task, now: SimTime) -> Option<SimTime>;
+}
+
+/// The v2 decision flow, shared by both gateways via their [`EngineOps`]
+/// adapter.
+///
+/// Order of business: quota gate → admission test → reservation search →
+/// defer-or-reject. The caller books the submission count and latency
+/// afterwards via [`record_request`].
+pub(crate) fn decide_request(
+    book: &mut ServiceBook,
+    widest_params: &ClusterParams,
+    algorithm: AlgorithmKind,
+    request: &SubmitRequest,
+    now: SimTime,
+    engine: &mut impl EngineOps,
+) -> Verdict {
+    let tenant = request.tenant;
+    // Count the tenant's liabilities only when a cap could actually bind:
+    // the three book scans are O(queue) and sit on the hot path.
+    let quota_binds = book.quota.applies_to(request.qos) && book.quota.max_inflight.is_some();
+    if quota_binds
+        && !book
+            .quota
+            .admits_inflight(request.qos, book.inflight(tenant))
+    {
+        book.metrics.throttled += 1;
+        book.metrics.tenants.counters_mut(tenant).throttled += 1;
+        return Verdict::Throttled;
+    }
+    match engine.submit(&request.task, now) {
+        Decision::Accepted => {
+            book_accept(book, request.task.id, tenant);
+            Verdict::Accepted
+        }
+        Decision::Rejected(cause) => {
+            if let Some(max_delay) = request.max_delay {
+                let can_book = book
+                    .quota
+                    .admits_reservation(request.qos, book.reservations.count_for(tenant));
+                if can_book {
+                    if let Some(start_at) = engine.earliest_feasible_start(&request.task, now) {
+                        if start_at.at_or_before_eps(now + SimTime::new(max_delay)) {
+                            let ticket = book.reservations.book(
+                                request.task,
+                                tenant,
+                                request.qos,
+                                now,
+                                start_at,
+                                cause,
+                            );
+                            book.metrics.reserved += 1;
+                            book.metrics.tenants.counters_mut(tenant).reserved += 1;
+                            return Verdict::Reserved { start_at, ticket };
+                        }
+                    }
+                }
+            }
+            defer_or_reject(
+                book,
+                widest_params,
+                algorithm,
+                request.task,
+                tenant,
+                request.qos,
+                now,
+                cause,
+            )
+        }
+    }
+}
+
+/// Activates every reservation whose `start_at` has been reached: the real
+/// admission test re-runs at `now`; a pass admits the task with the full
+/// deadline guarantee, a miss falls back to the defer-or-reject protocol.
+/// Shared by both gateways via their engine `submit` closure.
+pub(crate) fn activate_due(
+    book: &mut ServiceBook,
+    widest_params: &ClusterParams,
+    algorithm: AlgorithmKind,
+    now: SimTime,
+    engine: &mut impl EngineOps,
 ) {
-    let flushed = defer.flush();
-    apply_departures(flushed, metrics, resolutions);
+    for res in book.reservations.take_due(now) {
+        let decision = engine.submit(&res.task, now);
+        let admitted = decision.is_accepted();
+        book.activation_log.push(ActivationRecord {
+            ticket: res.ticket,
+            task: res.task.id.0,
+            at: now,
+            admitted,
+        });
+        if admitted {
+            book.ledger.insert(res.task.id, res.tenant);
+            book.metrics.reservations_activated += 1;
+            book.metrics.tenants.counters_mut(res.tenant).accepted += 1;
+            book.resolutions.push((res.task, None));
+        } else {
+            let cause = match decision {
+                Decision::Rejected(cause) => cause,
+                Decision::Accepted => unreachable!("admitted handled above"),
+            };
+            book.metrics.reservation_misses += 1;
+            let verdict = defer_or_reject(
+                book,
+                widest_params,
+                algorithm,
+                res.task,
+                res.tenant,
+                res.qos,
+                now,
+                cause,
+            );
+            if let Verdict::Rejected(cause) = verdict {
+                // The miss resolved terminally right here; deferred misses
+                // resolve later through the sweep like any other ticket.
+                book.resolutions.push((res.task, Some(cause)));
+            }
+        }
+    }
+}
+
+/// End of stream: every still-parked ticket and unactivated reservation
+/// resolves as rejected.
+pub(crate) fn flush_all(book: &mut ServiceBook) {
+    for res in book.reservations.flush() {
+        book.metrics.reservations_flushed += 1;
+        book.metrics.tenants.counters_mut(res.tenant).rejected += 1;
+        book.resolutions.push((res.task, Some(res.cause)));
+    }
+    let flushed = book.defer.flush();
+    apply_departures(book, flushed);
 }
 
 /// Post-recovery re-verification of one controller's waiting queue: re-runs
@@ -90,10 +326,9 @@ pub(crate) fn flush_all(
 /// the very next re-test sweep can rescue it.
 ///
 /// Returns the demoted tasks in demotion order.
-pub(crate) fn reverify_controller<A: Admission>(
+pub(crate) fn reverify_controller<A: rtdls_core::prelude::Admission>(
     ctl: &mut A,
-    defer: &mut DeferredQueue,
-    metrics: &mut ServiceMetrics,
+    book: &mut ServiceBook,
     widest_params: &ClusterParams,
     algorithm: AlgorithmKind,
     now: SimTime,
@@ -105,23 +340,31 @@ pub(crate) fn reverify_controller<A: Admission>(
             // cannot be fixed by demotion; keep the admission-time plans.
             break;
         };
-        metrics.demoted += 1;
-        let decision = defer_or_reject(
-            defer,
-            metrics,
+        // The demoted task's liability leaves the waiting ledger; its
+        // tenant follows it into the defer queue (anonymous when the task
+        // predates tenancy tracking). The tenant book mirrors the global
+        // correction: the original accept stays gross, `demoted` nets it
+        // out, and the defer/reject re-entry below books the new fate.
+        let tenant = book.ledger.remove(task.id).unwrap_or_default();
+        book.metrics.demoted += 1;
+        book.metrics.tenants.counters_mut(tenant).demoted += 1;
+        let verdict = defer_or_reject(
+            book,
             widest_params,
             algorithm,
             task,
+            tenant,
+            QosClass::default(),
             now,
             failure.reason,
         );
-        if matches!(decision, GatewayDecision::Rejected(_)) {
+        if matches!(verdict, Verdict::Rejected(_)) {
             // Defer-or-Reject books rejections under `rejected_immediate`
             // (its submission-path meaning); a demotion past hope is a
             // *withdrawn* guarantee, not a submission verdict — move it to
             // its own counter so the two histories stay distinguishable.
-            metrics.rejected_immediate -= 1;
-            metrics.demote_rejected += 1;
+            book.metrics.rejected_immediate -= 1;
+            book.metrics.demote_rejected += 1;
         }
         demoted.push(task);
     }
@@ -129,9 +372,12 @@ pub(crate) fn reverify_controller<A: Admission>(
 }
 
 /// Stamps the wall-clock window and records `n_decisions` latency samples
-/// (the elapsed time split evenly) for a submit or submit_batch call.
+/// (the elapsed time split evenly) for a legacy submit_batch call. Batch
+/// members travel under the anonymous tenant, whose book gets the
+/// submission counts (latency samples stay global-only on this path).
 pub(crate) fn record_decisions(metrics: &mut ServiceMetrics, start: Instant, n_decisions: usize) {
     metrics.submitted += n_decisions as u64;
+    metrics.tenants.counters_mut(TenantId::default()).submitted += n_decisions as u64;
     metrics.stamp_decision_window(start);
     let elapsed = start.elapsed();
     let per_decision = elapsed
@@ -140,4 +386,16 @@ pub(crate) fn record_decisions(metrics: &mut ServiceMetrics, start: Instant, n_d
     for _ in 0..n_decisions {
         metrics.decision_latency.record(per_decision);
     }
+}
+
+/// The request-path variant of [`record_decisions`]: one decision, booked
+/// globally and under the request's tenant.
+pub(crate) fn record_request(metrics: &mut ServiceMetrics, start: Instant, tenant: TenantId) {
+    let elapsed = start.elapsed();
+    metrics.submitted += 1;
+    metrics.stamp_decision_window(start);
+    metrics.decision_latency.record(elapsed);
+    let counters = metrics.tenants.counters_mut(tenant);
+    counters.submitted += 1;
+    counters.decision_latency.record(elapsed);
 }

@@ -22,7 +22,9 @@ use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
-use rtdls_core::prelude::{AlgorithmKind, ClusterParams, Infeasible, SimTime, Task};
+use rtdls_core::prelude::{
+    AlgorithmKind, ClusterParams, Infeasible, QosClass, SimTime, Task, TenantId,
+};
 
 /// Tunables for the defer queue.
 ///
@@ -57,12 +59,20 @@ impl Default for DeferPolicy {
 }
 
 /// A parked near-miss task.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Deserialization is hand-written: the tenant/QoS fields arrived with the
+/// v2 request/verdict redesign, and tickets journaled before it must still
+/// restore (they default to the anonymous tenant 0, Standard tier).
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct DeferTicket {
     /// Monotonic ticket id (issue order = age order).
     pub id: u64,
     /// The parked task.
     pub task: Task,
+    /// The tenant whose quota this ticket counts against.
+    pub tenant: TenantId,
+    /// The QoS class of the original request.
+    pub qos: QosClass,
     /// When the task was parked.
     pub deferred_at: SimTime,
     /// Latest instant at which planning could still meet the deadline
@@ -72,6 +82,22 @@ pub struct DeferTicket {
     pub cause: Infeasible,
     /// Re-tests attempted so far.
     pub retries: u32,
+}
+
+impl Deserialize for DeferTicket {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        use serde::helpers::{field, field_or_default};
+        Ok(DeferTicket {
+            id: field(v, "id")?,
+            task: field(v, "task")?,
+            tenant: field_or_default(v, "tenant")?,
+            qos: field_or_default(v, "qos")?,
+            deferred_at: field(v, "deferred_at")?,
+            latest_start: field(v, "latest_start")?,
+            cause: field(v, "cause")?,
+            retries: field(v, "retries")?,
+        })
+    }
 }
 
 /// Why a ticket left the queue.
@@ -139,11 +165,15 @@ impl DeferredQueue {
         self.tickets.is_empty()
     }
 
-    /// Parks a task. Returns the ticket id, or `None` when the queue is at
-    /// capacity (the caller should reject the task instead).
+    /// Parks a task for `tenant` at tier `qos`. Returns the ticket id, or
+    /// `None` when the queue is at capacity (the caller should reject the
+    /// task instead).
+    #[allow(clippy::too_many_arguments)]
     pub fn push(
         &mut self,
         task: Task,
+        tenant: TenantId,
+        qos: QosClass,
         now: SimTime,
         latest_start: SimTime,
         cause: Infeasible,
@@ -156,12 +186,19 @@ impl DeferredQueue {
         self.tickets.push_back(DeferTicket {
             id,
             task,
+            tenant,
+            qos,
             deferred_at: now,
             latest_start,
             cause,
             retries: 0,
         });
         Some(id)
+    }
+
+    /// Number of parked tickets owned by `tenant` (a quota input).
+    pub fn count_for(&self, tenant: TenantId) -> u32 {
+        self.tickets.iter().filter(|t| t.tenant == tenant).count() as u32
     }
 
     /// One re-test sweep at time `now`: tickets are visited oldest-first, up
@@ -305,6 +342,8 @@ mod tests {
     fn park(q: &mut DeferredQueue, id: u64, latest: f64) -> u64 {
         q.push(
             task(id, 1e6),
+            TenantId(id as u32 % 2),
+            QosClass::Standard,
             SimTime::ZERO,
             SimTime::new(latest),
             Infeasible::CompletionAfterDeadline,
@@ -371,30 +410,20 @@ mod tests {
             ..Default::default()
         };
         let mut q = DeferredQueue::new(policy);
-        assert!(q
-            .push(
-                task(1, 1e6),
-                SimTime::ZERO,
-                SimTime::new(1e6),
-                Infeasible::NotEnoughNodes
-            )
-            .is_some());
-        assert!(q
-            .push(
-                task(2, 1e6),
-                SimTime::ZERO,
-                SimTime::new(1e6),
-                Infeasible::NotEnoughNodes
-            )
-            .is_some());
-        assert!(q
-            .push(
-                task(3, 1e6),
-                SimTime::ZERO,
-                SimTime::new(1e6),
-                Infeasible::NotEnoughNodes
-            )
-            .is_none());
+        assert!(park_checked(&mut q, 1).is_some());
+        assert!(park_checked(&mut q, 2).is_some());
+        assert!(park_checked(&mut q, 3).is_none());
+    }
+
+    fn park_checked(q: &mut DeferredQueue, id: u64) -> Option<u64> {
+        q.push(
+            task(id, 1e6),
+            TenantId::default(),
+            QosClass::default(),
+            SimTime::ZERO,
+            SimTime::new(1e6),
+            Infeasible::NotEnoughNodes,
+        )
     }
 
     #[test]
@@ -463,15 +492,10 @@ mod tests {
         assert_eq!(ids, vec![0, 1], "age order preserved");
         // New tickets never collide with restored ids.
         let mut restored = restored;
-        let new_id = restored
-            .push(
-                task(9, 1e6),
-                SimTime::ZERO,
-                SimTime::new(1e6),
-                Infeasible::NotEnoughNodes,
-            )
-            .unwrap();
+        let new_id = park_checked(&mut restored, 9).unwrap();
         assert_eq!(new_id, 2);
+        // Tenant attribution round-tripped too.
+        assert_eq!(restored.count_for(TenantId(1)), 1);
     }
 
     #[test]

@@ -8,13 +8,21 @@
 //! task list fed to one [`AdmissionController`]. A production front door
 //! needs more:
 //!
-//! * **Three-way decisions** ([`Gateway`]): streaming submissions return
-//!   `Accept(plan installed) / Defer(ticket) / Reject(reason)`. Near-miss
-//!   tasks — schedulable on an idle cluster with slack, just not *right
-//!   now* — park in an age-aware, retry-bounded [`DeferredQueue`] and are
-//!   re-tested on every task completion/admission event. Rescued tasks
+//! * **Request/verdict protocol** ([`Gateway::submit_request`]): a
+//!   [`SubmitRequest`] envelope (task + tenant + QoS class + reservation
+//!   tolerance) is answered with a five-way [`Verdict`]:
+//!   `Accepted / Reserved{start_at, ticket} / Deferred(ticket) /
+//!   Rejected(cause) / Throttled`. A *reservation* books the earliest
+//!   instant within the tolerance at which the schedulability test passes
+//!   (the engine's `earliest_feasible_start`) and auto-activates when the
+//!   clock reaches it; near-miss tasks without a usable tolerance park in
+//!   an age-aware, retry-bounded [`DeferredQueue`] and are re-tested on
+//!   every task completion/admission event. Rescued and activated tasks
 //!   carry the same hard deadline guarantee as directly admitted ones
-//!   (rescue *is* a Fig. 2 test, run later).
+//!   (both re-run the Fig. 2 test at admission).
+//! * **Tenant awareness**: per-tenant quotas
+//!   ([`QuotaPolicy`](request::QuotaPolicy)) enforced before the test,
+//!   and tenant-keyed counters/latency histograms in [`ServiceMetrics`].
 //! * **Sharded dispatch** ([`ShardedGateway`]): a large cluster is
 //!   partitioned into `K` independent shards, each with its own admission
 //!   controller, behind pluggable [`Routing`] (round-robin, least-loaded,
@@ -60,6 +68,9 @@
 //!
 //! [`AdmissionController`]: rtdls_core::admission::AdmissionController
 //! [`Gateway`]: gateway::Gateway
+//! [`Gateway::submit_request`]: gateway::Gateway::submit_request
+//! [`SubmitRequest`]: rtdls_core::request::SubmitRequest
+//! [`Verdict`]: request::Verdict
 //! [`ShardedGateway`]: shard::ShardedGateway
 //! [`DeferredQueue`]: defer::DeferredQueue
 //! [`Routing`]: shard::Routing
@@ -68,18 +79,36 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-mod book;
+pub mod book;
 pub mod defer;
 pub mod gateway;
 pub mod metrics;
+pub mod request;
+pub mod reserve;
 pub mod shard;
+pub mod tenant;
 
 /// One-stop imports for serving-layer users.
 pub mod prelude {
+    pub use crate::book::ServiceBook;
     pub use crate::defer::{
         latest_feasible_start, DeferOutcome, DeferPolicy, DeferState, DeferTicket, DeferredQueue,
     };
-    pub use crate::gateway::{Gateway, GatewayDecision};
-    pub use crate::metrics::{LatencyHistogram, MetricsSnapshot, ServiceMetrics};
+    pub use crate::gateway::Gateway;
+    pub use crate::metrics::{
+        LatencyHistogram, MetricsSnapshot, ServiceMetrics, TenantCounters, TenantMetrics,
+    };
+    pub use crate::request::{QuotaPolicy, Verdict};
+    pub use crate::reserve::{ActivationRecord, Reservation, ReservationBook, ReservationState};
     pub use crate::shard::{Routing, ShardedGateway};
+    pub use crate::tenant::{TenantLedger, TenantLedgerState};
+
+    /// The legacy v1 verdict. Kept so pre-redesign call sites compile;
+    /// new code should consume [`Verdict`] from
+    /// [`Gateway::submit_request`](crate::gateway::Gateway::submit_request).
+    #[deprecated(
+        since = "0.5.0",
+        note = "v1 verdict — use `submit_request` and consume `Verdict` instead"
+    )]
+    pub use crate::gateway::GatewayDecision;
 }

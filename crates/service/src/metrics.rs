@@ -8,6 +8,8 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
+use rtdls_core::prelude::TenantId;
+
 /// A log₂-bucketed latency histogram over nanoseconds.
 ///
 /// Bucket `i` holds samples in `[2^i, 2^(i+1))` ns; quantiles are read off
@@ -138,12 +140,107 @@ impl fmt::Display for LatencyHistogram {
     }
 }
 
+/// Cumulative per-tenant decision counters plus the tenant's own decision
+/// latency histogram. Lives inside [`TenantMetrics`], keyed by tenant id.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantCounters {
+    /// Requests submitted by this tenant.
+    pub submitted: u64,
+    /// Requests admitted (immediately, by rescue, or by reservation
+    /// activation).
+    pub accepted: u64,
+    /// Reservations booked for this tenant.
+    pub reserved: u64,
+    /// Requests parked in the defer queue.
+    pub deferred: u64,
+    /// Requests finally rejected (immediately or after deferral /
+    /// reservation fallback, including recovery demotions past hope).
+    pub rejected: u64,
+    /// Requests refused over quota.
+    pub throttled: u64,
+    /// Previously accepted requests demoted back out of the waiting queue
+    /// by a recovery re-verification (each re-enters as a deferral or a
+    /// rejection — net admitted = `accepted − demoted`, mirroring
+    /// [`MetricsSnapshot::accepted_total`]).
+    pub demoted: u64,
+    /// Wall-clock latency of this tenant's admission decisions.
+    pub decision_latency: LatencyHistogram,
+}
+
+impl TenantCounters {
+    /// Net admitted count: gross accepts minus recovery demotions — the
+    /// tenant-level counterpart of [`MetricsSnapshot::accepted_total`].
+    pub fn accepted_net(&self) -> u64 {
+        self.accepted.saturating_sub(self.demoted)
+    }
+}
+
+/// Tenant-keyed decision metrics: one [`TenantCounters`] per tenant that
+/// has ever submitted, id-sorted so equal books serialize identically and
+/// both admission engines produce byte-identical snapshots.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantMetrics {
+    /// `(tenant id, counters)` pairs, sorted by tenant id.
+    entries: Vec<(u32, TenantCounters)>,
+}
+
+impl TenantMetrics {
+    /// Number of tenants observed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no tenant has submitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The counters of one tenant, if it ever submitted.
+    pub fn get(&self, tenant: TenantId) -> Option<&TenantCounters> {
+        self.entries
+            .iter()
+            .find(|(id, _)| *id == tenant.0)
+            .map(|(_, c)| c)
+    }
+
+    /// The counters of one tenant, created zeroed on first touch.
+    pub fn counters_mut(&mut self, tenant: TenantId) -> &mut TenantCounters {
+        let pos = self.entries.partition_point(|(id, _)| *id < tenant.0);
+        if self.entries.get(pos).is_none_or(|(id, _)| *id != tenant.0) {
+            self.entries
+                .insert(pos, (tenant.0, TenantCounters::default()));
+        }
+        &mut self.entries[pos].1
+    }
+
+    /// Iterates `(tenant, counters)` in tenant-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TenantId, &TenantCounters)> {
+        self.entries.iter().map(|(id, c)| (TenantId(*id), c))
+    }
+
+    /// The metrics with every per-tenant latency histogram cleared.
+    /// Latencies measure real elapsed time and differ between a live run
+    /// and its replay; everything else is deterministic (see
+    /// `GatewaySnapshot::normalized` in `rtdls-journal`).
+    pub fn normalized(mut self) -> Self {
+        for (_, counters) in &mut self.entries {
+            counters.decision_latency = LatencyHistogram::default();
+        }
+        self
+    }
+}
+
 /// The durable image of the gateway's cumulative counters and latency
 /// histogram — everything in [`ServiceMetrics`] except the process-local
 /// wall-clock window. Journals persist this inside gateway snapshots, and
 /// [`ServiceMetrics`] embeds it directly (reachable through `Deref`), so
 /// the two can never drift apart field-wise.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Deserialization is hand-written (see below): the reservation/tenant
+/// fields arrived with the v2 request/verdict redesign, and snapshots
+/// journaled before it must still restore — missing fields default to
+/// zero/empty.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
 pub struct MetricsSnapshot {
     /// Tasks submitted (single and batched).
     pub submitted: u64,
@@ -178,25 +275,72 @@ pub struct MetricsSnapshot {
     pub batch_calls: u64,
     /// Tasks that went through the batched path.
     pub batch_tasks: u64,
+    /// Reservations booked (`Verdict::Reserved`).
+    pub reserved: u64,
+    /// Reservations whose activation admission test passed at `start_at`.
+    pub reservations_activated: u64,
+    /// Reservations whose activation test failed (the book changed under
+    /// the promise); the task fell back to the defer-or-reject protocol.
+    pub reservation_misses: u64,
+    /// Reservations flushed unactivated when the stream ended.
+    pub reservations_flushed: u64,
+    /// Requests refused over tenant quota, before any admission test.
+    pub throttled: u64,
+    /// Per-tenant decision counters and latency histograms.
+    pub tenants: TenantMetrics,
     /// Wall-clock latency of each admission decision.
     pub decision_latency: LatencyHistogram,
 }
 
+impl Deserialize for MetricsSnapshot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        use serde::helpers::{field, field_or_default};
+        Ok(MetricsSnapshot {
+            submitted: field(v, "submitted")?,
+            accepted_immediate: field(v, "accepted_immediate")?,
+            rejected_immediate: field(v, "rejected_immediate")?,
+            deferred: field(v, "deferred")?,
+            rescued: field(v, "rescued")?,
+            defer_evicted: field(v, "defer_evicted")?,
+            defer_expired: field(v, "defer_expired")?,
+            defer_flushed: field(v, "defer_flushed")?,
+            demoted: field(v, "demoted")?,
+            demote_rejected: field(v, "demote_rejected")?,
+            retests: field(v, "retests")?,
+            batch_calls: field(v, "batch_calls")?,
+            batch_tasks: field(v, "batch_tasks")?,
+            // v2 request/verdict fields: absent in pre-redesign snapshots.
+            reserved: field_or_default(v, "reserved")?,
+            reservations_activated: field_or_default(v, "reservations_activated")?,
+            reservation_misses: field_or_default(v, "reservation_misses")?,
+            reservations_flushed: field_or_default(v, "reservations_flushed")?,
+            throttled: field_or_default(v, "throttled")?,
+            tenants: field_or_default(v, "tenants")?,
+            decision_latency: field(v, "decision_latency")?,
+        })
+    }
+}
+
 impl MetricsSnapshot {
-    /// Final admitted count: immediate accepts plus rescued defers, minus
-    /// tasks a recovery re-verification demoted back out of the queue.
+    /// Final admitted count: immediate accepts, rescued defers, and
+    /// activated reservations, minus tasks a recovery re-verification
+    /// demoted back out of the queue.
     pub fn accepted_total(&self) -> u64 {
-        (self.accepted_immediate + self.rescued).saturating_sub(self.demoted)
+        (self.accepted_immediate + self.rescued + self.reservations_activated)
+            .saturating_sub(self.demoted)
     }
 
     /// Final rejected count: submission-time rejects, every way a deferred
-    /// task can fall out of the queue, and recovery demotions past hope.
+    /// task can fall out of the queue, quota refusals, flushed
+    /// reservations, and recovery demotions past hope.
     pub fn rejected_total(&self) -> u64 {
         self.rejected_immediate
             + self.defer_evicted
             + self.defer_expired
             + self.defer_flushed
             + self.demote_rejected
+            + self.throttled
+            + self.reservations_flushed
     }
 
     /// Fraction of deferred tasks eventually admitted (0 when none were
@@ -319,6 +463,19 @@ impl fmt::Display for ServiceMetrics {
             self.demoted,
             self.demote_rejected,
         )?;
+        if self.reserved + self.throttled > 0 {
+            writeln!(
+                f,
+                "reservations: {} booked, {} activated, {} missed, {} flushed | throttled {} \
+                 | tenants {}",
+                self.reserved,
+                self.reservations_activated,
+                self.reservation_misses,
+                self.reservations_flushed,
+                self.throttled,
+                self.tenants.len(),
+            )?;
+        }
         if self.decisions_per_sec() > 0.0 {
             writeln!(
                 f,

@@ -1,0 +1,206 @@
+//! The v2 request/verdict protocol: [`Verdict`] and [`QuotaPolicy`].
+//!
+//! The v1 surface answered `submit(Task, now)` with the three-way
+//! [`GatewayDecision`]. The v2 surface takes a full
+//! [`SubmitRequest`](rtdls_core::request::SubmitRequest) envelope (task +
+//! tenant + QoS class + reservation tolerance) and answers with a
+//! [`Verdict`], which adds two outcomes the binary admission test cannot
+//! express:
+//!
+//! * [`Verdict::Reserved`] — the task is not admissible *now*, but the
+//!   gateway computed the earliest instant `start_at ≤ now + max_delay` at
+//!   which it becomes admissible (the engine's
+//!   `earliest_feasible_start`) and booked it: the reservation
+//!   auto-activates when the clock reaches `start_at`.
+//! * [`Verdict::Throttled`] — the tenant is over its [`QuotaPolicy`]
+//!   limits; the task was never offered to the admission test.
+//!
+//! The legacy enum remains as a thin bridge ([`From<Verdict>`]) so v1 call
+//! sites keep compiling; new code should consume [`Verdict`] directly.
+
+use serde::{Deserialize, Serialize};
+
+use rtdls_core::prelude::{Infeasible, QosClass, SimTime, SubmitRequest};
+
+use crate::gateway::GatewayDecision;
+
+/// The gateway's v2 admission verdict.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Verdict {
+    /// Admitted now; the deadline guarantee holds from this instant.
+    Accepted,
+    /// Not admissible now, but booked to be admitted at `start_at` — the
+    /// earliest instant within the request's `max_delay` tolerance at
+    /// which the schedulability test passes against the current book. The
+    /// reservation auto-activates when the clock reaches `start_at`.
+    Reserved {
+        /// The promised admission instant (`now + δ`).
+        start_at: SimTime,
+        /// The reservation ticket id.
+        ticket: u64,
+    },
+    /// Parked in the defer queue under the given ticket id (no promised
+    /// start instant; re-tested opportunistically on every event).
+    Deferred(u64),
+    /// Rejected for good.
+    Rejected(Infeasible),
+    /// Refused before the admission test ran: the tenant is over quota.
+    Throttled,
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Accepted`].
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Verdict::Accepted)
+    }
+
+    /// `true` for [`Verdict::Reserved`].
+    pub fn is_reserved(&self) -> bool {
+        matches!(self, Verdict::Reserved { .. })
+    }
+
+    /// `true` for [`Verdict::Deferred`].
+    pub fn is_deferred(&self) -> bool {
+        matches!(self, Verdict::Deferred(_))
+    }
+
+    /// `true` for [`Verdict::Throttled`].
+    pub fn is_throttled(&self) -> bool {
+        matches!(self, Verdict::Throttled)
+    }
+}
+
+impl From<Verdict> for GatewayDecision {
+    /// The v2 → v1 bridge. A reservation surfaces as a deferral (the
+    /// closest legacy notion of "parked, admitted later"); a quota
+    /// rejection surfaces as [`Infeasible::NotEnoughNodes`] (the closest
+    /// legacy cause: the cluster will not allocate nodes to this tenant
+    /// right now).
+    fn from(v: Verdict) -> GatewayDecision {
+        match v {
+            Verdict::Accepted => GatewayDecision::Accepted,
+            Verdict::Reserved { ticket, .. } => GatewayDecision::Deferred(ticket),
+            Verdict::Deferred(ticket) => GatewayDecision::Deferred(ticket),
+            Verdict::Rejected(cause) => GatewayDecision::Rejected(cause),
+            Verdict::Throttled => GatewayDecision::Rejected(Infeasible::NotEnoughNodes),
+        }
+    }
+}
+
+/// Per-tenant admission quotas, enforced before the schedulability test.
+///
+/// Like [`DeferPolicy`](crate::defer::DeferPolicy), the quota policy is
+/// part of the gateway's durable state: journals persist it so a recovered
+/// gateway throttles exactly as the live one did.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuotaPolicy {
+    /// Maximum undispatched liabilities (waiting + deferred + reserved
+    /// tasks) per tenant; `None` = unlimited.
+    pub max_inflight: Option<u32>,
+    /// Maximum live reservations per tenant; `None` = unlimited. A request
+    /// over this limit is not throttled — it just falls back to the
+    /// defer-or-reject protocol instead of booking a reservation.
+    pub max_reservations: Option<u32>,
+    /// Whether [`QosClass::Premium`] submissions bypass both limits.
+    pub exempt_premium: bool,
+}
+
+impl Default for QuotaPolicy {
+    fn default() -> Self {
+        QuotaPolicy {
+            max_inflight: None,
+            max_reservations: None,
+            exempt_premium: true,
+        }
+    }
+}
+
+impl QuotaPolicy {
+    /// Whether a request at this tier is subject to the limits at all.
+    pub fn applies_to(&self, qos: QosClass) -> bool {
+        !(self.exempt_premium && qos == QosClass::Premium)
+    }
+
+    /// Whether a tenant with `inflight` current liabilities may submit.
+    pub fn admits_inflight(&self, qos: QosClass, inflight: u32) -> bool {
+        !self.applies_to(qos) || self.max_inflight.is_none_or(|cap| inflight < cap)
+    }
+
+    /// Whether a tenant with `live` current reservations may book another.
+    pub fn admits_reservation(&self, qos: QosClass, live: u32) -> bool {
+        !self.applies_to(qos) || self.max_reservations.is_none_or(|cap| live < cap)
+    }
+}
+
+/// Convenience: the legacy envelope for a bare task (used by the v1
+/// bridge methods).
+pub(crate) fn legacy_request(task: rtdls_core::prelude::Task) -> SubmitRequest {
+    SubmitRequest::new(task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdls_core::prelude::{Task, TenantId};
+
+    #[test]
+    fn bridge_maps_every_verdict() {
+        assert_eq!(
+            GatewayDecision::from(Verdict::Accepted),
+            GatewayDecision::Accepted
+        );
+        assert_eq!(
+            GatewayDecision::from(Verdict::Reserved {
+                start_at: SimTime::new(5.0),
+                ticket: 9
+            }),
+            GatewayDecision::Deferred(9)
+        );
+        assert_eq!(
+            GatewayDecision::from(Verdict::Deferred(3)),
+            GatewayDecision::Deferred(3)
+        );
+        assert_eq!(
+            GatewayDecision::from(Verdict::Rejected(Infeasible::NoTimeForTransmission)),
+            GatewayDecision::Rejected(Infeasible::NoTimeForTransmission)
+        );
+        assert_eq!(
+            GatewayDecision::from(Verdict::Throttled),
+            GatewayDecision::Rejected(Infeasible::NotEnoughNodes)
+        );
+    }
+
+    #[test]
+    fn default_quota_is_unlimited() {
+        let q = QuotaPolicy::default();
+        assert!(q.admits_inflight(QosClass::BestEffort, u32::MAX - 1));
+        assert!(q.admits_reservation(QosClass::Standard, u32::MAX - 1));
+    }
+
+    #[test]
+    fn limits_bind_and_premium_is_exempt() {
+        let q = QuotaPolicy {
+            max_inflight: Some(2),
+            max_reservations: Some(1),
+            exempt_premium: true,
+        };
+        assert!(q.admits_inflight(QosClass::Standard, 1));
+        assert!(!q.admits_inflight(QosClass::Standard, 2));
+        assert!(!q.admits_reservation(QosClass::BestEffort, 1));
+        assert!(q.admits_inflight(QosClass::Premium, 100));
+        assert!(q.admits_reservation(QosClass::Premium, 100));
+        let strict = QuotaPolicy {
+            exempt_premium: false,
+            ..q
+        };
+        assert!(!strict.admits_inflight(QosClass::Premium, 2));
+    }
+
+    #[test]
+    fn legacy_request_is_the_default_envelope() {
+        let t = Task::new(4, 0.0, 10.0, 10.0);
+        let req = legacy_request(t);
+        assert_eq!(req.tenant, TenantId(0));
+        assert_eq!(req.max_delay, None);
+    }
+}

@@ -1,0 +1,250 @@
+//! The reservation book: promised future admissions.
+//!
+//! A [`Reservation`] records a [`Verdict::Reserved`] promise: the task, who
+//! asked, the instant `start_at` at which the engine's
+//! `earliest_feasible_start` said the schedulability test will pass, and
+//! the rejection cause that made the reservation necessary in the first
+//! place. The gateway *activates* due reservations after the dispatches at
+//! each instant commit: activation re-runs the real admission test, so an
+//! activated reservation carries exactly the Fig. 2 deadline guarantee —
+//! and if the book changed underneath the promise (a competing arrival, an
+//! early-release replan), activation falls back to the defer-or-reject
+//! protocol instead of ever faking an admission.
+//!
+//! [`Verdict::Reserved`]: crate::request::Verdict::Reserved
+
+use serde::{Deserialize, Serialize};
+
+use rtdls_core::prelude::{Infeasible, QosClass, SimTime, Task, TenantId};
+
+/// One booked future admission.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Reservation {
+    /// Monotonic reservation ticket id (a namespace of its own, distinct
+    /// from defer-ticket ids).
+    pub ticket: u64,
+    /// The task awaiting its start instant.
+    pub task: Task,
+    /// The tenant the promise was made to.
+    pub tenant: TenantId,
+    /// The QoS class of the original request.
+    pub qos: QosClass,
+    /// When the reservation was booked.
+    pub booked_at: SimTime,
+    /// The promised admission instant (`booked_at + δ`).
+    pub start_at: SimTime,
+    /// Why the task was not admissible at `booked_at` (the admission
+    /// failure the reservation answers; used as the rejection cause if the
+    /// stream ends before activation).
+    pub cause: Infeasible,
+}
+
+/// The complete serializable state of a [`ReservationBook`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReservationState {
+    /// Next ticket id to issue.
+    pub next_ticket: u64,
+    /// Live reservations in activation order (`start_at`, then ticket).
+    pub reservations: Vec<Reservation>,
+}
+
+/// How an activation attempt went (audit record for journaling; not part
+/// of the durable state — replay regenerates it).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ActivationRecord {
+    /// The activated reservation's ticket.
+    pub ticket: u64,
+    /// The task id.
+    pub task: u64,
+    /// The activation instant.
+    pub at: SimTime,
+    /// `true` when the activation admission test passed; `false` when the
+    /// promise was missed and the task fell back to defer-or-reject.
+    pub admitted: bool,
+}
+
+/// The ordered book of live reservations.
+#[derive(Clone, Debug, Default)]
+pub struct ReservationBook {
+    /// Sorted by `(start_at, ticket)` — activation order.
+    reservations: Vec<Reservation>,
+    next_ticket: u64,
+}
+
+impl ReservationBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live reservations.
+    pub fn len(&self) -> usize {
+        self.reservations.len()
+    }
+
+    /// `true` when nothing is booked.
+    pub fn is_empty(&self) -> bool {
+        self.reservations.is_empty()
+    }
+
+    /// Live reservations in activation order.
+    pub fn iter(&self) -> impl Iterator<Item = &Reservation> {
+        self.reservations.iter()
+    }
+
+    /// Live reservations held by one tenant.
+    pub fn count_for(&self, tenant: TenantId) -> u32 {
+        self.reservations
+            .iter()
+            .filter(|r| r.tenant == tenant)
+            .count() as u32
+    }
+
+    /// Books a reservation; returns its ticket id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn book(
+        &mut self,
+        task: Task,
+        tenant: TenantId,
+        qos: QosClass,
+        booked_at: SimTime,
+        start_at: SimTime,
+        cause: Infeasible,
+    ) -> u64 {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        let res = Reservation {
+            ticket,
+            task,
+            tenant,
+            qos,
+            booked_at,
+            start_at,
+            cause,
+        };
+        let pos = self
+            .reservations
+            .partition_point(|r| (r.start_at, r.ticket) <= (start_at, ticket));
+        self.reservations.insert(pos, res);
+        ticket
+    }
+
+    /// The earliest `start_at` across live reservations — when the gateway
+    /// next needs the clock to reach it.
+    pub fn next_activation(&self) -> Option<SimTime> {
+        self.reservations.first().map(|r| r.start_at)
+    }
+
+    /// Removes and returns every reservation whose `start_at` has been
+    /// reached at `now` (within tolerance), in activation order.
+    pub fn take_due(&mut self, now: SimTime) -> Vec<Reservation> {
+        let due = self
+            .reservations
+            .partition_point(|r| r.start_at.at_or_before_eps(now));
+        self.reservations.drain(..due).collect()
+    }
+
+    /// Empties the book (stream over); the caller resolves each as
+    /// rejected under its original cause.
+    pub fn flush(&mut self) -> Vec<Reservation> {
+        std::mem::take(&mut self.reservations)
+    }
+
+    /// Snapshots the complete book state for journaling.
+    pub fn state(&self) -> ReservationState {
+        ReservationState {
+            next_ticket: self.next_ticket,
+            reservations: self.reservations.clone(),
+        }
+    }
+
+    /// Rebuilds a book from a journaled state; the ticket counter never
+    /// re-issues a live ticket's id, and activation order is restored
+    /// regardless of the serialized order.
+    pub fn from_state(state: ReservationState) -> Self {
+        let next_ticket = state
+            .reservations
+            .iter()
+            .map(|r| r.ticket + 1)
+            .max()
+            .unwrap_or(0)
+            .max(state.next_ticket);
+        let mut reservations = state.reservations;
+        reservations.sort_by_key(|r| (r.start_at, r.ticket));
+        ReservationBook {
+            reservations,
+            next_ticket,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn book_one(b: &mut ReservationBook, id: u64, start: f64) -> u64 {
+        b.book(
+            Task::new(id, 0.0, 100.0, 1e6),
+            TenantId(id as u32 % 3),
+            QosClass::Standard,
+            SimTime::ZERO,
+            SimTime::new(start),
+            Infeasible::CompletionAfterDeadline,
+        )
+    }
+
+    #[test]
+    fn activation_order_is_start_then_ticket() {
+        let mut b = ReservationBook::new();
+        book_one(&mut b, 1, 50.0);
+        book_one(&mut b, 2, 10.0);
+        book_one(&mut b, 3, 50.0);
+        assert_eq!(b.next_activation(), Some(SimTime::new(10.0)));
+        let due = b.take_due(SimTime::new(50.0));
+        let ids: Vec<u64> = due.iter().map(|r| r.task.id.0).collect();
+        assert_eq!(ids, vec![2, 1, 3], "start_at order, ticket tie-break");
+        assert!(b.is_empty());
+        assert_eq!(b.next_activation(), None);
+    }
+
+    #[test]
+    fn take_due_leaves_future_reservations() {
+        let mut b = ReservationBook::new();
+        book_one(&mut b, 1, 10.0);
+        book_one(&mut b, 2, 99.0);
+        let due = b.take_due(SimTime::new(20.0));
+        assert_eq!(due.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.next_activation(), Some(SimTime::new(99.0)));
+    }
+
+    #[test]
+    fn per_tenant_counts_and_flush() {
+        let mut b = ReservationBook::new();
+        for id in 0..6 {
+            book_one(&mut b, id, 10.0 + id as f64);
+        }
+        assert_eq!(b.count_for(TenantId(0)), 2);
+        assert_eq!(b.count_for(TenantId(7)), 0);
+        let flushed = b.flush();
+        assert_eq!(flushed.len(), 6);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn state_round_trips_and_never_reissues_tickets() {
+        let mut b = ReservationBook::new();
+        let t0 = book_one(&mut b, 1, 30.0);
+        let t1 = book_one(&mut b, 2, 20.0);
+        assert_eq!((t0, t1), (0, 1));
+        let state = b.state();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: ReservationState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+        let mut restored = ReservationBook::from_state(back);
+        assert_eq!(restored.state(), state);
+        let t2 = book_one(&mut restored, 3, 5.0);
+        assert_eq!(t2, 2, "restored counter continues");
+        assert_eq!(restored.next_activation(), Some(SimTime::new(5.0)));
+    }
+}

@@ -30,14 +30,18 @@ use serde::{Deserialize, Serialize};
 use rtdls_core::error::ModelError;
 use rtdls_core::prelude::{
     Admission, AdmissionController, AdmissionFailure, AlgorithmKind, ClusterParams,
-    ControllerState, Decision, Infeasible, NodeId, PlanConfig, SimTime, Task, TaskId, TaskPlan,
+    ControllerState, Decision, Infeasible, NodeId, PlanConfig, SimTime, SubmitRequest, Task,
+    TaskId, TaskPlan,
 };
 use rtdls_sim::frontend::{Frontend, SubmitOutcome};
 
-use crate::book;
+use crate::book::{self, ServiceBook};
 use crate::defer::{DeferPolicy, DeferredQueue};
 use crate::gateway::GatewayDecision;
 use crate::metrics::ServiceMetrics;
+use crate::request::{QuotaPolicy, Verdict};
+use crate::reserve::{ActivationRecord, ReservationBook};
+use crate::tenant::TenantLedger;
 
 /// How submissions are routed across shards.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -144,6 +148,31 @@ fn try_admit<A: Admission>(
     Err(first_cause.unwrap_or(Infeasible::NotEnoughNodes))
 }
 
+/// The routed [`book::EngineOps`] adapter: the shared decision flow
+/// submits through [`try_admit`] (routing order, spillover) and takes the
+/// reservation search over all shards.
+struct RoutedAdapter<'a, A: Admission> {
+    shards: &'a mut [Shard<A>],
+    routing: Routing,
+    cursor: &'a mut usize,
+}
+
+impl<A: Admission> book::EngineOps for RoutedAdapter<'_, A> {
+    fn submit(&mut self, task: &Task, now: SimTime) -> Decision {
+        match try_admit(self.shards, self.routing, self.cursor, task, now, None) {
+            Ok(_) => Decision::Accepted,
+            Err(cause) => Decision::Rejected(cause),
+        }
+    }
+
+    fn earliest_feasible_start(&self, task: &Task, now: SimTime) -> Option<SimTime> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.ctl.earliest_feasible_start(task, now))
+            .min()
+    }
+}
+
 /// Online admission gateway over `K` independent cluster shards, generic
 /// over the per-shard admission engine `A` (the reference full-replan
 /// controller by default; the incremental diff engine via
@@ -155,9 +184,7 @@ pub struct ShardedGateway<A: Admission = AdmissionController> {
     shards: Vec<Shard<A>>,
     routing: Routing,
     cursor: usize,
-    defer: DeferredQueue,
-    metrics: ServiceMetrics,
-    resolutions: Vec<(Task, Option<Infeasible>)>,
+    book: ServiceBook,
 }
 
 impl ShardedGateway<AdmissionController> {
@@ -214,10 +241,14 @@ impl<A: Admission> ShardedGateway<A> {
             shards,
             routing,
             cursor: 0,
-            defer: DeferredQueue::new(defer_policy),
-            metrics: ServiceMetrics::new(),
-            resolutions: Vec::new(),
+            book: ServiceBook::new(defer_policy, QuotaPolicy::default()),
         })
+    }
+
+    /// Sets the per-tenant quota policy (builder style).
+    pub fn with_quota(mut self, quota: QuotaPolicy) -> Self {
+        self.book.quota = quota;
+        self
     }
 
     /// Number of shards.
@@ -242,12 +273,35 @@ impl<A: Admission> ShardedGateway<A> {
 
     /// Gateway statistics so far.
     pub fn metrics(&self) -> &ServiceMetrics {
-        &self.metrics
+        &self.book.metrics
     }
 
     /// Currently parked defer tickets.
     pub fn deferred(&self) -> &DeferredQueue {
-        &self.defer
+        &self.book.defer
+    }
+
+    /// Currently booked reservations (gateway-global; activation routes
+    /// across all shards).
+    pub fn reservations(&self) -> &ReservationBook {
+        &self.book.reservations
+    }
+
+    /// The waiting-task tenant ledger.
+    pub fn ledger(&self) -> &TenantLedger {
+        &self.book.ledger
+    }
+
+    /// The per-tenant quota policy in force.
+    pub fn quota(&self) -> &QuotaPolicy {
+        &self.book.quota
+    }
+
+    /// Drains the reservation-activation audit records accumulated since
+    /// the last call (for write-ahead journaling; process-local state,
+    /// regenerated on replay).
+    pub fn take_activation_log(&mut self) -> Vec<ActivationRecord> {
+        self.book.take_activation_log()
     }
 
     /// Waiting-queue lengths per shard (a load-balance diagnostic).
@@ -272,23 +326,20 @@ impl<A: Admission> ShardedGateway<A> {
     ///
     /// [`Gateway::pending_resolutions`]: crate::gateway::Gateway::pending_resolutions
     pub fn pending_resolutions(&self) -> &[(Task, Option<Infeasible>)] {
-        &self.resolutions
+        &self.book.resolutions
     }
 
     /// Reassembles a sharded gateway from journaled parts. Shard offsets are
     /// re-derived from the shard sizes in order; errors when the shard
     /// node counts do not tile `params.num_nodes` or a shard's unit costs
     /// disagree with the cluster's.
-    #[allow(clippy::too_many_arguments)]
     pub fn from_parts(
         params: ClusterParams,
         algorithm: AlgorithmKind,
         routing: Routing,
         cursor: usize,
         shard_states: Vec<ControllerState>,
-        defer: DeferredQueue,
-        metrics: ServiceMetrics,
-        resolutions: Vec<(Task, Option<Infeasible>)>,
+        book: ServiceBook,
     ) -> Result<Self, ModelError> {
         if shard_states.is_empty() {
             return Err(ModelError::InvalidParams("at least one shard state"));
@@ -326,9 +377,7 @@ impl<A: Admission> ShardedGateway<A> {
             shards,
             routing,
             cursor,
-            defer,
-            metrics,
-            resolutions,
+            book,
         })
     }
 
@@ -339,21 +388,13 @@ impl<A: Admission> ShardedGateway<A> {
     ///
     /// [`Gateway::reverify`]: crate::gateway::Gateway::reverify
     pub fn reverify(&mut self, now: SimTime) -> Vec<Task> {
-        let widest = self
-            .shards
-            .iter()
-            .map(|s| s.len())
-            .max()
-            .expect("at least one shard");
-        let widest_params = ClusterParams::new(widest, self.params.cms, self.params.cps)
-            .expect("valid by construction");
+        let widest_params = self.widest_params();
         let algorithm = self.algorithm;
         let mut demoted = Vec::new();
         for shard in &mut self.shards {
             demoted.extend(book::reverify_controller(
                 &mut shard.ctl,
-                &mut self.defer,
-                &mut self.metrics,
+                &mut self.book,
                 &widest_params,
                 algorithm,
                 now,
@@ -362,25 +403,49 @@ impl<A: Admission> ShardedGateway<A> {
         demoted
     }
 
-    /// Decides one streaming submission at time `now`.
-    pub fn submit(&mut self, task: Task, now: SimTime) -> GatewayDecision {
+    /// The largest shard's cluster shape — what defer eligibility and
+    /// reservation bounds are judged against (tasks never span shards, so
+    /// it is the best any future re-test can offer).
+    fn widest_params(&self) -> ClusterParams {
+        let widest = self
+            .shards
+            .iter()
+            .map(|s| s.len())
+            .max()
+            .expect("at least one shard");
+        ClusterParams::new(widest, self.params.cms, self.params.cps).expect("valid by construction")
+    }
+
+    /// Decides one v2 submission envelope at time `now` — the primary
+    /// serving surface. The admission test routes across shards
+    /// ([`Routing`]); the reservation search takes the earliest feasible
+    /// start over *all* shards (activation re-routes, so any shard may
+    /// honor the promise).
+    pub fn submit_request(&mut self, request: &SubmitRequest, now: SimTime) -> Verdict {
         let start = Instant::now();
-        let decision = match try_admit(
-            &mut self.shards,
-            self.routing,
-            &mut self.cursor,
-            &task,
+        let widest_params = self.widest_params();
+        let algorithm = self.algorithm;
+        let verdict = book::decide_request(
+            &mut self.book,
+            &widest_params,
+            algorithm,
+            request,
             now,
-            None,
-        ) {
-            Ok(_) => {
-                self.metrics.accepted_immediate += 1;
-                GatewayDecision::Accepted
-            }
-            Err(cause) => self.defer_or_reject(task, now, cause),
-        };
-        book::record_decisions(&mut self.metrics, start, 1);
-        decision
+            &mut RoutedAdapter {
+                shards: &mut self.shards,
+                routing: self.routing,
+                cursor: &mut self.cursor,
+            },
+        );
+        book::record_request(&mut self.book.metrics, start, request.tenant);
+        verdict
+    }
+
+    /// Decides one streaming submission at time `now` through the legacy
+    /// v1 bridge (anonymous tenant, no reservation tolerance).
+    pub fn submit(&mut self, task: Task, now: SimTime) -> GatewayDecision {
+        self.submit_request(&crate::request::legacy_request(task), now)
+            .into()
     }
 
     /// Decides a whole burst at once. Tasks are dealt to shards up front
@@ -428,7 +493,7 @@ impl<A: Admission> ShardedGateway<A> {
             for (&i, decision) in group.iter().zip(decisions) {
                 match decision {
                     Decision::Accepted => {
-                        self.metrics.accepted_immediate += 1;
+                        book::book_accept(&mut self.book, batch[i].id, Default::default());
                         out[i] = Some(GatewayDecision::Accepted);
                     }
                     Decision::Rejected(cause) => {
@@ -449,16 +514,16 @@ impl<A: Admission> ShardedGateway<A> {
                 Some(home),
             ) {
                 Ok(_) => {
-                    self.metrics.accepted_immediate += 1;
+                    book::book_accept(&mut self.book, batch[i].id, Default::default());
                     GatewayDecision::Accepted
                 }
-                Err(_) => self.defer_or_reject(batch[i], now, cause),
+                Err(_) => self.defer_or_reject(batch[i], now, cause).into(),
             };
             out[i] = Some(d);
         }
-        self.metrics.batch_calls += 1;
-        self.metrics.batch_tasks += batch.len() as u64;
-        book::record_decisions(&mut self.metrics, start, batch.len());
+        self.book.metrics.batch_calls += 1;
+        self.book.metrics.batch_tasks += batch.len() as u64;
+        book::record_decisions(&mut self.book.metrics, start, batch.len());
         out.into_iter().map(|d| d.expect("decided")).collect()
     }
 
@@ -467,30 +532,43 @@ impl<A: Admission> ShardedGateway<A> {
         let shards = &mut self.shards;
         let routing = self.routing;
         let cursor = &mut self.cursor;
-        let (departed, retests) = self.defer.sweep(now, |task| {
+        let (departed, retests) = self.book.defer.sweep(now, |task| {
             try_admit(shards, routing, cursor, task, now, None).is_ok()
         });
-        self.metrics.retests += retests;
-        book::apply_departures(departed, &mut self.metrics, &mut self.resolutions);
+        self.book.metrics.retests += retests;
+        book::apply_departures(&mut self.book, departed);
     }
 
-    fn defer_or_reject(&mut self, task: Task, now: SimTime, cause: Infeasible) -> GatewayDecision {
+    /// Activates every reservation whose `start_at` has been reached,
+    /// routing each across shards like any submission. The engine drives
+    /// this after the dispatches at each instant commit.
+    pub fn activate_reservations(&mut self, now: SimTime) {
+        let widest_params = self.widest_params();
+        let algorithm = self.algorithm;
+        book::activate_due(
+            &mut self.book,
+            &widest_params,
+            algorithm,
+            now,
+            &mut RoutedAdapter {
+                shards: &mut self.shards,
+                routing: self.routing,
+                cursor: &mut self.cursor,
+            },
+        );
+    }
+
+    fn defer_or_reject(&mut self, task: Task, now: SimTime, cause: Infeasible) -> Verdict {
         // Eligibility is judged against the *largest* shard: tasks never
         // span shards, so that is the best any future re-test can offer.
-        let widest = self
-            .shards
-            .iter()
-            .map(|s| s.len())
-            .max()
-            .expect("at least one shard");
-        let shard_params = ClusterParams::new(widest, self.params.cms, self.params.cps)
-            .expect("valid by construction");
+        let widest_params = self.widest_params();
         book::defer_or_reject(
-            &mut self.defer,
-            &mut self.metrics,
-            &shard_params,
+            &mut self.book,
+            &widest_params,
             self.algorithm,
             task,
+            Default::default(),
+            Default::default(),
             now,
             cause,
         )
@@ -518,6 +596,15 @@ impl<A: Admission> Frontend for ShardedGateway<A> {
         }
     }
 
+    fn submit_request(&mut self, request: &SubmitRequest, now: SimTime) -> SubmitOutcome {
+        match ShardedGateway::submit_request(self, request, now) {
+            Verdict::Accepted => SubmitOutcome::Accepted,
+            Verdict::Reserved { .. } | Verdict::Deferred(_) => SubmitOutcome::Pending,
+            Verdict::Rejected(cause) => SubmitOutcome::Rejected(cause),
+            Verdict::Throttled => SubmitOutcome::Rejected(Infeasible::NotEnoughNodes),
+        }
+    }
+
     fn replan(&mut self, now: SimTime) -> Result<(), AdmissionFailure> {
         for shard in &mut self.shards {
             shard.ctl.replan(now)?;
@@ -538,6 +625,7 @@ impl<A: Admission> Frontend for ShardedGateway<A> {
                 due.push((task, globalize(plan, shard.offset)));
             }
         }
+        self.book.ledger.prune_dispatched(&due);
         due
     }
 
@@ -579,12 +667,20 @@ impl<A: Admission> Frontend for ShardedGateway<A> {
         self.retest_deferred(now);
     }
 
+    fn activate(&mut self, now: SimTime) {
+        self.activate_reservations(now);
+    }
+
+    fn next_wakeup(&self) -> Option<SimTime> {
+        self.book.reservations.next_activation()
+    }
+
     fn drain_resolutions(&mut self) -> Vec<(Task, Option<Infeasible>)> {
-        std::mem::take(&mut self.resolutions)
+        std::mem::take(&mut self.book.resolutions)
     }
 
     fn finalize(&mut self, _now: SimTime) {
-        book::flush_all(&mut self.defer, &mut self.metrics, &mut self.resolutions);
+        book::flush_all(&mut self.book);
     }
 }
 

@@ -1,0 +1,142 @@
+//! The tenant ledger: who owns which undispatched liability.
+//!
+//! Admission engines plan bare [`Task`]s — tenancy is a gateway-level
+//! concept. The ledger maps each *waiting* (admitted, undispatched) task
+//! back to the tenant whose quota it counts against; deferred tickets and
+//! reservations carry their tenant inline, so
+//! `ledger + defer queue + reservation book` together give the per-tenant
+//! inflight count [`QuotaPolicy`](crate::request::QuotaPolicy) enforces.
+//! Entries leave the ledger when their task dispatches (the liability
+//! becomes committed cluster work) or is demoted back out of the queue.
+
+use serde::{Deserialize, Serialize};
+
+use rtdls_core::prelude::{Task, TaskId, TenantId};
+
+/// Serializable ledger image: `(task id, tenant id)` pairs, task-id
+/// sorted so two equal ledgers serialize identically.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantLedgerState {
+    /// The waiting-task → tenant pairs.
+    pub entries: Vec<(u64, u32)>,
+}
+
+/// The live ledger of waiting-task tenant ownership.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantLedger {
+    entries: Vec<(TaskId, TenantId)>,
+}
+
+impl TenantLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tracked waiting tasks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records that `task` (now waiting) belongs to `tenant`. A re-insert
+    /// for an already-tracked id overwrites the owner.
+    pub fn insert(&mut self, task: TaskId, tenant: TenantId) {
+        match self.entries.iter_mut().find(|(id, _)| *id == task) {
+            Some(entry) => entry.1 = tenant,
+            None => self.entries.push((task, tenant)),
+        }
+    }
+
+    /// Removes one task's entry, returning its tenant (None for untracked
+    /// ids — e.g. tasks admitted through a pre-tenancy path).
+    pub fn remove(&mut self, task: TaskId) -> Option<TenantId> {
+        let pos = self.entries.iter().position(|(id, _)| *id == task)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// The tenant a waiting task belongs to, if tracked.
+    pub fn tenant_of(&self, task: TaskId) -> Option<TenantId> {
+        self.entries
+            .iter()
+            .find(|(id, _)| *id == task)
+            .map(|(_, t)| *t)
+    }
+
+    /// Number of waiting tasks owned by `tenant`.
+    pub fn count_for(&self, tenant: TenantId) -> u32 {
+        self.entries.iter().filter(|(_, t)| *t == tenant).count() as u32
+    }
+
+    /// Drops the entries of every dispatched task in `due` (a
+    /// `take_due` result).
+    pub fn prune_dispatched(&mut self, due: &[(Task, rtdls_core::prelude::TaskPlan)]) {
+        for (task, _) in due {
+            let _ = self.remove(task.id);
+        }
+    }
+
+    /// Snapshots the ledger for journaling (task-id sorted).
+    pub fn state(&self) -> TenantLedgerState {
+        let mut entries: Vec<(u64, u32)> = self
+            .entries
+            .iter()
+            .map(|(task, tenant)| (task.0, tenant.0))
+            .collect();
+        entries.sort_unstable();
+        TenantLedgerState { entries }
+    }
+
+    /// Rebuilds a ledger from a journaled state.
+    pub fn from_state(state: TenantLedgerState) -> Self {
+        TenantLedger {
+            entries: state
+                .entries
+                .into_iter()
+                .map(|(task, tenant)| (TaskId(task), TenantId(tenant)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_count() {
+        let mut l = TenantLedger::new();
+        l.insert(TaskId(1), TenantId(0));
+        l.insert(TaskId(2), TenantId(1));
+        l.insert(TaskId(3), TenantId(0));
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.count_for(TenantId(0)), 2);
+        assert_eq!(l.tenant_of(TaskId(2)), Some(TenantId(1)));
+        assert_eq!(l.remove(TaskId(1)), Some(TenantId(0)));
+        assert_eq!(l.remove(TaskId(1)), None);
+        assert_eq!(l.count_for(TenantId(0)), 1);
+        // Re-insert overwrites the owner.
+        l.insert(TaskId(2), TenantId(5));
+        assert_eq!(l.tenant_of(TaskId(2)), Some(TenantId(5)));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn state_round_trips_sorted() {
+        let mut l = TenantLedger::new();
+        l.insert(TaskId(9), TenantId(2));
+        l.insert(TaskId(3), TenantId(1));
+        let state = l.state();
+        assert_eq!(state.entries, vec![(3, 1), (9, 2)], "task-id sorted");
+        let json = serde_json::to_string(&state).unwrap();
+        let back: TenantLedgerState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+        let restored = TenantLedger::from_state(back);
+        assert_eq!(restored.count_for(TenantId(1)), 1);
+        assert_eq!(restored.count_for(TenantId(2)), 1);
+    }
+}

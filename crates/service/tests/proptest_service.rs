@@ -11,11 +11,16 @@
 //!   phantom accepts (every accepted task, rescued ones included, completes
 //!   inside its deadline — strict mode panics otherwise) and the gateway's
 //!   books agree with the engine's.
+//! * **Reservation soundness** — every `Reserved { start_at }` verdict is
+//!   minimal and honest: the task was not admissible at submission time
+//!   (δ > 0), no earlier dispatch instant admits it, and resubmitting at
+//!   `start_at` (after the dispatches due by then commit) is accepted.
 
 use proptest::prelude::*;
 
 use rtdls_core::prelude::*;
 use rtdls_service::prelude::*;
+use rtdls_sim::frontend::Frontend;
 use rtdls_sim::prelude::*;
 use rtdls_workload::prelude::*;
 
@@ -50,7 +55,7 @@ proptest! {
         for i in 0..n_tickets {
             let task = Task::new(i as u64, 0.0, 100.0, 1e9);
             if q
-                .push(task, SimTime::ZERO, SimTime::new(1e9), Infeasible::NotEnoughNodes)
+                .push(task, TenantId::default(), QosClass::default(), SimTime::ZERO, SimTime::new(1e9), Infeasible::NotEnoughNodes)
                 .is_some()
             {
                 parked += 1;
@@ -122,7 +127,7 @@ proptest! {
         let mut q = DeferredQueue::new(policy);
         for i in 0..n_tickets {
             let task = Task::new(i as u64, 0.0, 100.0, 1e9);
-            let _ = q.push(task, SimTime::ZERO, SimTime::new(latest), Infeasible::NotEnoughNodes);
+            let _ = q.push(task, TenantId::default(), QosClass::default(), SimTime::ZERO, SimTime::new(latest), Infeasible::NotEnoughNodes);
         }
         let (departed, retests) = q.sweep(SimTime::new(latest + 1.0), |_| false);
         prop_assert_eq!(retests, 0, "expired tickets must not burn re-tests");
@@ -311,5 +316,148 @@ proptest! {
             batched.metrics().accepted_immediate,
             sequential.metrics().accepted_immediate
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Reservation soundness over random streams, on both admission
+    /// engines: whenever the gateway answers `Reserved { start_at }`, the
+    /// promise is *minimal* (the task was not admissible at `now`, nor at
+    /// any earlier dispatch instant) and *honest* (dispatching the queue
+    /// through `start_at` and resubmitting there is accepted). Both
+    /// engines must also issue identical verdicts throughout.
+    #[test]
+    fn reservations_are_minimal_and_honest(
+        seed in 0u64..100_000,
+        load in 0.8f64..2.5,
+        dc in 1.2f64..3.5,
+        algorithm in prop::sample::select(vec![
+            AlgorithmKind::EDF_DLT,
+            AlgorithmKind::EDF_OPR_MN,
+        ]),
+    ) {
+        let params = ClusterParams::paper_baseline();
+        let mut spec = WorkloadSpec::paper_baseline(load);
+        spec.dc_ratio = dc;
+        spec.horizon = 40.0 * spec.mean_interarrival();
+        let tasks: Vec<Task> = WorkloadGenerator::new(spec, seed).collect();
+        prop_assume!(!tasks.is_empty());
+        let mut full = Gateway::new(
+            params,
+            algorithm,
+            PlanConfig::default(),
+            DeferPolicy::default(),
+        );
+        let mut inc = Gateway::<IncrementalController>::with_engine(
+            params,
+            algorithm,
+            PlanConfig::default(),
+            DeferPolicy::default(),
+        );
+        for t in &tasks {
+            let now = t.arrival;
+            // Advance the world: dispatch everything due by now.
+            Frontend::take_due(&mut full, now);
+            Frontend::take_due(&mut inc, now);
+            let before = full.controller().clone();
+            let req = SubmitRequest::new(*t).with_max_delay(Some(t.rel_deadline * 10.0));
+            let verdict = full.submit_request(&req, now);
+            let verdict_inc = inc.submit_request(&req, now);
+            prop_assert_eq!(verdict, verdict_inc, "engines issued different verdicts");
+            if let Verdict::Reserved { start_at, .. } = verdict {
+                prop_assert!(
+                    start_at.definitely_after(now),
+                    "a reservation on the rejected path promises δ > 0"
+                );
+                // Not admissible at submission time.
+                prop_assert!(
+                    !before.probe(t, now).is_accepted(),
+                    "reserved a task that was admissible right away"
+                );
+                // Minimal: no earlier dispatch instant admits it.
+                let earlier: Vec<SimTime> = before
+                    .queue()
+                    .iter()
+                    .map(|(_, p)| p.first_start())
+                    .filter(|s| s.definitely_after(now) && *s < start_at)
+                    .collect();
+                for s in earlier {
+                    let mut world = before.clone();
+                    let _ = world.take_due(s);
+                    prop_assert!(
+                        !world.submit(*t, s).is_accepted(),
+                        "start_at is not minimal: {s:?} already admits"
+                    );
+                }
+                // Honest: resubmitting at start_at is accepted.
+                let mut world = before.clone();
+                let _ = world.take_due(start_at);
+                prop_assert!(
+                    world.submit(*t, start_at).is_accepted(),
+                    "promise {start_at:?} dishonored"
+                );
+            }
+        }
+    }
+
+    /// The Reserved arm exercised *unconditionally*: randomized variants of
+    /// the EDF priority-inversion scenario (an earlier-deadline small task
+    /// would starve a snug waiting all-node task — rejected now, feasible
+    /// the instant that task dispatches). Every draw must produce a
+    /// `Reserved` verdict, on both engines, with the minimal honest start.
+    #[test]
+    fn crafted_starvation_always_reserves(
+        avail in 500.0f64..5_000.0,
+        sigma_w in 400.0f64..1_200.0,
+        u in 0.4f64..0.9,   // waiting slack as a fraction of the 15-node penalty
+        v in 0.35f64..0.85, // candidate slack as a fraction of the waiting slack
+        sigma_c in 5.0f64..25.0,
+    ) {
+        use rtdls_core::dlt::homogeneous;
+        let params = ClusterParams::paper_baseline();
+        let e16 = homogeneous::exec_time(&params, sigma_w, 16);
+        let e15 = homogeneous::exec_time(&params, sigma_w, 15);
+        let slack_w = (e15 - e16) * u;
+        let slack_c = slack_w * v;
+        // The candidate must fit the whole cluster within its own slack
+        // (post-dispatch feasibility) but not fit around the waiting task.
+        prop_assume!(homogeneous::exec_time(&params, sigma_c, 16) < slack_c * 0.8);
+        let algorithm = AlgorithmKind::EDF_OPR_MN;
+        let mut full = Gateway::new(
+            params,
+            algorithm,
+            PlanConfig::default(),
+            DeferPolicy::default(),
+        );
+        let mut inc = Gateway::<IncrementalController>::with_engine(
+            params,
+            algorithm,
+            PlanConfig::default(),
+            DeferPolicy::default(),
+        );
+        for node in 0..16 {
+            Frontend::set_node_release(&mut full, node, SimTime::new(avail));
+            Frontend::set_node_release(&mut inc, node, SimTime::new(avail));
+        }
+        let w = Task::new(1, 0.0, sigma_w, avail + e16 + slack_w);
+        prop_assert!(full.submit(w, SimTime::ZERO).is_accepted());
+        prop_assert!(inc.submit(w, SimTime::ZERO).is_accepted());
+        let c = Task::new(2, 0.0, sigma_c, avail + e16 + slack_c);
+        let req = SubmitRequest::new(c).with_max_delay(Some(avail * 2.0));
+        let before = full.controller().clone();
+        let verdict = full.submit_request(&req, SimTime::ZERO);
+        prop_assert_eq!(verdict, inc.submit_request(&req, SimTime::ZERO));
+        let Verdict::Reserved { start_at, .. } = verdict else {
+            prop_assert!(false, "expected Reserved, got {verdict:?}");
+            unreachable!()
+        };
+        prop_assert_eq!(start_at, SimTime::new(avail), "minimal start = the dispatch instant");
+        prop_assert!(!before.probe(&c, SimTime::ZERO).is_accepted());
+        let mut world = before;
+        let due = world.take_due(start_at);
+        prop_assert_eq!(due.len(), 1);
+        prop_assert!(world.submit(c, start_at).is_accepted(), "promise dishonored");
     }
 }

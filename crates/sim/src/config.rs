@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use rtdls_core::prelude::{AlgorithmKind, ClusterParams, PlanConfig};
+use rtdls_core::prelude::{AlgorithmKind, ClusterParams, PlanConfig, TenantMix};
 
 /// When the waiting queue is re-planned against fresher node state.
 ///
@@ -69,6 +69,15 @@ pub struct SimConfig {
     ///
     /// [`Simulation::new`]: crate::engine::Simulation::new
     pub engine: AdmissionEngine,
+    /// Tenant/QoS population model. When set, every arrival is wrapped in
+    /// its deterministic [`SubmitRequest`] envelope (tenant id, QoS class,
+    /// reservation tolerance) and submitted through
+    /// [`Frontend::submit_request`]; `None` keeps the legacy task-only
+    /// submission path.
+    ///
+    /// [`SubmitRequest`]: rtdls_core::request::SubmitRequest
+    /// [`Frontend::submit_request`]: crate::frontend::Frontend::submit_request
+    pub tenant_mix: Option<TenantMix>,
     /// Record a full execution trace (memory-heavy; for tests/examples).
     pub record_trace: bool,
     /// Panic if an accepted task misses its deadline or overshoots its
@@ -87,9 +96,16 @@ impl SimConfig {
             replan: ReplanPolicy::default(),
             link: LinkModel::default(),
             engine: AdmissionEngine::default(),
+            tenant_mix: None,
             record_trace: false,
             strict_guarantees: false,
         }
+    }
+
+    /// Enables the multi-tenant submission envelope.
+    pub fn with_tenants(mut self, mix: TenantMix) -> Self {
+        self.tenant_mix = Some(mix);
+        self
     }
 
     /// Overrides the admission engine.

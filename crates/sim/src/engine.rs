@@ -161,7 +161,7 @@ impl<F: Frontend> Simulation<F> {
         match event {
             Event::Arrival(task) => self.handle_arrival(task),
             Event::NodeRelease { node, task } => self.handle_release(node, task),
-            Event::DispatchDue { generation } => {
+            Event::DispatchDue { generation } | Event::Wakeup { generation } => {
                 if generation == self.generation {
                     self.settle(false);
                 }
@@ -234,11 +234,25 @@ impl<F: Frontend> Simulation<F> {
                 },
             );
         }
+        // Re-arm the replacement's wakeup as well: a recovered reservation
+        // book must get its activation instant even if no dispatch or
+        // cluster event would otherwise wake the frontend.
+        if let Some(t) = self.ctl.next_wakeup() {
+            self.events.push(
+                t.max(self.now),
+                Event::Wakeup {
+                    generation: self.generation,
+                },
+            );
+        }
         old
     }
 
     fn handle_arrival(&mut self, task: Task) {
-        let outcome = self.ctl.submit(task, self.now);
+        let outcome = match self.cfg.tenant_mix {
+            Some(mix) => self.ctl.submit_request(&mix.assign(task), self.now),
+            None => self.ctl.submit(task, self.now),
+        };
         match outcome {
             SubmitOutcome::Accepted => {
                 self.metrics.on_admission(None);
@@ -395,11 +409,26 @@ impl<F: Frontend> Simulation<F> {
         for (task, plan) in due {
             self.dispatch(task, plan);
         }
+        // Reservation activation runs after the dispatches at this instant
+        // committed their releases — a reservation's start_at is typically
+        // exactly a dispatch instant, and the activation test must see the
+        // post-dispatch book. A plan admitted here that is itself already
+        // due dispatches through the re-armed same-instant event below.
+        self.ctl.activate(self.now);
+        self.apply_resolutions();
         self.generation += 1;
         if let Some(t) = self.ctl.next_dispatch_due() {
             self.events.push(
-                t,
+                t.max(self.now),
                 Event::DispatchDue {
+                    generation: self.generation,
+                },
+            );
+        }
+        if let Some(t) = self.ctl.next_wakeup() {
+            self.events.push(
+                t.max(self.now),
+                Event::Wakeup {
                     generation: self.generation,
                 },
             );

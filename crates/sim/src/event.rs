@@ -28,6 +28,14 @@ pub enum Event {
         /// Plan-generation stamp at scheduling time.
         generation: u64,
     },
+    /// The frontend asked to be woken (e.g. a reservation's `start_at` was
+    /// reached); carries the generation it was scheduled under. Runs after
+    /// same-instant dispatches so an activation sees their releases
+    /// committed.
+    Wakeup {
+        /// Plan-generation stamp at scheduling time.
+        generation: u64,
+    },
 }
 
 impl Event {
@@ -37,6 +45,7 @@ impl Event {
             Event::NodeRelease { .. } => 0,
             Event::Arrival(_) => 1,
             Event::DispatchDue { .. } => 2,
+            Event::Wakeup { .. } => 3,
         }
     }
 }

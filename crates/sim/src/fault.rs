@@ -170,6 +170,89 @@ mod tests {
         assert_eq!(recovered.queue_len(), 0);
     }
 
+    /// A minimal frontend whose only liveness signal is the wakeup event:
+    /// it parks the one submission it sees and resolves it (accepted) the
+    /// first time `activate` runs at or after `wake_at`. No dispatches, no
+    /// cluster events — if the engine loses the wakeup, the task is lost.
+    #[derive(Clone)]
+    struct WakeupFrontend {
+        wake_at: SimTime,
+        pending: Option<Task>,
+        resolutions: Vec<(Task, Option<Infeasible>)>,
+        woken: bool,
+    }
+
+    impl Frontend for WakeupFrontend {
+        fn submit(&mut self, task: Task, _now: SimTime) -> crate::frontend::SubmitOutcome {
+            self.pending = Some(task);
+            crate::frontend::SubmitOutcome::Pending
+        }
+        fn replan(&mut self, _now: SimTime) -> Result<(), AdmissionFailure> {
+            Ok(())
+        }
+        fn take_due(&mut self, _now: SimTime) -> Vec<(Task, TaskPlan)> {
+            Vec::new()
+        }
+        fn next_dispatch_due(&self) -> Option<SimTime> {
+            None
+        }
+        fn committed_release(&self, _node: usize) -> SimTime {
+            SimTime::ZERO
+        }
+        fn set_node_release(&mut self, _node: usize, _time: SimTime) {}
+        fn waiting_len(&self) -> usize {
+            0
+        }
+        fn find_plan(&self, _task: TaskId) -> Option<&TaskPlan> {
+            None
+        }
+        fn activate(&mut self, now: SimTime) {
+            if now >= self.wake_at {
+                if let Some(task) = self.pending.take() {
+                    self.woken = true;
+                    self.resolutions.push((task, None));
+                }
+            }
+        }
+        fn next_wakeup(&self) -> Option<SimTime> {
+            self.pending.as_ref().map(|_| self.wake_at)
+        }
+        fn drain_resolutions(&mut self) -> Vec<(Task, Option<Infeasible>)> {
+            std::mem::take(&mut self.resolutions)
+        }
+        fn finalize(&mut self, _now: SimTime) {
+            if let Some(task) = self.pending.take() {
+                self.resolutions
+                    .push((task, Some(Infeasible::NotEnoughNodes)));
+            }
+        }
+    }
+
+    #[test]
+    fn replace_frontend_rearms_the_pending_wakeup() {
+        // Crash immediately after the arrival parks the task: the pending
+        // wakeup event is generation-invalidated by the swap, so the
+        // replacement's own `next_wakeup` must be re-armed — otherwise the
+        // engine never drives `activate` and finalize rejects the task.
+        let frontend = WakeupFrontend {
+            wake_at: SimTime::new(100.0),
+            pending: None,
+            resolutions: Vec::new(),
+            woken: false,
+        };
+        let (report, recovered, crashed) = run_with_crash(
+            cfg(),
+            frontend,
+            vec![Task::new(1, 0.0, 10.0, 1e6)],
+            CrashPlan::at_event(1),
+            |dead, _now| dead.clone(),
+        );
+        assert!(crashed);
+        assert!(recovered.woken, "the wakeup fired on the replacement");
+        assert_eq!(report.metrics.accepted, 1, "the pending task resolved");
+        assert_eq!(report.metrics.rejected, 0);
+    }
+
     #[test]
     fn stepping_api_equals_one_shot_run() {
         let one_shot = crate::engine::run_simulation(cfg(), workload());

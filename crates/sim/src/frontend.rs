@@ -21,7 +21,7 @@
 
 use rtdls_core::prelude::{
     AdmissionController, AdmissionFailure, Decision, IncrementalController, Infeasible, SimTime,
-    Task, TaskId, TaskPlan,
+    SubmitRequest, Task, TaskId, TaskPlan,
 };
 
 use crate::config::{AdmissionEngine, SimConfig};
@@ -56,6 +56,17 @@ pub trait Frontend {
     /// Decides a newly arrived task at time `now`.
     fn submit(&mut self, task: Task, now: SimTime) -> SubmitOutcome;
 
+    /// Decides a newly arrived task carried in its v2 [`SubmitRequest`]
+    /// envelope (tenant, QoS class, reservation tolerance). Frontends
+    /// without tenant awareness (the bare admission controllers) fall back
+    /// to the legacy task-only path; service gateways override this with
+    /// the full request/verdict protocol. A reservation verdict surfaces as
+    /// [`SubmitOutcome::Pending`] and resolves through
+    /// [`Frontend::drain_resolutions`] once it activates (or fails).
+    fn submit_request(&mut self, request: &SubmitRequest, now: SimTime) -> SubmitOutcome {
+        self.submit(request.task, now)
+    }
+
     /// Re-plans the waiting queue against current committed releases.
     fn replan(&mut self, now: SimTime) -> Result<(), AdmissionFailure>;
 
@@ -82,6 +93,24 @@ pub trait Frontend {
     /// tasks are re-tested here; rescued tasks join the waiting queue.
     fn on_event(&mut self, now: SimTime) {
         let _ = now;
+    }
+
+    /// Activation hook, called after the dispatches at the current instant
+    /// have committed (unlike [`Frontend::on_event`], which runs before
+    /// them). Reservation-capable frontends admit every reservation whose
+    /// `start_at` has been reached here — the post-dispatch position is
+    /// load-bearing, because a reservation's start instant is typically
+    /// exactly a dispatch instant and the activation test must see that
+    /// dispatch's releases as committed.
+    fn activate(&mut self, now: SimTime) {
+        let _ = now;
+    }
+
+    /// The next instant this frontend wants to be driven at even if no
+    /// cluster event occurs (e.g. the earliest reservation `start_at`).
+    /// The engine schedules a wakeup event for it; `None` = no wakeup.
+    fn next_wakeup(&self) -> Option<SimTime> {
+        None
     }
 
     /// Verdicts for previously [`SubmitOutcome::Pending`] tasks reached

@@ -24,6 +24,7 @@ pub mod arrivals;
 pub mod distributions;
 pub mod generator;
 pub mod spec;
+pub mod tenancy;
 
 /// One-stop imports.
 pub mod prelude {
@@ -33,4 +34,5 @@ pub mod prelude {
     pub use crate::spec::{
         DeadlineFloor, FloorMode, SizeModel, WorkloadSpec, HEAVY_TAIL_SHAPE, TRUNCATED_MEAN_FACTOR,
     };
+    pub use crate::tenancy::{IntoRequests, RequestStream};
 }

@@ -1,0 +1,110 @@
+//! Tenant/QoS-class assignment over generated task streams.
+//!
+//! The workload distributions (§5) describe *what* arrives; a multi-tenant
+//! gateway also needs to know *who* submits it. [`RequestStream`] wraps any
+//! task iterator (the Poisson [`WorkloadGenerator`], the bursty arrivals
+//! source, a replayed trace) and attaches the deterministic
+//! [`TenantMix`] envelope — tenant id, QoS class, reservation tolerance —
+//! producing a stream of [`SubmitRequest`]s for the v2 gateway surface.
+//! The assignment is a pure function of the task id (see
+//! [`TenantMix::assign`]), so the same seed still yields the identical
+//! request stream no matter which consumer drives it.
+//!
+//! [`WorkloadGenerator`]: crate::generator::WorkloadGenerator
+
+use rtdls_core::prelude::{SubmitRequest, Task, TenantMix};
+
+/// Iterator adapter attaching the [`TenantMix`] envelope to a task stream.
+#[derive(Clone, Debug)]
+pub struct RequestStream<I> {
+    inner: I,
+    mix: TenantMix,
+}
+
+impl<I: Iterator<Item = Task>> RequestStream<I> {
+    /// Wraps `inner` under `mix`.
+    pub fn new(inner: I, mix: TenantMix) -> Self {
+        RequestStream { inner, mix }
+    }
+
+    /// The mix assignments are drawn from.
+    pub fn mix(&self) -> &TenantMix {
+        &self.mix
+    }
+}
+
+impl<I: Iterator<Item = Task>> Iterator for RequestStream<I> {
+    type Item = SubmitRequest;
+
+    fn next(&mut self) -> Option<SubmitRequest> {
+        self.inner.next().map(|t| self.mix.assign(t))
+    }
+}
+
+/// Extension hook: any task iterator can become a request stream.
+pub trait IntoRequests: Iterator<Item = Task> + Sized {
+    /// Attaches the deterministic tenant/QoS envelope to this stream.
+    fn with_tenants(self, mix: TenantMix) -> RequestStream<Self> {
+        RequestStream::new(self, mix)
+    }
+}
+
+impl<I: Iterator<Item = Task>> IntoRequests for I {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadGenerator;
+    use crate::spec::WorkloadSpec;
+    use rtdls_core::prelude::QosClass;
+
+    fn mix() -> TenantMix {
+        TenantMix {
+            tenants: 6,
+            premium_tenants: 1,
+            best_effort_tenants: 2,
+            max_delay_factor: Some(0.25),
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_preserves_tasks() {
+        let spec = WorkloadSpec::paper_baseline(0.5);
+        let a: Vec<SubmitRequest> = WorkloadGenerator::new(spec, 9)
+            .with_tenants(mix())
+            .collect();
+        let b: Vec<SubmitRequest> = WorkloadGenerator::new(spec, 9)
+            .with_tenants(mix())
+            .collect();
+        assert_eq!(a, b);
+        let bare: Vec<Task> = WorkloadGenerator::new(spec, 9).collect();
+        assert_eq!(a.len(), bare.len());
+        for (req, task) in a.iter().zip(&bare) {
+            assert_eq!(req.task, *task, "the envelope never alters the task");
+            assert_eq!(req.tenant.0, (task.id.0 % 6) as u32);
+            assert_eq!(req.max_delay, Some(0.25 * task.rel_deadline));
+        }
+    }
+
+    #[test]
+    fn qos_bands_cover_the_population() {
+        let spec = WorkloadSpec::paper_baseline(1.0);
+        let reqs: Vec<SubmitRequest> = WorkloadGenerator::new(spec, 3)
+            .with_tenants(mix())
+            .collect();
+        let count = |q: QosClass| reqs.iter().filter(|r| r.qos == q).count();
+        let (p, s, b) = (
+            count(QosClass::Premium),
+            count(QosClass::Standard),
+            count(QosClass::BestEffort),
+        );
+        assert!(
+            p > 0 && s > 0 && b > 0,
+            "premium {p} standard {s} best-effort {b}"
+        );
+        assert_eq!(p + s + b, reqs.len());
+        // Round-robin by id: the premium tenant (id 0) owns ~1/6.
+        let frac = p as f64 / reqs.len() as f64;
+        assert!((frac - 1.0 / 6.0).abs() < 0.02, "premium share {frac}");
+    }
+}

@@ -1,8 +1,13 @@
-//! The online admission gateway serving a bursty open-loop stream.
+//! The online admission gateway serving a bursty multi-tenant stream
+//! through the v2 request/verdict API.
 //!
 //! A 4-shard [`ShardedGateway`] fronts the paper's 16-node cluster while a
-//! Markov-modulated Poisson source fires bursts at it. The gateway decides
-//! Accept / Defer / Reject per task; deferred near-misses are re-tested on
+//! Markov-modulated Poisson source fires bursts at it. Every arrival
+//! travels as a [`SubmitRequest`] envelope — tenant id, QoS class,
+//! reservation tolerance — assigned by the deterministic [`TenantMix`],
+//! and the gateway answers with the five-way [`Verdict`]: Accepted,
+//! Reserved (admission promised at `start_at`), Deferred, Rejected, or
+//! Throttled (per-tenant quota). Deferred near-misses are re-tested on
 //! every completion event and — because the Fig. 2-literal `Uniform`
 //! release estimates are conservative — nodes keep freeing up earlier than
 //! committed, so a healthy fraction of deferred tasks is *rescued*: admitted
@@ -57,13 +62,47 @@ fn main() {
             ..Default::default()
         },
     )
-    .expect("valid shard layout");
+    .expect("valid shard layout")
+    // Per-tenant admission quotas: each tenant may hold at most 24
+    // undispatched liabilities; the premium tenant is exempt.
+    .with_quota(QuotaPolicy {
+        max_inflight: Some(24),
+        max_reservations: Some(8),
+        exempt_premium: true,
+    });
 
-    let cfg = SimConfig::new(params, algorithm).with_plan(plan).strict();
+    // Five tenants: one premium, two standard, two best-effort. Every
+    // request tolerates a reservation up to half its relative deadline.
+    let mix = TenantMix {
+        tenants: 5,
+        premium_tenants: 1,
+        best_effort_tenants: 2,
+        max_delay_factor: Some(0.5),
+    };
+    let cfg = SimConfig::new(params, algorithm)
+        .with_plan(plan)
+        .with_tenants(mix)
+        .strict();
     let (report, gateway) = Simulation::with_frontend(cfg, gateway).run_returning_frontend(tasks);
 
     let m = gateway.metrics();
     println!("\n=== gateway ===\n{m}");
+    println!("\n=== tenants ===");
+    for (tenant, c) in m.tenants.iter() {
+        println!(
+            "tenant {:>2} [{:?}]: submitted {:>4} | accepted {:>4} | reserved {:>2} | \
+             deferred {:>3} | rejected {:>3} | throttled {:>3} | p99 ≤ {:.1}µs",
+            tenant.0,
+            mix.qos_of(tenant),
+            c.submitted,
+            c.accepted,
+            c.reserved,
+            c.deferred,
+            c.rejected,
+            c.throttled,
+            c.decision_latency.quantile_ns(0.99) as f64 / 1e3,
+        );
+    }
     println!("\n=== cluster ===");
     println!(
         "accepted {} / rejected {} (reject ratio {:.3})",
@@ -102,10 +141,23 @@ fn main() {
         report.metrics.accepted,
         "gateway and engine agree"
     );
+    assert_eq!(
+        m.tenants.iter().map(|(_, c)| c.submitted).sum::<u64>(),
+        m.submitted,
+        "every submission is attributed to a tenant"
+    );
+    assert_eq!(
+        m.accepted_total() + m.rejected_total(),
+        m.submitted,
+        "books balance across all five verdicts"
+    );
     println!(
-        "\n{} deferred, {} rescued (rescue rate {:.1}%) — all inside their deadlines",
+        "\n{} deferred, {} rescued (rescue rate {:.1}%), {} reserved, {} throttled — \
+         all admitted tasks inside their deadlines",
         m.deferred,
         m.rescued,
-        m.defer_rescue_rate() * 100.0
+        m.defer_rescue_rate() * 100.0,
+        m.reserved,
+        m.throttled,
     );
 }

@@ -138,6 +138,20 @@ macro_rules! impl_float {
 
 impl_float!(f32, f64);
 
+// Identity round trip for raw values: lets callers parse, transform, and
+// re-render arbitrary JSON trees (e.g. version-compat fixtures in tests).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
@@ -251,6 +265,17 @@ pub mod helpers {
         match v.get(name) {
             Some(inner) => T::from_value(inner),
             None => Err(Error::msg(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Like [`field`], but a missing (or explicit-null) field yields the
+    /// type's default instead of an error — the version-compatibility
+    /// hook: hand-written `Deserialize` impls use it for fields added
+    /// after records of the type were already on disk.
+    pub fn field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, Error> {
+        match v.get(name) {
+            Some(Value::Null) | None => Ok(T::default()),
+            Some(inner) => T::from_value(inner),
         }
     }
 }
