@@ -1,0 +1,230 @@
+//! Edge serving throughput: the network front-end's perf baseline.
+//!
+//! Three questions, each a group:
+//!
+//! * `edge_codec` — frames encoded + decoded per second for a realistic
+//!   submit message (the pure protocol cost, no sockets);
+//! * `edge_loopback` — requests served per second over real loopback TCP,
+//!   replay client → reactor → sharded gateway and back, bare vs. under a
+//!   write-ahead journal (what durability costs at the wire);
+//! * plus a `-- --test` smoke (the CI hook) that serves a short stream
+//!   and asserts the client/server books reconcile.
+//!
+//! Besides the criterion output, the bench writes a machine-readable
+//! baseline to `target/edge_throughput_baseline.json` so the edge's perf
+//! trajectory is comparable across PRs.
+
+use criterion::{Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rtdls_core::prelude::*;
+use rtdls_edge::prelude::*;
+use rtdls_edge::proto::{decode_client, encode_client};
+use rtdls_journal::prelude::*;
+use rtdls_service::prelude::*;
+use rtdls_workload::prelude::*;
+
+fn gateway() -> ShardedGateway {
+    ShardedGateway::new(
+        ClusterParams::new(64, 1.0, 100.0).unwrap(),
+        8,
+        AlgorithmKind::EDF_DLT,
+        PlanConfig::default(),
+        Routing::LeastLoaded,
+        DeferPolicy::default(),
+    )
+    .unwrap()
+}
+
+fn requests(n: usize) -> Vec<SubmitRequest> {
+    let mut spec = WorkloadSpec::paper_baseline(1.5);
+    spec.params = ClusterParams::new(64, 1.0, 100.0).unwrap();
+    spec.dc_ratio = 20.0;
+    spec.horizon = 1e9;
+    let mix = TenantMix {
+        tenants: 8,
+        premium_tenants: 1,
+        best_effort_tenants: 3,
+        max_delay_factor: None,
+    };
+    WorkloadGenerator::new(spec, 7)
+        .take(n)
+        .with_tenants(mix)
+        .collect()
+}
+
+/// Serves one request batch through a fresh edge server (own thread, own
+/// gateway) and returns the verdict count — the unit both the bench and
+/// the smoke repeat.
+fn serve_once<G: EdgeGateway + Send + 'static>(gateway: G, batch: &[SubmitRequest]) -> u64 {
+    let server = EdgeServer::bind("127.0.0.1:0", gateway, EdgeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || server.run(EdgeClock::real_time(), &stop2));
+    let report = ReplayClient::connect(addr)
+        .expect("connect")
+        .run(
+            batch.to_vec(),
+            32,
+            Duration::from_millis(0),
+            Duration::from_secs(30),
+        )
+        .expect("replay");
+    stop.store(true, Ordering::Relaxed);
+    let _ = handle.join().expect("server thread");
+    assert!(!report.timed_out, "loopback run must complete");
+    report.verdicts()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let req = requests(1)[0];
+    let msg = ClientMsg::Submit {
+        seq: 1,
+        request: req,
+    };
+    let mut group = c.benchmark_group("edge_codec");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("submit_roundtrip", |b| {
+        b.iter(|| {
+            let frame = encode_client(black_box(&msg));
+            let mut dec = FrameDecoder::new(1 << 20);
+            dec.push(&frame);
+            let (_, payload) = dec.next_frame().unwrap().unwrap();
+            black_box(decode_client(&payload).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_loopback(c: &mut Criterion) {
+    let batch = requests(256);
+    let mut group = c.benchmark_group("edge_loopback");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("sharded_gateway", |b| {
+        b.iter(|| black_box(serve_once(gateway(), &batch)))
+    });
+    group.bench_function("journaled_gateway", |b| {
+        b.iter(|| {
+            let journaled = JournaledGateway::new(gateway(), JournalConfig::default());
+            black_box(serve_once(journaled, &batch))
+        })
+    });
+    group.finish();
+}
+
+fn median_secs(mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+#[derive(serde::Serialize)]
+struct Baseline {
+    codec_roundtrips_per_sec: f64,
+    loopback_requests_per_sec: f64,
+    loopback_requests_per_sec_journaled: f64,
+}
+
+/// Emits the JSON baseline. Skipped under `-- --test` (the smoke stays a
+/// smoke; CI runs the full bench right after and writes the file).
+fn emit_baseline(_c: &mut Criterion) {
+    if std::env::args().any(|a| a == "--test") {
+        println!("baseline emission skipped under --test");
+        return;
+    }
+    let req = requests(1)[0];
+    let msg = ClientMsg::Submit {
+        seq: 1,
+        request: req,
+    };
+    let n_codec = 20_000;
+    let codec = median_secs(|| {
+        for _ in 0..n_codec {
+            let frame = encode_client(black_box(&msg));
+            let mut dec = FrameDecoder::new(1 << 20);
+            dec.push(&frame);
+            let (_, payload) = dec.next_frame().unwrap().unwrap();
+            black_box(decode_client(&payload).unwrap());
+        }
+    });
+    let batch = requests(256);
+    let plain = median_secs(|| {
+        black_box(serve_once(gateway(), &batch));
+    });
+    let journaled = median_secs(|| {
+        let j = JournaledGateway::new(gateway(), JournalConfig::default());
+        black_box(serve_once(j, &batch));
+    });
+    let baseline = Baseline {
+        codec_roundtrips_per_sec: n_codec as f64 / codec,
+        loopback_requests_per_sec: batch.len() as f64 / plain,
+        loopback_requests_per_sec_journaled: batch.len() as f64 / journaled,
+    };
+    let json = serde_json::to_string_pretty(&baseline).expect("serializable");
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target"));
+    let path = target.join("edge_throughput_baseline.json");
+    let _ = std::fs::create_dir_all(&target);
+    std::fs::write(&path, &json).expect("write baseline");
+    println!("baseline written to {}:\n{json}", path.display());
+}
+
+/// The `-- --test` CI smoke: a few hundred requests over real loopback,
+/// client/server reconciliation asserted, no timing.
+fn smoke() {
+    let batch = requests(300);
+    let server = EdgeServer::bind("127.0.0.1:0", gateway(), EdgeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || server.run(EdgeClock::real_time(), &stop2));
+    let report = ReplayClient::connect(addr)
+        .expect("connect")
+        .run(
+            batch.clone(),
+            16,
+            Duration::from_millis(50),
+            Duration::from_secs(60),
+        )
+        .expect("replay");
+    stop.store(true, Ordering::Relaxed);
+    let (gateway, stats) = handle.join().expect("server thread");
+    assert!(!report.timed_out);
+    assert_eq!(report.verdicts(), batch.len() as u64, "one verdict each");
+    assert_eq!(gateway.metrics().submitted, batch.len() as u64);
+    assert_eq!(gateway.metrics().accepted_immediate, report.accepted);
+    assert_eq!(stats.protocol_errors, 0);
+    println!(
+        "edge_throughput smoke ok: {} verdicts over loopback ({} accepted, {} deferred, \
+         {} rejected), books reconcile",
+        report.verdicts(),
+        report.accepted,
+        report.deferred,
+        report.rejected,
+    );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--test") {
+        smoke();
+        return;
+    }
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+    bench_codec(&mut c);
+    bench_loopback(&mut c);
+    emit_baseline(&mut c);
+}

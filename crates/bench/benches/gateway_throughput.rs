@@ -210,7 +210,7 @@ fn bench_tenant_mix(c: &mut Criterion) {
     let quota = QuotaPolicy {
         max_inflight: Some(48),
         max_reservations: Some(8),
-        exempt_premium: true,
+        ..Default::default()
     };
     let mut group = c.benchmark_group("gateway_tenant_mix");
     group.throughput(Throughput::Elements(tasks.len() as u64));

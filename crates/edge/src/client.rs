@@ -1,0 +1,231 @@
+//! [`ReplayClient`]: drives an edge server from a request stream over a
+//! real socket.
+//!
+//! The workload crate generates `SubmitRequest` streams (tenancy-annotated
+//! task arrivals); the replay client plays any such iterator against a
+//! live [`EdgeServer`](crate::server::EdgeServer), windowed so at most
+//! `window` submits are ever unanswered, and collects the verdicts plus
+//! every pushed [`DecisionUpdate`] into a [`ReplayReport`]. It is both the
+//! load generator for the `edge_throughput` bench and the conformance
+//! probe for the loopback tests (verdict counts on the client side must
+//! reconcile with the gateway book on the server side).
+
+use std::collections::HashSet;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use rtdls_core::prelude::SubmitRequest;
+use rtdls_service::prelude::{DecisionUpdate, Verdict};
+
+use crate::codec::{FrameDecoder, DEFAULT_MAX_FRAME};
+use crate::proto::{decode_server, encode_client, ClientMsg, ServerMsg, PROTOCOL_VERSION};
+
+/// What one replay run observed, from the client's side of the socket.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReplayReport {
+    /// Submits sent.
+    pub submitted: u64,
+    /// Immediate admissions.
+    pub accepted: u64,
+    /// Reservation promises received.
+    pub reserved: u64,
+    /// Defer tickets received.
+    pub deferred: u64,
+    /// Terminal rejections.
+    pub rejected: u64,
+    /// Quota/backpressure refusals.
+    pub throttled: u64,
+    /// Every pushed update, in arrival order.
+    pub updates: Vec<DecisionUpdate>,
+    /// Server `Error` messages received.
+    pub errors: Vec<String>,
+    /// `true` when the run hit its deadline before every submit was
+    /// answered (the counts above then cover only what arrived).
+    pub timed_out: bool,
+}
+
+impl ReplayReport {
+    /// Verdicts received, all outcomes.
+    pub fn verdicts(&self) -> u64 {
+        self.accepted + self.reserved + self.deferred + self.rejected + self.throttled
+    }
+
+    /// Pushed reservation-activation updates received.
+    pub fn activations_pushed(&self) -> u64 {
+        self.updates
+            .iter()
+            .filter(|u| matches!(u, DecisionUpdate::Activated { .. }))
+            .count() as u64
+    }
+
+    /// Pushed terminal resolutions received.
+    pub fn resolutions_pushed(&self) -> u64 {
+        self.updates
+            .iter()
+            .filter(|u| matches!(u, DecisionUpdate::Resolved { .. }))
+            .count() as u64
+    }
+}
+
+/// A windowed request-stream driver over one TCP connection.
+pub struct ReplayClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+}
+
+impl ReplayClient {
+    /// Connects to an edge server. The socket stays blocking with a short
+    /// read timeout — the client interleaves sends and receives on one
+    /// thread without a reactor of its own.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_millis(2)))?;
+        Ok(ReplayClient {
+            stream,
+            decoder: FrameDecoder::new(DEFAULT_MAX_FRAME),
+        })
+    }
+
+    /// Plays `requests` against the server: at most `window` submits
+    /// unanswered at any instant, then — once every verdict arrived —
+    /// keeps listening `settle` longer for pushed updates (reservations
+    /// resolve on the server's clock, not the stream's), says `Bye`, and
+    /// returns the report. `deadline` bounds the whole run; hitting it
+    /// sets [`ReplayReport::timed_out`] instead of failing.
+    pub fn run(
+        mut self,
+        requests: impl IntoIterator<Item = SubmitRequest>,
+        window: usize,
+        settle: Duration,
+        deadline: Duration,
+    ) -> std::io::Result<ReplayReport> {
+        let started = Instant::now();
+        let mut report = ReplayReport::default();
+        let mut source = requests.into_iter();
+        let mut outstanding: HashSet<u64> = HashSet::new();
+        let mut next_seq = 0u64;
+        let mut exhausted = false;
+        self.send(&ClientMsg::Hello {
+            protocol: PROTOCOL_VERSION,
+        })?;
+        let mut settle_from: Option<Instant> = None;
+        loop {
+            if started.elapsed() > deadline {
+                report.timed_out = true;
+                break;
+            }
+            // Fill the submit window.
+            while !exhausted && outstanding.len() < window.max(1) {
+                match source.next() {
+                    Some(request) => {
+                        let seq = next_seq;
+                        next_seq += 1;
+                        self.send(&ClientMsg::Submit { seq, request })?;
+                        outstanding.insert(seq);
+                        report.submitted += 1;
+                    }
+                    None => {
+                        exhausted = true;
+                    }
+                }
+            }
+            // Drain whatever the server has for us.
+            let got_any = self.pump(&mut report, &mut outstanding)?;
+            let all_answered = exhausted && outstanding.is_empty();
+            if all_answered {
+                let since = *settle_from.get_or_insert_with(Instant::now);
+                if got_any {
+                    settle_from = Some(Instant::now());
+                } else if since.elapsed() >= settle {
+                    break;
+                }
+            }
+        }
+        let _ = self.send(&ClientMsg::Bye);
+        Ok(report)
+    }
+
+    fn send(&mut self, msg: &ClientMsg) -> std::io::Result<()> {
+        let frame = encode_client(msg);
+        let mut written = 0;
+        while written < frame.len() {
+            match self.stream.write(&frame[written..]) {
+                Ok(n) => written += n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads and applies every available server message; `Ok(true)` when
+    /// anything arrived.
+    fn pump(
+        &mut self,
+        report: &mut ReplayReport,
+        outstanding: &mut HashSet<u64>,
+    ) -> std::io::Result<bool> {
+        let mut buf = [0u8; 8192];
+        let mut got_any = false;
+        match self.stream.read(&mut buf) {
+            Ok(0) => {
+                // Server closed; anything still outstanding never resolves.
+                report.timed_out = !outstanding.is_empty();
+                outstanding.clear();
+            }
+            Ok(n) => {
+                self.decoder.push(&buf[..n]);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some((direction, payload))) => {
+                    got_any = true;
+                    if direction != crate::codec::Direction::FromServer {
+                        return Err(std::io::Error::new(
+                            ErrorKind::InvalidData,
+                            "misdirected frame from server",
+                        ));
+                    }
+                    let msg = decode_server(&payload)
+                        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+                    match msg {
+                        ServerMsg::Hello { .. } => {}
+                        ServerMsg::Verdict { seq, verdict, .. } => {
+                            outstanding.remove(&seq);
+                            match verdict {
+                                Verdict::Accepted => report.accepted += 1,
+                                Verdict::Reserved { .. } => report.reserved += 1,
+                                Verdict::Deferred(_) => report.deferred += 1,
+                                Verdict::Rejected(_) => report.rejected += 1,
+                                Verdict::Throttled => report.throttled += 1,
+                            }
+                        }
+                        ServerMsg::Update { update } => report.updates.push(update),
+                        ServerMsg::Error { message, .. } => report.errors.push(message),
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    return Err(std::io::Error::new(ErrorKind::InvalidData, e.to_string()));
+                }
+            }
+        }
+        Ok(got_any)
+    }
+}

@@ -1,0 +1,313 @@
+//! The edge wire framing: length-prefixed, checksummed, streamed.
+//!
+//! The edge reuses the journal's framing discipline (`crates/journal`'s
+//! [`wire`](rtdls_journal::wire) module — same header shape, same FNV-1a 64
+//! checksum routine) with its own magic and a *direction* byte instead of
+//! the journal's record kind:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic  "RE"
+//! 2       1     protocol framing version (currently 1)
+//! 3       1     direction (1 = client → server, 2 = server → client)
+//! 4       4     payload length, u32 little-endian
+//! 8       8     FNV-1a 64 checksum over direction byte + payload, u64 LE
+//! 16      len   payload (UTF-8 JSON, one protocol message)
+//! ```
+//!
+//! Unlike the journal (which decodes a complete byte image at rest), the
+//! edge decodes a *stream*: bytes arrive in arbitrary chunks, so
+//! [`FrameDecoder`] buffers partial frames and yields complete ones as
+//! they close. The failure model also differs: a torn tail in a WAL is a
+//! recoverable crash artifact, but a malformed frame on a live socket is a
+//! protocol violation — [`FrameDecoder::next_frame`] returns a fatal
+//! [`WireError`] (bad magic/version/direction, checksum mismatch, or a
+//! length prefix beyond the configured cap) and the connection must close.
+//! The cap matters: without it a single 4-byte length prefix could demand
+//! a 4 GiB allocation from the server.
+
+use rtdls_journal::wire::checksum;
+
+/// Frame magic: `RE` (rtdls edge).
+pub const MAGIC: [u8; 2] = *b"RE";
+
+/// Current framing version.
+pub const VERSION: u8 = 1;
+
+/// Frame header length in bytes (same layout as the journal's).
+pub const HEADER_LEN: usize = 16;
+
+/// Default cap on one frame's payload length (1 MiB — a submit request is
+/// a few hundred bytes, so this is generous headroom, not a limit anyone
+/// honest hits).
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Which way a frame travels. Encoded in the header so a peer that
+/// accidentally loops its own output back at itself fails fast instead of
+/// misparsing payloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → server (payload is a `ClientMsg`).
+    FromClient,
+    /// Server → client (payload is a `ServerMsg`).
+    FromServer,
+}
+
+impl Direction {
+    fn to_byte(self) -> u8 {
+        match self {
+            Direction::FromClient => 1,
+            Direction::FromServer => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(Direction::FromClient),
+            2 => Some(Direction::FromServer),
+            _ => None,
+        }
+    }
+}
+
+/// A fatal stream-level protocol violation. Any of these ends the
+/// connection: once framing is lost there is no way to resynchronize a
+/// byte stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Bad magic, unknown version/direction, or a checksum mismatch, at
+    /// the given stream byte offset.
+    Corrupt {
+        /// Byte offset (within the whole connection stream) of the frame
+        /// header the violation was detected in.
+        offset: u64,
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// The length prefix exceeds the decoder's frame cap.
+    Oversized {
+        /// Byte offset of the offending frame header.
+        offset: u64,
+        /// The declared payload length.
+        len: usize,
+        /// The decoder's cap.
+        max: usize,
+    },
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Corrupt { offset, reason } => {
+                write!(f, "corrupt frame at stream byte {offset}: {reason}")
+            }
+            WireError::Oversized { offset, len, max } => write!(
+                f,
+                "oversized frame at stream byte {offset}: {len} bytes exceeds the {max}-byte cap"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes one message payload into its frame bytes.
+pub fn encode_frame(direction: Direction, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(direction.to_byte());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum(direction.to_byte(), payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Incremental frame decoder over an arbitrary chunking of the stream.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed bytes at the front of `buf` (compacted lazily).
+    pos: usize,
+    /// Stream offset of `buf[pos]` — for error reporting only.
+    offset: u64,
+    max_frame: usize,
+    /// Set once a violation is detected; the decoder refuses to continue.
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing the given payload-length cap.
+    pub fn new(max_frame: usize) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            offset: 0,
+            max_frame,
+            poisoned: false,
+        }
+    }
+
+    /// Appends received bytes (any chunking).
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Yields the next complete frame: `Ok(Some(…))` when one closed,
+    /// `Ok(None)` when more bytes are needed, `Err` on a fatal violation
+    /// (after which the decoder stays poisoned — the connection is over).
+    pub fn next_frame(&mut self) -> Result<Option<(Direction, Vec<u8>)>, WireError> {
+        if self.poisoned {
+            return Err(WireError::Corrupt {
+                offset: self.offset,
+                reason: "stream already failed",
+            });
+        }
+        let rest = &self.buf[self.pos..];
+        if rest.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let fail = |reason| WireError::Corrupt {
+            offset: self.offset,
+            reason,
+        };
+        if rest[0..2] != MAGIC {
+            self.poisoned = true;
+            return Err(fail("bad magic"));
+        }
+        if rest[2] != VERSION {
+            self.poisoned = true;
+            return Err(fail("unknown framing version"));
+        }
+        let Some(direction) = Direction::from_byte(rest[3]) else {
+            self.poisoned = true;
+            return Err(fail("unknown direction byte"));
+        };
+        let len = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes")) as usize;
+        if len > self.max_frame {
+            self.poisoned = true;
+            return Err(WireError::Oversized {
+                offset: self.offset,
+                len,
+                max: self.max_frame,
+            });
+        }
+        if rest.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let crc = u64::from_le_bytes(rest[8..16].try_into().expect("8 bytes"));
+        let payload = &rest[HEADER_LEN..HEADER_LEN + len];
+        if checksum(rest[3], payload) != crc {
+            self.poisoned = true;
+            return Err(fail("checksum mismatch"));
+        }
+        let payload = payload.to_vec();
+        self.pos += HEADER_LEN + len;
+        self.offset += (HEADER_LEN + len) as u64;
+        // Compact once the dead prefix dominates, so a long-lived
+        // connection's buffer stays proportional to its unread tail.
+        if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some((direction, payload)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_under_any_chunking() {
+        let frames = [
+            encode_frame(Direction::FromClient, b"{\"a\":1}"),
+            encode_frame(Direction::FromServer, b"{}"),
+            encode_frame(Direction::FromClient, &vec![b'x'; 3000]),
+        ];
+        let stream: Vec<u8> = frames.concat();
+        for chunk in [1usize, 2, 7, 16, stream.len()] {
+            let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+            let mut out = Vec::new();
+            for piece in stream.chunks(chunk) {
+                dec.push(piece);
+                while let Some(frame) = dec.next_frame().expect("clean stream") {
+                    out.push(frame);
+                }
+            }
+            assert_eq!(out.len(), 3, "chunk={chunk}");
+            assert_eq!(out[0], (Direction::FromClient, b"{\"a\":1}".to_vec()));
+            assert_eq!(out[1], (Direction::FromServer, b"{}".to_vec()));
+            assert_eq!(out[2].1.len(), 3000);
+        }
+    }
+
+    #[test]
+    fn partial_header_and_partial_payload_wait_for_more() {
+        let frame = encode_frame(Direction::FromClient, b"payload");
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        dec.push(&frame[..HEADER_LEN - 1]);
+        assert_eq!(dec.next_frame(), Ok(None));
+        dec.push(&frame[HEADER_LEN - 1..HEADER_LEN + 3]);
+        assert_eq!(dec.next_frame(), Ok(None));
+        dec.push(&frame[HEADER_LEN + 3..]);
+        assert!(matches!(dec.next_frame(), Ok(Some(_))));
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn corruption_is_fatal_and_sticky() {
+        let mut frame = encode_frame(Direction::FromClient, b"payload");
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        dec.push(&frame);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(WireError::Corrupt { offset: 0, .. })
+        ));
+        // Even after "good" bytes arrive the decoder stays poisoned.
+        dec.push(&encode_frame(Direction::FromClient, b"ok"));
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut dec = FrameDecoder::new(1024);
+        let mut hdr = Vec::new();
+        hdr.extend_from_slice(&MAGIC);
+        hdr.push(VERSION);
+        hdr.push(1);
+        hdr.extend_from_slice(&(u32::MAX).to_le_bytes());
+        hdr.extend_from_slice(&[0u8; 8]);
+        dec.push(&hdr);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(WireError::Oversized {
+                len,
+                max: 1024,
+                ..
+            }) if len == u32::MAX as usize
+        ));
+    }
+
+    #[test]
+    fn error_offsets_count_the_whole_stream() {
+        let good = encode_frame(Direction::FromServer, b"first");
+        let mut bad = encode_frame(Direction::FromServer, b"second");
+        bad[0] = b'X';
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        dec.push(&good);
+        dec.push(&bad);
+        assert!(matches!(dec.next_frame(), Ok(Some(_))));
+        assert!(matches!(
+            dec.next_frame(),
+            Err(WireError::Corrupt { offset, .. }) if offset == good.len() as u64
+        ));
+    }
+}

@@ -1,0 +1,81 @@
+//! # rtdls-edge
+//!
+//! The network front-end for the rtdls admission gateways: a hand-rolled
+//! single-threaded reactor over non-blocking `std::net` sockets (the
+//! offline build has no tokio), a length-prefixed checksummed JSON wire
+//! protocol reusing the journal's framing discipline, and the
+//! request/verdict serving protocol end-to-end — including **streamed
+//! reservation updates**: when a `Reserved{start_at, ticket}` promise
+//! later activates (or falls back to defer/reject), the edge pushes the
+//! resolution to the still-connected client instead of making it poll.
+//!
+//! The three layers:
+//!
+//! * [`codec`] — stream framing: magic/version/direction header, u32
+//!   length prefix, FNV-1a 64 checksum, incremental [`FrameDecoder`] with
+//!   an oversize cap (a protocol violation closes the connection);
+//! * [`proto`] — the message vocabulary: [`ClientMsg::Submit`] →
+//!   [`ServerMsg::Verdict`], plus pushed [`ServerMsg::Update`]s for parked
+//!   tasks and a `Hello`/`Error`/`Bye` lifecycle;
+//! * [`server`] — the reactor ([`EdgeServer`]): accept → read → serve →
+//!   drive the gateway clock → push updates → flush, with bounded
+//!   per-connection write queues (overload answers `Throttled` at the
+//!   edge) and an [`EdgeGateway`] abstraction served by `Gateway`,
+//!   `ShardedGateway`, and — for a durable edge — `JournaledGateway`,
+//!   whose group-commit window the reactor closes once per turn.
+//!
+//! [`client`] provides the matching [`ReplayClient`] that plays a
+//! workload-generated request stream against a live edge and reconciles
+//! the verdict counts.
+//!
+//! ```no_run
+//! use rtdls_core::prelude::*;
+//! use rtdls_service::prelude::*;
+//! use rtdls_edge::prelude::*;
+//! use std::sync::atomic::AtomicBool;
+//!
+//! let gateway = ShardedGateway::new(
+//!     ClusterParams::paper_baseline(),
+//!     4,
+//!     AlgorithmKind::EDF_DLT,
+//!     PlanConfig::default(),
+//!     Routing::LeastLoaded,
+//!     DeferPolicy::default(),
+//! )
+//! .unwrap();
+//! let server = EdgeServer::bind("127.0.0.1:0", gateway, EdgeConfig::default()).unwrap();
+//! let addr = server.local_addr();
+//! let stop = AtomicBool::new(false);
+//! // server.run(EdgeClock::real_time(), &stop) serves until `stop` is set;
+//! // ReplayClient::connect(addr) drives it from another thread.
+//! # let _ = (addr, stop);
+//! ```
+//!
+//! [`FrameDecoder`]: codec::FrameDecoder
+//! [`ClientMsg::Submit`]: proto::ClientMsg::Submit
+//! [`ServerMsg::Verdict`]: proto::ServerMsg::Verdict
+//! [`ServerMsg::Update`]: proto::ServerMsg::Update
+//! [`EdgeServer`]: server::EdgeServer
+//! [`EdgeGateway`]: server::EdgeGateway
+//! [`ReplayClient`]: client::ReplayClient
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod codec;
+pub mod proto;
+pub mod server;
+
+pub use client::{ReplayClient, ReplayReport};
+pub use codec::{FrameDecoder, WireError};
+pub use proto::{ClientMsg, ServerMsg, PROTOCOL_VERSION};
+pub use server::{EdgeClock, EdgeConfig, EdgeGateway, EdgeServer, EdgeStats};
+
+/// One-stop imports for edge users.
+pub mod prelude {
+    pub use crate::client::{ReplayClient, ReplayReport};
+    pub use crate::codec::{Direction, FrameDecoder, WireError};
+    pub use crate::proto::{ClientMsg, ServerMsg, PROTOCOL_VERSION};
+    pub use crate::server::{EdgeClock, EdgeConfig, EdgeGateway, EdgeServer, EdgeStats};
+}

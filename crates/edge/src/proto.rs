@@ -1,0 +1,198 @@
+//! The edge protocol messages: what travels inside the codec's frames.
+//!
+//! One JSON message per frame. The client speaks [`ClientMsg`]
+//! (client → server frames), the server [`ServerMsg`]. The conversation:
+//!
+//! 1. On accept, the server pushes [`ServerMsg::Hello`]. A client may send
+//!    its own [`ClientMsg::Hello`]; a protocol-version mismatch is answered
+//!    with [`ServerMsg::Error`] and the connection closes.
+//! 2. The client streams [`ClientMsg::Submit`]s — each a `seq`-tagged
+//!    [`SubmitRequest`] envelope. The server answers every submit with
+//!    exactly one [`ServerMsg::Verdict`] carrying the same `seq`.
+//! 3. **Verdict streaming**: `Accepted` / `Rejected` / `Throttled` verdicts
+//!    are final, but `Reserved` and `Deferred` are promises. When a parked
+//!    task's fate resolves — a reservation activates (or misses), a defer
+//!    ticket is rescued or expires — the server *pushes*
+//!    [`ServerMsg::Update`] to the connection that submitted it, without
+//!    the client polling. Updates are keyed by task id; see
+//!    [`DecisionUpdate`] for the terminality rules.
+//! 4. [`ClientMsg::Bye`] asks the server to flush queued replies and close.
+//!
+//! Delivery of updates is best-effort in exactly one sense: a client that
+//! disconnects before its parked tasks resolve simply misses them (the
+//! durable record is the journal's audit stream, not the socket).
+
+use serde::{Deserialize, Serialize};
+
+use rtdls_core::prelude::SubmitRequest;
+use rtdls_service::prelude::{DecisionUpdate, Verdict};
+
+use crate::codec::{encode_frame, Direction};
+
+/// Version of the message vocabulary (bumped on incompatible change; the
+/// codec's framing version is independent).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Client → server messages.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ClientMsg {
+    /// Optional greeting; a version mismatch fails the connection fast.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        protocol: u32,
+    },
+    /// One submission. `seq` is client-chosen and echoed on the verdict;
+    /// the task id inside the request must be unique across the stream
+    /// (it keys pushed updates).
+    Submit {
+        /// Client-side correlation number.
+        seq: u64,
+        /// The v2 submission envelope.
+        request: SubmitRequest,
+    },
+    /// Flush replies and close.
+    Bye,
+}
+
+/// Server → client messages.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ServerMsg {
+    /// Sent once on accept.
+    Hello {
+        /// The server's [`PROTOCOL_VERSION`].
+        protocol: u32,
+    },
+    /// The answer to one [`ClientMsg::Submit`].
+    Verdict {
+        /// The submit's correlation number, echoed.
+        seq: u64,
+        /// The task id (redundant with `seq`, but lets a client correlate
+        /// later [`ServerMsg::Update`]s without keeping its own map).
+        task: u64,
+        /// The gateway's verdict.
+        verdict: Verdict,
+    },
+    /// A pushed resolution for a previously `Reserved`/`Deferred` task.
+    Update {
+        /// What happened.
+        update: DecisionUpdate,
+    },
+    /// A protocol-level failure; the connection closes after this flushes.
+    Error {
+        /// The offending submit's `seq`, when attributable.
+        seq: Option<u64>,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Encodes one client message into a complete wire frame.
+pub fn encode_client(msg: &ClientMsg) -> Vec<u8> {
+    let payload = serde_json::to_string(msg).expect("client messages are serializable");
+    encode_frame(Direction::FromClient, payload.as_bytes())
+}
+
+/// Encodes one server message into a complete wire frame.
+pub fn encode_server(msg: &ServerMsg) -> Vec<u8> {
+    let payload = serde_json::to_string(msg).expect("server messages are serializable");
+    encode_frame(Direction::FromServer, payload.as_bytes())
+}
+
+/// Decodes one frame payload as a client message.
+pub fn decode_client(payload: &[u8]) -> Result<ClientMsg, serde::Error> {
+    let text = std::str::from_utf8(payload).map_err(|e| serde::Error::msg(e.to_string()))?;
+    serde_json::from_str(text)
+}
+
+/// Decodes one frame payload as a server message.
+pub fn decode_server(payload: &[u8]) -> Result<ServerMsg, serde::Error> {
+    let text = std::str::from_utf8(payload).map_err(|e| serde::Error::msg(e.to_string()))?;
+    serde_json::from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdls_core::prelude::{Infeasible, QosClass, SimTime, Task, TenantId};
+
+    #[test]
+    fn client_messages_round_trip() {
+        let req = SubmitRequest::new(Task::new(7, 1.5, 300.0, 9000.0))
+            .with_tenant(TenantId(4))
+            .with_qos(QosClass::Premium)
+            .with_max_delay(Some(123.0));
+        let msgs = [
+            ClientMsg::Hello {
+                protocol: PROTOCOL_VERSION,
+            },
+            ClientMsg::Submit {
+                seq: 9,
+                request: req,
+            },
+            ClientMsg::Bye,
+        ];
+        for msg in msgs {
+            let frame = encode_client(&msg);
+            let mut dec = crate::codec::FrameDecoder::new(crate::codec::DEFAULT_MAX_FRAME);
+            dec.push(&frame);
+            let (direction, payload) = dec.next_frame().unwrap().unwrap();
+            assert_eq!(direction, Direction::FromClient);
+            assert_eq!(decode_client(&payload).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn server_messages_round_trip_including_every_verdict() {
+        let verdicts = [
+            Verdict::Accepted,
+            Verdict::Reserved {
+                start_at: SimTime::new(42.5),
+                ticket: 3,
+            },
+            Verdict::Deferred(11),
+            Verdict::Rejected(Infeasible::NoTimeForTransmission),
+            Verdict::Throttled,
+        ];
+        for (i, v) in verdicts.into_iter().enumerate() {
+            let msg = ServerMsg::Verdict {
+                seq: i as u64,
+                task: 100 + i as u64,
+                verdict: v,
+            };
+            let frame = encode_server(&msg);
+            let mut dec = crate::codec::FrameDecoder::new(crate::codec::DEFAULT_MAX_FRAME);
+            dec.push(&frame);
+            let (direction, payload) = dec.next_frame().unwrap().unwrap();
+            assert_eq!(direction, Direction::FromServer);
+            assert_eq!(decode_server(&payload).unwrap(), msg);
+        }
+        let others = [
+            ServerMsg::Hello {
+                protocol: PROTOCOL_VERSION,
+            },
+            ServerMsg::Update {
+                update: DecisionUpdate::Activated {
+                    ticket: 1,
+                    task: 2,
+                    at: SimTime::new(3.0),
+                    admitted: true,
+                },
+            },
+            ServerMsg::Error {
+                seq: Some(5),
+                message: "quota".to_string(),
+            },
+        ];
+        for msg in others {
+            let back = decode_server(&encode_server(&msg)[crate::codec::HEADER_LEN..]).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn malformed_payload_is_a_decode_error_not_a_panic() {
+        assert!(decode_client(b"not json").is_err());
+        assert!(decode_client(b"{\"Submit\":{}}").is_err());
+        assert!(decode_server(&[0xff, 0xfe]).is_err());
+    }
+}

@@ -1,0 +1,660 @@
+//! The edge reactor: a single-threaded readiness loop over non-blocking
+//! `std::net` sockets.
+//!
+//! The offline build has no tokio, so the reactor is hand-rolled: every
+//! socket (listener included) is non-blocking, and one [`EdgeServer::poll`]
+//! turn sweeps accept → read → decode/serve → drive the gateway's timers →
+//! push updates → flush writes, never blocking on any of them. A driver
+//! ([`EdgeServer::run`]) spins turns, sleeping briefly only when a whole
+//! turn made no progress — the classic poll-loop shape of a readiness
+//! reactor without an OS selector (an `epoll` selector is a drop-in
+//! upgrade that changes only where the sleep happens).
+//!
+//! **Connection lifecycle.** Each connection is a small state machine:
+//! `Open` (serving) → `Draining` (a fatal protocol error was answered, or
+//! the client said `Bye`; queued replies flush, then the socket closes).
+//! Reads feed a per-connection [`FrameDecoder`]; a framing violation
+//! (corrupt/oversized frame) or an undecodable message is answered with
+//! [`ServerMsg::Error`] and drains the connection — a byte stream that
+//! lost framing cannot be resynchronized.
+//!
+//! **Backpressure.** Writes go through a bounded per-connection queue.
+//! A submit arriving while the client's reply queue is full is answered
+//! [`Verdict::Throttled`] *without touching the gateway* — overload
+//! shedding at the edge, before the admission test spends CPU. A
+//! connection that consumes nothing at all — letting the queue reach
+//! twice the bound, whether from unread replies or unread pushed
+//! updates — is evicted (slow-consumer eviction), so the queue is a hard
+//! bound, never a suggestion.
+//!
+//! **Time.** The gateway lives in simulated seconds; the edge maps wall
+//! clock to [`SimTime`] through an [`EdgeClock`] (offset + scale). The
+//! clock's base matters across restarts: a recovered gateway's book is in
+//! pre-crash sim time, so the restarted edge resumes the clock at the
+//! recovery instant instead of rewinding to zero.
+//!
+//! **Arrival stamping.** The edge overwrites each submitted task's
+//! `arrival` with the server-clock receive instant: in the online model
+//! the arrival time *is* when the request reaches the head node, and
+//! gateway-side deadlines (`arrival + D`) must be anchored to the serving
+//! clock, not whatever the client's generator used. The journal records
+//! the stamped request, so replay stays deterministic.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use rtdls_core::prelude::{Admission, SimTime, SubmitRequest};
+use rtdls_journal::prelude::{JournaledGateway, Recoverable};
+use rtdls_service::prelude::{DecisionUpdate, Gateway, ShardedGateway, Verdict};
+use rtdls_sim::frontend::Frontend;
+
+use crate::codec::{Direction, FrameDecoder, DEFAULT_MAX_FRAME};
+use crate::proto::{decode_client, encode_server, ClientMsg, ServerMsg, PROTOCOL_VERSION};
+
+/// The serving surface the edge needs from a gateway: decide submissions,
+/// advance the books with the clock, and expose the parked-task update
+/// stream. Implemented for both service gateways and for their journaled
+/// wrappers (where every call goes through the write-ahead path).
+pub trait EdgeGateway {
+    /// Decides one submission at the server clock's `now`.
+    fn decide(&mut self, request: &SubmitRequest, now: SimTime) -> Verdict;
+
+    /// Advances time-driven serving work to `now`: commit due dispatches,
+    /// re-test the defer queue, activate due reservations, and retire the
+    /// engine-facing resolution channel (the edge consumes the richer
+    /// [`DecisionUpdate`] stream instead). For journaled gateways this is
+    /// also the group-commit boundary.
+    fn drive(&mut self, now: SimTime);
+
+    /// Drains the parked-task updates recorded since the last call.
+    fn take_updates(&mut self) -> Vec<DecisionUpdate>;
+
+    /// Turns the update stream on (the edge calls this once at bind).
+    fn enable_observation(&mut self);
+
+    /// The earliest instant at which timed work becomes due — the next
+    /// planned dispatch, reservation activation, or defer-ticket
+    /// expiry deadline; `None` = nothing scheduled. The reactor drives
+    /// the gateway only when this is reached or a submission arrived
+    /// (the simulator's event-driven sweep semantics), so an idle edge
+    /// never busy-sweeps the books — and a journaled one never appends
+    /// no-op re-test events.
+    fn next_due(&self) -> Option<SimTime>;
+}
+
+/// The shared [`EdgeGateway::next_due`] body: earliest of the next
+/// dispatch, the next reservation wakeup, and the next defer-ticket
+/// deadline (expiry must be detected — and its resolution pushed — even
+/// when no other event ever arrives).
+fn next_due_of<F: Frontend>(
+    frontend: &F,
+    defer: &rtdls_service::prelude::DeferredQueue,
+) -> Option<SimTime> {
+    [
+        frontend.next_dispatch_due(),
+        frontend.next_wakeup(),
+        defer.next_deadline(),
+    ]
+    .into_iter()
+    .flatten()
+    .min()
+}
+
+impl<A: Admission> EdgeGateway for ShardedGateway<A> {
+    fn decide(&mut self, request: &SubmitRequest, now: SimTime) -> Verdict {
+        ShardedGateway::submit_request(self, request, now)
+    }
+
+    fn drive(&mut self, now: SimTime) {
+        let _ = Frontend::take_due(self, now);
+        Frontend::on_event(self, now);
+        Frontend::activate(self, now);
+        let _ = Frontend::drain_resolutions(self);
+    }
+
+    fn take_updates(&mut self) -> Vec<DecisionUpdate> {
+        ShardedGateway::take_decision_updates(self)
+    }
+
+    fn enable_observation(&mut self) {
+        ShardedGateway::observe_decisions(self, true);
+    }
+
+    fn next_due(&self) -> Option<SimTime> {
+        next_due_of(self, self.deferred())
+    }
+}
+
+impl<A: Admission> EdgeGateway for Gateway<A> {
+    fn decide(&mut self, request: &SubmitRequest, now: SimTime) -> Verdict {
+        Gateway::submit_request(self, request, now)
+    }
+
+    fn drive(&mut self, now: SimTime) {
+        let _ = Frontend::take_due(self, now);
+        Frontend::on_event(self, now);
+        Frontend::activate(self, now);
+        let _ = Frontend::drain_resolutions(self);
+    }
+
+    fn take_updates(&mut self) -> Vec<DecisionUpdate> {
+        Gateway::take_decision_updates(self)
+    }
+
+    fn enable_observation(&mut self) {
+        Gateway::observe_decisions(self, true);
+    }
+
+    fn next_due(&self) -> Option<SimTime> {
+        next_due_of(self, self.deferred())
+    }
+}
+
+impl<G: Recoverable> EdgeGateway for JournaledGateway<G> {
+    fn decide(&mut self, request: &SubmitRequest, now: SimTime) -> Verdict {
+        JournaledGateway::submit_request(self, request, now)
+    }
+
+    fn drive(&mut self, now: SimTime) {
+        // All through the Frontend impl, so every state change is
+        // write-ahead journaled (and no-op polls stay out of the log).
+        let _ = Frontend::take_due(self, now);
+        Frontend::on_event(self, now);
+        Frontend::activate(self, now);
+        let _ = Frontend::drain_resolutions(self);
+        // One reactor turn = one group commit window.
+        self.flush_journal();
+    }
+
+    fn take_updates(&mut self) -> Vec<DecisionUpdate> {
+        JournaledGateway::take_decision_updates(self)
+    }
+
+    fn enable_observation(&mut self) {
+        JournaledGateway::observe_decisions(self, true);
+    }
+
+    fn next_due(&self) -> Option<SimTime> {
+        next_due_of(self, self.deferred())
+    }
+}
+
+/// Maps wall-clock time to the gateway's [`SimTime`].
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeClock {
+    origin: Instant,
+    base: SimTime,
+    scale: f64,
+}
+
+impl EdgeClock {
+    /// A clock reading `base + scale · (wall seconds since now)`. Restarted
+    /// edges pass the recovery instant as `base` so serving time never
+    /// rewinds below the recovered book's.
+    pub fn starting_at(base: SimTime, scale: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        EdgeClock {
+            origin: Instant::now(),
+            base,
+            scale,
+        }
+    }
+
+    /// Real time: one wall second = one simulated second, from zero.
+    pub fn real_time() -> Self {
+        Self::starting_at(SimTime::ZERO, 1.0)
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.base + SimTime::new(self.origin.elapsed().as_secs_f64() * self.scale)
+    }
+}
+
+/// Edge tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeConfig {
+    /// Per-frame payload cap handed to each connection's decoder.
+    pub max_frame_len: usize,
+    /// Reply-queue bound per connection: submits over it are answered
+    /// `Throttled` without consulting the gateway, and a connection whose
+    /// queue reaches twice this bound (a consumer reading nothing at all,
+    /// whether of replies or pushed updates) is evicted — the queue can
+    /// never grow past `2 × write_queue_limit + 1` frames.
+    pub write_queue_limit: usize,
+    /// How long a draining connection (error answered, or client `Bye`)
+    /// may take to consume its final frames before being closed anyway —
+    /// without this, a peer that stops reading would hold its socket and
+    /// queued bytes forever.
+    pub drain_timeout: Duration,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> Self {
+        EdgeConfig {
+            max_frame_len: DEFAULT_MAX_FRAME,
+            write_queue_limit: 256,
+            drain_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Counters the reactor keeps about itself (the gateway's own book is in
+/// `ServiceMetrics`; these cover what happens *before* the gateway).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EdgeStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections_accepted: u64,
+    /// Connections closed (any reason).
+    pub connections_closed: u64,
+    /// Complete frames received.
+    pub frames_received: u64,
+    /// Frames written out (fully).
+    pub frames_sent: u64,
+    /// Submits offered to the gateway.
+    pub submits: u64,
+    /// Submits answered `Throttled` by the edge's own backpressure gate
+    /// (never reached the gateway).
+    pub edge_throttled: u64,
+    /// Pushed `Update` messages enqueued.
+    pub updates_pushed: u64,
+    /// Updates whose submitting connection was already gone.
+    pub updates_dropped: u64,
+    /// Connections failed for framing/decode violations.
+    pub protocol_errors: u64,
+    /// Connections evicted for consuming pushes too slowly.
+    pub slow_consumer_evictions: u64,
+}
+
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    outq: VecDeque<Vec<u8>>,
+    /// Bytes of `outq.front()` already written (partial writes).
+    front_written: usize,
+    /// Flush-then-close (error answered, or client said `Bye`).
+    draining: bool,
+    /// When draining began (for the drain timeout).
+    draining_since: Option<Instant>,
+    /// Read side failed or EOF'd; close once the write side drains.
+    dead: bool,
+}
+
+impl Conn {
+    fn enqueue(&mut self, msg: &ServerMsg) {
+        self.outq.push_back(encode_server(msg));
+    }
+
+    fn start_draining(&mut self) {
+        self.draining = true;
+        self.draining_since.get_or_insert_with(Instant::now);
+    }
+}
+
+/// The edge server: a listener, its connections, and the gateway they
+/// serve. See the module docs for the reactor's shape.
+pub struct EdgeServer<G: EdgeGateway> {
+    listener: TcpListener,
+    cfg: EdgeConfig,
+    gateway: G,
+    conns: Vec<Conn>,
+    next_conn_id: u64,
+    /// Parked task id → (connection id, submit seq): where to push the
+    /// task's eventual resolution.
+    pending: HashMap<u64, (u64, u64)>,
+    /// Set when a submission reached the gateway this turn — with the
+    /// timed-work check, the drive trigger (see [`EdgeGateway::next_due`]).
+    dirty: bool,
+    stats: EdgeStats,
+}
+
+impl<G: EdgeGateway> EdgeServer<G> {
+    /// Binds the listener and takes ownership of the gateway (enabling its
+    /// decision-update stream). `addr` may be `"127.0.0.1:0"` for an
+    /// ephemeral port — see [`EdgeServer::local_addr`].
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        mut gateway: G,
+        cfg: EdgeConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        gateway.enable_observation();
+        Ok(EdgeServer {
+            listener,
+            cfg,
+            gateway,
+            conns: Vec::new(),
+            next_conn_id: 0,
+            pending: HashMap::new(),
+            dirty: false,
+            stats: EdgeStats::default(),
+        })
+    }
+
+    /// The bound address (the OS-chosen port for `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener")
+    }
+
+    /// The served gateway.
+    pub fn gateway(&self) -> &G {
+        &self.gateway
+    }
+
+    /// Reactor self-observation counters.
+    pub fn stats(&self) -> &EdgeStats {
+        &self.stats
+    }
+
+    /// Live connection count.
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Tears the server down, returning the gateway (e.g. to snapshot or
+    /// hand to another driver).
+    pub fn into_gateway(self) -> G {
+        self.gateway
+    }
+
+    /// One reactor turn at simulated instant `now`. Returns `true` when
+    /// the turn made progress (accepted, read, served, pushed, or wrote
+    /// anything) — the driver's idle-sleep hint.
+    pub fn poll(&mut self, now: SimTime) -> bool {
+        let mut progressed = false;
+        progressed |= self.accept_new();
+        progressed |= self.read_and_serve(now);
+        // Event-driven drive, mirroring the simulator: sweep the books
+        // only when a submission arrived or timed work (a dispatch or an
+        // activation) has come due. An idle reactor turn leaves the
+        // gateway — and a journaled gateway's WAL — untouched.
+        let due = self
+            .gateway
+            .next_due()
+            .is_some_and(|t| t.at_or_before_eps(now));
+        if self.dirty || due {
+            self.gateway.drive(now);
+            self.dirty = false;
+            progressed |= self.push_updates();
+        }
+        progressed |= self.flush_writes();
+        self.reap();
+        progressed
+    }
+
+    /// Runs the reactor until `stop` is set, then returns the gateway and
+    /// final stats. Sleeps briefly on idle turns so an unloaded edge costs
+    /// (almost) no CPU.
+    pub fn run(mut self, clock: EdgeClock, stop: &AtomicBool) -> (G, EdgeStats) {
+        while !stop.load(Ordering::Relaxed) {
+            let progressed = self.poll(clock.now());
+            if !progressed {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        // A graceful stop flushes what it can in one last turn.
+        let _ = self.poll(clock.now());
+        (self.gateway, self.stats)
+    }
+
+    fn accept_new(&mut self) -> bool {
+        let mut progressed = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let id = self.next_conn_id;
+                    self.next_conn_id += 1;
+                    let mut conn = Conn {
+                        id,
+                        stream,
+                        decoder: FrameDecoder::new(self.cfg.max_frame_len),
+                        outq: VecDeque::new(),
+                        front_written: 0,
+                        draining: false,
+                        draining_since: None,
+                        dead: false,
+                    };
+                    conn.enqueue(&ServerMsg::Hello {
+                        protocol: PROTOCOL_VERSION,
+                    });
+                    self.conns.push(conn);
+                    self.stats.connections_accepted += 1;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        progressed
+    }
+
+    fn read_and_serve(&mut self, now: SimTime) -> bool {
+        let mut progressed = false;
+        // Index-based: handling a frame needs `&mut self.gateway` and the
+        // connection simultaneously, so split via `take`-free indexing.
+        for i in 0..self.conns.len() {
+            if self.conns[i].draining || self.conns[i].dead {
+                continue;
+            }
+            // Pull everything the socket has.
+            let mut buf = [0u8; 8192];
+            loop {
+                match self.conns[i].stream.read(&mut buf) {
+                    Ok(0) => {
+                        self.conns[i].dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.conns[i].decoder.push(&buf[..n]);
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.conns[i].dead = true;
+                        break;
+                    }
+                }
+            }
+            // Decode and serve complete frames.
+            loop {
+                match self.conns[i].decoder.next_frame() {
+                    Ok(Some((direction, payload))) => {
+                        self.stats.frames_received += 1;
+                        progressed = true;
+                        if direction != Direction::FromClient {
+                            // A server-direction frame on the inbound path
+                            // means a looped or confused peer: fail fast
+                            // instead of misparsing the payload.
+                            self.fail_conn(i, None, "misdirected frame".to_string());
+                            break;
+                        }
+                        match decode_client(&payload) {
+                            Ok(msg) => {
+                                self.handle(i, msg, now);
+                                if self.conns[i].draining {
+                                    break;
+                                }
+                            }
+                            Err(e) => {
+                                self.fail_conn(i, None, format!("undecodable message: {e}"));
+                                break;
+                            }
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        self.fail_conn(i, None, e.to_string());
+                        break;
+                    }
+                }
+            }
+        }
+        progressed
+    }
+
+    fn handle(&mut self, i: usize, msg: ClientMsg, now: SimTime) {
+        match msg {
+            ClientMsg::Hello { protocol } => {
+                if protocol != PROTOCOL_VERSION {
+                    self.fail_conn(
+                        i,
+                        None,
+                        format!(
+                            "protocol {protocol} unsupported (server speaks {PROTOCOL_VERSION})"
+                        ),
+                    );
+                }
+            }
+            ClientMsg::Submit { seq, mut request } => {
+                self.stats.submits += 1;
+                let queued = self.conns[i].outq.len();
+                if queued >= self.cfg.write_queue_limit.max(1) * 2 {
+                    // The peer is reading nothing at all — even its
+                    // Throttled replies pile up. Evict instead of letting
+                    // the queue grow one frame per received submit.
+                    self.conns[i].dead = true;
+                    self.stats.slow_consumer_evictions += 1;
+                    return;
+                }
+                let verdict = if queued >= self.cfg.write_queue_limit {
+                    // Edge backpressure: the client is not consuming its
+                    // replies; shed before the admission test spends CPU.
+                    self.stats.edge_throttled += 1;
+                    Verdict::Throttled
+                } else {
+                    // Arrival is when the request reached this edge.
+                    request.task.arrival = now;
+                    let verdict = self.gateway.decide(&request, now);
+                    self.dirty = true;
+                    if matches!(verdict, Verdict::Reserved { .. } | Verdict::Deferred(_)) {
+                        self.pending
+                            .insert(request.task.id.0, (self.conns[i].id, seq));
+                    }
+                    verdict
+                };
+                let reply = ServerMsg::Verdict {
+                    seq,
+                    task: request.task.id.0,
+                    verdict,
+                };
+                self.conns[i].enqueue(&reply);
+            }
+            ClientMsg::Bye => {
+                self.conns[i].start_draining();
+            }
+        }
+    }
+
+    fn fail_conn(&mut self, i: usize, seq: Option<u64>, message: String) {
+        self.stats.protocol_errors += 1;
+        self.conns[i].enqueue(&ServerMsg::Error { seq, message });
+        self.conns[i].start_draining();
+    }
+
+    fn push_updates(&mut self) -> bool {
+        let updates = self.gateway.take_updates();
+        if updates.is_empty() {
+            return false;
+        }
+        let mut progressed = false;
+        for update in updates {
+            let task = update.task();
+            let entry = self.pending.get(&task).copied();
+            if update.is_terminal() {
+                self.pending.remove(&task);
+            }
+            let Some((conn_id, _seq)) = entry else {
+                self.stats.updates_dropped += 1;
+                continue;
+            };
+            let Some(conn) = self.conns.iter_mut().find(|c| c.id == conn_id) else {
+                self.stats.updates_dropped += 1;
+                continue;
+            };
+            if conn.outq.len() >= self.cfg.write_queue_limit * 2 {
+                // Slow consumer: evict rather than queue without bound.
+                conn.dead = true;
+                self.stats.slow_consumer_evictions += 1;
+                self.stats.updates_dropped += 1;
+                continue;
+            }
+            conn.enqueue(&ServerMsg::Update { update });
+            self.stats.updates_pushed += 1;
+            progressed = true;
+        }
+        progressed
+    }
+
+    fn flush_writes(&mut self) -> bool {
+        let mut progressed = false;
+        for conn in &mut self.conns {
+            while let Some(front) = conn.outq.front() {
+                match conn.stream.write(&front[conn.front_written..]) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.front_written += n;
+                        progressed = true;
+                        if conn.front_written == front.len() {
+                            conn.outq.pop_front();
+                            conn.front_written = 0;
+                            self.stats.frames_sent += 1;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        progressed
+    }
+
+    fn reap(&mut self) {
+        let before = self.conns.len();
+        let drain_timeout = self.cfg.drain_timeout;
+        self.conns.retain(|c| {
+            // A draining peer gets `drain_timeout` to consume its final
+            // frames; one that stops reading is closed anyway so it
+            // cannot hold the fd and queued bytes forever.
+            let drained = c.draining
+                && (c.outq.is_empty()
+                    || c.draining_since
+                        .is_some_and(|since| since.elapsed() >= drain_timeout));
+            let close = c.dead || drained;
+            if close {
+                let _ = c.stream.shutdown(std::net::Shutdown::Both);
+            }
+            !close
+        });
+        self.stats.connections_closed += (before - self.conns.len()) as u64;
+    }
+}
+
+impl<G: EdgeGateway> core::fmt::Debug for EdgeServer<G> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EdgeServer")
+            .field("addr", &self.local_addr())
+            .field("connections", &self.conns.len())
+            .field("pending", &self.pending.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}

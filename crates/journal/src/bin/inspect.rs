@@ -8,8 +8,14 @@
 //! the listing, so a torn or corrupt log is visible at a glance.
 //!
 //! ```text
-//! Usage: inspect <journal-file> [--inputs | --audit] [--limit N]
+//! Usage: inspect <journal-file> [--inputs | --audit] [--limit N] [--json]
 //! ```
+//!
+//! `--json` switches to a machine-readable mode for edge/ops tooling: one
+//! JSON object per line — `{"offset":…,"kind":"snapshot"|"event",
+//! "class":"input"|"audit","record":…}` with the record's own JSON
+//! embedded verbatim — closed by `{"omitted":…}` when `--limit` truncates
+//! and a final `{"tail":…}` status object.
 
 use std::process::ExitCode;
 
@@ -130,16 +136,77 @@ fn render(bytes: &[u8], filter: Option<bool>, limit: usize) -> (Vec<String>, Tai
     (lines, tail)
 }
 
+/// Renders the whole log as JSON lines (see the module docs for the
+/// shape). Same `filter`/`limit` semantics as [`render`]; undecodable
+/// payloads become `{"undecodable": "<error>"}` records rather than
+/// aborting the listing.
+fn render_json(bytes: &[u8], filter: Option<bool>, limit: usize) -> (Vec<String>, TailStatus) {
+    use serde::Value;
+    let (frames, tail) = wire::decode_frames(bytes);
+    let mut entries: Vec<String> = Vec::new();
+    for frame in &frames {
+        let payload = String::from_utf8_lossy(&frame.payload);
+        let (kind, class) = match frame.kind {
+            RecordKind::Snapshot => ("snapshot", None),
+            RecordKind::Event => {
+                let is_input = serde_json::from_str::<JournalEvent>(&payload)
+                    .map(|ev| ev.is_input())
+                    .ok();
+                if let (Some(inputs_only), Some(is_input)) = (filter, is_input) {
+                    if is_input != inputs_only {
+                        continue;
+                    }
+                }
+                ("event", is_input)
+            }
+        };
+        let record: Value = serde_json::from_str(&payload).unwrap_or_else(|e| {
+            Value::Map(vec![("undecodable".to_string(), Value::Str(e.to_string()))])
+        });
+        let mut obj = vec![
+            ("offset".to_string(), Value::Int(frame.offset as i64)),
+            ("kind".to_string(), Value::Str(kind.to_string())),
+        ];
+        if let Some(is_input) = class {
+            obj.push((
+                "class".to_string(),
+                Value::Str(if is_input { "input" } else { "audit" }.to_string()),
+            ));
+        }
+        obj.push(("record".to_string(), record));
+        entries.push(serde_json::to_string(&Value::Map(obj)).expect("serializable"));
+    }
+    let omitted = entries.len().saturating_sub(limit);
+    let mut lines = entries;
+    if omitted > 0 {
+        lines.truncate(limit);
+        lines.push(format!("{{\"omitted\":{omitted}}}"));
+    }
+    let tail_line = match tail {
+        TailStatus::Clean => "{\"tail\":\"clean\"}".to_string(),
+        TailStatus::Truncated { offset } => {
+            format!("{{\"tail\":\"truncated\",\"offset\":{offset}}}")
+        }
+        TailStatus::Corrupt { offset } => format!("{{\"tail\":\"corrupt\",\"offset\":{offset}}}"),
+    };
+    lines.push(tail_line);
+    (lines, tail)
+}
+
+const USAGE: &str = "Usage: inspect <journal-file> [--inputs | --audit] [--limit N] [--json]";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path = None;
     let mut filter = None;
     let mut limit = usize::MAX;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--inputs" => filter = Some(true),
             "--audit" => filter = Some(false),
+            "--json" => json = true,
             "--limit" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => limit = n,
                 None => {
@@ -148,14 +215,14 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                eprintln!("Usage: inspect <journal-file> [--inputs | --audit] [--limit N]");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => path = Some(other.to_string()),
         }
     }
     let Some(path) = path else {
-        eprintln!("Usage: inspect <journal-file> [--inputs | --audit] [--limit N]");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
     let bytes = match std::fs::read(&path) {
@@ -165,6 +232,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if json {
+        let (lines, tail) = render_json(&bytes, filter, limit);
+        for line in lines {
+            println!("{line}");
+        }
+        return match tail {
+            TailStatus::Clean => ExitCode::SUCCESS,
+            _ => ExitCode::FAILURE,
+        };
+    }
     let (lines, tail) = render(&bytes, filter, limit);
     println!("{path}: {} byte(s)", bytes.len());
     for line in lines {
@@ -267,6 +344,77 @@ mod tests {
             *limited.last().unwrap(),
             format!("… {} more record(s)", audit.len() - 2)
         );
+    }
+
+    #[test]
+    fn json_mode_emits_one_parseable_object_per_record() {
+        let wal = sample_wal();
+        let (lines, tail) = render_json(&wal, None, usize::MAX);
+        assert_eq!(tail, TailStatus::Clean);
+        // Every line is a standalone JSON object (JSON-lines contract).
+        let objects: Vec<serde::Value> = lines
+            .iter()
+            .map(|l| serde_json::from_str(l).expect("each line parses"))
+            .collect();
+        let kind_of = |v: &serde::Value| {
+            v.get("kind").and_then(|k| match k {
+                serde::Value::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+        };
+        assert_eq!(kind_of(&objects[0]).as_deref(), Some("snapshot"));
+        assert!(objects[0].get("offset").is_some());
+        assert!(
+            objects[0]
+                .get("record")
+                .and_then(|r| r.get("shards"))
+                .is_some(),
+            "the snapshot's own JSON is embedded verbatim"
+        );
+        // Events carry an input/audit class and their full record.
+        let event = objects
+            .iter()
+            .find(|o| kind_of(o).as_deref() == Some("event"))
+            .unwrap();
+        assert!(matches!(
+            event.get("class"),
+            Some(serde::Value::Str(c)) if c == "input" || c == "audit"
+        ));
+        // The listing closes with the tail status object.
+        let last = objects.last().unwrap();
+        assert!(matches!(last.get("tail"), Some(serde::Value::Str(s)) if s == "clean"));
+        // The machine count matches the human listing's record count.
+        let (human, _) = render(&wal, None, usize::MAX);
+        assert_eq!(objects.len(), human.len() + 1, "records + tail object");
+    }
+
+    #[test]
+    fn json_mode_respects_filters_limits_and_damage() {
+        let wal = sample_wal();
+        let (all, _) = render_json(&wal, None, usize::MAX);
+        let (inputs, _) = render_json(&wal, Some(true), usize::MAX);
+        let (audit, _) = render_json(&wal, Some(false), usize::MAX);
+        // snapshot + tail appear in both filtered listings.
+        assert_eq!(inputs.len() + audit.len(), all.len() + 2);
+        assert!(inputs.iter().any(|l| l.contains("\"class\":\"input\"")));
+        assert!(audit.iter().all(|l| !l.contains("\"class\":\"input\"")));
+        // --limit truncates with a machine-readable omission marker.
+        let (limited, _) = render_json(&wal, None, 2);
+        assert_eq!(limited.len(), 4, "2 records + omitted + tail");
+        let marker: serde::Value = serde_json::from_str(&limited[2]).unwrap();
+        assert_eq!(
+            marker.get("omitted"),
+            Some(&serde::Value::Int((all.len() - 1 - 2) as i64))
+        );
+        // A torn tail is reported as a JSON object too.
+        let mut torn = wal;
+        let cut = torn.len() - 3;
+        torn.truncate(cut);
+        let (lines, tail) = render_json(&torn, None, usize::MAX);
+        assert!(matches!(tail, TailStatus::Truncated { .. }));
+        let last: serde::Value = serde_json::from_str(lines.last().unwrap()).unwrap();
+        assert!(matches!(last.get("tail"), Some(serde::Value::Str(s)) if s == "truncated"));
+        assert!(last.get("offset").is_some());
     }
 
     #[test]

@@ -68,6 +68,14 @@ impl<G: Recoverable> JournaledGateway<G> {
         &mut self.journal
     }
 
+    /// Completes any pending group commit in the journal's sink — the
+    /// group-commit boundary a driver (e.g. the network edge's reactor)
+    /// calls once per serving turn when the sink batches fsyncs
+    /// ([`FsyncPolicy::Batch`](crate::journal::FsyncPolicy::Batch)).
+    pub fn flush_journal(&mut self) {
+        self.journal.flush();
+    }
+
     /// The wrapped gateway's cumulative metrics.
     pub fn metrics(&self) -> &ServiceMetrics {
         self.inner.service_metrics()
@@ -76,6 +84,22 @@ impl<G: Recoverable> JournaledGateway<G> {
     /// The wrapped gateway's defer queue.
     pub fn deferred(&self) -> &DeferredQueue {
         self.inner.defer_queue()
+    }
+
+    /// Enables or disables parked-task decision observation on the wrapped
+    /// gateway. Observer state is process-local (like the latency
+    /// histograms), so toggling it is deliberately *not* journaled: a
+    /// recovered gateway starts unobserved and its edge re-enables this.
+    pub fn observe_decisions(&mut self, on: bool) {
+        self.inner.observe_decisions(on);
+    }
+
+    /// Drains the wrapped gateway's parked-task decision updates (empty
+    /// unless observation is enabled). Not journaled: the durable record
+    /// of the same facts is the audit stream (`ReservationActivated`,
+    /// `Rescued`, `Rejected`), which replay regenerates.
+    pub fn take_decision_updates(&mut self) -> Vec<rtdls_service::prelude::DecisionUpdate> {
+        self.inner.take_decision_updates()
     }
 
     /// Decides one streaming submission at time `now`, journaling the
@@ -326,5 +350,8 @@ impl<G: Recoverable> Frontend for JournaledGateway<G> {
         self.journal
             .append_event(&JournalEvent::Finalized { at: now });
         self.inner.finalize(now);
+        // End of stream closes the group-commit window: everything the
+        // journal acknowledged is durable from here on.
+        self.journal.flush();
     }
 }

@@ -39,28 +39,59 @@ impl Default for JournalConfig {
 
 /// A durable byte store the journal mirrors its frames into.
 ///
-/// Implementations must make `append` durable before returning (or panic:
-/// a write-ahead log that cannot persist must not silently continue — the
-/// whole point is that acknowledged records survive).
-pub trait JournalSink {
+/// `append` must *write* the frame (ordered after every earlier frame)
+/// before returning, and after [`JournalSink::flush`] every appended byte
+/// must be durable. Whether each individual append is synced immediately
+/// is the sink's durability policy (see [`FsyncPolicy`]): a crash between
+/// a batched append and the next flush may lose the unsynced tail, but —
+/// because writes stay ordered — never an earlier record, so recovery
+/// always finds a valid prefix. A sink that cannot persist at all must
+/// panic rather than silently continue.
+///
+/// `Send` is required so a journaled gateway can serve from a dedicated
+/// thread (the network edge runs its reactor that way).
+pub trait JournalSink: Send {
     /// Appends one encoded frame.
     fn append(&mut self, frame: &[u8]);
     /// Replaces the entire stored log (compaction).
     fn reset(&mut self, bytes: &[u8]);
+    /// Makes every appended byte durable (group-commit boundary). Sinks
+    /// that sync per append need not override this.
+    fn flush(&mut self) {}
 }
 
-/// File-backed sink: `append` is write + `sync_data` per frame (synchronous
-/// fsync; batching is future work), `reset` swaps in the new log atomically
-/// via a synced temp file + rename, so a crash mid-compaction leaves either
-/// the old log or the new one — never a truncated in-between.
+/// When a [`FileSink`] fsyncs its appended frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `sync_data` after every frame — the strongest guarantee: an
+    /// acknowledged append survives any crash.
+    EveryAppend,
+    /// Group commit: `sync_data` once per `window` appended frames (and on
+    /// [`JournalSink::flush`]). A crash can lose at most the last
+    /// `window − 1` acknowledged frames; writes stay ordered, so recovery
+    /// still finds a valid prefix of the history. `Batch(1)` behaves like
+    /// [`FsyncPolicy::EveryAppend`].
+    Batch(usize),
+}
+
+/// File-backed sink: `append` is write (+ `sync_data` per its
+/// [`FsyncPolicy`] — per frame by default, or batched into group commits),
+/// `reset` swaps in the new log atomically via a synced temp file + rename,
+/// so a crash mid-compaction leaves either the old log or the new one —
+/// never a truncated in-between.
 #[derive(Debug)]
 pub struct FileSink {
     file: File,
     path: PathBuf,
+    policy: FsyncPolicy,
+    /// Appends written since the last `sync_data`.
+    unsynced: usize,
+    /// `sync_data` calls over the sink's lifetime (observability/tests).
+    syncs: u64,
 }
 
 impl FileSink {
-    /// Creates (truncating) the journal file.
+    /// Creates (truncating) the journal file, syncing every append.
     pub fn create(path: impl AsRef<Path>) -> Result<Self, JournalError> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new()
@@ -68,7 +99,13 @@ impl FileSink {
             .write(true)
             .truncate(true)
             .open(&path)?;
-        Ok(FileSink { file, path })
+        Ok(FileSink {
+            file,
+            path,
+            policy: FsyncPolicy::EveryAppend,
+            unsynced: 0,
+            syncs: 0,
+        })
     }
 
     /// Opens the file for appending **without touching its contents**.
@@ -77,7 +114,19 @@ impl FileSink {
     pub fn open_preserving(path: impl AsRef<Path>) -> Result<Self, JournalError> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(FileSink { file, path })
+        Ok(FileSink {
+            file,
+            path,
+            policy: FsyncPolicy::EveryAppend,
+            unsynced: 0,
+            syncs: 0,
+        })
+    }
+
+    /// Sets the fsync policy (builder style).
+    pub fn with_fsync_policy(mut self, policy: FsyncPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// The file this sink writes.
@@ -85,9 +134,22 @@ impl FileSink {
         &self.path
     }
 
+    /// `sync_data` calls performed so far (group-commit observability).
+    pub fn syncs_performed(&self) -> u64 {
+        self.syncs
+    }
+
     /// Reads a journal file back into bytes (the recovery entry point).
     pub fn read(path: impl AsRef<Path>) -> Result<Vec<u8>, JournalError> {
         Ok(std::fs::read(path.as_ref())?)
+    }
+
+    fn sync(&mut self) {
+        self.file
+            .sync_data()
+            .expect("journal file fsync must succeed");
+        self.unsynced = 0;
+        self.syncs += 1;
     }
 }
 
@@ -95,8 +157,22 @@ impl JournalSink for FileSink {
     fn append(&mut self, frame: &[u8]) {
         self.file
             .write_all(frame)
-            .and_then(|()| self.file.sync_data())
             .expect("journal file append must succeed");
+        self.unsynced += 1;
+        match self.policy {
+            FsyncPolicy::EveryAppend => self.sync(),
+            FsyncPolicy::Batch(window) => {
+                if self.unsynced >= window.max(1) {
+                    self.sync();
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.unsynced > 0 {
+            self.sync();
+        }
     }
 
     fn reset(&mut self, bytes: &[u8]) {
@@ -119,6 +195,18 @@ impl JournalSink for FileSink {
             Ok(())
         };
         swap().expect("journal file rewrite must succeed");
+        // The staged file was fully synced before the rename.
+        self.unsynced = 0;
+    }
+}
+
+impl Drop for FileSink {
+    /// Best-effort group-commit completion: a *graceful* shutdown should
+    /// not lose the batched tail (a crash, by definition, skips this).
+    fn drop(&mut self) {
+        if self.unsynced > 0 {
+            let _ = self.file.sync_data();
+        }
     }
 }
 
@@ -193,6 +281,15 @@ impl Journal {
     /// `true` once enough input events accumulated since the last snapshot.
     pub fn wants_snapshot(&self) -> bool {
         self.cfg.snapshot_every > 0 && self.events_since_snapshot >= self.cfg.snapshot_every
+    }
+
+    /// Completes any pending group commit in the sink (see
+    /// [`JournalSink::flush`]). A no-op for in-memory journals and for
+    /// sinks that sync per append.
+    pub fn flush(&mut self) {
+        if let Some(sink) = &mut self.sink {
+            sink.flush();
+        }
     }
 
     /// Appends one event record.
@@ -346,6 +443,68 @@ mod tests {
             assert!(tail.is_clean());
             assert_eq!(frames.len(), 2);
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_commit_batches_fsyncs_and_flush_completes_the_window() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "rtdls-group-commit-test-{}.wal",
+            std::process::id()
+        ));
+        {
+            let sink = FileSink::create(&path)
+                .unwrap()
+                .with_fsync_policy(FsyncPolicy::Batch(8));
+            let mut j = Journal::with_sink(
+                JournalConfig {
+                    snapshot_every: 0,
+                    compact_on_snapshot: false,
+                },
+                Box::new(sink),
+            );
+            for i in 0..20 {
+                j.append_event(&ev(i as f64));
+            }
+            // Writes always land immediately — only the fsyncs batch.
+            let on_disk = FileSink::read(&path).unwrap();
+            assert_eq!(on_disk, j.bytes(), "bytes hit the file per append");
+            j.flush();
+            j.append_event(&ev(99.0));
+            assert_eq!(FileSink::read(&path).unwrap(), j.bytes());
+        }
+        // Count the syncs directly on a bare sink: 20 appends at window 8
+        // complete two group commits; flush closes the partial third.
+        let mut sink = FileSink::create(&path)
+            .unwrap()
+            .with_fsync_policy(FsyncPolicy::Batch(8));
+        for _ in 0..20 {
+            sink.append(b"x");
+        }
+        assert_eq!(sink.syncs_performed(), 2, "two full windows");
+        sink.flush();
+        assert_eq!(sink.syncs_performed(), 3, "flush commits the tail");
+        sink.flush();
+        assert_eq!(
+            sink.syncs_performed(),
+            3,
+            "flush with nothing pending is free"
+        );
+        // Per-append policy syncs every time; Batch(1) matches it.
+        let mut sink = FileSink::create(&path).unwrap();
+        for _ in 0..3 {
+            sink.append(b"x");
+        }
+        assert_eq!(sink.syncs_performed(), 3);
+        let mut sink = FileSink::create(&path)
+            .unwrap()
+            .with_fsync_policy(FsyncPolicy::Batch(1));
+        for _ in 0..3 {
+            sink.append(b"x");
+        }
+        assert_eq!(sink.syncs_performed(), 3);
+        drop(sink);
         let _ = std::fs::remove_file(&path);
     }
 

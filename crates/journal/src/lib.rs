@@ -77,8 +77,10 @@ pub mod wire;
 
 pub use event::JournalEvent;
 pub use gateway::JournaledGateway;
-pub use journal::{FileSink, Journal, JournalConfig, JournalSink};
-pub use recover::{apply_event, recover, recover_file, replay, RecoveryReport};
+pub use journal::{FileSink, FsyncPolicy, Journal, JournalConfig, JournalSink};
+pub use recover::{
+    apply_event, recover, recover_file, recover_file_with_policy, replay, RecoveryReport,
+};
 pub use snapshot::{GatewaySnapshot, JournalError, Recoverable};
 pub use wire::TailStatus;
 
@@ -86,8 +88,10 @@ pub use wire::TailStatus;
 pub mod prelude {
     pub use crate::event::JournalEvent;
     pub use crate::gateway::JournaledGateway;
-    pub use crate::journal::{FileSink, Journal, JournalConfig, JournalSink};
-    pub use crate::recover::{recover, recover_file, replay, RecoveryReport};
+    pub use crate::journal::{FileSink, FsyncPolicy, Journal, JournalConfig, JournalSink};
+    pub use crate::recover::{
+        recover, recover_file, recover_file_with_policy, replay, RecoveryReport,
+    };
     pub use crate::snapshot::{GatewaySnapshot, JournalError, Recoverable};
     pub use crate::wire::TailStatus;
 }

@@ -172,14 +172,33 @@ pub fn recover<G: Recoverable>(
 /// an atomic temp-file + rename — *after* recovery has succeeded, so a
 /// failed recovery (or a crash mid-rewrite) always leaves the original
 /// journal intact for a retry or an operator post-mortem.
+///
+/// The reattached sink syncs per append (the safest default); a server
+/// that ran with group commit must say so again via
+/// [`recover_file_with_policy`] — the policy is process configuration,
+/// not journaled state, so recovery cannot infer it from the log.
 pub fn recover_file<G: Recoverable>(
     path: impl AsRef<std::path::Path>,
     now: SimTime,
     cfg: JournalConfig,
 ) -> Result<(JournaledGateway<G>, RecoveryReport), JournalError> {
+    recover_file_with_policy(path, now, cfg, crate::journal::FsyncPolicy::EveryAppend)
+}
+
+/// [`recover_file`] with an explicit [`FsyncPolicy`] for the reattached
+/// sink, so a group-commit edge keeps its durability/cost point across a
+/// restart instead of silently falling back to per-append fsync.
+///
+/// [`FsyncPolicy`]: crate::journal::FsyncPolicy
+pub fn recover_file_with_policy<G: Recoverable>(
+    path: impl AsRef<std::path::Path>,
+    now: SimTime,
+    cfg: JournalConfig,
+    policy: crate::journal::FsyncPolicy,
+) -> Result<(JournaledGateway<G>, RecoveryReport), JournalError> {
     let bytes = crate::journal::FileSink::read(&path)?;
     let (mut journaled, report) = recover(&bytes, now, cfg, None)?;
-    let sink = crate::journal::FileSink::open_preserving(&path)?;
+    let sink = crate::journal::FileSink::open_preserving(&path)?.with_fsync_policy(policy);
     journaled.journal_mut().attach_sink(Box::new(sink));
     Ok((journaled, report))
 }

@@ -19,9 +19,9 @@ use rtdls_core::prelude::{
 use rtdls_service::book::ServiceBook;
 use rtdls_service::gateway::{Gateway, GatewayDecision};
 use rtdls_service::prelude::{
-    ActivationRecord, DeferState, DeferredQueue, MetricsSnapshot, QuotaPolicy, ReservationBook,
-    ReservationState, Routing, ServiceMetrics, ShardedGateway, TenantLedger, TenantLedgerState,
-    Verdict,
+    ActivationRecord, DecisionUpdate, DeferState, DeferredQueue, MetricsSnapshot, QuotaPolicy,
+    ReservationBook, ReservationState, Routing, ServiceMetrics, ShardedGateway, TenantLedger,
+    TenantLedgerState, Verdict,
 };
 use rtdls_sim::frontend::Frontend;
 
@@ -189,6 +189,17 @@ pub trait Recoverable: Frontend + Sized {
     /// call (regenerated on replay; journaled as audit output).
     fn take_activation_log(&mut self) -> Vec<ActivationRecord>;
 
+    /// Enables or disables parked-task decision observation (the network
+    /// edge's subscription channel). Observer state is process-local —
+    /// never journaled, never replayed — and defaults to off on a
+    /// restored gateway: an edge that recovers a journaled gateway must
+    /// re-enable it.
+    fn observe_decisions(&mut self, on: bool);
+
+    /// Drains the parked-task decision updates recorded since the last
+    /// call (empty unless observation is enabled).
+    fn take_decision_updates(&mut self) -> Vec<DecisionUpdate>;
+
     /// Post-recovery re-verification: re-run the strict admission test over
     /// every restored waiting plan at `now`, demoting newly infeasible
     /// tasks to the defer queue. Returns the demoted tasks.
@@ -273,6 +284,14 @@ impl<A: Admission> Recoverable for Gateway<A> {
         Gateway::take_activation_log(self)
     }
 
+    fn observe_decisions(&mut self, on: bool) {
+        Gateway::observe_decisions(self, on)
+    }
+
+    fn take_decision_updates(&mut self) -> Vec<DecisionUpdate> {
+        Gateway::take_decision_updates(self)
+    }
+
     fn reverify(&mut self, now: SimTime) -> Vec<Task> {
         Gateway::reverify(self, now)
     }
@@ -350,6 +369,14 @@ impl<A: Admission> Recoverable for ShardedGateway<A> {
 
     fn take_activation_log(&mut self) -> Vec<ActivationRecord> {
         ShardedGateway::take_activation_log(self)
+    }
+
+    fn observe_decisions(&mut self, on: bool) {
+        ShardedGateway::observe_decisions(self, on)
+    }
+
+    fn take_decision_updates(&mut self) -> Vec<DecisionUpdate> {
+        ShardedGateway::take_decision_updates(self)
     }
 
     fn reverify(&mut self, now: SimTime) -> Vec<Task> {

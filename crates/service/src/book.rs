@@ -18,6 +18,7 @@ use rtdls_core::prelude::{
 
 use crate::defer::{latest_feasible_start, DeferOutcome, DeferPolicy, DeferTicket, DeferredQueue};
 use crate::metrics::ServiceMetrics;
+use crate::observe::DecisionUpdate;
 use crate::request::{QuotaPolicy, Verdict};
 use crate::reserve::{ActivationRecord, ReservationBook};
 use crate::tenant::TenantLedger;
@@ -42,6 +43,13 @@ pub struct ServiceBook {
     /// Activation attempts since the last audit drain (journal-only;
     /// regenerated on replay, so not part of the captured state).
     activation_log: Vec<ActivationRecord>,
+    /// Parked-task updates since the last observer drain (edge-only;
+    /// recorded only while `observe` is set, so simulator-driven gateways
+    /// pay nothing). Process-local like the latency samples: not captured
+    /// in snapshots, and a journal replay regenerates nothing into it.
+    updates: Vec<DecisionUpdate>,
+    /// Whether parked-task updates are being recorded.
+    observe: bool,
 }
 
 impl ServiceBook {
@@ -55,6 +63,8 @@ impl ServiceBook {
             metrics: ServiceMetrics::new(),
             resolutions: Vec::new(),
             activation_log: Vec::new(),
+            updates: Vec::new(),
+            observe: false,
         }
     }
 
@@ -76,6 +86,8 @@ impl ServiceBook {
             metrics,
             resolutions,
             activation_log: Vec::new(),
+            updates: Vec::new(),
+            observe: false,
         }
     }
 
@@ -91,6 +103,27 @@ impl ServiceBook {
     /// call (for write-ahead journaling; process-local, like latency).
     pub fn take_activation_log(&mut self) -> Vec<ActivationRecord> {
         std::mem::take(&mut self.activation_log)
+    }
+
+    /// Enables or disables parked-task decision observation (see
+    /// [`DecisionUpdate`]). Off by default so simulator-driven gateways
+    /// never accumulate an undrained channel; the network edge turns it on.
+    pub fn observe_decisions(&mut self, on: bool) {
+        self.observe = on;
+        if !on {
+            self.updates.clear();
+        }
+    }
+
+    /// Drains the parked-task updates recorded since the last call.
+    pub fn take_updates(&mut self) -> Vec<DecisionUpdate> {
+        std::mem::take(&mut self.updates)
+    }
+
+    fn push_update(&mut self, update: DecisionUpdate) {
+        if self.observe {
+            self.updates.push(update);
+        }
     }
 }
 
@@ -114,6 +147,13 @@ pub(crate) fn book_accept(
 /// `Some(cause)` = rejected).
 pub(crate) fn apply_departures(book: &mut ServiceBook, departed: Vec<(DeferTicket, DeferOutcome)>) {
     for (ticket, outcome) in departed {
+        let admitted = matches!(outcome, DeferOutcome::Rescued);
+        book.push_update(DecisionUpdate::Resolved {
+            task: ticket.task.id.0,
+            ticket: Some(ticket.id),
+            admitted,
+            cause: (!admitted).then_some(ticket.cause),
+        });
         let tenant = book.metrics.tenants.counters_mut(ticket.tenant);
         match outcome {
             DeferOutcome::Rescued => {
@@ -181,6 +221,12 @@ pub(crate) trait EngineOps {
     fn submit(&mut self, task: &Task, now: SimTime) -> Decision;
     /// The reservation search (non-mutating on the engine).
     fn earliest_feasible_start(&self, task: &Task, now: SimTime) -> Option<SimTime>;
+    /// `true` when per-shard quota caps leave this request no shard to
+    /// route to (the sharded adapter under `QuotaPolicy::max_shard_inflight`;
+    /// single-engine adapters never throttle here).
+    fn all_routes_throttled(&self) -> bool {
+        false
+    }
 }
 
 /// The v2 decision flow, shared by both gateways via their [`EngineOps`]
@@ -206,6 +252,14 @@ pub(crate) fn decide_request(
             .quota
             .admits_inflight(request.qos, book.inflight(tenant))
     {
+        book.metrics.throttled += 1;
+        book.metrics.tenants.counters_mut(tenant).throttled += 1;
+        return Verdict::Throttled;
+    }
+    // Per-shard caps: when the tenant is at `max_shard_inflight` on every
+    // shard there is nowhere to route, which is a quota refusal like any
+    // other (the admission test never runs).
+    if engine.all_routes_throttled() {
         book.metrics.throttled += 1;
         book.metrics.tenants.counters_mut(tenant).throttled += 1;
         return Verdict::Throttled;
@@ -272,6 +326,12 @@ pub(crate) fn activate_due(
             at: now,
             admitted,
         });
+        book.push_update(DecisionUpdate::Activated {
+            ticket: res.ticket,
+            task: res.task.id.0,
+            at: now,
+            admitted,
+        });
         if admitted {
             book.ledger.insert(res.task.id, res.tenant);
             book.metrics.reservations_activated += 1;
@@ -297,6 +357,12 @@ pub(crate) fn activate_due(
                 // The miss resolved terminally right here; deferred misses
                 // resolve later through the sweep like any other ticket.
                 book.resolutions.push((res.task, Some(cause)));
+                book.push_update(DecisionUpdate::Resolved {
+                    task: res.task.id.0,
+                    ticket: None,
+                    admitted: false,
+                    cause: Some(cause),
+                });
             }
         }
     }
@@ -309,6 +375,12 @@ pub(crate) fn flush_all(book: &mut ServiceBook) {
         book.metrics.reservations_flushed += 1;
         book.metrics.tenants.counters_mut(res.tenant).rejected += 1;
         book.resolutions.push((res.task, Some(res.cause)));
+        book.push_update(DecisionUpdate::Resolved {
+            task: res.task.id.0,
+            ticket: Some(res.ticket),
+            admitted: false,
+            cause: Some(res.cause),
+        });
     }
     let flushed = book.defer.flush();
     apply_departures(book, flushed);

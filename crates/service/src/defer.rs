@@ -252,6 +252,25 @@ impl DeferredQueue {
         (departed, retests)
     }
 
+    /// The earliest instant at which a parked ticket's fate can change
+    /// with no other cluster event: its latest feasible start passing, or
+    /// its max-age expiring. Event-driven drivers (the network edge's
+    /// reactor) use this as a sweep timer so expiries are detected — and
+    /// their resolutions pushed — even on an otherwise idle gateway.
+    /// `None` when nothing is parked.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.tickets
+            .iter()
+            .map(|t| {
+                let expiry = t.latest_start;
+                match self.policy.max_age {
+                    Some(age) => expiry.min(t.deferred_at + SimTime::new(age)),
+                    None => expiry,
+                }
+            })
+            .min()
+    }
+
     /// Snapshots the complete queue state for journaling.
     pub fn state(&self) -> DeferState {
         DeferState {
@@ -349,6 +368,27 @@ mod tests {
             Infeasible::CompletionAfterDeadline,
         )
         .expect("capacity")
+    }
+
+    #[test]
+    fn next_deadline_is_the_earliest_expiry_across_bounds() {
+        let mut q = DeferredQueue::new(DeferPolicy::default());
+        assert_eq!(q.next_deadline(), None);
+        park(&mut q, 1, 50.0);
+        park(&mut q, 2, 20.0);
+        assert_eq!(q.next_deadline(), Some(SimTime::new(20.0)));
+        // A max-age tighter than the latest feasible start wins.
+        let mut aged = DeferredQueue::new(DeferPolicy {
+            max_age: Some(5.0),
+            ..Default::default()
+        });
+        park(&mut aged, 3, 50.0);
+        assert_eq!(aged.next_deadline(), Some(SimTime::new(5.0)));
+        // Sweeping past the deadline retires the ticket and the timer.
+        let (departed, _) = aged.sweep(SimTime::new(6.0), |_| false);
+        assert_eq!(departed.len(), 1);
+        assert!(matches!(departed[0].1, DeferOutcome::Expired));
+        assert_eq!(aged.next_deadline(), None);
     }
 
     #[test]

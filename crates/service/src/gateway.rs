@@ -176,6 +176,19 @@ impl<A: Admission> Gateway<A> {
         self.book.take_activation_log()
     }
 
+    /// Enables or disables parked-task decision observation — the network
+    /// edge's subscription channel (see
+    /// [`DecisionUpdate`](crate::observe::DecisionUpdate)). Off by default.
+    pub fn observe_decisions(&mut self, on: bool) {
+        self.book.observe_decisions(on);
+    }
+
+    /// Drains the parked-task decision updates recorded since the last
+    /// call (empty unless observation is enabled).
+    pub fn take_decision_updates(&mut self) -> Vec<crate::observe::DecisionUpdate> {
+        self.book.take_updates()
+    }
+
     /// Reassembles a gateway from journaled parts — the recovery-side
     /// counterpart of [`controller`](Gateway::controller) and the
     /// [`ServiceBook`] accessors.
@@ -516,6 +529,67 @@ mod tests {
     }
 
     #[test]
+    fn decision_updates_stream_parked_task_fates_only_while_observed() {
+        use crate::observe::DecisionUpdate;
+        // Activation path: a booked reservation's activation is pushed.
+        let (mut g, c, _) = reservation_scenario();
+        g.observe_decisions(true);
+        let req = SubmitRequest::new(c).with_max_delay(Some(2000.0));
+        let Verdict::Reserved { start_at, ticket } = g.submit_request(&req, SimTime::ZERO) else {
+            panic!("expected Reserved");
+        };
+        Frontend::take_due(&mut g, start_at);
+        g.activate_reservations(start_at);
+        let updates = g.take_decision_updates();
+        assert_eq!(
+            updates,
+            vec![DecisionUpdate::Activated {
+                ticket,
+                task: c.id.0,
+                at: start_at,
+                admitted: true,
+            }]
+        );
+        assert!(updates[0].is_terminal());
+        assert!(g.take_decision_updates().is_empty(), "channel drains");
+        // Rescue path: a defer ticket's departure is pushed.
+        let p = ClusterParams::paper_baseline();
+        let mut g = gateway();
+        g.observe_decisions(true);
+        let e16 = homogeneous::exec_time(&p, 800.0, 16);
+        assert!(g
+            .submit(Task::new(1, 0.0, 800.0, e16 * 1.05), SimTime::ZERO)
+            .is_accepted());
+        let near_miss = Task::new(2, 0.0, 800.0, e16 * 1.5);
+        let GatewayDecision::Deferred(ticket) = g.submit(near_miss, SimTime::ZERO) else {
+            panic!("expected Deferred");
+        };
+        Frontend::take_due(&mut g, SimTime::ZERO);
+        let early = SimTime::new(e16 * 0.3);
+        for node in 0..16 {
+            Frontend::set_node_release(&mut g, node, early);
+        }
+        g.retest_deferred(early);
+        let updates = g.take_decision_updates();
+        assert_eq!(
+            updates,
+            vec![DecisionUpdate::Resolved {
+                task: near_miss.id.0,
+                ticket: Some(ticket),
+                admitted: true,
+                cause: None,
+            }]
+        );
+        // Observation off (the default): nothing accumulates.
+        let (mut g, c, _) = reservation_scenario();
+        let req = SubmitRequest::new(c).with_max_delay(Some(2000.0));
+        assert!(g.submit_request(&req, SimTime::ZERO).is_reserved());
+        Frontend::take_due(&mut g, SimTime::new(1000.0));
+        g.activate_reservations(SimTime::new(1000.0));
+        assert!(g.take_decision_updates().is_empty());
+    }
+
+    #[test]
     fn reservation_beyond_tolerance_falls_back_to_defer() {
         let (mut g, c, _) = reservation_scenario();
         // The earliest feasible start is t=1000; a tolerance of 500 cannot
@@ -530,8 +604,7 @@ mod tests {
     fn tenant_quota_throttles_before_the_admission_test() {
         let mut g = gateway().with_quota(QuotaPolicy {
             max_inflight: Some(2),
-            max_reservations: None,
-            exempt_premium: true,
+            ..Default::default()
         });
         let mk =
             |id: u64| SubmitRequest::new(Task::new(id, 0.0, 50.0, 1e6)).with_tenant(TenantId(1));

@@ -83,6 +83,7 @@ pub mod book;
 pub mod defer;
 pub mod gateway;
 pub mod metrics;
+pub mod observe;
 pub mod request;
 pub mod reserve;
 pub mod shard;
@@ -98,6 +99,7 @@ pub mod prelude {
     pub use crate::metrics::{
         LatencyHistogram, MetricsSnapshot, ServiceMetrics, TenantCounters, TenantMetrics,
     };
+    pub use crate::observe::DecisionUpdate;
     pub use crate::request::{QuotaPolicy, Verdict};
     pub use crate::reserve::{ActivationRecord, Reservation, ReservationBook, ReservationState};
     pub use crate::shard::{Routing, ShardedGateway};

@@ -25,6 +25,13 @@ use rtdls_core::prelude::{Infeasible, QosClass, SimTime, SubmitRequest};
 use crate::gateway::GatewayDecision;
 
 /// The gateway's v2 admission verdict.
+///
+/// Serialization is hand-written (the derive stand-in does not cover tuple
+/// variants): unit variants render as strings, the data-bearing ones as
+/// single-key objects — `"Accepted"`, `{"Reserved":{"start_at":…,
+/// "ticket":…}}`, `{"Deferred":{"ticket":…}}`, `{"Rejected":{"cause":…}}`,
+/// `"Throttled"` — which is the network edge's wire representation, so the
+/// encoding is part of the protocol surface, not an implementation detail.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Verdict {
     /// Admitted now; the deadline guarantee holds from this instant.
@@ -70,6 +77,59 @@ impl Verdict {
     }
 }
 
+impl Serialize for Verdict {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        match self {
+            Verdict::Accepted => Value::Str("Accepted".to_string()),
+            Verdict::Reserved { start_at, ticket } => Value::Map(vec![(
+                "Reserved".to_string(),
+                Value::Map(vec![
+                    ("start_at".to_string(), start_at.to_value()),
+                    ("ticket".to_string(), ticket.to_value()),
+                ]),
+            )]),
+            Verdict::Deferred(ticket) => Value::Map(vec![(
+                "Deferred".to_string(),
+                Value::Map(vec![("ticket".to_string(), ticket.to_value())]),
+            )]),
+            Verdict::Rejected(cause) => Value::Map(vec![(
+                "Rejected".to_string(),
+                Value::Map(vec![("cause".to_string(), cause.to_value())]),
+            )]),
+            Verdict::Throttled => Value::Str("Throttled".to_string()),
+        }
+    }
+}
+
+impl Deserialize for Verdict {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        use serde::helpers::field;
+        use serde::Value;
+        match v {
+            Value::Str(s) if s == "Accepted" => Ok(Verdict::Accepted),
+            Value::Str(s) if s == "Throttled" => Ok(Verdict::Throttled),
+            Value::Map(entries) if entries.len() == 1 => {
+                let (variant, body) = &entries[0];
+                match variant.as_str() {
+                    "Reserved" => Ok(Verdict::Reserved {
+                        start_at: field(body, "start_at")?,
+                        ticket: field(body, "ticket")?,
+                    }),
+                    "Deferred" => Ok(Verdict::Deferred(field(body, "ticket")?)),
+                    "Rejected" => Ok(Verdict::Rejected(field(body, "cause")?)),
+                    other => Err(serde::Error::msg(format!(
+                        "unknown Verdict variant `{other}`"
+                    ))),
+                }
+            }
+            other => Err(serde::Error::msg(format!(
+                "expected Verdict, found {other:?}"
+            ))),
+        }
+    }
+}
+
 impl From<Verdict> for GatewayDecision {
     /// The v2 → v1 bridge. A reservation surfaces as a deferral (the
     /// closest legacy notion of "parked, admitted later"); a quota
@@ -91,8 +151,11 @@ impl From<Verdict> for GatewayDecision {
 ///
 /// Like [`DeferPolicy`](crate::defer::DeferPolicy), the quota policy is
 /// part of the gateway's durable state: journals persist it so a recovered
-/// gateway throttles exactly as the live one did.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+/// gateway throttles exactly as the live one did. Deserialization is
+/// hand-written: `max_shard_inflight` arrived with quota-aware routing,
+/// and snapshots written before it must still restore (it defaults to
+/// unlimited, the pre-existing behavior).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub struct QuotaPolicy {
     /// Maximum undispatched liabilities (waiting + deferred + reserved
     /// tasks) per tenant; `None` = unlimited.
@@ -101,6 +164,15 @@ pub struct QuotaPolicy {
     /// over this limit is not throttled — it just falls back to the
     /// defer-or-reject protocol instead of booking a reservation.
     pub max_reservations: Option<u32>,
+    /// Maximum *waiting* tasks one tenant may hold on a single shard;
+    /// `None` = unlimited. The sharded gateway's routing skips shards
+    /// where the tenant is at this cap (anti-concentration: a tenant's
+    /// admitted-but-undispatched work spreads across shards, so no shard
+    /// failure or backlog spike lands on one tenant disproportionately).
+    /// When *every* shard is at the cap the request is throttled before
+    /// the admission test, like the other limits. Single-cluster gateways
+    /// ignore it.
+    pub max_shard_inflight: Option<u32>,
     /// Whether [`QosClass::Premium`] submissions bypass both limits.
     pub exempt_premium: bool,
 }
@@ -110,8 +182,22 @@ impl Default for QuotaPolicy {
         QuotaPolicy {
             max_inflight: None,
             max_reservations: None,
+            max_shard_inflight: None,
             exempt_premium: true,
         }
+    }
+}
+
+impl Deserialize for QuotaPolicy {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        use serde::helpers::{field, field_or_default};
+        Ok(QuotaPolicy {
+            max_inflight: field(v, "max_inflight")?,
+            max_reservations: field(v, "max_reservations")?,
+            // Added with quota-aware routing: absent in earlier snapshots.
+            max_shard_inflight: field_or_default(v, "max_shard_inflight")?,
+            exempt_premium: field(v, "exempt_premium")?,
+        })
     }
 }
 
@@ -182,7 +268,7 @@ mod tests {
         let q = QuotaPolicy {
             max_inflight: Some(2),
             max_reservations: Some(1),
-            exempt_premium: true,
+            ..Default::default()
         };
         assert!(q.admits_inflight(QosClass::Standard, 1));
         assert!(!q.admits_inflight(QosClass::Standard, 2));

@@ -76,9 +76,21 @@ fn globalize(mut plan: TaskPlan, offset: usize) -> TaskPlan {
     plan
 }
 
+/// No routing restrictions: the empty per-shard skip mask.
+const NO_SKIP: &[bool] = &[];
+
+/// Whether routing may consider shard `s` under the skip mask (empty mask
+/// = no restriction; a fully-set mask is the caller's responsibility to
+/// catch beforehand — here it simply excludes everything).
+fn routable(skip: &[bool], s: usize) -> bool {
+    skip.get(s).copied() != Some(true)
+}
+
 /// Tries shards in routing order, skipping `exclude` (a shard already known
-/// to reject, e.g. from a batch pass); `Ok(shard)` on the first acceptance,
-/// `Err(a rejection cause)` when every candidate rejects (or none remain).
+/// to reject, e.g. from a batch pass) and every shard whose `skip` bit is
+/// set (quota-throttled for this request's tenant); `Ok(shard)` on the
+/// first acceptance, `Err(a rejection cause)` when every candidate rejects
+/// (or none remain).
 fn try_admit<A: Admission>(
     shards: &mut [Shard<A>],
     routing: Routing,
@@ -86,6 +98,7 @@ fn try_admit<A: Admission>(
     task: &Task,
     now: SimTime,
     exclude: Option<usize>,
+    skip: &[bool],
 ) -> Result<usize, Infeasible> {
     let k = shards.len();
     if routing == Routing::BestFit {
@@ -95,7 +108,7 @@ fn try_admit<A: Admission>(
         let mut best: Option<(SimTime, usize)> = None;
         let mut first_cause = None;
         for (i, shard) in shards.iter().enumerate() {
-            if Some(i) == exclude {
+            if Some(i) == exclude || !routable(skip, i) {
                 continue;
             }
             match shard.ctl.probe_plan(task, now) {
@@ -135,7 +148,7 @@ fn try_admit<A: Admission>(
     };
     let mut first_cause = None;
     for s in order {
-        if Some(s) == exclude {
+        if Some(s) == exclude || !routable(skip, s) {
             continue;
         }
         match shards[s].ctl.submit(*task, now) {
@@ -150,16 +163,27 @@ fn try_admit<A: Admission>(
 
 /// The routed [`book::EngineOps`] adapter: the shared decision flow
 /// submits through [`try_admit`] (routing order, spillover) and takes the
-/// reservation search over all shards.
+/// reservation search over all shards. `skip` is the per-shard
+/// quota-throttle mask for the request in flight (empty = unrestricted —
+/// activation and defer re-tests route freely so promises are honored).
 struct RoutedAdapter<'a, A: Admission> {
     shards: &'a mut [Shard<A>],
     routing: Routing,
     cursor: &'a mut usize,
+    skip: &'a [bool],
 }
 
 impl<A: Admission> book::EngineOps for RoutedAdapter<'_, A> {
     fn submit(&mut self, task: &Task, now: SimTime) -> Decision {
-        match try_admit(self.shards, self.routing, self.cursor, task, now, None) {
+        match try_admit(
+            self.shards,
+            self.routing,
+            self.cursor,
+            task,
+            now,
+            None,
+            self.skip,
+        ) {
             Ok(_) => Decision::Accepted,
             Err(cause) => Decision::Rejected(cause),
         }
@@ -170,6 +194,10 @@ impl<A: Admission> book::EngineOps for RoutedAdapter<'_, A> {
             .iter()
             .filter_map(|s| s.ctl.earliest_feasible_start(task, now))
             .min()
+    }
+
+    fn all_routes_throttled(&self) -> bool {
+        !self.skip.is_empty() && self.skip.iter().all(|&s| s)
     }
 }
 
@@ -304,6 +332,19 @@ impl<A: Admission> ShardedGateway<A> {
         self.book.take_activation_log()
     }
 
+    /// Enables or disables parked-task decision observation — the network
+    /// edge's subscription channel (see
+    /// [`DecisionUpdate`](crate::observe::DecisionUpdate)). Off by default.
+    pub fn observe_decisions(&mut self, on: bool) {
+        self.book.observe_decisions(on);
+    }
+
+    /// Drains the parked-task decision updates recorded since the last
+    /// call (empty unless observation is enabled).
+    pub fn take_decision_updates(&mut self) -> Vec<crate::observe::DecisionUpdate> {
+        self.book.take_updates()
+    }
+
     /// Waiting-queue lengths per shard (a load-balance diagnostic).
     pub fn shard_queue_lens(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.ctl.queue_len()).collect()
@@ -403,6 +444,44 @@ impl<A: Admission> ShardedGateway<A> {
         demoted
     }
 
+    /// How many *waiting* tasks `tenant` holds on each shard, by joining
+    /// the shard queues against the tenant ledger — O(shards × queue),
+    /// paid only when a per-shard cap is in force.
+    fn shard_held_counts(&self, tenant: rtdls_core::prelude::TenantId) -> Vec<u32> {
+        let ledger = &self.book.ledger;
+        self.shards
+            .iter()
+            .map(|s| {
+                s.ctl
+                    .queue()
+                    .iter()
+                    .filter(|(t, _)| ledger.tenant_of(t.id) == Some(tenant))
+                    .count() as u32
+            })
+            .collect()
+    }
+
+    /// The per-shard quota-throttle mask for one submission: `mask[s]` is
+    /// `true` when `tenant` already holds [`QuotaPolicy::max_shard_inflight`]
+    /// waiting tasks on shard `s`, so routing must skip it. Empty (no
+    /// restriction) when no per-shard cap is set or the tier is exempt.
+    fn shard_throttle_mask(
+        &self,
+        tenant: rtdls_core::prelude::TenantId,
+        qos: rtdls_core::prelude::QosClass,
+    ) -> Vec<bool> {
+        let Some(cap) = self.book.quota.max_shard_inflight else {
+            return Vec::new();
+        };
+        if !self.book.quota.applies_to(qos) {
+            return Vec::new();
+        }
+        self.shard_held_counts(tenant)
+            .into_iter()
+            .map(|held| held >= cap)
+            .collect()
+    }
+
     /// The largest shard's cluster shape — what defer eligibility and
     /// reservation bounds are judged against (tasks never span shards, so
     /// it is the best any future re-test can offer).
@@ -425,6 +504,7 @@ impl<A: Admission> ShardedGateway<A> {
         let start = Instant::now();
         let widest_params = self.widest_params();
         let algorithm = self.algorithm;
+        let skip = self.shard_throttle_mask(request.tenant, request.qos);
         let verdict = book::decide_request(
             &mut self.book,
             &widest_params,
@@ -435,6 +515,7 @@ impl<A: Admission> ShardedGateway<A> {
                 shards: &mut self.shards,
                 routing: self.routing,
                 cursor: &mut self.cursor,
+                skip: &skip,
             },
         );
         book::record_request(&mut self.book.metrics, start, request.tenant);
@@ -456,13 +537,43 @@ impl<A: Admission> ShardedGateway<A> {
     pub fn submit_batch(&mut self, batch: &[Task], now: SimTime) -> Vec<GatewayDecision> {
         let start = Instant::now();
         let k = self.shards.len();
+        // Batch members travel under the legacy envelope (anonymous
+        // tenant, default tier); under a per-shard cap the deal must skip
+        // shards already at — or, counting this batch's own assignments,
+        // reaching — the tenant's cap, so a batch cannot concentrate past
+        // what the single-submit path enforces. Assignments count at deal
+        // time (before acceptance is known): conservative, like the
+        // backlog estimate itself. With every shard at cap the deal
+        // degenerates to unrestricted (the batch path has no Throttled
+        // verdict to give).
+        let cap = self
+            .book
+            .quota
+            .max_shard_inflight
+            .filter(|_| self.book.quota.applies_to(Default::default()));
+        let mut held: Vec<u32> = match cap {
+            Some(_) => self.shard_held_counts(Default::default()),
+            None => Vec::new(),
+        };
+        let at_cap =
+            |held: &[u32], s: usize| cap.is_some_and(|cap| held.get(s).is_some_and(|&h| h >= cap));
+        let allowed = |held: &[u32], s: usize| !at_cap(held, s) || (0..k).all(|j| at_cap(held, j));
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
         match self.routing {
             Routing::RoundRobin => {
-                for (i, _) in batch.iter().enumerate() {
-                    groups[(self.cursor + i) % k].push(i);
+                let mut dealt = 0usize;
+                for i in 0..batch.len() {
+                    while !allowed(&held, (self.cursor + dealt) % k) {
+                        dealt += 1;
+                    }
+                    let s = (self.cursor + dealt) % k;
+                    groups[s].push(i);
+                    if cap.is_some() {
+                        held[s] += 1;
+                    }
+                    dealt += 1;
                 }
-                self.cursor = (self.cursor + batch.len()) % k;
+                self.cursor = (self.cursor + dealt) % k;
             }
             Routing::LeastLoaded | Routing::BestFit => {
                 // Greedy balance on the backlog estimate, updated with each
@@ -474,9 +585,13 @@ impl<A: Admission> ShardedGateway<A> {
                     .collect();
                 for (i, task) in batch.iter().enumerate() {
                     let s = (0..k)
+                        .filter(|&s| allowed(&held, s))
                         .min_by(|&a, &b| est[a].total_cmp(&est[b]).then(a.cmp(&b)))
-                        .expect("k >= 1");
+                        .expect("at least one allowed shard");
                     groups[s].push(i);
+                    if cap.is_some() {
+                        held[s] += 1;
+                    }
                     est[s] += task.data_size * (self.params.cms + self.params.cps)
                         / self.shards[s].len() as f64;
                 }
@@ -503,8 +618,16 @@ impl<A: Admission> ShardedGateway<A> {
             }
         }
         // Spillover: a shard-rejected task retries the *other* shards (its
-        // own shard's verdict is deterministic and final for this instant).
+        // own shard's verdict is deterministic and final for this instant),
+        // still under the cap the deal maintained (a landed spillover
+        // counts against its shard like any assignment).
         for (i, home, cause) in spilled {
+            let all_capped = (0..k).all(|j| at_cap(&held, j));
+            let skip: Vec<bool> = if cap.is_some() && !all_capped {
+                (0..k).map(|s| at_cap(&held, s)).collect()
+            } else {
+                Vec::new()
+            };
             let d = match try_admit(
                 &mut self.shards,
                 self.routing,
@@ -512,8 +635,12 @@ impl<A: Admission> ShardedGateway<A> {
                 &batch[i],
                 now,
                 Some(home),
+                &skip,
             ) {
-                Ok(_) => {
+                Ok(s) => {
+                    if cap.is_some() {
+                        held[s] += 1;
+                    }
                     book::book_accept(&mut self.book, batch[i].id, Default::default());
                     GatewayDecision::Accepted
                 }
@@ -533,7 +660,7 @@ impl<A: Admission> ShardedGateway<A> {
         let routing = self.routing;
         let cursor = &mut self.cursor;
         let (departed, retests) = self.book.defer.sweep(now, |task| {
-            try_admit(shards, routing, cursor, task, now, None).is_ok()
+            try_admit(shards, routing, cursor, task, now, None, NO_SKIP).is_ok()
         });
         self.book.metrics.retests += retests;
         book::apply_departures(&mut self.book, departed);
@@ -554,6 +681,7 @@ impl<A: Admission> ShardedGateway<A> {
                 shards: &mut self.shards,
                 routing: self.routing,
                 cursor: &mut self.cursor,
+                skip: NO_SKIP,
             },
         );
     }
@@ -831,6 +959,95 @@ mod tests {
         // Four tasks on four distinct shards: nodes from all four quarters.
         assert!(seen_nodes.iter().any(|&n| n < 4));
         assert!(seen_nodes.iter().any(|&n| n >= 12));
+    }
+
+    #[test]
+    fn quota_aware_routing_skips_tenant_saturated_shards() {
+        use crate::request::QuotaPolicy;
+        use rtdls_core::prelude::{QosClass, SubmitRequest, TenantId};
+        let mut g = sharded(2, Routing::LeastLoaded).with_quota(QuotaPolicy {
+            max_shard_inflight: Some(1),
+            ..Default::default()
+        });
+        let mk = |id| SubmitRequest::new(Task::new(id, 0.0, 50.0, 1e6)).with_tenant(TenantId(3));
+        // Tenant 3 parks one task on shard 0 (idle tie breaks to 0)…
+        assert!(g.submit_request(&mk(1), SimTime::ZERO).is_accepted());
+        // …then another tenant loads shard 1 heavily.
+        let big = SubmitRequest::new(Task::new(2, 0.0, 800.0, 1e6)).with_tenant(TenantId(9));
+        assert!(g.submit_request(&big, SimTime::ZERO).is_accepted());
+        assert_eq!(g.shard_queue_lens(), vec![1, 1]);
+        // Tenant 3's next task: least-loaded favors shard 0, but the tenant
+        // is at its per-shard cap there — routing must skip to shard 1.
+        assert!(g.submit_request(&mk(3), SimTime::ZERO).is_accepted());
+        assert_eq!(
+            g.shard_queue_lens(),
+            vec![1, 2],
+            "the saturated shard was skipped"
+        );
+        // At cap on every shard: throttled before the admission test.
+        let v = g.submit_request(&mk(4), SimTime::ZERO);
+        assert_eq!(v, Verdict::Throttled);
+        assert_eq!(g.metrics().throttled, 1);
+        // Another tenant routes freely, and premium bypasses the cap.
+        let other = SubmitRequest::new(Task::new(5, 0.0, 50.0, 1e6)).with_tenant(TenantId(7));
+        assert!(g.submit_request(&other, SimTime::ZERO).is_accepted());
+        let premium = mk(6).with_qos(QosClass::Premium);
+        assert!(g.submit_request(&premium, SimTime::ZERO).is_accepted());
+        // Dispatch frees the waiting liabilities: the tenant submits again.
+        Frontend::take_due(&mut g, SimTime::ZERO);
+        assert!(g.submit_request(&mk(7), SimTime::ZERO).is_accepted());
+    }
+
+    #[test]
+    fn batch_dealing_skips_shards_throttled_for_the_anonymous_tenant() {
+        use crate::request::QuotaPolicy;
+        use rtdls_core::prelude::{SubmitRequest, TenantId};
+        let mut g = sharded(2, Routing::LeastLoaded).with_quota(QuotaPolicy {
+            max_shard_inflight: Some(1),
+            ..Default::default()
+        });
+        // The anonymous tenant holds one task on shard 0; another tenant
+        // makes shard 1 the heavier one.
+        assert!(g
+            .submit(Task::new(1, 0.0, 50.0, 1e6), SimTime::ZERO)
+            .is_accepted());
+        let big = SubmitRequest::new(Task::new(2, 0.0, 800.0, 1e6)).with_tenant(TenantId(9));
+        assert!(g.submit_request(&big, SimTime::ZERO).is_accepted());
+        assert_eq!(g.shard_queue_lens(), vec![1, 1]);
+        // Backlog-greedy dealing would hand the batch member to shard 0;
+        // the per-shard cap forces it to shard 1.
+        let ds = g.submit_batch(&[Task::new(3, 0.0, 50.0, 1e6)], SimTime::ZERO);
+        assert!(ds[0].is_accepted());
+        assert_eq!(
+            g.shard_queue_lens(),
+            vec![1, 2],
+            "batch dealing skipped the throttled shard"
+        );
+    }
+
+    #[test]
+    fn batch_members_count_against_the_per_shard_cap_as_they_are_dealt() {
+        use crate::request::QuotaPolicy;
+        use rtdls_core::prelude::{SubmitRequest, TenantId};
+        let mut g = sharded(2, Routing::LeastLoaded).with_quota(QuotaPolicy {
+            max_shard_inflight: Some(1),
+            ..Default::default()
+        });
+        // Another tenant makes shard 0 the heavy one, so backlog-greedy
+        // dealing would put BOTH batch members on shard 1 — the cap must
+        // count the batch's own first assignment and push the second back
+        // to shard 0.
+        let big = SubmitRequest::new(Task::new(10, 0.0, 800.0, 1e6)).with_tenant(TenantId(9));
+        assert!(g.submit_request(&big, SimTime::ZERO).is_accepted());
+        assert_eq!(g.shard_queue_lens(), vec![1, 0]);
+        let burst = [Task::new(1, 0.0, 50.0, 1e6), Task::new(2, 0.0, 50.0, 1e6)];
+        let ds = g.submit_batch(&burst, SimTime::ZERO);
+        assert!(ds.iter().all(|d| d.is_accepted()));
+        assert_eq!(
+            g.shard_queue_lens(),
+            vec![2, 1],
+            "the deal's own accounting enforced the cap mid-batch"
+        );
     }
 
     #[test]

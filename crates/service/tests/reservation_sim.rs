@@ -150,7 +150,7 @@ fn tenant_mix_stream_balances_books_across_shards() {
     .with_quota(QuotaPolicy {
         max_inflight: Some(6),
         max_reservations: Some(2),
-        exempt_premium: true,
+        ..Default::default()
     });
     let cfg = SimConfig::new(params, algorithm).with_tenants(mix).strict();
     let (report, gateway) = Simulation::with_frontend(cfg, gateway).run_returning_frontend(tasks);

@@ -68,7 +68,7 @@ fn main() {
     .with_quota(QuotaPolicy {
         max_inflight: Some(24),
         max_reservations: Some(8),
-        exempt_premium: true,
+        ..Default::default()
     });
 
     // Five tenants: one premium, two standard, two best-effort. Every
