@@ -58,9 +58,17 @@ fn requests(n: usize) -> Vec<SubmitRequest> {
 
 /// Serves one request batch through a fresh edge server (own thread, own
 /// gateway) and returns the verdict count — the unit both the bench and
-/// the smoke repeat.
-fn serve_once<G: EdgeGateway + Send + 'static>(gateway: G, batch: &[SubmitRequest]) -> u64 {
-    let server = EdgeServer::bind("127.0.0.1:0", gateway, EdgeConfig::default()).expect("bind");
+/// the smoke repeat. With `telemetry` Some, the server records the full
+/// tracing path (ingress minting, spans, phase timing).
+fn serve_once_with<G: EdgeGateway + Send + 'static>(
+    gateway: G,
+    batch: &[SubmitRequest],
+    telemetry: Option<&rtdls_telemetry::Telemetry>,
+) -> u64 {
+    let mut server = EdgeServer::bind("127.0.0.1:0", gateway, EdgeConfig::default()).expect("bind");
+    if let Some(t) = telemetry {
+        server.set_telemetry(t);
+    }
     let addr = server.local_addr();
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
@@ -78,6 +86,10 @@ fn serve_once<G: EdgeGateway + Send + 'static>(gateway: G, batch: &[SubmitReques
     let _ = handle.join().expect("server thread");
     assert!(!report.timed_out, "loopback run must complete");
     report.verdicts()
+}
+
+fn serve_once<G: EdgeGateway + Send + 'static>(gateway: G, batch: &[SubmitRequest]) -> u64 {
+    serve_once_with(gateway, batch, None)
 }
 
 fn bench_codec(c: &mut Criterion) {
@@ -114,6 +126,24 @@ fn bench_loopback(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // What full decision tracing costs at the wire: the same serve with a
+    // telemetry handle attached (ingress minting, per-stage spans, phase
+    // timing) vs. the bare path. The acceptance bar — telemetry-off must
+    // stay within 5% of a build that never knew about telemetry — is
+    // enforced by check_edge_baseline on the emitted JSON.
+    let mut group = c.benchmark_group("edge_telemetry");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("telemetry_off", |b| {
+        b.iter(|| black_box(serve_once(gateway(), &batch)))
+    });
+    group.bench_function("telemetry_on", |b| {
+        b.iter(|| {
+            let telemetry = rtdls_telemetry::Telemetry::with_defaults();
+            black_box(serve_once_with(gateway(), &batch, Some(&telemetry)))
+        })
+    });
+    group.finish();
 }
 
 fn median_secs(mut f: impl FnMut()) -> f64 {
@@ -133,6 +163,10 @@ struct Baseline {
     codec_roundtrips_per_sec: f64,
     loopback_requests_per_sec: f64,
     loopback_requests_per_sec_journaled: f64,
+    loopback_requests_per_sec_telemetry: f64,
+    /// Relative cost of serving with telemetry attached vs. without, both
+    /// measured in this process (`1 - on/off`; negative = in the noise).
+    telemetry_overhead: f64,
 }
 
 /// Emits the JSON baseline. Skipped under `-- --test` (the smoke stays a
@@ -165,10 +199,16 @@ fn emit_baseline(_c: &mut Criterion) {
         let j = JournaledGateway::new(gateway(), JournalConfig::default());
         black_box(serve_once(j, &batch));
     });
+    let with_telemetry = median_secs(|| {
+        let telemetry = rtdls_telemetry::Telemetry::with_defaults();
+        black_box(serve_once_with(gateway(), &batch, Some(&telemetry)));
+    });
     let baseline = Baseline {
         codec_roundtrips_per_sec: n_codec as f64 / codec,
         loopback_requests_per_sec: batch.len() as f64 / plain,
         loopback_requests_per_sec_journaled: batch.len() as f64 / journaled,
+        loopback_requests_per_sec_telemetry: batch.len() as f64 / with_telemetry,
+        telemetry_overhead: 1.0 - plain / with_telemetry,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("serializable");
     let target = std::env::var_os("CARGO_TARGET_DIR")

@@ -1,0 +1,74 @@
+//! CI regression guard for edge telemetry overhead.
+//!
+//! Reads the baseline the `edge_throughput` bench just emitted
+//! (`target/edge_throughput_baseline.json`) and compares it against the
+//! committed reference (`crates/bench/baselines/edge_throughput.json`).
+//! Fails (exit 1) when the measured `telemetry_overhead` — the relative
+//! cost of serving a loopback batch with a telemetry handle attached vs.
+//! the bare path, both measured in the same process — exceeds the
+//! committed `max_telemetry_overhead` ceiling (the acceptance bar: full
+//! decision tracing must cost ≤ 5% of edge throughput).
+//!
+//! The overhead ratio is machine-independent by construction (same
+//! process, same scenario, only the telemetry handle differs); it is often
+//! negative, meaning the two runs are within loopback noise. Absolute
+//! requests-per-second numbers from the committed run are reported for
+//! context only; they are machine-specific and never gate.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct Measured {
+    codec_roundtrips_per_sec: f64,
+    loopback_requests_per_sec: f64,
+    loopback_requests_per_sec_journaled: f64,
+    loopback_requests_per_sec_telemetry: f64,
+    telemetry_overhead: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Committed {
+    codec_roundtrips_per_sec: f64,
+    loopback_requests_per_sec: f64,
+    loopback_requests_per_sec_journaled: f64,
+    loopback_requests_per_sec_telemetry: f64,
+    telemetry_overhead: f64,
+    /// Hard ceiling on the measured overhead (acceptance criterion).
+    max_telemetry_overhead: f64,
+}
+
+fn read<T: Deserialize>(path: &std::path::Path) -> T {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()))
+}
+
+fn main() {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let committed: Committed = read(&manifest.join("baselines/edge_throughput.json"));
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| manifest.join("../../target"));
+    let measured: Measured = read(&target.join("edge_throughput_baseline.json"));
+
+    println!(
+        "committed: {:.0} rps bare / {:.0} rps telemetry ({:+.1}% overhead)\n\
+         measured:  {:.0} rps bare / {:.0} rps telemetry ({:+.1}% overhead)",
+        committed.loopback_requests_per_sec,
+        committed.loopback_requests_per_sec_telemetry,
+        committed.telemetry_overhead * 100.0,
+        measured.loopback_requests_per_sec,
+        measured.loopback_requests_per_sec_telemetry,
+        measured.telemetry_overhead * 100.0,
+    );
+
+    if measured.telemetry_overhead > committed.max_telemetry_overhead {
+        eprintln!(
+            "FAIL: telemetry overhead {:.1}% above the {:.0}% ceiling",
+            measured.telemetry_overhead * 100.0,
+            committed.max_telemetry_overhead * 100.0,
+        );
+        std::process::exit(1);
+    }
+    println!("edge telemetry overhead OK");
+}

@@ -71,6 +71,9 @@ pub struct IncrementalStats {
     pub plans_reused: u64,
     /// Queue positions (or candidates) that went through `plan_task`.
     pub plans_computed: u64,
+    /// Wall-clock nanoseconds spent inside `plan_task` calls (the planning
+    /// cost the reuse path avoids; the profiling hook telemetry reads).
+    pub plan_nanos: u64,
 }
 
 impl IncrementalStats {
@@ -168,14 +171,16 @@ impl IncrementalController {
         work.plans_computed += 1;
         let observed = releases.to_vec();
         let avail = NodeAvailability::new(releases, now);
-        let plan = plan_task(
+        let started = std::time::Instant::now();
+        let planned = plan_task(
             self.algorithm.strategy,
             task,
             &avail,
             &self.params,
             &self.cfg,
-        )
-        .map_err(|reason| AdmissionFailure {
+        );
+        work.plan_nanos += started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let plan = planned.map_err(|reason| AdmissionFailure {
             task: task.id,
             reason,
         })?;
@@ -256,6 +261,7 @@ impl IncrementalController {
     fn book_work(&mut self, work: IncrementalStats) {
         self.stats.plans_reused += work.plans_reused;
         self.stats.plans_computed += work.plans_computed;
+        self.stats.plan_nanos += work.plan_nanos;
     }
 
     fn install(&mut self, pass: Pass) {
@@ -685,6 +691,15 @@ impl Admission for IncrementalController {
 
     fn remove_waiting(&mut self, id: TaskId) -> Option<Task> {
         IncrementalController::remove_waiting(self, id)
+    }
+
+    fn profile(&self) -> Option<super::EngineProfile> {
+        let s = self.stats;
+        Some(super::EngineProfile {
+            plans_reused: s.plans_reused,
+            plans_computed: s.plans_computed,
+            plan_nanos: s.plan_nanos,
+        })
     }
 
     fn state(&self) -> ControllerState {

@@ -307,6 +307,40 @@ impl ControllerState {
     }
 }
 
+/// Planning-cost profile an engine may expose (see [`Admission::profile`]):
+/// how many positions were re-planned vs served from cache, and the
+/// wall-clock cost of the planning calls that did run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineProfile {
+    /// Queue positions whose cached plan was reused verbatim.
+    pub plans_reused: u64,
+    /// Queue positions (or candidates) that went through `plan_task`.
+    pub plans_computed: u64,
+    /// Wall-clock nanoseconds spent inside `plan_task`.
+    pub plan_nanos: u64,
+}
+
+impl EngineProfile {
+    /// Fraction of positions served from the cache (0 when nothing ran).
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.plans_reused + self.plans_computed;
+        if total == 0 {
+            0.0
+        } else {
+            self.plans_reused as f64 / total as f64
+        }
+    }
+
+    /// Mean nanoseconds per executed planning call (0 when none ran).
+    pub fn mean_plan_nanos(&self) -> f64 {
+        if self.plans_computed == 0 {
+            0.0
+        } else {
+            self.plan_nanos as f64 / self.plans_computed as f64
+        }
+    }
+}
+
 /// The contract every admission engine satisfies: the head node's view of
 /// the waiting queue, the committed node releases, and the current feasible
 /// plans.
@@ -433,6 +467,14 @@ pub trait Admission: Clone + core::fmt::Debug {
             .map(|(t, _)| t.data_size * (params.cms + params.cps))
             .sum();
         committed + waiting
+    }
+
+    /// Planning-cost profile, when this engine keeps one. The default
+    /// engine returns `None` (it tracks nothing); the incremental engine
+    /// reports its reuse counters and cumulative `plan_task` nanoseconds.
+    /// Telemetry folds this into the unified metrics registry.
+    fn profile(&self) -> Option<EngineProfile> {
+        None
     }
 
     /// Snapshots the complete engine state for journaling.

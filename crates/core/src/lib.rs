@@ -69,7 +69,7 @@ pub mod time;
 pub mod prelude {
     pub use crate::admission::{
         schedulability_test, Admission, AdmissionController, AdmissionFailure, ControllerState,
-        Decision, IncrementalController, IncrementalStats,
+        Decision, EngineProfile, IncrementalController, IncrementalStats,
     };
     pub use crate::algorithm::AlgorithmKind;
     pub use crate::dlt::heterogeneous::HeterogeneousModel;

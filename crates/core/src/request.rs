@@ -47,7 +47,12 @@ pub enum QosClass {
 
 /// The v2 submission envelope: a task plus its tenant, QoS class, and
 /// reservation tolerance.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+///
+/// Serialization is hand-written for version compatibility in both
+/// directions: the telemetry `trace` id is omitted when zero (so traced-off
+/// encodings stay byte-identical to pre-telemetry ones) and defaults to
+/// zero on read (so journals written before tracing still recover).
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct SubmitRequest {
     /// The divisible task being submitted.
     pub task: Task,
@@ -59,6 +64,39 @@ pub struct SubmitRequest {
     /// in `[now, now + max_delay]`. `None` = now-or-never (the legacy
     /// three-way Accept/Defer/Reject protocol).
     pub max_delay: Option<f64>,
+    /// Telemetry trace id riding the request through the stack; `0` =
+    /// untraced (the only value in-process callers produce unless an
+    /// enabled telemetry handle minted one at ingress).
+    pub trace: u64,
+}
+
+impl Serialize for SubmitRequest {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("task".to_string(), self.task.to_value()),
+            ("tenant".to_string(), self.tenant.to_value()),
+            ("qos".to_string(), self.qos.to_value()),
+            ("max_delay".to_string(), self.max_delay.to_value()),
+        ];
+        if self.trace != 0 {
+            entries.push(("trace".to_string(), self.trace.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for SubmitRequest {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        use serde::helpers::{field, field_or_default};
+        Ok(SubmitRequest {
+            task: field(v, "task")?,
+            tenant: field(v, "tenant")?,
+            qos: field(v, "qos")?,
+            max_delay: field(v, "max_delay")?,
+            // Added with decision tracing: absent in earlier journals.
+            trace: field_or_default(v, "trace")?,
+        })
+    }
 }
 
 impl SubmitRequest {
@@ -71,6 +109,7 @@ impl SubmitRequest {
             tenant: TenantId(0),
             qos: QosClass::default(),
             max_delay: None,
+            trace: 0,
         }
     }
 
@@ -93,6 +132,12 @@ impl SubmitRequest {
             "max_delay must be finite and non-negative"
         );
         self.max_delay = max_delay;
+        self
+    }
+
+    /// Sets the telemetry trace id (`0` = untraced).
+    pub fn with_trace(mut self, trace: u64) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -177,6 +222,7 @@ impl TenantMix {
             tenant,
             qos: self.qos_of(tenant),
             max_delay: self.max_delay_factor.map(|f| f * task.rel_deadline),
+            trace: 0,
         }
     }
 }
@@ -221,6 +267,24 @@ mod tests {
         let json = serde_json::to_string(&req).unwrap();
         let back: SubmitRequest = serde_json::from_str(&json).unwrap();
         assert_eq!(back, req);
+    }
+
+    #[test]
+    fn trace_id_is_version_compatible() {
+        // Untraced requests encode without the field (byte-compatible with
+        // pre-telemetry journals)...
+        let untraced = SubmitRequest::new(Task::new(2, 0.0, 10.0, 10.0));
+        let json = serde_json::to_string(&untraced).unwrap();
+        assert!(!json.contains("trace"));
+        // ...and pre-telemetry encodings (no `trace` key) parse to 0.
+        let back: SubmitRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.trace, 0);
+        // Traced requests round-trip the id.
+        let traced = untraced.with_trace(99);
+        let json = serde_json::to_string(&traced).unwrap();
+        assert!(json.contains("trace"));
+        let back: SubmitRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, traced);
     }
 
     #[test]

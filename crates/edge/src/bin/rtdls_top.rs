@@ -1,0 +1,257 @@
+//! `rtdls-top`: a live-ops console for a running edge server.
+//!
+//! Polls the edge's ops channel (`ClientMsg::Ops` → `ServerMsg::OpsReport`)
+//! over an ordinary protocol connection — no side port, no signal handler,
+//! no server restart — and renders the unified metrics snapshot plus the
+//! recently active traces.
+//!
+//! ```text
+//! rtdls-top <addr>                 # refresh every 2s until interrupted
+//! rtdls-top --once <addr>          # one poll, then exit
+//! rtdls-top --json <addr>          # one poll, JSON-lines samples
+//! rtdls-top --trace <id> <addr>    # one trace's recorded timeline
+//! rtdls-top --self-test            # in-process end-to-end smoke (CI)
+//! ```
+//!
+//! `--self-test` boots a telemetry-attached sharded gateway behind an
+//! in-process edge on an ephemeral loopback port, submits through the real
+//! protocol, then exercises every ops query exactly as a remote `rtdls-top`
+//! would — the CI smoke for the whole ops path.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rtdls_edge::prelude::*;
+use rtdls_telemetry::{MetricKind, MetricSample, Span};
+
+const POLL_DEADLINE: Duration = Duration::from_secs(5);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("--self-test") => self_test(),
+        Some("--once") => require_addr(&args, 1)
+            .map(|a| poll_once(a, false))
+            .unwrap_or(2),
+        Some("--json") => require_addr(&args, 1)
+            .map(|a| poll_once(a, true))
+            .unwrap_or(2),
+        Some("--trace") => match (
+            args.get(1).and_then(|s| s.parse::<u64>().ok()),
+            require_addr(&args, 2),
+        ) {
+            (Some(id), Some(addr)) => show_trace(addr, id),
+            _ => usage(),
+        },
+        Some(addr) if !addr.starts_with('-') => watch(addr.to_string()),
+        _ => usage(),
+    };
+    std::process::exit(code);
+}
+
+fn usage() -> i32 {
+    eprintln!(
+        "usage: rtdls-top <addr> | --once <addr> | --json <addr> | --trace <id> <addr> | --self-test"
+    );
+    2
+}
+
+fn require_addr(args: &[String], at: usize) -> Option<String> {
+    let addr = args.get(at).cloned();
+    if addr.is_none() {
+        let _ = usage();
+    }
+    addr
+}
+
+/// One poll: fetch, render (text or JSON lines), exit.
+fn poll_once(addr: String, json: bool) -> i32 {
+    match fetch(&addr) {
+        Ok((samples, traces)) => {
+            if json {
+                for s in &samples {
+                    println!("{}", sample_json(s));
+                }
+            } else {
+                render(&addr, &samples, &traces);
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("rtdls-top: {addr}: {e}");
+            1
+        }
+    }
+}
+
+/// Refresh loop (2s cadence) until the connection breaks or ^C.
+fn watch(addr: String) -> i32 {
+    loop {
+        match fetch(&addr) {
+            Ok((samples, traces)) => {
+                // ANSI clear+home, like any self-respecting top.
+                print!("\x1b[2J\x1b[H");
+                render(&addr, &samples, &traces);
+            }
+            Err(e) => {
+                eprintln!("rtdls-top: {addr}: {e}");
+                return 1;
+            }
+        }
+        std::thread::sleep(Duration::from_secs(2));
+    }
+}
+
+fn show_trace(addr: String, id: u64) -> i32 {
+    let mut client = match OpsClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rtdls-top: {addr}: {e}");
+            return 1;
+        }
+    };
+    match client.trace(id, POLL_DEADLINE) {
+        Ok(spans) if spans.is_empty() => {
+            println!("trace {id}: no recorded spans (unknown id, or overwritten in the ring)");
+            0
+        }
+        Ok(spans) => {
+            println!("trace {id} — {} span(s):", spans.len());
+            print_timeline(&spans);
+            0
+        }
+        Err(e) => {
+            eprintln!("rtdls-top: {addr}: {e}");
+            1
+        }
+    }
+}
+
+fn fetch(addr: &str) -> std::io::Result<(Vec<MetricSample>, Vec<u64>)> {
+    let mut client = OpsClient::connect(addr)?;
+    let samples = client.stats(POLL_DEADLINE)?;
+    let traces = client.recent_traces(POLL_DEADLINE)?;
+    Ok((samples, traces))
+}
+
+fn render(addr: &str, samples: &[MetricSample], traces: &[u64]) {
+    println!("rtdls-top — {addr} — {} samples", samples.len());
+    println!();
+    let mut sorted: Vec<&MetricSample> = samples.iter().collect();
+    sorted.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+    for s in sorted {
+        let labels = if s.labels.is_empty() {
+            String::new()
+        } else {
+            let parts: Vec<String> = s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{{{}}}", parts.join(","))
+        };
+        let kind = match s.kind {
+            MetricKind::Counter => "c",
+            MetricKind::Gauge => "g",
+        };
+        println!("  {:<52} {kind} {}", format!("{}{labels}", s.name), s.value);
+    }
+    println!();
+    if traces.is_empty() {
+        println!("recent traces: none recorded");
+    } else {
+        let ids: Vec<String> = traces.iter().map(u64::to_string).collect();
+        println!("recent traces (newest last): {}", ids.join(" "));
+    }
+}
+
+fn print_timeline(spans: &[Span]) {
+    for s in spans {
+        println!("  {s}");
+    }
+}
+
+fn sample_json(s: &MetricSample) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = write!(out, "{{\"name\":\"{}\"", s.name);
+    for (k, v) in &s.labels {
+        let _ = write!(out, ",\"{k}\":\"{v}\"");
+    }
+    let kind = match s.kind {
+        MetricKind::Counter => "counter",
+        MetricKind::Gauge => "gauge",
+    };
+    let _ = write!(out, ",\"kind\":\"{kind}\",\"value\":{}}}", s.value);
+    out
+}
+
+/// End-to-end smoke: in-process server, real sockets, every ops query.
+fn self_test() -> i32 {
+    use rtdls_core::prelude::*;
+    use rtdls_service::prelude::*;
+    use rtdls_telemetry::{Telemetry, TelemetryConfig};
+
+    let params = ClusterParams::paper_baseline();
+    let gateway = ShardedGateway::new(
+        params,
+        2,
+        AlgorithmKind::EDF_DLT,
+        PlanConfig::default(),
+        Routing::LeastLoaded,
+        DeferPolicy::default(),
+    )
+    .expect("valid gateway");
+    let telemetry = Telemetry::new(TelemetryConfig::default());
+    let mut server =
+        EdgeServer::bind("127.0.0.1:0", gateway, EdgeConfig::default()).expect("bind loopback");
+    server.set_telemetry(&telemetry);
+    let addr: SocketAddr = server.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server_stop = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || server.run(EdgeClock::real_time(), &server_stop));
+
+    let requests = (1..=8u64).map(|id| SubmitRequest::new(Task::new(id, 0.0, 200.0, 30_000.0)));
+    let client = ReplayClient::connect(addr).expect("connect replay");
+    let report = client
+        .run(
+            requests,
+            4,
+            Duration::from_millis(50),
+            Duration::from_secs(5),
+        )
+        .expect("replay run");
+    assert_eq!(report.verdicts(), 8, "every submit answered: {report:?}");
+
+    let mut ops = OpsClient::connect(addr).expect("connect ops");
+    let samples = ops.stats(POLL_DEADLINE).expect("stats report");
+    let get = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing sample {name}"))
+            .value
+    };
+    assert_eq!(get("rtdls_edge_submits"), 8.0);
+    assert_eq!(get("rtdls_gateway_submitted"), 8.0);
+    assert!(get("rtdls_edge_turns") >= 1.0, "phase timing accumulated");
+
+    let traces = ops.recent_traces(POLL_DEADLINE).expect("recent traces");
+    assert!(!traces.is_empty(), "submissions minted traces");
+    let spans = ops
+        .trace(*traces.last().expect("nonempty"), POLL_DEADLINE)
+        .expect("trace report");
+    assert!(
+        !spans.is_empty(),
+        "the newest trace has a recorded timeline"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    let (_gateway, stats) = handle.join().expect("server thread");
+    assert_eq!(stats.submits, 8);
+    println!(
+        "self-test ok: {} samples, {} traces, newest timeline {} span(s)",
+        samples.len(),
+        traces.len(),
+        spans.len()
+    );
+    0
+}

@@ -19,7 +19,9 @@ use rtdls_core::prelude::SubmitRequest;
 use rtdls_service::prelude::{DecisionUpdate, Verdict};
 
 use crate::codec::{FrameDecoder, DEFAULT_MAX_FRAME};
-use crate::proto::{decode_server, encode_client, ClientMsg, ServerMsg, PROTOCOL_VERSION};
+use crate::proto::{
+    decode_server, encode_client, ClientMsg, OpsQuery, OpsReport, ServerMsg, PROTOCOL_VERSION,
+};
 
 /// What one replay run observed, from the client's side of the socket.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -217,6 +219,9 @@ impl ReplayClient {
                             }
                         }
                         ServerMsg::Update { update } => report.updates.push(update),
+                        // A replay run never sends ops queries; a stray
+                        // report is harmless.
+                        ServerMsg::OpsReport { .. } => {}
                         ServerMsg::Error { message, .. } => report.errors.push(message),
                     }
                 }
@@ -228,4 +233,134 @@ impl ReplayClient {
         }
         Ok(got_any)
     }
+}
+
+/// A blocking live-ops poller: one [`OpsQuery`] out, one [`OpsReport`]
+/// back, over the same protocol and socket discipline as any other client.
+/// This is `rtdls-top`'s transport, and works alongside serving traffic —
+/// an ops connection is just another connection to the reactor.
+pub struct OpsClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+}
+
+impl OpsClient {
+    /// Connects to an edge server (blocking socket, short read timeout —
+    /// the same interleaving idiom as [`ReplayClient`]).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_millis(2)))?;
+        Ok(OpsClient {
+            stream,
+            decoder: FrameDecoder::new(DEFAULT_MAX_FRAME),
+        })
+    }
+
+    /// Sends one query and waits up to `deadline` for its report. Other
+    /// server messages arriving in between (the greeting, stray updates)
+    /// are skipped; a server `Error` or an expired deadline is an error.
+    pub fn query(&mut self, query: OpsQuery, deadline: Duration) -> std::io::Result<OpsReport> {
+        let frame = encode_client(&ClientMsg::Ops { query });
+        let mut written = 0;
+        while written < frame.len() {
+            match self.stream.write(&frame[written..]) {
+                Ok(n) => written += n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let started = Instant::now();
+        let mut buf = [0u8; 8192];
+        loop {
+            if started.elapsed() > deadline {
+                return Err(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    "no ops report before the deadline",
+                ));
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed before answering",
+                    ));
+                }
+                Ok(n) => self.decoder.push(&buf[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                    ) => {}
+                Err(e) => return Err(e),
+            }
+            while let Some((direction, payload)) = self
+                .decoder
+                .next_frame()
+                .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?
+            {
+                if direction != crate::codec::Direction::FromServer {
+                    return Err(std::io::Error::new(
+                        ErrorKind::InvalidData,
+                        "misdirected frame from server",
+                    ));
+                }
+                let msg = decode_server(&payload)
+                    .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+                match msg {
+                    ServerMsg::OpsReport { report } => return Ok(report),
+                    ServerMsg::Error { message, .. } => {
+                        return Err(std::io::Error::other(message));
+                    }
+                    // Greeting / serving traffic for other flows: skip.
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// The unified metrics snapshot, flattened to scalar samples.
+    pub fn stats(
+        &mut self,
+        deadline: Duration,
+    ) -> std::io::Result<Vec<rtdls_telemetry::MetricSample>> {
+        match self.query(OpsQuery::Stats, deadline)? {
+            OpsReport::Stats { samples } => Ok(samples),
+            other => Err(mismatched(other)),
+        }
+    }
+
+    /// One trace's recorded timeline, seq order.
+    pub fn trace(
+        &mut self,
+        id: u64,
+        deadline: Duration,
+    ) -> std::io::Result<Vec<rtdls_telemetry::Span>> {
+        match self.query(OpsQuery::Trace { id }, deadline)? {
+            OpsReport::Trace { spans, .. } => Ok(spans),
+            other => Err(mismatched(other)),
+        }
+    }
+
+    /// Recently active trace ids, newest last.
+    pub fn recent_traces(&mut self, deadline: Duration) -> std::io::Result<Vec<u64>> {
+        match self.query(OpsQuery::RecentTraces, deadline)? {
+            OpsReport::RecentTraces { traces } => Ok(traces),
+            other => Err(mismatched(other)),
+        }
+    }
+}
+
+fn mismatched(got: OpsReport) -> std::io::Error {
+    std::io::Error::new(
+        ErrorKind::InvalidData,
+        format!("ops report does not answer the query: {got:?}"),
+    )
 }

@@ -26,7 +26,15 @@
 //!
 //! [`client`] provides the matching [`ReplayClient`] that plays a
 //! workload-generated request stream against a live edge and reconciles
-//! the verdict counts.
+//! the verdict counts, plus the [`OpsClient`] behind `rtdls-top`.
+//!
+//! **Observability.** The edge is the tracing ingress: with a telemetry
+//! handle attached ([`EdgeServer::set_telemetry`]) every framed submission
+//! gets a trace id minted at receive, `EdgeReceive`/`PushUpdate` spans
+//! bracket the gateway's own stages in one shared flight recorder, and the
+//! live-ops wire frames ([`ClientMsg::Ops`] → [`ServerMsg::OpsReport`])
+//! answer metrics snapshots, per-trace timelines, and recent-trace listings
+//! from a running server without stopping it.
 //!
 //! ```no_run
 //! use rtdls_core::prelude::*;
@@ -56,8 +64,12 @@
 //! [`ServerMsg::Verdict`]: proto::ServerMsg::Verdict
 //! [`ServerMsg::Update`]: proto::ServerMsg::Update
 //! [`EdgeServer`]: server::EdgeServer
+//! [`EdgeServer::set_telemetry`]: server::EdgeServer::set_telemetry
 //! [`EdgeGateway`]: server::EdgeGateway
 //! [`ReplayClient`]: client::ReplayClient
+//! [`OpsClient`]: client::OpsClient
+//! [`ClientMsg::Ops`]: proto::ClientMsg::Ops
+//! [`ServerMsg::OpsReport`]: proto::ServerMsg::OpsReport
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -67,15 +79,17 @@ pub mod codec;
 pub mod proto;
 pub mod server;
 
-pub use client::{ReplayClient, ReplayReport};
+pub use client::{OpsClient, ReplayClient, ReplayReport};
 pub use codec::{FrameDecoder, WireError};
-pub use proto::{ClientMsg, ServerMsg, PROTOCOL_VERSION};
-pub use server::{EdgeClock, EdgeConfig, EdgeGateway, EdgeServer, EdgeStats};
+pub use proto::{ClientMsg, OpsQuery, OpsReport, ServerMsg, PROTOCOL_VERSION};
+pub use server::{fold_edge_stats, EdgeClock, EdgeConfig, EdgeGateway, EdgeServer, EdgeStats};
 
 /// One-stop imports for edge users.
 pub mod prelude {
-    pub use crate::client::{ReplayClient, ReplayReport};
+    pub use crate::client::{OpsClient, ReplayClient, ReplayReport};
     pub use crate::codec::{Direction, FrameDecoder, WireError};
-    pub use crate::proto::{ClientMsg, ServerMsg, PROTOCOL_VERSION};
-    pub use crate::server::{EdgeClock, EdgeConfig, EdgeGateway, EdgeServer, EdgeStats};
+    pub use crate::proto::{ClientMsg, OpsQuery, OpsReport, ServerMsg, PROTOCOL_VERSION};
+    pub use crate::server::{
+        fold_edge_stats, EdgeClock, EdgeConfig, EdgeGateway, EdgeServer, EdgeStats,
+    };
 }

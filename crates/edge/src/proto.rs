@@ -26,6 +26,7 @@ use serde::{Deserialize, Serialize};
 
 use rtdls_core::prelude::SubmitRequest;
 use rtdls_service::prelude::{DecisionUpdate, Verdict};
+use rtdls_telemetry::{MetricSample, Span};
 
 use crate::codec::{encode_frame, Direction};
 
@@ -50,8 +51,56 @@ pub enum ClientMsg {
         /// The v2 submission envelope.
         request: SubmitRequest,
     },
+    /// A live-ops query; answered with exactly one
+    /// [`ServerMsg::OpsReport`]. Ops frames ride the same connection and
+    /// reactor turn as submissions — `rtdls-top` is just another client.
+    Ops {
+        /// What to report.
+        query: OpsQuery,
+    },
     /// Flush replies and close.
     Bye,
+}
+
+/// A live-ops query carried by [`ClientMsg::Ops`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum OpsQuery {
+    /// The unified metrics snapshot: every layer's native stats folded into
+    /// the registry and flattened to scalar samples.
+    Stats,
+    /// The recorded timeline (flight-recorder spans, seq order) of one
+    /// trace id.
+    Trace {
+        /// The trace id, as carried on `Verdict` flows or listed by
+        /// [`OpsQuery::RecentTraces`].
+        id: u64,
+    },
+    /// The most recently active trace ids, newest last.
+    RecentTraces,
+}
+
+/// The answer to one [`OpsQuery`], carried by [`ServerMsg::OpsReport`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum OpsReport {
+    /// Flattened metric samples (histograms become `_count`/`_sum`/
+    /// quantile-gauge scalars).
+    Stats {
+        /// The samples, registry insertion order.
+        samples: Vec<MetricSample>,
+    },
+    /// One trace's recorded spans in seq order (empty when the trace id is
+    /// unknown or its spans have been overwritten in the ring).
+    Trace {
+        /// The queried trace id, echoed.
+        id: u64,
+        /// The timeline.
+        spans: Vec<Span>,
+    },
+    /// Recently active trace ids, newest last.
+    RecentTraces {
+        /// The trace ids.
+        traces: Vec<u64>,
+    },
 }
 
 /// Server → client messages.
@@ -76,6 +125,11 @@ pub enum ServerMsg {
     Update {
         /// What happened.
         update: DecisionUpdate,
+    },
+    /// The answer to one [`ClientMsg::Ops`].
+    OpsReport {
+        /// The report.
+        report: OpsReport,
     },
     /// A protocol-level failure; the connection closes after this flushes.
     Error {
@@ -184,6 +238,52 @@ mod tests {
             },
         ];
         for msg in others {
+            let back = decode_server(&encode_server(&msg)[crate::codec::HEADER_LEN..]).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn ops_messages_round_trip() {
+        use rtdls_telemetry::{MetricKind, Stage};
+        let queries = [
+            OpsQuery::Stats,
+            OpsQuery::Trace { id: 99 },
+            OpsQuery::RecentTraces,
+        ];
+        for query in queries {
+            let msg = ClientMsg::Ops { query };
+            let back = decode_client(&encode_client(&msg)[crate::codec::HEADER_LEN..]).unwrap();
+            assert_eq!(back, msg);
+        }
+        let reports = [
+            OpsReport::Stats {
+                samples: vec![MetricSample {
+                    name: "rtdls_gateway_submitted".to_string(),
+                    labels: vec![("tenant".to_string(), "3".to_string())],
+                    kind: MetricKind::Counter,
+                    value: 12.0,
+                }],
+            },
+            OpsReport::Trace {
+                id: 99,
+                spans: vec![Span {
+                    trace: 99,
+                    seq: 1,
+                    stage: Stage::EdgeReceive,
+                    shard: None,
+                    task: 7,
+                    outcome: "submit".to_string(),
+                    at: SimTime::new(0.5),
+                    duration_ns: 120,
+                }],
+            },
+            OpsReport::RecentTraces {
+                traces: vec![97, 98, 99],
+            },
+        ];
+        for report in reports {
+            let msg = ServerMsg::OpsReport { report };
             let back = decode_server(&encode_server(&msg)[crate::codec::HEADER_LEN..]).unwrap();
             assert_eq!(back, msg);
         }

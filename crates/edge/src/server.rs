@@ -41,6 +41,7 @@
 //! the stamped request, so replay stays deterministic.
 
 use std::collections::HashMap;
+use std::collections::HashSet;
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -52,8 +53,12 @@ use rtdls_journal::prelude::{JournaledGateway, Recoverable};
 use rtdls_service::prelude::{DecisionUpdate, Gateway, ShardedGateway, Verdict};
 use rtdls_sim::frontend::Frontend;
 
+use rtdls_telemetry::{MetricsRegistry, Stage, Telemetry};
+
 use crate::codec::{Direction, FrameDecoder, DEFAULT_MAX_FRAME};
-use crate::proto::{decode_client, encode_server, ClientMsg, ServerMsg, PROTOCOL_VERSION};
+use crate::proto::{
+    decode_client, encode_server, ClientMsg, OpsQuery, OpsReport, ServerMsg, PROTOCOL_VERSION,
+};
 
 /// The serving surface the edge needs from a gateway: decide submissions,
 /// advance the books with the clock, and expose the parked-task update
@@ -84,6 +89,15 @@ pub trait EdgeGateway {
     /// never busy-sweeps the books — and a journaled one never appends
     /// no-op re-test events.
     fn next_due(&self) -> Option<SimTime>;
+
+    /// Attaches a decision-tracing handle so the gateway's stages record
+    /// into the same flight recorder as the edge's. The default ignores
+    /// it (telemetry-unaware gateways keep compiling).
+    fn attach_telemetry(&mut self, _telemetry: &Telemetry) {}
+
+    /// Folds the gateway's native stats into the unified metrics registry
+    /// (the ops channel's `Stats` surface). The default folds nothing.
+    fn fold_metrics(&self, _reg: &mut MetricsRegistry) {}
 }
 
 /// The shared [`EdgeGateway::next_due`] body: earliest of the next
@@ -127,6 +141,14 @@ impl<A: Admission> EdgeGateway for ShardedGateway<A> {
     fn next_due(&self) -> Option<SimTime> {
         next_due_of(self, self.deferred())
     }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        ShardedGateway::attach_telemetry(self, telemetry);
+    }
+
+    fn fold_metrics(&self, reg: &mut MetricsRegistry) {
+        ShardedGateway::fold_metrics(self, reg);
+    }
 }
 
 impl<A: Admission> EdgeGateway for Gateway<A> {
@@ -151,6 +173,14 @@ impl<A: Admission> EdgeGateway for Gateway<A> {
 
     fn next_due(&self) -> Option<SimTime> {
         next_due_of(self, self.deferred())
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        Gateway::attach_telemetry(self, telemetry);
+    }
+
+    fn fold_metrics(&self, reg: &mut MetricsRegistry) {
+        Gateway::fold_metrics(self, reg);
     }
 }
 
@@ -180,6 +210,14 @@ impl<G: Recoverable> EdgeGateway for JournaledGateway<G> {
 
     fn next_due(&self) -> Option<SimTime> {
         next_due_of(self, self.deferred())
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        JournaledGateway::attach_telemetry(self, telemetry);
+    }
+
+    fn fold_metrics(&self, reg: &mut MetricsRegistry) {
+        JournaledGateway::fold_metrics(self, reg);
     }
 }
 
@@ -268,6 +306,24 @@ pub struct EdgeStats {
     pub protocol_errors: u64,
     /// Connections evicted for consuming pushes too slowly.
     pub slow_consumer_evictions: u64,
+    /// Pending-map entries discarded because their connection closed
+    /// before the parked task resolved (the resolution would have been
+    /// undeliverable anyway; without this purge the map grows forever
+    /// under churning clients with parked work).
+    pub pending_evicted: u64,
+    /// Reactor turns counted while telemetry was attached (the divisor
+    /// for the per-phase nanosecond counters below).
+    pub turns: u64,
+    /// Cumulative accept+read+decode+serve phase time, in nanoseconds.
+    /// Only accumulated while telemetry is attached — the zero-telemetry
+    /// hot path takes no clock readings.
+    pub read_ns: u64,
+    /// Cumulative gateway-drive + update-push phase time, in nanoseconds
+    /// (telemetry-on only).
+    pub drive_ns: u64,
+    /// Cumulative write-flush + reap phase time, in nanoseconds
+    /// (telemetry-on only).
+    pub flush_ns: u64,
 }
 
 struct Conn {
@@ -311,6 +367,9 @@ pub struct EdgeServer<G: EdgeGateway> {
     /// timed-work check, the drive trigger (see [`EdgeGateway::next_due`]).
     dirty: bool,
     stats: EdgeStats,
+    /// Tracing/metrics handle; disabled (and allocation-free on the hot
+    /// path) until [`EdgeServer::set_telemetry`].
+    telemetry: Telemetry,
 }
 
 impl<G: EdgeGateway> EdgeServer<G> {
@@ -334,7 +393,25 @@ impl<G: EdgeGateway> EdgeServer<G> {
             pending: HashMap::new(),
             dirty: false,
             stats: EdgeStats::default(),
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle: the edge mints a trace id for every
+    /// framed submission at ingress, records `EdgeReceive`/`PushUpdate`
+    /// spans, accumulates per-turn phase timings, and forwards the handle
+    /// to the gateway so downstream stages land in the same flight
+    /// recorder. Until this is called, the telemetry path costs nothing.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
+        self.gateway.attach_telemetry(telemetry);
+    }
+
+    /// Parked-task pushback entries currently held (task id → submitting
+    /// connection). Bounded by eviction on connection close — see
+    /// [`EdgeStats::pending_evicted`].
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
     }
 
     /// The bound address (the OS-chosen port for `:0` binds).
@@ -368,8 +445,12 @@ impl<G: EdgeGateway> EdgeServer<G> {
     /// anything) — the driver's idle-sleep hint.
     pub fn poll(&mut self, now: SimTime) -> bool {
         let mut progressed = false;
+        // `timer()` is None while telemetry is disabled, so the phase
+        // accounting below is free (no clock reads) on the bare path.
+        let read_timer = self.telemetry.timer();
         progressed |= self.accept_new();
         progressed |= self.read_and_serve(now);
+        self.stats.read_ns += Telemetry::elapsed_ns(read_timer);
         // Event-driven drive, mirroring the simulator: sweep the books
         // only when a submission arrived or timed work (a dispatch or an
         // activation) has come due. An idle reactor turn leaves the
@@ -379,12 +460,19 @@ impl<G: EdgeGateway> EdgeServer<G> {
             .next_due()
             .is_some_and(|t| t.at_or_before_eps(now));
         if self.dirty || due {
+            let drive_timer = self.telemetry.timer();
             self.gateway.drive(now);
             self.dirty = false;
-            progressed |= self.push_updates();
+            progressed |= self.push_updates(now);
+            self.stats.drive_ns += Telemetry::elapsed_ns(drive_timer);
         }
+        let flush_timer = self.telemetry.timer();
         progressed |= self.flush_writes();
         self.reap();
+        self.stats.flush_ns += Telemetry::elapsed_ns(flush_timer);
+        if self.telemetry.is_enabled() {
+            self.stats.turns += 1;
+        }
         progressed
     }
 
@@ -526,16 +614,42 @@ impl<G: EdgeGateway> EdgeServer<G> {
                     // the queue grow one frame per received submit.
                     self.conns[i].dead = true;
                     self.stats.slow_consumer_evictions += 1;
+                    self.telemetry.dump_to_stderr("slow-consumer eviction");
                     return;
+                }
+                // The edge is the tracing ingress: mint here (a no-op
+                // sentinel 0 while telemetry is off) so every downstream
+                // stage — routing, planning, the WAL append — lands under
+                // one trace id.
+                if request.trace == 0 {
+                    request.trace = self.telemetry.mint();
                 }
                 let verdict = if queued >= self.cfg.write_queue_limit {
                     // Edge backpressure: the client is not consuming its
                     // replies; shed before the admission test spends CPU.
                     self.stats.edge_throttled += 1;
+                    self.telemetry.record(
+                        request.trace,
+                        Stage::EdgeReceive,
+                        None,
+                        request.task.id.0,
+                        "edge_throttled",
+                        now,
+                        None,
+                    );
                     Verdict::Throttled
                 } else {
                     // Arrival is when the request reached this edge.
                     request.task.arrival = now;
+                    self.telemetry.record(
+                        request.trace,
+                        Stage::EdgeReceive,
+                        None,
+                        request.task.id.0,
+                        "submit",
+                        now,
+                        None,
+                    );
                     let verdict = self.gateway.decide(&request, now);
                     self.dirty = true;
                     if matches!(verdict, Verdict::Reserved { .. } | Verdict::Deferred(_)) {
@@ -551,19 +665,49 @@ impl<G: EdgeGateway> EdgeServer<G> {
                 };
                 self.conns[i].enqueue(&reply);
             }
+            ClientMsg::Ops { query } => {
+                let report = self.ops_report(query);
+                self.conns[i].enqueue(&ServerMsg::OpsReport { report });
+            }
             ClientMsg::Bye => {
                 self.conns[i].start_draining();
             }
         }
     }
 
+    /// Builds the answer to one ops query from the live books: `Stats`
+    /// folds every layer's native counters into a fresh registry and
+    /// flattens it; the trace queries read the flight recorder.
+    fn ops_report(&self, query: OpsQuery) -> OpsReport {
+        match query {
+            OpsQuery::Stats => {
+                let mut reg = MetricsRegistry::new();
+                self.gateway.fold_metrics(&mut reg);
+                fold_edge_stats(&mut reg, &self.stats, self.pending.len(), self.conns.len());
+                OpsReport::Stats {
+                    samples: reg.flatten(),
+                }
+            }
+            OpsQuery::Trace { id } => OpsReport::Trace {
+                id,
+                spans: self.telemetry.trace_spans(id),
+            },
+            OpsQuery::RecentTraces => OpsReport::RecentTraces {
+                traces: self.telemetry.recent_traces(32),
+            },
+        }
+    }
+
     fn fail_conn(&mut self, i: usize, seq: Option<u64>, message: String) {
         self.stats.protocol_errors += 1;
+        // A protocol violation is a black-box moment: dump the recent
+        // flight-recorder tail before answering and draining.
+        self.telemetry.dump_to_stderr("protocol violation");
         self.conns[i].enqueue(&ServerMsg::Error { seq, message });
         self.conns[i].start_draining();
     }
 
-    fn push_updates(&mut self) -> bool {
+    fn push_updates(&mut self, now: SimTime) -> bool {
         let updates = self.gateway.take_updates();
         if updates.is_empty() {
             return false;
@@ -571,28 +715,50 @@ impl<G: EdgeGateway> EdgeServer<G> {
         let mut progressed = false;
         for update in updates {
             let task = update.task();
+            let terminal = update.is_terminal();
             let entry = self.pending.get(&task).copied();
-            if update.is_terminal() {
+            if terminal {
                 self.pending.remove(&task);
             }
-            let Some((conn_id, _seq)) = entry else {
-                self.stats.updates_dropped += 1;
-                continue;
+            let delivered = 'push: {
+                let Some((conn_id, _seq)) = entry else {
+                    break 'push false;
+                };
+                let Some(conn) = self.conns.iter_mut().find(|c| c.id == conn_id) else {
+                    break 'push false;
+                };
+                if conn.outq.len() >= self.cfg.write_queue_limit * 2 {
+                    // Slow consumer: evict rather than queue without bound.
+                    conn.dead = true;
+                    self.stats.slow_consumer_evictions += 1;
+                    self.telemetry.dump_to_stderr("slow-consumer eviction");
+                    break 'push false;
+                }
+                conn.enqueue(&ServerMsg::Update { update });
+                break 'push true;
             };
-            let Some(conn) = self.conns.iter_mut().find(|c| c.id == conn_id) else {
+            if delivered {
+                self.stats.updates_pushed += 1;
+                progressed = true;
+            } else {
                 self.stats.updates_dropped += 1;
-                continue;
-            };
-            if conn.outq.len() >= self.cfg.write_queue_limit * 2 {
-                // Slow consumer: evict rather than queue without bound.
-                conn.dead = true;
-                self.stats.slow_consumer_evictions += 1;
-                self.stats.updates_dropped += 1;
-                continue;
             }
-            conn.enqueue(&ServerMsg::Update { update });
-            self.stats.updates_pushed += 1;
-            progressed = true;
+            // The last span of a parked flow's timeline: its resolution
+            // leaving (or failing to leave) the edge.
+            if let Some(trace) = self.telemetry.trace_of(task) {
+                self.telemetry.record(
+                    trace,
+                    Stage::PushUpdate,
+                    None,
+                    task,
+                    if delivered { "pushed" } else { "dropped" },
+                    now,
+                    None,
+                );
+                if terminal {
+                    self.telemetry.forget(task);
+                }
+            }
         }
         progressed
     }
@@ -644,8 +810,58 @@ impl<G: EdgeGateway> EdgeServer<G> {
             }
             !close
         });
-        self.stats.connections_closed += (before - self.conns.len()) as u64;
+        let closed = before - self.conns.len();
+        self.stats.connections_closed += closed as u64;
+        if closed > 0 && !self.pending.is_empty() {
+            // A closed connection can never receive its parked tasks'
+            // resolutions; drop their pending entries now instead of
+            // leaking one map slot per abandoned promise.
+            let live: HashSet<u64> = self.conns.iter().map(|c| c.id).collect();
+            let before_pending = self.pending.len();
+            self.pending
+                .retain(|_, &mut (conn_id, _)| live.contains(&conn_id));
+            self.stats.pending_evicted += (before_pending - self.pending.len()) as u64;
+        }
     }
+}
+
+/// Folds the reactor's self-observation counters (plus the live pending-map
+/// and connection levels) into the unified registry under `rtdls_edge_*`.
+pub fn fold_edge_stats(
+    reg: &mut MetricsRegistry,
+    stats: &EdgeStats,
+    pending: usize,
+    connections: usize,
+) {
+    reg.counter(
+        "rtdls_edge_connections_accepted",
+        &[],
+        stats.connections_accepted,
+    );
+    reg.counter(
+        "rtdls_edge_connections_closed",
+        &[],
+        stats.connections_closed,
+    );
+    reg.counter("rtdls_edge_frames_received", &[], stats.frames_received);
+    reg.counter("rtdls_edge_frames_sent", &[], stats.frames_sent);
+    reg.counter("rtdls_edge_submits", &[], stats.submits);
+    reg.counter("rtdls_edge_throttled", &[], stats.edge_throttled);
+    reg.counter("rtdls_edge_updates_pushed", &[], stats.updates_pushed);
+    reg.counter("rtdls_edge_updates_dropped", &[], stats.updates_dropped);
+    reg.counter("rtdls_edge_protocol_errors", &[], stats.protocol_errors);
+    reg.counter(
+        "rtdls_edge_slow_consumer_evictions",
+        &[],
+        stats.slow_consumer_evictions,
+    );
+    reg.counter("rtdls_edge_pending_evicted", &[], stats.pending_evicted);
+    reg.counter("rtdls_edge_turns", &[], stats.turns);
+    reg.counter("rtdls_edge_read_ns", &[], stats.read_ns);
+    reg.counter("rtdls_edge_drive_ns", &[], stats.drive_ns);
+    reg.counter("rtdls_edge_flush_ns", &[], stats.flush_ns);
+    reg.gauge("rtdls_edge_pending", &[], pending as f64);
+    reg.gauge("rtdls_edge_connections", &[], connections as f64);
 }
 
 impl<G: EdgeGateway> core::fmt::Debug for EdgeServer<G> {

@@ -418,6 +418,248 @@ fn edge_backpressure_throttles_without_reaching_the_gateway() {
     );
 }
 
+/// The observability acceptance path: a telemetry-attached journaled edge
+/// serves a reservation flow end to end, and the ops channel reconstructs
+/// both full timelines — the accepted blocker's (edge receive → route →
+/// plan → journal append) and the reserved candidate's (edge receive →
+/// reserve → journal append → route at activation → activate → pushed
+/// update) — by trace id, with the timed stages carrying real durations.
+#[test]
+fn ops_channel_reconstructs_a_reserved_flows_full_timeline_by_trace_id() {
+    use rtdls_telemetry::{Stage, Telemetry, TelemetryConfig};
+
+    let p = ClusterParams::paper_baseline();
+    let e16 = homogeneous::exec_time(&p, 800.0, 16);
+    let e15 = homogeneous::exec_time(&p, 800.0, 15);
+    let slack_w = (e15 - e16) * 0.75;
+    let slack_c = slack_w * 0.8;
+    let gateway = ShardedGateway::new(
+        p,
+        1,
+        AlgorithmKind::EDF_OPR_MN,
+        PlanConfig::default(),
+        Routing::LeastLoaded,
+        DeferPolicy::default(),
+    )
+    .unwrap();
+    let mut journaled = JournaledGateway::new(gateway, JournalConfig::default());
+    let avail = SimTime::new(1000.0);
+    for node in 0..16 {
+        Frontend::set_node_release(&mut journaled, node, avail);
+    }
+    let telemetry = Telemetry::new(TelemetryConfig::default());
+    let mut server = EdgeServer::bind("127.0.0.1:0", journaled, EdgeConfig::default()).unwrap();
+    server.set_telemetry(&telemetry);
+    let addr = server.local_addr();
+    let mut client = InlineClient::connect(addr);
+    let t0 = SimTime::ZERO;
+    assert!(matches!(
+        client.recv(&mut server, t0),
+        ServerMsg::Hello { .. }
+    ));
+
+    // The all-node blocker is accepted; the starved candidate reserves.
+    client.send(&ClientMsg::Submit {
+        seq: 0,
+        request: SubmitRequest::new(Task::new(1, 0.0, 800.0, 1000.0 + e16 + slack_w)),
+    });
+    assert!(matches!(
+        client.recv(&mut server, t0),
+        ServerMsg::Verdict {
+            verdict: Verdict::Accepted,
+            ..
+        }
+    ));
+    client.send(&ClientMsg::Submit {
+        seq: 1,
+        request: SubmitRequest::new(Task::new(2, 0.0, 10.0, 1000.0 + e16 + slack_c))
+            .with_tenant(TenantId(7))
+            .with_max_delay(Some(2000.0)),
+    });
+    assert!(matches!(
+        client.recv(&mut server, t0),
+        ServerMsg::Verdict {
+            task: 2,
+            verdict: Verdict::Reserved { .. },
+            ..
+        }
+    ));
+    // The clock reaches the promise: activation streams back.
+    assert!(matches!(
+        client.recv(&mut server, avail),
+        ServerMsg::Update {
+            update: DecisionUpdate::Activated {
+                task: 2,
+                admitted: true,
+                ..
+            }
+        }
+    ));
+
+    // Reconstruct both timelines over the wire, exactly as rtdls-top would.
+    let mut ops = InlineClient::connect(addr);
+    assert!(matches!(
+        ops.recv(&mut server, avail),
+        ServerMsg::Hello { .. }
+    ));
+    ops.send(&ClientMsg::Ops {
+        query: OpsQuery::RecentTraces,
+    });
+    let ServerMsg::OpsReport {
+        report: OpsReport::RecentTraces { traces },
+    } = ops.recv(&mut server, avail)
+    else {
+        panic!("expected RecentTraces report");
+    };
+    assert!(
+        traces.len() >= 2,
+        "both submissions minted traces: {traces:?}"
+    );
+    let mut timelines = Vec::new();
+    for id in &traces {
+        ops.send(&ClientMsg::Ops {
+            query: OpsQuery::Trace { id: *id },
+        });
+        let ServerMsg::OpsReport {
+            report: OpsReport::Trace { spans, .. },
+        } = ops.recv(&mut server, avail)
+        else {
+            panic!("expected Trace report");
+        };
+        timelines.push(spans);
+    }
+    let stages_of = |task: u64| -> Vec<Stage> {
+        let spans = timelines
+            .iter()
+            .find(|spans| spans.iter().any(|s| s.task == task))
+            .unwrap_or_else(|| panic!("no timeline mentions task {task}"));
+        assert!(
+            spans.windows(2).all(|w| w[0].seq < w[1].seq),
+            "timeline is seq-ordered"
+        );
+        // The timed stages carry real wall-clock durations.
+        for s in spans.iter() {
+            if matches!(
+                s.stage,
+                Stage::Plan | Stage::JournalAppend | Stage::Activate
+            ) {
+                assert!(s.duration_ns > 0, "{:?} span is timed: {s:?}", s.stage);
+            }
+        }
+        spans.iter().map(|s| s.stage).collect()
+    };
+    assert_eq!(
+        stages_of(1),
+        vec![
+            Stage::EdgeReceive,
+            Stage::Route,
+            Stage::Plan,
+            Stage::JournalAppend
+        ],
+        "the accepted blocker's journey"
+    );
+    assert_eq!(
+        stages_of(2),
+        vec![
+            Stage::EdgeReceive,
+            Stage::Plan,
+            Stage::Reserve,
+            Stage::JournalAppend,
+            Stage::Route,
+            Stage::Activate,
+            Stage::PushUpdate
+        ],
+        "the reserved candidate's journey, through activation and push"
+    );
+
+    // The unified stats snapshot covers every layer over the same channel.
+    ops.send(&ClientMsg::Ops {
+        query: OpsQuery::Stats,
+    });
+    let ServerMsg::OpsReport {
+        report: OpsReport::Stats { samples },
+    } = ops.recv(&mut server, avail)
+    else {
+        panic!("expected Stats report");
+    };
+    let get = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing sample {name}"))
+            .value
+    };
+    assert_eq!(get("rtdls_edge_submits"), 2.0);
+    assert_eq!(get("rtdls_gateway_submitted"), 2.0);
+    assert_eq!(get("rtdls_gateway_reservations_activated"), 1.0);
+    assert!(get("rtdls_journal_events_appended") >= 2.0);
+    assert_eq!(get("rtdls_edge_pending"), 0.0, "the promise resolved");
+    assert_eq!(get("rtdls_edge_updates_pushed"), 1.0);
+}
+
+/// A client that disconnects with parked work must not leak pending-map
+/// entries: the reaper purges them (and counts the eviction) as soon as
+/// the connection closes.
+#[test]
+fn pending_entries_are_evicted_when_their_connection_dies() {
+    let p = ClusterParams::paper_baseline();
+    let e16 = homogeneous::exec_time(&p, 800.0, 16);
+    let gateway = Gateway::new(
+        p,
+        AlgorithmKind::EDF_DLT,
+        PlanConfig::default(),
+        DeferPolicy::default(),
+    );
+    let mut server = EdgeServer::bind("127.0.0.1:0", gateway, EdgeConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let now = SimTime::ZERO;
+    {
+        let mut client = InlineClient::connect(addr);
+        assert!(matches!(
+            client.recv(&mut server, now),
+            ServerMsg::Hello { .. }
+        ));
+        // Saturate, then park a near miss as a defer ticket.
+        client.send(&ClientMsg::Submit {
+            seq: 0,
+            request: SubmitRequest::new(Task::new(1, 0.0, 800.0, e16 * 1.05)),
+        });
+        assert!(matches!(
+            client.recv(&mut server, now),
+            ServerMsg::Verdict {
+                verdict: Verdict::Accepted,
+                ..
+            }
+        ));
+        client.send(&ClientMsg::Submit {
+            seq: 1,
+            request: SubmitRequest::new(Task::new(2, 0.0, 800.0, e16 * 1.5)),
+        });
+        assert!(matches!(
+            client.recv(&mut server, now),
+            ServerMsg::Verdict {
+                verdict: Verdict::Deferred(_),
+                ..
+            }
+        ));
+        assert_eq!(server.pending_len(), 1, "the parked task is tracked");
+        // The client vanishes without a Bye.
+    }
+    for _ in 0..200 {
+        server.poll(now);
+        if server.pending_len() == 0 {
+            break;
+        }
+    }
+    assert_eq!(server.connections(), 0, "the dead connection was reaped");
+    assert_eq!(
+        server.pending_len(),
+        0,
+        "its pending entry went with it (no leak)"
+    );
+    assert_eq!(server.stats().pending_evicted, 1);
+}
+
 #[test]
 fn killed_journaled_edge_recovers_from_the_wal_and_keeps_serving() {
     let wal = std::env::temp_dir().join(format!("rtdls-edge-restart-{}.wal", std::process::id()));

@@ -14,8 +14,9 @@
 //! `--json` switches to a machine-readable mode for edge/ops tooling: one
 //! JSON object per line — `{"offset":…,"kind":"snapshot"|"event",
 //! "class":"input"|"audit","record":…}` with the record's own JSON
-//! embedded verbatim — closed by `{"omitted":…}` when `--limit` truncates
-//! and a final `{"tail":…}` status object.
+//! embedded verbatim — closed by `{"omitted":…}` when `--limit` truncates,
+//! a `{"durability":…}` summary of the physical log (bytes, record and
+//! snapshot counts), and a final `{"tail":…}` status object.
 
 use std::process::ExitCode;
 
@@ -182,6 +183,19 @@ fn render_json(bytes: &[u8], filter: Option<bool>, limit: usize) -> (Vec<String>
         lines.truncate(limit);
         lines.push(format!("{{\"omitted\":{omitted}}}"));
     }
+    // Physical durability summary (unfiltered): what actually survives on
+    // disk, for edge/ops tooling that watches WAL growth and compaction.
+    let snapshots = frames
+        .iter()
+        .filter(|f| f.kind == RecordKind::Snapshot)
+        .count();
+    lines.push(format!(
+        "{{\"durability\":{{\"bytes\":{},\"records\":{},\"snapshots\":{},\"events\":{}}}}}",
+        bytes.len(),
+        frames.len(),
+        snapshots,
+        frames.len() - snapshots,
+    ));
     let tail_line = match tail {
         TailStatus::Clean => "{\"tail\":\"clean\"}".to_string(),
         TailStatus::Truncated { offset } => {
@@ -380,12 +394,24 @@ mod tests {
             event.get("class"),
             Some(serde::Value::Str(c)) if c == "input" || c == "audit"
         ));
-        // The listing closes with the tail status object.
+        // The listing closes with the durability summary and tail status.
         let last = objects.last().unwrap();
         assert!(matches!(last.get("tail"), Some(serde::Value::Str(s)) if s == "clean"));
+        let durability = objects[objects.len() - 2]
+            .get("durability")
+            .expect("durability summary precedes the tail");
+        assert_eq!(
+            durability.get("bytes"),
+            Some(&serde::Value::Int(wal.len() as i64))
+        );
+        assert_eq!(durability.get("snapshots"), Some(&serde::Value::Int(1)));
         // The machine count matches the human listing's record count.
         let (human, _) = render(&wal, None, usize::MAX);
-        assert_eq!(objects.len(), human.len() + 1, "records + tail object");
+        assert_eq!(
+            objects.len(),
+            human.len() + 2,
+            "records + durability + tail objects"
+        );
     }
 
     #[test]
@@ -394,17 +420,17 @@ mod tests {
         let (all, _) = render_json(&wal, None, usize::MAX);
         let (inputs, _) = render_json(&wal, Some(true), usize::MAX);
         let (audit, _) = render_json(&wal, Some(false), usize::MAX);
-        // snapshot + tail appear in both filtered listings.
-        assert_eq!(inputs.len() + audit.len(), all.len() + 2);
+        // snapshot + durability + tail appear in both filtered listings.
+        assert_eq!(inputs.len() + audit.len(), all.len() + 3);
         assert!(inputs.iter().any(|l| l.contains("\"class\":\"input\"")));
         assert!(audit.iter().all(|l| !l.contains("\"class\":\"input\"")));
         // --limit truncates with a machine-readable omission marker.
         let (limited, _) = render_json(&wal, None, 2);
-        assert_eq!(limited.len(), 4, "2 records + omitted + tail");
+        assert_eq!(limited.len(), 5, "2 records + omitted + durability + tail");
         let marker: serde::Value = serde_json::from_str(&limited[2]).unwrap();
         assert_eq!(
             marker.get("omitted"),
-            Some(&serde::Value::Int((all.len() - 1 - 2) as i64))
+            Some(&serde::Value::Int((all.len() - 2 - 2) as i64))
         );
         // A torn tail is reported as a JSON object too.
         let mut torn = wal;

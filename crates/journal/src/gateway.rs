@@ -18,6 +18,7 @@ use rtdls_core::prelude::{
 use rtdls_service::gateway::GatewayDecision;
 use rtdls_service::prelude::{DeferredQueue, ServiceMetrics, Verdict};
 use rtdls_sim::frontend::{Frontend, SubmitOutcome};
+use rtdls_telemetry::{Stage, Telemetry};
 
 use crate::event::JournalEvent;
 use crate::journal::{Journal, JournalConfig, JournalSink};
@@ -28,6 +29,13 @@ use crate::snapshot::Recoverable;
 pub struct JournaledGateway<G: Recoverable> {
     inner: G,
     journal: Journal,
+    /// Process-local recording handle (never journaled; see
+    /// [`Recoverable::attach_telemetry`]). Disabled by default.
+    telemetry: Telemetry,
+    /// Set when this gateway was rebuilt by [`recover`](crate::recover):
+    /// the instant the re-admission pass ran at, stamped onto the
+    /// `Recovery` span once telemetry is attached.
+    recovered_at: Option<SimTime>,
 }
 
 impl<G: Recoverable> JournaledGateway<G> {
@@ -48,7 +56,41 @@ impl<G: Recoverable> JournaledGateway<G> {
     /// snapshot. Recovery uses this to hand back a re-journaled gateway.
     pub(crate) fn with_journal(inner: G, mut journal: Journal) -> Self {
         journal.append_snapshot(&inner.capture());
-        JournaledGateway { inner, journal }
+        JournaledGateway {
+            inner,
+            journal,
+            telemetry: Telemetry::disabled(),
+            recovered_at: None,
+        }
+    }
+
+    /// Marks this gateway as recovery-built (see `recovered_at`).
+    pub(crate) fn mark_recovered(&mut self, at: SimTime) {
+        self.recovered_at = Some(at);
+    }
+
+    /// Attaches a telemetry handle to this wrapper *and* the wrapped
+    /// gateway, so journal appends and the service layer's decision stages
+    /// record into the same flight recorder. Like decision observation,
+    /// telemetry is process-local — a recovered gateway starts disabled
+    /// and its owner re-attaches. Attaching to a recovery-built gateway
+    /// records a `Recovery` span and dumps the recorder to stderr (the
+    /// crash-recovery black-box hook).
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
+        self.inner.attach_telemetry(telemetry);
+        if let Some(at) = self.recovered_at {
+            self.telemetry.record(
+                self.telemetry.mint(),
+                Stage::Recovery,
+                None,
+                0,
+                "recovered",
+                at,
+                None,
+            );
+            self.telemetry.dump_to_stderr("crash recovery");
+        }
     }
 
     /// The wrapped gateway.
@@ -119,14 +161,46 @@ impl<G: Recoverable> JournaledGateway<G> {
     /// shape the verdict, so replay needs all of them) and the verdict
     /// after.
     pub fn submit_request(&mut self, request: &SubmitRequest, now: SimTime) -> Verdict {
-        self.journal.append_event(&JournalEvent::RequestSubmitted {
-            request: *request,
-            at: now,
-        });
-        let verdict = self.inner.decide_request(request, now);
-        self.audit_verdict(request, &verdict);
+        // Mint the trace *before* the write-ahead append so the WAL carries
+        // it: a replay then reproduces the same request the live run
+        // decided (the wrapped gateway sees a nonzero trace and won't
+        // re-mint).
+        let mut request = *request;
+        if request.trace == 0 {
+            request.trace = self.telemetry.mint();
+        }
+        let ahead = self.telemetry.timer();
+        self.journal
+            .append_event(&JournalEvent::RequestSubmitted { request, at: now });
+        let ahead_ns = Telemetry::elapsed_ns(ahead);
+        let verdict = self.inner.decide_request(&request, now);
+        let audit = self.telemetry.timer();
+        self.audit_verdict(&request, &verdict);
         self.maybe_snapshot();
+        if self.telemetry.is_enabled() {
+            // One logical append stage: the write-ahead command plus the
+            // audit record, with the decision itself excluded from the
+            // duration. Recorded after the decision so the span sequence
+            // reads route → plan → journal append.
+            self.telemetry.record_ns(
+                request.trace,
+                Stage::JournalAppend,
+                None,
+                request.task.id.0,
+                "appended",
+                now,
+                ahead_ns + Telemetry::elapsed_ns(audit),
+            );
+        }
         verdict
+    }
+
+    /// Folds the wrapped gateway's native stats (service counters, engine
+    /// profiles, queue depths) plus this journal's durability counters into
+    /// `reg` — the ops-poll entry point for a journaled deployment.
+    pub fn fold_metrics(&self, reg: &mut rtdls_telemetry::MetricsRegistry) {
+        self.inner.fold_metrics(reg);
+        crate::telemetry::fold_journal_metrics(reg, &self.journal);
     }
 
     /// Decides a whole burst at once (see `submit_batch` on the wrapped
@@ -353,5 +427,97 @@ impl<G: Recoverable> Frontend for JournaledGateway<G> {
         // End of stream closes the group-commit window: everything the
         // journal acknowledged is durable from here on.
         self.journal.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdls_core::prelude::*;
+    use rtdls_service::prelude::{DeferPolicy, Gateway};
+
+    fn gateway() -> Gateway {
+        Gateway::new(
+            ClusterParams::paper_baseline(),
+            AlgorithmKind::EDF_DLT,
+            PlanConfig::default(),
+            DeferPolicy::default(),
+        )
+    }
+
+    #[test]
+    fn submit_request_mints_into_the_wal_and_records_the_append_span() {
+        let mut j = JournaledGateway::new(gateway(), JournalConfig::default());
+        let telemetry = Telemetry::with_defaults();
+        j.attach_telemetry(&telemetry);
+        let req = SubmitRequest::new(Task::new(1, 0.0, 200.0, 30_000.0));
+        assert_eq!(req.trace, 0, "caller left the request untraced");
+        let verdict = j.submit_request(&req, SimTime::ZERO);
+        assert!(verdict.is_accepted());
+
+        // The WAL's RequestSubmitted carries the minted (nonzero) trace.
+        let wal = String::from_utf8_lossy(j.journal().bytes()).into_owned();
+        assert!(wal.contains("\"trace\""), "trace persisted in the WAL");
+        // The append span closes the trace's decision timeline so far:
+        // route/plan first (recorded by the wrapped gateway), then append.
+        let spans = telemetry.recent_spans(16);
+        let append = spans
+            .iter()
+            .find(|s| s.stage == Stage::JournalAppend)
+            .expect("append span recorded");
+        assert!(append.trace != 0);
+        assert_eq!(append.task, 1);
+        let timeline = telemetry.trace_spans(append.trace);
+        assert_eq!(
+            timeline.last().map(|s| s.stage),
+            Some(Stage::JournalAppend),
+            "append is the last stage recorded for the submission"
+        );
+    }
+
+    #[test]
+    fn telemetry_off_leaves_the_wal_byte_identical() {
+        let run = |telemetry: Option<Telemetry>| {
+            let mut j = JournaledGateway::new(gateway(), JournalConfig::default());
+            if let Some(t) = &telemetry {
+                j.attach_telemetry(t);
+            }
+            let req = SubmitRequest::new(Task::new(1, 0.0, 200.0, 30_000.0));
+            let _ = j.submit_request(&req, SimTime::ZERO);
+            j.journal().bytes().to_vec()
+        };
+        let disabled = run(None);
+        let enabled = run(Some(Telemetry::with_defaults()));
+        assert_ne!(disabled, enabled, "enabled run persists trace ids");
+        // A disabled handle mints the untraced sentinel, so its WAL matches
+        // the never-attached one byte for byte (legacy encoding preserved).
+        let sentinel = run(Some(Telemetry::disabled()));
+        assert_eq!(disabled, sentinel);
+    }
+
+    #[test]
+    fn recovery_records_a_recovery_span_on_attach() {
+        let mut j = JournaledGateway::new(gateway(), JournalConfig::default());
+        let _ = j.submit_request(
+            &SubmitRequest::new(Task::new(1, 0.0, 200.0, 30_000.0)),
+            SimTime::ZERO,
+        );
+        let wal = j.journal().bytes().to_vec();
+        drop(j);
+
+        let (mut recovered, _report) =
+            crate::recover::<Gateway>(&wal, SimTime::new(5.0), JournalConfig::default(), None)
+                .unwrap();
+        let telemetry = Telemetry::with_defaults();
+        recovered.attach_telemetry(&telemetry);
+        let spans = telemetry.recent_spans(4);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].stage, Stage::Recovery);
+        assert_eq!(spans[0].at, SimTime::new(5.0));
+        // A fresh (non-recovered) gateway attaches silently.
+        let mut fresh = JournaledGateway::new(gateway(), JournalConfig::default());
+        let t2 = Telemetry::with_defaults();
+        fresh.attach_telemetry(&t2);
+        assert_eq!(t2.spans_recorded(), 0);
     }
 }

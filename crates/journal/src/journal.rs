@@ -37,6 +37,22 @@ impl Default for JournalConfig {
     }
 }
 
+/// Cumulative durability counters a [`JournalSink`] reports (the journal's
+/// contribution to the unified metrics registry, and the numbers behind
+/// group-commit tuning: how many fsyncs the batching window actually
+/// saved).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SinkStats {
+    /// Frames appended over the sink's lifetime.
+    pub appends: u64,
+    /// `sync_data` calls performed (group commits completed).
+    pub syncs: u64,
+    /// Bytes written (appends plus compaction rewrites).
+    pub bytes_written: u64,
+    /// Largest number of appends committed by one fsync.
+    pub max_batch: u64,
+}
+
 /// A durable byte store the journal mirrors its frames into.
 ///
 /// `append` must *write* the frame (ordered after every earlier frame)
@@ -58,6 +74,11 @@ pub trait JournalSink: Send {
     /// Makes every appended byte durable (group-commit boundary). Sinks
     /// that sync per append need not override this.
     fn flush(&mut self) {}
+    /// Cumulative durability counters. Sinks that don't track them report
+    /// zeros.
+    fn stats(&self) -> SinkStats {
+        SinkStats::default()
+    }
 }
 
 /// When a [`FileSink`] fsyncs its appended frames.
@@ -86,8 +107,8 @@ pub struct FileSink {
     policy: FsyncPolicy,
     /// Appends written since the last `sync_data`.
     unsynced: usize,
-    /// `sync_data` calls over the sink's lifetime (observability/tests).
-    syncs: u64,
+    /// Cumulative durability counters (observability/tests).
+    stats: SinkStats,
 }
 
 impl FileSink {
@@ -104,7 +125,7 @@ impl FileSink {
             path,
             policy: FsyncPolicy::EveryAppend,
             unsynced: 0,
-            syncs: 0,
+            stats: SinkStats::default(),
         })
     }
 
@@ -119,7 +140,7 @@ impl FileSink {
             path,
             policy: FsyncPolicy::EveryAppend,
             unsynced: 0,
-            syncs: 0,
+            stats: SinkStats::default(),
         })
     }
 
@@ -136,7 +157,7 @@ impl FileSink {
 
     /// `sync_data` calls performed so far (group-commit observability).
     pub fn syncs_performed(&self) -> u64 {
-        self.syncs
+        self.stats.syncs
     }
 
     /// Reads a journal file back into bytes (the recovery entry point).
@@ -148,8 +169,9 @@ impl FileSink {
         self.file
             .sync_data()
             .expect("journal file fsync must succeed");
+        self.stats.max_batch = self.stats.max_batch.max(self.unsynced as u64);
         self.unsynced = 0;
-        self.syncs += 1;
+        self.stats.syncs += 1;
     }
 }
 
@@ -158,6 +180,8 @@ impl JournalSink for FileSink {
         self.file
             .write_all(frame)
             .expect("journal file append must succeed");
+        self.stats.appends += 1;
+        self.stats.bytes_written += frame.len() as u64;
         self.unsynced += 1;
         match self.policy {
             FsyncPolicy::EveryAppend => self.sync(),
@@ -196,7 +220,12 @@ impl JournalSink for FileSink {
         };
         swap().expect("journal file rewrite must succeed");
         // The staged file was fully synced before the rename.
+        self.stats.bytes_written += bytes.len() as u64;
         self.unsynced = 0;
+    }
+
+    fn stats(&self) -> SinkStats {
+        self.stats
     }
 }
 
@@ -276,6 +305,12 @@ impl Journal {
     /// Snapshots appended over the journal's lifetime (genesis included).
     pub fn snapshots_appended(&self) -> u64 {
         self.snapshots_appended
+    }
+
+    /// The sink's cumulative durability counters (`None` for an in-memory
+    /// journal — there is no durability to account for).
+    pub fn sink_stats(&self) -> Option<SinkStats> {
+        self.sink.as_ref().map(|s| s.stats())
     }
 
     /// `true` once enough input events accumulated since the last snapshot.
@@ -505,6 +540,49 @@ mod tests {
         }
         assert_eq!(sink.syncs_performed(), 3);
         drop(sink);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sink_stats_track_appends_bytes_and_batch_sizes() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("rtdls-sink-stats-test-{}.wal", std::process::id()));
+        let mut sink = FileSink::create(&path)
+            .unwrap()
+            .with_fsync_policy(FsyncPolicy::Batch(4));
+        for _ in 0..10 {
+            sink.append(b"abc");
+        }
+        sink.flush();
+        let stats = sink.stats();
+        assert_eq!(stats.appends, 10);
+        assert_eq!(stats.bytes_written, 30);
+        assert_eq!(stats.syncs, 3, "two full windows + the flushed tail");
+        assert_eq!(stats.max_batch, 4);
+        // Compaction counts its rewrite bytes but not as appends.
+        sink.reset(b"0123456789");
+        assert_eq!(sink.stats().appends, 10);
+        assert_eq!(sink.stats().bytes_written, 40);
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
+
+        // The journal surfaces its sink's stats; in-memory has none.
+        assert!(Journal::in_memory(JournalConfig::default())
+            .sink_stats()
+            .is_none());
+        let sink = FileSink::create(&path).unwrap();
+        let mut j = Journal::with_sink(
+            JournalConfig {
+                snapshot_every: 0,
+                compact_on_snapshot: false,
+            },
+            Box::new(sink),
+        );
+        j.append_event(&ev(1.0));
+        let stats = j.sink_stats().unwrap();
+        assert_eq!(stats.appends, 1);
+        assert_eq!(stats.syncs, 1, "per-append policy syncs immediately");
+        assert!(stats.bytes_written > 0);
         let _ = std::fs::remove_file(&path);
     }
 

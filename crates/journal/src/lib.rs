@@ -73,25 +73,30 @@ pub mod gateway;
 pub mod journal;
 pub mod recover;
 pub mod snapshot;
+pub mod telemetry;
 pub mod wire;
 
 pub use event::JournalEvent;
 pub use gateway::JournaledGateway;
-pub use journal::{FileSink, FsyncPolicy, Journal, JournalConfig, JournalSink};
+pub use journal::{FileSink, FsyncPolicy, Journal, JournalConfig, JournalSink, SinkStats};
 pub use recover::{
     apply_event, recover, recover_file, recover_file_with_policy, replay, RecoveryReport,
 };
 pub use snapshot::{GatewaySnapshot, JournalError, Recoverable};
+pub use telemetry::fold_journal_metrics;
 pub use wire::TailStatus;
 
 /// One-stop imports for journaling users.
 pub mod prelude {
     pub use crate::event::JournalEvent;
     pub use crate::gateway::JournaledGateway;
-    pub use crate::journal::{FileSink, FsyncPolicy, Journal, JournalConfig, JournalSink};
+    pub use crate::journal::{
+        FileSink, FsyncPolicy, Journal, JournalConfig, JournalSink, SinkStats,
+    };
     pub use crate::recover::{
         recover, recover_file, recover_file_with_policy, replay, RecoveryReport,
     };
     pub use crate::snapshot::{GatewaySnapshot, JournalError, Recoverable};
+    pub use crate::telemetry::fold_journal_metrics;
     pub use crate::wire::TailStatus;
 }

@@ -155,6 +155,7 @@ pub fn recover<G: Recoverable>(
         None => Journal::in_memory(cfg),
     };
     let mut journaled = JournaledGateway::with_journal(gateway, journal);
+    journaled.mark_recovered(now);
     for task in &report.demoted {
         journaled
             .journal_mut()

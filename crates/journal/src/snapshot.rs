@@ -200,6 +200,17 @@ pub trait Recoverable: Frontend + Sized {
     /// call (empty unless observation is enabled).
     fn take_decision_updates(&mut self) -> Vec<DecisionUpdate>;
 
+    /// Attaches a telemetry handle for span recording. Like observation,
+    /// telemetry is process-local — never captured in snapshots, never
+    /// replayed — so the owner re-attaches it after recovery. The default
+    /// keeps telemetry-unaware gateways compiling.
+    fn attach_telemetry(&mut self, _telemetry: &rtdls_telemetry::Telemetry) {}
+
+    /// Folds the gateway's native stats into the unified metrics registry
+    /// (the ops-poll surface). The default folds nothing, keeping
+    /// telemetry-unaware gateways compiling.
+    fn fold_metrics(&self, _reg: &mut rtdls_telemetry::MetricsRegistry) {}
+
     /// Post-recovery re-verification: re-run the strict admission test over
     /// every restored waiting plan at `now`, demoting newly infeasible
     /// tasks to the defer queue. Returns the demoted tasks.
@@ -292,6 +303,14 @@ impl<A: Admission> Recoverable for Gateway<A> {
         Gateway::take_decision_updates(self)
     }
 
+    fn attach_telemetry(&mut self, telemetry: &rtdls_telemetry::Telemetry) {
+        Gateway::attach_telemetry(self, telemetry)
+    }
+
+    fn fold_metrics(&self, reg: &mut rtdls_telemetry::MetricsRegistry) {
+        Gateway::fold_metrics(self, reg)
+    }
+
     fn reverify(&mut self, now: SimTime) -> Vec<Task> {
         Gateway::reverify(self, now)
     }
@@ -377,6 +396,14 @@ impl<A: Admission> Recoverable for ShardedGateway<A> {
 
     fn take_decision_updates(&mut self) -> Vec<DecisionUpdate> {
         ShardedGateway::take_decision_updates(self)
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &rtdls_telemetry::Telemetry) {
+        ShardedGateway::attach_telemetry(self, telemetry)
+    }
+
+    fn fold_metrics(&self, reg: &mut rtdls_telemetry::MetricsRegistry) {
+        ShardedGateway::fold_metrics(self, reg)
     }
 
     fn reverify(&mut self, now: SimTime) -> Vec<Task> {

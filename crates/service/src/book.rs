@@ -15,6 +15,7 @@ use rtdls_core::prelude::{
     AlgorithmKind, ClusterParams, Decision, Infeasible, QosClass, SimTime, SubmitRequest, Task,
     TenantId,
 };
+use rtdls_telemetry::{Stage, Telemetry};
 
 use crate::defer::{latest_feasible_start, DeferOutcome, DeferPolicy, DeferTicket, DeferredQueue};
 use crate::metrics::ServiceMetrics;
@@ -50,6 +51,10 @@ pub struct ServiceBook {
     updates: Vec<DecisionUpdate>,
     /// Whether parked-task updates are being recorded.
     observe: bool,
+    /// Decision-tracing handle. Process-local like `observe`: disabled by
+    /// default (the zero-telemetry path is one `Option` check), never
+    /// captured in snapshots, re-attached by the owner after recovery.
+    telemetry: Telemetry,
 }
 
 impl ServiceBook {
@@ -65,6 +70,7 @@ impl ServiceBook {
             activation_log: Vec::new(),
             updates: Vec::new(),
             observe: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -88,7 +94,20 @@ impl ServiceBook {
             activation_log: Vec::new(),
             updates: Vec::new(),
             observe: false,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a decision-tracing handle (a clone; all clones share one
+    /// recorder). Like [`observe_decisions`](ServiceBook::observe_decisions)
+    /// this is process-local state the owner re-attaches after recovery.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached tracing handle (disabled unless the owner enabled it).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// A tenant's current undispatched liabilities: waiting + deferred +
@@ -145,9 +164,31 @@ pub(crate) fn book_accept(
 /// counters (global and per-tenant), ledger entries for rescued tasks,
 /// and the engine-visible resolutions (`None` = rescued/accepted,
 /// `Some(cause)` = rejected).
-pub(crate) fn apply_departures(book: &mut ServiceBook, departed: Vec<(DeferTicket, DeferOutcome)>) {
+pub(crate) fn apply_departures(
+    book: &mut ServiceBook,
+    departed: Vec<(DeferTicket, DeferOutcome)>,
+    now: SimTime,
+) {
     for (ticket, outcome) in departed {
         let admitted = matches!(outcome, DeferOutcome::Rescued);
+        if book.telemetry.is_enabled() {
+            let trace = book.telemetry.trace_of(ticket.task.id.0).unwrap_or(0);
+            let outcome_label = match outcome {
+                DeferOutcome::Rescued => "Rescued",
+                DeferOutcome::Expired => "Expired",
+                DeferOutcome::Evicted => "Evicted",
+                DeferOutcome::Flushed => "Flushed",
+            };
+            book.telemetry.record(
+                trace,
+                Stage::Resolve,
+                None,
+                ticket.task.id.0,
+                outcome_label,
+                now,
+                None,
+            );
+        }
         book.push_update(DecisionUpdate::Resolved {
             task: ticket.task.id.0,
             ticket: Some(ticket.id),
@@ -217,8 +258,10 @@ pub(crate) fn defer_or_reject(
 /// [`Gateway`]: crate::gateway::Gateway
 /// [`ShardedGateway`]: crate::shard::ShardedGateway
 pub(crate) trait EngineOps {
-    /// The mutating admission test.
-    fn submit(&mut self, task: &Task, now: SimTime) -> Decision;
+    /// The mutating admission test. Also reports which shard the task was
+    /// routed to, when the adapter routes at all (`None` for the
+    /// single-cluster gateway) — the decision-tracing `Route` span input.
+    fn submit(&mut self, task: &Task, now: SimTime) -> (Decision, Option<u32>);
     /// The reservation search (non-mutating on the engine).
     fn earliest_feasible_start(&self, task: &Task, now: SimTime) -> Option<SimTime>;
     /// `true` when per-shard quota caps leave this request no shard to
@@ -254,6 +297,15 @@ pub(crate) fn decide_request(
     {
         book.metrics.throttled += 1;
         book.metrics.tenants.counters_mut(tenant).throttled += 1;
+        book.telemetry.record(
+            request.trace,
+            Stage::Plan,
+            None,
+            request.task.id.0,
+            "Throttled",
+            now,
+            None,
+        );
         return Verdict::Throttled;
     }
     // Per-shard caps: when the tenant is at `max_shard_inflight` on every
@@ -262,19 +314,58 @@ pub(crate) fn decide_request(
     if engine.all_routes_throttled() {
         book.metrics.throttled += 1;
         book.metrics.tenants.counters_mut(tenant).throttled += 1;
+        book.telemetry.record(
+            request.trace,
+            Stage::Plan,
+            None,
+            request.task.id.0,
+            "Throttled",
+            now,
+            None,
+        );
         return Verdict::Throttled;
     }
-    match engine.submit(&request.task, now) {
+    let task_id = request.task.id.0;
+    let trace = request.trace;
+    let plan_timer = book.telemetry.timer();
+    let (decision, shard) = engine.submit(&request.task, now);
+    if let Some(s) = shard {
+        book.telemetry
+            .record(trace, Stage::Route, Some(s), task_id, "routed", now, None);
+    }
+    match decision {
         Decision::Accepted => {
+            book.telemetry.record(
+                trace,
+                Stage::Plan,
+                shard,
+                task_id,
+                "Accepted",
+                now,
+                plan_timer,
+            );
+            book.telemetry.remember(task_id, trace);
             book_accept(book, request.task.id, tenant);
             Verdict::Accepted
         }
         Decision::Rejected(cause) => {
+            if book.telemetry.is_enabled() {
+                book.telemetry.record(
+                    trace,
+                    Stage::Plan,
+                    shard,
+                    task_id,
+                    &format!("{cause:?}"),
+                    now,
+                    plan_timer,
+                );
+            }
             if let Some(max_delay) = request.max_delay {
                 let can_book = book
                     .quota
                     .admits_reservation(request.qos, book.reservations.count_for(tenant));
                 if can_book {
+                    let reserve_timer = book.telemetry.timer();
                     if let Some(start_at) = engine.earliest_feasible_start(&request.task, now) {
                         if start_at.at_or_before_eps(now + SimTime::new(max_delay)) {
                             let ticket = book.reservations.book(
@@ -287,12 +378,22 @@ pub(crate) fn decide_request(
                             );
                             book.metrics.reserved += 1;
                             book.metrics.tenants.counters_mut(tenant).reserved += 1;
+                            book.telemetry.record(
+                                trace,
+                                Stage::Reserve,
+                                shard,
+                                task_id,
+                                "Reserved",
+                                now,
+                                reserve_timer,
+                            );
+                            book.telemetry.remember(task_id, trace);
                             return Verdict::Reserved { start_at, ticket };
                         }
                     }
                 }
             }
-            defer_or_reject(
+            let verdict = defer_or_reject(
                 book,
                 widest_params,
                 algorithm,
@@ -301,7 +402,20 @@ pub(crate) fn decide_request(
                 request.qos,
                 now,
                 cause,
-            )
+            );
+            if let Verdict::Deferred(_) = verdict {
+                book.telemetry.record(
+                    trace,
+                    Stage::DeferPark,
+                    shard,
+                    task_id,
+                    "Deferred",
+                    now,
+                    None,
+                );
+                book.telemetry.remember(task_id, trace);
+            }
+            verdict
         }
     }
 }
@@ -318,8 +432,33 @@ pub(crate) fn activate_due(
     engine: &mut impl EngineOps,
 ) {
     for res in book.reservations.take_due(now) {
-        let decision = engine.submit(&res.task, now);
+        let trace = book.telemetry.trace_of(res.task.id.0).unwrap_or(0);
+        let activate_timer = book.telemetry.timer();
+        let (decision, shard) = engine.submit(&res.task, now);
         let admitted = decision.is_accepted();
+        if admitted {
+            // The initial reserved submit never routed (the engine punted to
+            // the reservation book), so a reserved flow's routing decision
+            // happens here — record it so the timeline carries one.
+            book.telemetry.record(
+                trace,
+                Stage::Route,
+                shard,
+                res.task.id.0,
+                "routed",
+                now,
+                None,
+            );
+        }
+        book.telemetry.record(
+            trace,
+            Stage::Activate,
+            shard,
+            res.task.id.0,
+            if admitted { "admitted" } else { "miss" },
+            now,
+            activate_timer,
+        );
         book.activation_log.push(ActivationRecord {
             ticket: res.ticket,
             task: res.task.id.0,
@@ -357,6 +496,15 @@ pub(crate) fn activate_due(
                 // The miss resolved terminally right here; deferred misses
                 // resolve later through the sweep like any other ticket.
                 book.resolutions.push((res.task, Some(cause)));
+                book.telemetry.record(
+                    trace,
+                    Stage::Resolve,
+                    None,
+                    res.task.id.0,
+                    "Rejected",
+                    now,
+                    None,
+                );
                 book.push_update(DecisionUpdate::Resolved {
                     task: res.task.id.0,
                     ticket: None,
@@ -375,6 +523,18 @@ pub(crate) fn flush_all(book: &mut ServiceBook) {
         book.metrics.reservations_flushed += 1;
         book.metrics.tenants.counters_mut(res.tenant).rejected += 1;
         book.resolutions.push((res.task, Some(res.cause)));
+        if book.telemetry.is_enabled() {
+            let trace = book.telemetry.trace_of(res.task.id.0).unwrap_or(0);
+            book.telemetry.record(
+                trace,
+                Stage::Resolve,
+                None,
+                res.task.id.0,
+                "Flushed",
+                SimTime::FAR_FUTURE,
+                None,
+            );
+        }
         book.push_update(DecisionUpdate::Resolved {
             task: res.task.id.0,
             ticket: Some(res.ticket),
@@ -383,7 +543,8 @@ pub(crate) fn flush_all(book: &mut ServiceBook) {
         });
     }
     let flushed = book.defer.flush();
-    apply_departures(book, flushed);
+    // End of stream: there is no meaningful clock left to stamp.
+    apply_departures(book, flushed, SimTime::FAR_FUTURE);
 }
 
 /// Post-recovery re-verification of one controller's waiting queue: re-runs

@@ -88,8 +88,12 @@ pub struct Gateway<A: Admission = AdmissionController> {
 struct EngineAdapter<'a, A: Admission>(&'a mut A);
 
 impl<A: Admission> book::EngineOps for EngineAdapter<'_, A> {
-    fn submit(&mut self, task: &Task, now: SimTime) -> rtdls_core::prelude::Decision {
-        self.0.submit(*task, now)
+    fn submit(
+        &mut self,
+        task: &Task,
+        now: SimTime,
+    ) -> (rtdls_core::prelude::Decision, Option<u32>) {
+        (self.0.submit(*task, now), None)
     }
 
     fn earliest_feasible_start(&self, task: &Task, now: SimTime) -> Option<SimTime> {
@@ -208,17 +212,42 @@ impl<A: Admission> Gateway<A> {
         book::reverify_controller(&mut self.ctl, &mut self.book, &params, algorithm, now)
     }
 
+    /// Attaches a decision-tracing handle: spans from this gateway's
+    /// decision flow land in the handle's shared flight recorder, and
+    /// untraced in-process submissions get a trace id minted here.
+    pub fn attach_telemetry(&mut self, telemetry: &rtdls_telemetry::Telemetry) {
+        self.book.set_telemetry(telemetry.clone());
+    }
+
+    /// Folds this gateway's native stats — service counters, tenant books,
+    /// the engine's planning profile, and queue depth — into the unified
+    /// registry. The edge's ops channel polls this.
+    pub fn fold_metrics(&self, reg: &mut rtdls_telemetry::MetricsRegistry) {
+        crate::telemetry::fold_service_metrics(reg, self.metrics());
+        if let Some(profile) = self.ctl.profile() {
+            crate::telemetry::fold_engine_profile(reg, &profile, None);
+        }
+        reg.gauge("rtdls_gateway_waiting", &[], self.ctl.queue_len() as f64);
+    }
+
     /// Decides one v2 submission envelope at time `now` — the primary
     /// serving surface. See the module docs for the verdict vocabulary.
     pub fn submit_request(&mut self, request: &SubmitRequest, now: SimTime) -> Verdict {
         let start = Instant::now();
         let params = *self.ctl.params();
         let algorithm = self.ctl.algorithm();
+        // In-process callers submit untraced requests; mint the trace id
+        // here (the ingress point) when tracing is on. `mint` returns the
+        // untraced sentinel 0 when the handle is disabled.
+        let mut request = *request;
+        if request.trace == 0 {
+            request.trace = self.book.telemetry().mint();
+        }
         let verdict = book::decide_request(
             &mut self.book,
             &params,
             algorithm,
-            request,
+            &request,
             now,
             &mut EngineAdapter(&mut self.ctl),
         );
@@ -271,7 +300,7 @@ impl<A: Admission> Gateway<A> {
             .defer
             .sweep(now, |task| ctl.submit(*task, now).is_accepted());
         self.book.metrics.retests += retests;
-        book::apply_departures(&mut self.book, departed);
+        book::apply_departures(&mut self.book, departed, now);
     }
 
     /// Activates every reservation whose `start_at` has been reached. The

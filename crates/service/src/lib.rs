@@ -87,6 +87,7 @@ pub mod observe;
 pub mod request;
 pub mod reserve;
 pub mod shard;
+pub mod telemetry;
 pub mod tenant;
 
 /// One-stop imports for serving-layer users.
@@ -103,6 +104,7 @@ pub mod prelude {
     pub use crate::request::{QuotaPolicy, Verdict};
     pub use crate::reserve::{ActivationRecord, Reservation, ReservationBook, ReservationState};
     pub use crate::shard::{Routing, ShardedGateway};
+    pub use crate::telemetry::{fold_engine_profile, fold_service_metrics};
     pub use crate::tenant::{TenantLedger, TenantLedgerState};
 
     /// The legacy v1 verdict. Kept so pre-redesign call sites compile;

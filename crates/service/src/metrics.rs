@@ -69,6 +69,22 @@ impl LatencyHistogram {
         self.max_ns
     }
 
+    /// The occupied buckets as `(upper_bound_ns, count)` pairs, bounds
+    /// ascending — the exposition shape the telemetry registry ingests.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (1u64 << (i + 1).min(63), n))
+            .collect()
+    }
+
+    /// Sum of all recorded samples in nanoseconds (saturating).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.min(u64::MAX as u128) as u64
+    }
+
     /// Upper bucket bound (ns) below which `q` of the samples fall
     /// (`q ∈ [0, 1]`; 0 when empty).
     pub fn quantile_ns(&self, q: f64) -> u64 {

@@ -174,7 +174,7 @@ struct RoutedAdapter<'a, A: Admission> {
 }
 
 impl<A: Admission> book::EngineOps for RoutedAdapter<'_, A> {
-    fn submit(&mut self, task: &Task, now: SimTime) -> Decision {
+    fn submit(&mut self, task: &Task, now: SimTime) -> (Decision, Option<u32>) {
         match try_admit(
             self.shards,
             self.routing,
@@ -184,8 +184,8 @@ impl<A: Admission> book::EngineOps for RoutedAdapter<'_, A> {
             None,
             self.skip,
         ) {
-            Ok(_) => Decision::Accepted,
-            Err(cause) => Decision::Rejected(cause),
+            Ok(shard) => (Decision::Accepted, Some(shard as u32)),
+            Err(cause) => (Decision::Rejected(cause), None),
         }
     }
 
@@ -495,6 +495,36 @@ impl<A: Admission> ShardedGateway<A> {
         ClusterParams::new(widest, self.params.cms, self.params.cps).expect("valid by construction")
     }
 
+    /// Attaches a decision-tracing handle: spans from the shared decision
+    /// flow land in the handle's flight recorder, `Route` spans carry the
+    /// chosen shard index, and untraced in-process submissions get a trace
+    /// id minted here.
+    pub fn attach_telemetry(&mut self, telemetry: &rtdls_telemetry::Telemetry) {
+        self.book.set_telemetry(telemetry.clone());
+    }
+
+    /// Folds this gateway's native stats — service counters, tenant books,
+    /// per-shard planning profiles and queue depths — into the unified
+    /// registry. The edge's ops channel polls this.
+    pub fn fold_metrics(&self, reg: &mut rtdls_telemetry::MetricsRegistry) {
+        crate::telemetry::fold_service_metrics(reg, self.metrics());
+        let mut waiting = 0usize;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let depth = shard.ctl.queue_len();
+            waiting += depth;
+            let label = i.to_string();
+            reg.gauge(
+                "rtdls_shard_queue_depth",
+                &[("shard", &label)],
+                depth as f64,
+            );
+            if let Some(profile) = shard.ctl.profile() {
+                crate::telemetry::fold_engine_profile(reg, &profile, Some(i as u32));
+            }
+        }
+        reg.gauge("rtdls_gateway_waiting", &[], waiting as f64);
+    }
+
     /// Decides one v2 submission envelope at time `now` — the primary
     /// serving surface. The admission test routes across shards
     /// ([`Routing`]); the reservation search takes the earliest feasible
@@ -505,6 +535,13 @@ impl<A: Admission> ShardedGateway<A> {
         let widest_params = self.widest_params();
         let algorithm = self.algorithm;
         let skip = self.shard_throttle_mask(request.tenant, request.qos);
+        // Mint a trace id for untraced in-process submissions (see
+        // `Gateway::submit_request`).
+        let mut request = *request;
+        if request.trace == 0 {
+            request.trace = self.book.telemetry().mint();
+        }
+        let request = &request;
         let verdict = book::decide_request(
             &mut self.book,
             &widest_params,
@@ -663,7 +700,7 @@ impl<A: Admission> ShardedGateway<A> {
             try_admit(shards, routing, cursor, task, now, None, NO_SKIP).is_ok()
         });
         self.book.metrics.retests += retests;
-        book::apply_departures(&mut self.book, departed);
+        book::apply_departures(&mut self.book, departed, now);
     }
 
     /// Activates every reservation whose `start_at` has been reached,

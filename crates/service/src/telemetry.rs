@@ -1,0 +1,161 @@
+//! Fold adapters: the service layer's native stats into the unified
+//! telemetry [`MetricsRegistry`].
+//!
+//! The registry is a snapshot container (see `rtdls-telemetry`); the
+//! gateway keeps counting in [`ServiceMetrics`] / [`TenantMetrics`] exactly
+//! as before, and an ops poll folds the current values in here. Metric
+//! names are stable API surface — the README's observability section
+//! catalogs them.
+
+use rtdls_core::prelude::EngineProfile;
+use rtdls_telemetry::MetricsRegistry;
+
+use crate::metrics::ServiceMetrics;
+
+/// Folds the gateway's cumulative counters, per-tenant books, and decision
+/// latency histogram into `reg`.
+pub fn fold_service_metrics(reg: &mut MetricsRegistry, metrics: &ServiceMetrics) {
+    // Verdict-shaped counters under one name, keyed by the verdict label.
+    let verdicts: [(&str, u64); 6] = [
+        ("accepted", metrics.accepted_immediate),
+        ("rejected", metrics.rejected_immediate),
+        ("deferred", metrics.deferred),
+        ("reserved", metrics.reserved),
+        ("throttled", metrics.throttled),
+        ("rescued", metrics.rescued),
+    ];
+    for (verdict, value) in verdicts {
+        reg.counter("rtdls_gateway_verdicts", &[("verdict", verdict)], value);
+    }
+    reg.counter("rtdls_gateway_submitted", &[], metrics.submitted);
+    reg.counter("rtdls_gateway_defer_evicted", &[], metrics.defer_evicted);
+    reg.counter("rtdls_gateway_defer_expired", &[], metrics.defer_expired);
+    reg.counter("rtdls_gateway_defer_flushed", &[], metrics.defer_flushed);
+    reg.counter("rtdls_gateway_demoted", &[], metrics.demoted);
+    reg.counter(
+        "rtdls_gateway_demote_rejected",
+        &[],
+        metrics.demote_rejected,
+    );
+    reg.counter("rtdls_gateway_retests", &[], metrics.retests);
+    reg.counter("rtdls_gateway_batch_calls", &[], metrics.batch_calls);
+    reg.counter("rtdls_gateway_batch_tasks", &[], metrics.batch_tasks);
+    reg.counter(
+        "rtdls_gateway_reservations_activated",
+        &[],
+        metrics.reservations_activated,
+    );
+    reg.counter(
+        "rtdls_gateway_reservation_misses",
+        &[],
+        metrics.reservation_misses,
+    );
+    reg.counter(
+        "rtdls_gateway_reservations_flushed",
+        &[],
+        metrics.reservations_flushed,
+    );
+    reg.gauge(
+        "rtdls_gateway_decisions_per_sec",
+        &[],
+        metrics.decisions_per_sec(),
+    );
+    reg.histogram(
+        "rtdls_decision_latency_ns",
+        &[],
+        metrics.decision_latency.nonzero_buckets(),
+        metrics.decision_latency.count(),
+        metrics.decision_latency.sum_ns() as f64,
+    );
+    // Per-tenant books: verdict-labeled counters keyed by tenant id.
+    for (tenant, counters) in metrics.tenants.iter() {
+        let id = tenant.0.to_string();
+        let tenant_verdicts: [(&str, u64); 6] = [
+            ("submitted", counters.submitted),
+            ("accepted", counters.accepted),
+            ("reserved", counters.reserved),
+            ("deferred", counters.deferred),
+            ("rejected", counters.rejected),
+            ("throttled", counters.throttled),
+        ];
+        for (verdict, value) in tenant_verdicts {
+            reg.counter(
+                "rtdls_tenant_requests",
+                &[("tenant", &id), ("verdict", verdict)],
+                value,
+            );
+        }
+        if counters.demoted > 0 {
+            reg.counter("rtdls_tenant_demoted", &[("tenant", &id)], counters.demoted);
+        }
+    }
+}
+
+/// Folds an engine's planning-cost profile into `reg`, labeled with its
+/// shard index when the engine is one shard of a sharded gateway.
+pub fn fold_engine_profile(reg: &mut MetricsRegistry, profile: &EngineProfile, shard: Option<u32>) {
+    let shard_label = shard.map(|s| s.to_string());
+    let labels: Vec<(&str, &str)> = match &shard_label {
+        Some(s) => vec![("shard", s.as_str())],
+        None => Vec::new(),
+    };
+    reg.counter("rtdls_engine_plans_reused", &labels, profile.plans_reused);
+    reg.counter(
+        "rtdls_engine_plans_computed",
+        &labels,
+        profile.plans_computed,
+    );
+    reg.counter("rtdls_engine_plan_nanos", &labels, profile.plan_nanos);
+    reg.gauge(
+        "rtdls_engine_plan_reuse_rate",
+        &labels,
+        profile.reuse_rate(),
+    );
+    reg.gauge(
+        "rtdls_engine_mean_plan_nanos",
+        &labels,
+        profile.mean_plan_nanos(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdls_core::prelude::TenantId;
+    use std::time::Duration;
+
+    #[test]
+    fn service_metrics_fold_covers_counters_tenants_and_latency() {
+        let mut metrics = ServiceMetrics::new();
+        metrics.submitted = 10;
+        metrics.accepted_immediate = 6;
+        metrics.reserved = 2;
+        metrics.throttled = 1;
+        metrics.decision_latency.record(Duration::from_micros(5));
+        metrics.tenants.counters_mut(TenantId(3)).accepted = 4;
+        let mut reg = MetricsRegistry::new();
+        fold_service_metrics(&mut reg, &metrics);
+        let text = reg.to_prometheus();
+        assert!(text.contains("rtdls_gateway_submitted 10"));
+        assert!(text.contains("rtdls_gateway_verdicts{verdict=\"accepted\"} 6"));
+        assert!(text.contains("rtdls_gateway_verdicts{verdict=\"reserved\"} 2"));
+        assert!(text.contains("rtdls_tenant_requests{tenant=\"3\",verdict=\"accepted\"} 4"));
+        assert!(text.contains("rtdls_decision_latency_ns_count 1"));
+    }
+
+    #[test]
+    fn engine_profile_fold_labels_the_shard() {
+        let profile = EngineProfile {
+            plans_reused: 30,
+            plans_computed: 10,
+            plan_nanos: 1000,
+        };
+        let mut reg = MetricsRegistry::new();
+        fold_engine_profile(&mut reg, &profile, Some(2));
+        fold_engine_profile(&mut reg, &profile, None);
+        let text = reg.to_prometheus();
+        assert!(text.contains("rtdls_engine_plans_reused{shard=\"2\"} 30"));
+        assert!(text.contains("rtdls_engine_plan_reuse_rate{shard=\"2\"} 0.75"));
+        assert!(text.contains("rtdls_engine_plans_computed 10"));
+    }
+}

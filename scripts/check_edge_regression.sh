@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# CI guard: compare the freshly emitted edge-throughput baseline
+# (target/edge_throughput_baseline.json, written by
+# `cargo bench -p rtdls-bench --bench edge_throughput`) against the
+# committed reference in crates/bench/baselines/. Fails when the measured
+# telemetry overhead — serving with full decision tracing attached vs. the
+# bare path, same process — exceeds the 5% acceptance ceiling.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ ! -f target/edge_throughput_baseline.json ]; then
+    echo "no fresh baseline found; running the bench first..."
+    cargo bench -p rtdls-bench --bench edge_throughput
+fi
+cargo run -q -p rtdls-bench --bin check_edge_baseline
