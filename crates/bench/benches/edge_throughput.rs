@@ -146,6 +146,40 @@ fn bench_loopback(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_explain_slo(c: &mut Criterion) {
+    // What admission explainability costs: the counterfactual search
+    // (doubling + bisection over the schedulability test) on a busy book —
+    // the worst case, since an admissible probe explains in one test.
+    let params = ClusterParams::new(64, 1.0, 100.0).unwrap();
+    let mut ctl = AdmissionController::new(params, AlgorithmKind::EDF_DLT, PlanConfig::default());
+    for node in 0..64 {
+        ctl.set_node_release(node, SimTime::new(500.0 + node as f64));
+    }
+    let hopeless = SubmitRequest::new(Task::new(1, 0.0, 50_000.0, 1.0));
+    let mut group = c.benchmark_group("edge_explain_slo");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("explain_probe", |b| {
+        b.iter(|| black_box(ctl.explain(black_box(&hopeless), SimTime::ZERO)))
+    });
+
+    // What SLO burn-rate tracking costs at the wire: the same loopback
+    // serve with a per-tenant/per-QoS tracker folding every decision vs.
+    // the bare path. check_edge_baseline gates the ratio at 5%.
+    let batch = requests(256);
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("slo_off", |b| {
+        b.iter(|| black_box(serve_once(gateway(), &batch)))
+    });
+    group.bench_function("slo_on", |b| {
+        b.iter(|| {
+            let mut g = gateway();
+            g.set_slo(SloTracker::new(SloPolicy::default()));
+            black_box(serve_once(g, &batch))
+        })
+    });
+    group.finish();
+}
+
 fn median_secs(mut f: impl FnMut()) -> f64 {
     let mut samples: Vec<f64> = (0..5)
         .map(|_| {
@@ -167,6 +201,14 @@ struct Baseline {
     /// Relative cost of serving with telemetry attached vs. without, both
     /// measured in this process (`1 - on/off`; negative = in the noise).
     telemetry_overhead: f64,
+    /// Counterfactual searches per second on a busy 64-node book (the
+    /// worst case an `Ops::Explain` probe or rejected-verdict annotation
+    /// pays).
+    explain_probes_per_sec: f64,
+    loopback_requests_per_sec_slo: f64,
+    /// Relative cost of serving with the SLO tracker folding every
+    /// decision vs. the bare path (`1 - on/off`; negative = in the noise).
+    slo_overhead: f64,
 }
 
 /// Emits the JSON baseline. Skipped under `-- --test` (the smoke stays a
@@ -203,12 +245,32 @@ fn emit_baseline(_c: &mut Criterion) {
         let telemetry = rtdls_telemetry::Telemetry::with_defaults();
         black_box(serve_once_with(gateway(), &batch, Some(&telemetry)));
     });
+    let with_slo = median_secs(|| {
+        let mut g = gateway();
+        g.set_slo(SloTracker::new(SloPolicy::default()));
+        black_box(serve_once(g, &batch));
+    });
+    let params = ClusterParams::new(64, 1.0, 100.0).unwrap();
+    let mut ctl = AdmissionController::new(params, AlgorithmKind::EDF_DLT, PlanConfig::default());
+    for node in 0..64 {
+        ctl.set_node_release(node, SimTime::new(500.0 + node as f64));
+    }
+    let hopeless = SubmitRequest::new(Task::new(1, 0.0, 50_000.0, 1.0));
+    let n_explain = 2_000;
+    let explain = median_secs(|| {
+        for _ in 0..n_explain {
+            black_box(ctl.explain(black_box(&hopeless), SimTime::ZERO));
+        }
+    });
     let baseline = Baseline {
         codec_roundtrips_per_sec: n_codec as f64 / codec,
         loopback_requests_per_sec: batch.len() as f64 / plain,
         loopback_requests_per_sec_journaled: batch.len() as f64 / journaled,
         loopback_requests_per_sec_telemetry: batch.len() as f64 / with_telemetry,
         telemetry_overhead: 1.0 - plain / with_telemetry,
+        explain_probes_per_sec: n_explain as f64 / explain,
+        loopback_requests_per_sec_slo: batch.len() as f64 / with_slo,
+        slo_overhead: 1.0 - plain / with_slo,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("serializable");
     let target = std::env::var_os("CARGO_TARGET_DIR")
@@ -266,5 +328,6 @@ fn main() {
         .measurement_time(Duration::from_millis(1500));
     bench_codec(&mut c);
     bench_loopback(&mut c);
+    bench_explain_slo(&mut c);
     emit_baseline(&mut c);
 }

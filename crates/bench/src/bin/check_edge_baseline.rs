@@ -24,6 +24,9 @@ struct Measured {
     loopback_requests_per_sec_journaled: f64,
     loopback_requests_per_sec_telemetry: f64,
     telemetry_overhead: f64,
+    explain_probes_per_sec: f64,
+    loopback_requests_per_sec_slo: f64,
+    slo_overhead: f64,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -33,8 +36,17 @@ struct Committed {
     loopback_requests_per_sec_journaled: f64,
     loopback_requests_per_sec_telemetry: f64,
     telemetry_overhead: f64,
+    explain_probes_per_sec: f64,
+    loopback_requests_per_sec_slo: f64,
+    slo_overhead: f64,
     /// Hard ceiling on the measured overhead (acceptance criterion).
     max_telemetry_overhead: f64,
+    /// Same bar for SLO decision-folding at the wire.
+    max_slo_overhead: f64,
+    /// Floor on worst-case counterfactual searches per second — the
+    /// explain path must stay interactive (an `Ops::Explain` probe is a
+    /// synchronous wire round-trip).
+    min_explain_probes_per_sec: f64,
 }
 
 fn read<T: Deserialize>(path: &std::path::Path) -> T {
@@ -62,13 +74,43 @@ fn main() {
         measured.telemetry_overhead * 100.0,
     );
 
+    println!(
+        "committed: {:.0} rps slo ({:+.1}% overhead), {:.0} explains/s\n\
+         measured:  {:.0} rps slo ({:+.1}% overhead), {:.0} explains/s",
+        committed.loopback_requests_per_sec_slo,
+        committed.slo_overhead * 100.0,
+        committed.explain_probes_per_sec,
+        measured.loopback_requests_per_sec_slo,
+        measured.slo_overhead * 100.0,
+        measured.explain_probes_per_sec,
+    );
+
+    let mut failed = false;
     if measured.telemetry_overhead > committed.max_telemetry_overhead {
         eprintln!(
             "FAIL: telemetry overhead {:.1}% above the {:.0}% ceiling",
             measured.telemetry_overhead * 100.0,
             committed.max_telemetry_overhead * 100.0,
         );
+        failed = true;
+    }
+    if measured.slo_overhead > committed.max_slo_overhead {
+        eprintln!(
+            "FAIL: SLO tracking overhead {:.1}% above the {:.0}% ceiling",
+            measured.slo_overhead * 100.0,
+            committed.max_slo_overhead * 100.0,
+        );
+        failed = true;
+    }
+    if measured.explain_probes_per_sec < committed.min_explain_probes_per_sec {
+        eprintln!(
+            "FAIL: {:.0} explain probes/s under the {:.0}/s floor",
+            measured.explain_probes_per_sec, committed.min_explain_probes_per_sec,
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
-    println!("edge telemetry overhead OK");
+    println!("edge telemetry, SLO, and explain overheads OK");
 }

@@ -68,14 +68,15 @@ pub mod time;
 /// One-stop imports for typical users of the crate.
 pub mod prelude {
     pub use crate::admission::{
-        schedulability_test, Admission, AdmissionController, AdmissionFailure, ControllerState,
-        Decision, EngineProfile, IncrementalController, IncrementalStats,
+        explain_infeasibility, schedulability_test, Admission, AdmissionController,
+        AdmissionExplanation, AdmissionFailure, ControllerState, Decision, EngineProfile,
+        IncrementalController, IncrementalStats,
     };
     pub use crate::algorithm::AlgorithmKind;
     pub use crate::dlt::heterogeneous::HeterogeneousModel;
     pub use crate::dlt::homogeneous;
     pub use crate::error::{Infeasible, ModelError};
-    pub use crate::nmin::{min_feasible_nodes, n_tilde_min};
+    pub use crate::nmin::{min_feasible_nodes, min_feasible_slack, n_tilde_min};
     pub use crate::params::{ClusterParams, NodeId};
     pub use crate::policy::Policy;
     pub use crate::request::{QosClass, SubmitRequest, TenantId, TenantMix};

@@ -66,6 +66,19 @@ pub fn n_tilde_min(
     Ok(ceil_tolerant(raw).max(1))
 }
 
+/// The analytic infimum of slack (`A + D − r_n`) that *any* node count in
+/// the cluster can meet: `σ·Cms / (1 − β^N)`.
+///
+/// Below this even all `N` nodes started together at `r_n` miss the
+/// deadline (Eq. 14 with `n = N`); at or above it `ñ_min ≤ N`. The explain
+/// engine seeds its counterfactual-deadline search here instead of probing
+/// blindly from the rejected deadline upward.
+pub fn min_feasible_slack(params: &ClusterParams, sigma: f64) -> f64 {
+    debug_assert!(sigma > 0.0);
+    let beta_n = params.beta().powi(params.num_nodes as i32);
+    sigma * params.cms / (1.0 - beta_n)
+}
+
 /// Ceil with a relative tolerance around exact integers (see [`CEIL_TOL`]).
 fn ceil_tolerant(x: f64) -> usize {
     debug_assert!(x.is_finite() && x >= 0.0, "ceil_tolerant input {x}");
@@ -163,6 +176,23 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn min_feasible_slack_is_the_full_cluster_threshold() {
+        let p = baseline();
+        let sigma = 200.0;
+        let floor = min_feasible_slack(&p, sigma);
+        // Just above the floor the whole cluster suffices…
+        let ok = n_tilde_min(&p, sigma, SimTime::ZERO, SimTime::new(floor * 1.0001)).unwrap();
+        assert!(ok <= p.num_nodes, "n={ok} above floor");
+        // …and just below it no node count does (an Err means
+        // transmission-dominated, which is also infeasible).
+        if let Ok(n) = n_tilde_min(&p, sigma, SimTime::ZERO, SimTime::new(floor * 0.9999)) {
+            assert!(n > p.num_nodes, "n={n} below floor");
+        }
+        // The floor always covers the transmission time.
+        assert!(floor > sigma * p.cms);
     }
 
     #[test]

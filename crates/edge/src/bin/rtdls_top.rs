@@ -10,6 +10,7 @@
 //! rtdls-top --once <addr>          # one poll, then exit
 //! rtdls-top --json <addr>          # one poll, JSON-lines samples
 //! rtdls-top --trace <id> <addr>    # one trace's recorded timeline
+//! rtdls-top --slo <addr>           # the deadline-SLO status table
 //! rtdls-top --self-test            # in-process end-to-end smoke (CI)
 //! ```
 //!
@@ -45,6 +46,7 @@ fn main() {
             (Some(id), Some(addr)) => show_trace(addr, id),
             _ => usage(),
         },
+        Some("--slo") => require_addr(&args, 1).map(show_slo).unwrap_or(2),
         Some(addr) if !addr.starts_with('-') => watch(addr.to_string()),
         _ => usage(),
     };
@@ -53,7 +55,7 @@ fn main() {
 
 fn usage() -> i32 {
     eprintln!(
-        "usage: rtdls-top <addr> | --once <addr> | --json <addr> | --trace <id> <addr> | --self-test"
+        "usage: rtdls-top <addr> | --once <addr> | --json <addr> | --trace <id> <addr> | --slo <addr> | --self-test"
     );
     2
 }
@@ -129,6 +131,46 @@ fn show_trace(addr: String, id: u64) -> i32 {
     }
 }
 
+fn show_slo(addr: String) -> i32 {
+    let mut client = match OpsClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rtdls-top: {addr}: {e}");
+            return 1;
+        }
+    };
+    match client.slo(POLL_DEADLINE) {
+        Ok(rows) if rows.is_empty() => {
+            println!("slo: no tracked scopes yet (no decisions observed)");
+            0
+        }
+        Ok(rows) => {
+            println!(
+                "{:<16} {:<11} {:>6} {:>6} {:>11} {:>10} {:>9} {:>8}",
+                "scope", "objective", "good", "bad", "short-burn", "long-burn", "state", "breaches"
+            );
+            for r in &rows {
+                println!(
+                    "{:<16} {:<11} {:>6} {:>6} {:>11.2} {:>10.2} {:>9} {:>8}",
+                    r.scope(),
+                    r.objective.label(),
+                    r.good,
+                    r.bad,
+                    r.short_burn,
+                    r.long_burn,
+                    r.state.label(),
+                    r.breaches
+                );
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("rtdls-top: {addr}: {e}");
+            1
+        }
+    }
+}
+
 fn fetch(addr: &str) -> std::io::Result<(Vec<MetricSample>, Vec<u64>)> {
     let mut client = OpsClient::connect(addr)?;
     let samples = client.stats(POLL_DEADLINE)?;
@@ -155,6 +197,26 @@ fn render(addr: &str, samples: &[MetricSample], traces: &[u64]) {
         println!("  {:<52} {kind} {}", format!("{}{labels}", s.name), s.value);
     }
     println!();
+    // Rejection-cause breakdown: which admission wall the refused work hit.
+    let mut causes: Vec<(&str, f64)> = samples
+        .iter()
+        .filter(|s| s.name == "rtdls_gateway_rejections")
+        .filter_map(|s| {
+            s.labels
+                .iter()
+                .find(|(k, _)| k == "cause")
+                .map(|(_, v)| (v.as_str(), s.value))
+        })
+        .collect();
+    if !causes.is_empty() {
+        causes.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let total: f64 = causes.iter().map(|(_, v)| v).sum();
+        println!("rejections by cause ({total} total):");
+        for (cause, count) in causes {
+            println!("  {cause:<32} {count}");
+        }
+        println!();
+    }
     if traces.is_empty() {
         println!("recent traces: none recorded");
     } else {
@@ -244,14 +306,41 @@ fn self_test() -> i32 {
         "the newest trace has a recorded timeline"
     );
 
+    let rows = ops.slo(POLL_DEADLINE).expect("slo report");
+    assert!(
+        rows.iter()
+            .any(|r| r.objective == SloObjective::Acceptance && r.good > 0),
+        "accepted submissions fed the acceptance SLO: {rows:?}"
+    );
+
+    // A hopeless probe (huge load, immediate deadline) explains itself; the
+    // same load with a generous deadline is admissible and explains nothing.
+    let hopeless = SubmitRequest::new(Task::new(900, 0.0, 30_000.0, 0.001));
+    let explanation = ops
+        .explain(&hopeless, POLL_DEADLINE)
+        .expect("explain report")
+        .expect("a hopeless request has an explanation");
+    assert!(
+        explanation.min_feasible_deadline > 0.001,
+        "counterfactual widens the deadline: {explanation:?}"
+    );
+    let easy = SubmitRequest::new(Task::new(901, 0.0, 200.0, 1.0e6));
+    assert!(
+        ops.explain(&easy, POLL_DEADLINE)
+            .expect("explain report")
+            .is_none(),
+        "an admissible request needs no explanation"
+    );
+
     stop.store(true, Ordering::Relaxed);
     let (_gateway, stats) = handle.join().expect("server thread");
     assert_eq!(stats.submits, 8);
     println!(
-        "self-test ok: {} samples, {} traces, newest timeline {} span(s)",
+        "self-test ok: {} samples, {} traces, newest timeline {} span(s), {} slo row(s), explain ok",
         samples.len(),
         traces.len(),
-        spans.len()
+        spans.len(),
+        rows.len()
     );
     0
 }

@@ -213,8 +213,8 @@ impl ReplayClient {
                             match verdict {
                                 Verdict::Accepted => report.accepted += 1,
                                 Verdict::Reserved { .. } => report.reserved += 1,
-                                Verdict::Deferred(_) => report.deferred += 1,
-                                Verdict::Rejected(_) => report.rejected += 1,
+                                Verdict::Deferred { .. } => report.deferred += 1,
+                                Verdict::Rejected { .. } => report.rejected += 1,
                                 Verdict::Throttled => report.throttled += 1,
                             }
                         }
@@ -353,6 +353,30 @@ impl OpsClient {
     pub fn recent_traces(&mut self, deadline: Duration) -> std::io::Result<Vec<u64>> {
         match self.query(OpsQuery::RecentTraces, deadline)? {
             OpsReport::RecentTraces { traces } => Ok(traces),
+            other => Err(mismatched(other)),
+        }
+    }
+
+    /// The deadline-SLO status table, tenants before QoS aggregates.
+    pub fn slo(
+        &mut self,
+        deadline: Duration,
+    ) -> std::io::Result<Vec<rtdls_service::prelude::SloStatusRow>> {
+        match self.query(OpsQuery::Slo, deadline)? {
+            OpsReport::Slo { rows } => Ok(rows),
+            other => Err(mismatched(other)),
+        }
+    }
+
+    /// A what-if admission probe: why would `request` fail right now?
+    /// `None` = admissible as-is. Nothing is submitted or journaled.
+    pub fn explain(
+        &mut self,
+        request: &rtdls_core::prelude::SubmitRequest,
+        deadline: Duration,
+    ) -> std::io::Result<Option<rtdls_core::prelude::AdmissionExplanation>> {
+        match self.query(OpsQuery::Explain { request: *request }, deadline)? {
+            OpsReport::Explain { explanation, .. } => Ok(explanation),
             other => Err(mismatched(other)),
         }
     }

@@ -24,8 +24,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use rtdls_core::prelude::SubmitRequest;
-use rtdls_service::prelude::{DecisionUpdate, Verdict};
+use rtdls_core::prelude::{AdmissionExplanation, SubmitRequest};
+use rtdls_service::prelude::{DecisionUpdate, SloStatusRow, Verdict};
 use rtdls_telemetry::{MetricSample, Span};
 
 use crate::codec::{encode_frame, Direction};
@@ -77,6 +77,17 @@ pub enum OpsQuery {
     },
     /// The most recently active trace ids, newest last.
     RecentTraces,
+    /// The deadline-SLO status table: one row per (scope, objective) the
+    /// tracker has observed, with burn rates and health state.
+    Slo,
+    /// A what-if admission probe: explain why `request` would (or would
+    /// not) be admitted right now, without submitting it. The probe runs
+    /// the same counterfactual search that annotates rejected verdicts,
+    /// against the live book — nothing is enqueued or journaled.
+    Explain {
+        /// The hypothetical submission envelope.
+        request: SubmitRequest,
+    },
 }
 
 /// The answer to one [`OpsQuery`], carried by [`ServerMsg::OpsReport`].
@@ -100,6 +111,20 @@ pub enum OpsReport {
     RecentTraces {
         /// The trace ids.
         traces: Vec<u64>,
+    },
+    /// The SLO status table (empty until the gateway has observed events).
+    Slo {
+        /// One row per tracked (scope, objective), tenants before QoS
+        /// aggregates.
+        rows: Vec<SloStatusRow>,
+    },
+    /// The answer to an [`OpsQuery::Explain`] probe. `None` means the
+    /// request is admissible as-is at the probe instant.
+    Explain {
+        /// The probed task id, echoed.
+        task: u64,
+        /// The infeasibility explanation, when the request would fail.
+        explanation: Option<AdmissionExplanation>,
     },
 }
 
@@ -203,8 +228,8 @@ mod tests {
                 start_at: SimTime::new(42.5),
                 ticket: 3,
             },
-            Verdict::Deferred(11),
-            Verdict::Rejected(Infeasible::NoTimeForTransmission),
+            Verdict::deferred(11),
+            Verdict::rejected(Infeasible::NoTimeForTransmission),
             Verdict::Throttled,
         ];
         for (i, v) in verdicts.into_iter().enumerate() {
@@ -250,6 +275,12 @@ mod tests {
             OpsQuery::Stats,
             OpsQuery::Trace { id: 99 },
             OpsQuery::RecentTraces,
+            OpsQuery::Slo,
+            OpsQuery::Explain {
+                request: SubmitRequest::new(Task::new(55, 0.0, 80.0, 4.0e6))
+                    .with_tenant(TenantId(2))
+                    .with_qos(QosClass::Standard),
+            },
         ];
         for query in queries {
             let msg = ClientMsg::Ops { query };
@@ -280,6 +311,34 @@ mod tests {
             },
             OpsReport::RecentTraces {
                 traces: vec![97, 98, 99],
+            },
+            OpsReport::Slo {
+                rows: vec![rtdls_service::prelude::SloStatusRow {
+                    tenant: Some(2),
+                    qos: None,
+                    objective: rtdls_service::prelude::SloObjective::Acceptance,
+                    good: 40,
+                    bad: 9,
+                    short_burn: 3.7,
+                    long_burn: 1.2,
+                    state: rtdls_service::prelude::SloHealth::Burning,
+                    breaches: 0,
+                }],
+            },
+            OpsReport::Explain {
+                task: 55,
+                explanation: Some(rtdls_core::prelude::AdmissionExplanation {
+                    cause: Infeasible::CompletionAfterDeadline,
+                    at: SimTime::new(4.0),
+                    slack_deficit: 17.5,
+                    min_feasible_deadline: 97.5,
+                    max_feasible_sigma: 2.2e6,
+                    earliest_feasible_start: -1.0,
+                }),
+            },
+            OpsReport::Explain {
+                task: 56,
+                explanation: None,
             },
         ];
         for report in reports {

@@ -98,6 +98,30 @@ pub trait EdgeGateway {
     /// Folds the gateway's native stats into the unified metrics registry
     /// (the ops channel's `Stats` surface). The default folds nothing.
     fn fold_metrics(&self, _reg: &mut MetricsRegistry) {}
+
+    /// Turns rejection/defer explanation annotation on (the edge calls
+    /// this once at bind, alongside [`enable_observation`]). The default
+    /// ignores it (explanation-unaware gateways keep compiling).
+    ///
+    /// [`enable_observation`]: EdgeGateway::enable_observation
+    fn enable_explanations(&mut self) {}
+
+    /// The deadline-SLO status table (the ops channel's `Slo` surface).
+    /// The default serves an empty table.
+    fn slo_rows(&self) -> Vec<rtdls_service::prelude::SloStatusRow> {
+        Vec::new()
+    }
+
+    /// Explains why `request` would fail admission at `now` without
+    /// submitting it (the ops channel's `Explain` surface); `None` =
+    /// admissible as-is, or explanations unsupported (the default).
+    fn explain(
+        &self,
+        _request: &SubmitRequest,
+        _now: SimTime,
+    ) -> Option<rtdls_core::prelude::AdmissionExplanation> {
+        None
+    }
 }
 
 /// The shared [`EdgeGateway::next_due`] body: earliest of the next
@@ -149,6 +173,22 @@ impl<A: Admission> EdgeGateway for ShardedGateway<A> {
     fn fold_metrics(&self, reg: &mut MetricsRegistry) {
         ShardedGateway::fold_metrics(self, reg);
     }
+
+    fn enable_explanations(&mut self) {
+        ShardedGateway::enable_explanations(self, true);
+    }
+
+    fn slo_rows(&self) -> Vec<rtdls_service::prelude::SloStatusRow> {
+        self.slo().rows()
+    }
+
+    fn explain(
+        &self,
+        request: &SubmitRequest,
+        now: SimTime,
+    ) -> Option<rtdls_core::prelude::AdmissionExplanation> {
+        ShardedGateway::explain(self, request, now)
+    }
 }
 
 impl<A: Admission> EdgeGateway for Gateway<A> {
@@ -181,6 +221,22 @@ impl<A: Admission> EdgeGateway for Gateway<A> {
 
     fn fold_metrics(&self, reg: &mut MetricsRegistry) {
         Gateway::fold_metrics(self, reg);
+    }
+
+    fn enable_explanations(&mut self) {
+        Gateway::enable_explanations(self, true);
+    }
+
+    fn slo_rows(&self) -> Vec<rtdls_service::prelude::SloStatusRow> {
+        self.slo().rows()
+    }
+
+    fn explain(
+        &self,
+        request: &SubmitRequest,
+        now: SimTime,
+    ) -> Option<rtdls_core::prelude::AdmissionExplanation> {
+        Gateway::explain(self, request, now)
     }
 }
 
@@ -218,6 +274,22 @@ impl<G: Recoverable> EdgeGateway for JournaledGateway<G> {
 
     fn fold_metrics(&self, reg: &mut MetricsRegistry) {
         JournaledGateway::fold_metrics(self, reg);
+    }
+
+    fn enable_explanations(&mut self) {
+        JournaledGateway::enable_explanations(self, true);
+    }
+
+    fn slo_rows(&self) -> Vec<rtdls_service::prelude::SloStatusRow> {
+        JournaledGateway::slo_rows(self)
+    }
+
+    fn explain(
+        &self,
+        request: &SubmitRequest,
+        now: SimTime,
+    ) -> Option<rtdls_core::prelude::AdmissionExplanation> {
+        JournaledGateway::explain_request(self, request, now)
     }
 }
 
@@ -384,6 +456,7 @@ impl<G: EdgeGateway> EdgeServer<G> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         gateway.enable_observation();
+        gateway.enable_explanations();
         Ok(EdgeServer {
             listener,
             cfg,
@@ -652,7 +725,7 @@ impl<G: EdgeGateway> EdgeServer<G> {
                     );
                     let verdict = self.gateway.decide(&request, now);
                     self.dirty = true;
-                    if matches!(verdict, Verdict::Reserved { .. } | Verdict::Deferred(_)) {
+                    if matches!(verdict, Verdict::Reserved { .. } | Verdict::Deferred { .. }) {
                         self.pending
                             .insert(request.task.id.0, (self.conns[i].id, seq));
                     }
@@ -666,7 +739,7 @@ impl<G: EdgeGateway> EdgeServer<G> {
                 self.conns[i].enqueue(&reply);
             }
             ClientMsg::Ops { query } => {
-                let report = self.ops_report(query);
+                let report = self.ops_report(query, now);
                 self.conns[i].enqueue(&ServerMsg::OpsReport { report });
             }
             ClientMsg::Bye => {
@@ -678,7 +751,7 @@ impl<G: EdgeGateway> EdgeServer<G> {
     /// Builds the answer to one ops query from the live books: `Stats`
     /// folds every layer's native counters into a fresh registry and
     /// flattens it; the trace queries read the flight recorder.
-    fn ops_report(&self, query: OpsQuery) -> OpsReport {
+    fn ops_report(&self, query: OpsQuery, now: SimTime) -> OpsReport {
         match query {
             OpsQuery::Stats => {
                 let mut reg = MetricsRegistry::new();
@@ -694,6 +767,13 @@ impl<G: EdgeGateway> EdgeServer<G> {
             },
             OpsQuery::RecentTraces => OpsReport::RecentTraces {
                 traces: self.telemetry.recent_traces(32),
+            },
+            OpsQuery::Slo => OpsReport::Slo {
+                rows: self.gateway.slo_rows(),
+            },
+            OpsQuery::Explain { request } => OpsReport::Explain {
+                task: request.task.id.0,
+                explanation: self.gateway.explain(&request, now),
             },
         }
     }

@@ -302,7 +302,7 @@ fn defer_expiry_is_pushed_on_an_otherwise_idle_server() {
     let msg = client.recv(&mut server, t0);
     let ServerMsg::Verdict {
         task: 2,
-        verdict: Verdict::Deferred(ticket),
+        verdict: Verdict::Deferred { ticket, .. },
         ..
     } = msg
     else {
@@ -638,7 +638,7 @@ fn pending_entries_are_evicted_when_their_connection_dies() {
         assert!(matches!(
             client.recv(&mut server, now),
             ServerMsg::Verdict {
-                verdict: Verdict::Deferred(_),
+                verdict: Verdict::Deferred { .. },
                 ..
             }
         ));
@@ -736,5 +736,268 @@ fn killed_journaled_edge_recovers_from_the_wal_and_keeps_serving() {
     let on_disk = FileSink::read(&wal).unwrap();
     let (_, tail) = rtdls_journal::wire::decode_frames(&on_disk);
     assert!(tail.is_clean());
+    let _ = std::fs::remove_file(&wal);
+}
+
+/// The full SLO observability acceptance story over the wire, on a manual
+/// clock: a flash crowd drives a journaled edge's acceptance alarm
+/// *healthy → burning → breached* as watched live through `Ops::Slo`;
+/// every breach auto-dumps a forensic audit record (offender task ids +
+/// flight-recorder timelines) into the WAL; a kill + recovery rebuilds
+/// the SLO tracker (latched breach counts included) from the WAL alone;
+/// and the restarted edge's `Ops::Explain` counterfactual is proven
+/// honest by actually resubmitting at the suggestion.
+#[test]
+fn flash_crowd_breach_is_observable_forensic_and_durable_over_the_wire() {
+    let wal = std::env::temp_dir().join(format!("rtdls-edge-slo-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+
+    // The scenario: calm paper traffic, a 12x crowd, then calm again —
+    // identical shape to the simulator acceptance test, but every arrival
+    // travels the real protocol at its own simulated instant.
+    let mut spec = WorkloadSpec::paper_baseline(0.4);
+    let scale = spec.mean_interarrival();
+    spec.horizon = 400.0 * scale;
+    let crowd = FlashCrowd {
+        at: 150.0 * scale,
+        duration: 80.0 * scale,
+        rate_factor: 12.0,
+    };
+    let tasks: Vec<Task> = crowd.stream(spec, 99).collect();
+    assert!(tasks.len() > 500, "real traffic, got {}", tasks.len());
+
+    let policy = SloPolicy {
+        acceptance_target: 0.93,
+        short_window: 30.0 * scale,
+        long_window: 150.0 * scale,
+        ..SloPolicy::default()
+    };
+    // max_queue 0: overload rejects outright instead of parking tickets,
+    // so the acceptance SLO is fed entirely at decide time.
+    let mut gateway = ShardedGateway::new(
+        ClusterParams::paper_baseline(),
+        2,
+        AlgorithmKind::EDF_DLT,
+        PlanConfig::default(),
+        Routing::LeastLoaded,
+        DeferPolicy {
+            max_queue: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    gateway.set_slo(SloTracker::new(policy));
+    let journal_cfg = JournalConfig {
+        snapshot_every: 100_000, // genesis snapshot only: the whole WAL survives
+        compact_on_snapshot: false,
+    };
+    let sink = FileSink::create(&wal)
+        .unwrap()
+        .with_fsync_policy(FsyncPolicy::Batch(16));
+    let journaled = JournaledGateway::with_sink(gateway, journal_cfg, Box::new(sink));
+
+    let telemetry = rtdls_telemetry::Telemetry::new(rtdls_telemetry::TelemetryConfig::default());
+    let mut server = EdgeServer::bind("127.0.0.1:0", journaled, EdgeConfig::default()).unwrap();
+    server.set_telemetry(&telemetry);
+    let addr = server.local_addr();
+    let mut client = InlineClient::connect(addr);
+    let t0 = SimTime::ZERO;
+    assert!(matches!(
+        client.recv(&mut server, t0),
+        ServerMsg::Hello { .. }
+    ));
+
+    let slo_rows = |client: &mut InlineClient,
+                    server: &mut EdgeServer<JournaledGateway<ShardedGateway>>,
+                    now: SimTime| {
+        client.send(&ClientMsg::Ops {
+            query: rtdls_edge::proto::OpsQuery::Slo,
+        });
+        match client.recv(server, now) {
+            ServerMsg::OpsReport {
+                report: rtdls_edge::proto::OpsReport::Slo { rows },
+            } => rows,
+            other => panic!("expected an SLO report, got {other:?}"),
+        }
+    };
+    // The hottest acceptance state across scopes at one poll (no rows yet
+    // = healthy: nothing has armed).
+    let acceptance_state = |rows: &[SloStatusRow]| {
+        rows.iter()
+            .filter(|r| r.objective == SloObjective::Acceptance)
+            .map(|r| r.state)
+            .max_by_key(|s| s.severity())
+            .unwrap_or(SloHealth::Healthy)
+    };
+
+    let mut observed: Vec<SloHealth> = Vec::new();
+    let mut explained_rejects = 0usize;
+    for (i, task) in tasks.iter().enumerate() {
+        let now = task.arrival;
+        client.send(&ClientMsg::Submit {
+            seq: i as u64,
+            request: SubmitRequest::new(*task).with_tenant(TenantId(1)),
+        });
+        match client.recv(&mut server, now) {
+            ServerMsg::Verdict { verdict, .. } => {
+                if let Verdict::Rejected { explain, .. } = verdict {
+                    if explain.is_some() {
+                        explained_rejects += 1;
+                    }
+                }
+            }
+            other => panic!("expected a verdict, got {other:?}"),
+        }
+        if i % 10 == 0 {
+            observed.push(acceptance_state(&slo_rows(&mut client, &mut server, now)));
+        }
+    }
+    assert!(
+        explained_rejects > 0,
+        "rejected verdicts carry explanations on an explaining edge"
+    );
+
+    // The alarm was watched walking healthy -> burning -> breached.
+    let first_burning = observed.iter().position(|s| *s == SloHealth::Burning);
+    let first_breached = observed.iter().position(|s| *s == SloHealth::Breached);
+    let breached_at = first_breached.expect("the crowd must breach the acceptance SLO");
+    let burning_at = first_burning.expect("a burning phase precedes the breach");
+    assert!(
+        burning_at < breached_at,
+        "burn precedes breach: burning@{burning_at}, breached@{breached_at}"
+    );
+    assert!(
+        observed[..burning_at].contains(&SloHealth::Healthy),
+        "the warmup was observed healthy"
+    );
+
+    // Pre-kill ground truth for the durability half.
+    let end = SimTime::new(spec.horizon);
+    let final_rows = slo_rows(&mut client, &mut server, end);
+    let breaches_of = |rows: &[SloStatusRow]| -> u64 {
+        rows.iter()
+            .filter(|r| r.objective == SloObjective::Acceptance)
+            .map(|r| r.breaches)
+            .sum()
+    };
+    let pre_kill_breaches = breaches_of(&final_rows);
+    assert!(pre_kill_breaches >= 1);
+
+    // Kill: drop the server (and with it the journaled gateway).
+    drop(server);
+    drop(client);
+
+    // The WAL holds the versioned breach audit records with their
+    // forensic evidence: offender ids and flight-recorder timelines.
+    let bytes = FileSink::read(&wal).unwrap();
+    let (frames, tail) = rtdls_journal::wire::decode_frames(&bytes);
+    assert!(tail.is_clean());
+    let mut audited = Vec::new();
+    for frame in frames {
+        if frame.kind != rtdls_journal::wire::RecordKind::Event {
+            continue;
+        }
+        let event: JournalEvent =
+            serde_json::from_str(std::str::from_utf8(&frame.payload).unwrap()).unwrap();
+        if let JournalEvent::SloBreach { breach } = event {
+            audited.push(breach);
+        }
+    }
+    assert!(
+        !audited.is_empty(),
+        "breach transitions are journaled as audit records"
+    );
+    for breach in &audited {
+        assert_eq!(breach.version, SLO_BREACH_VERSION);
+        assert_eq!(breach.row.state, SloHealth::Breached);
+        if breach.transition.tenant.is_some() {
+            assert!(
+                !breach.recent_tasks.is_empty(),
+                "tenant breaches name recent offender tasks"
+            );
+            assert!(
+                !breach.timelines.is_empty(),
+                "a telemetry-attached edge dumps offender timelines"
+            );
+        }
+    }
+
+    // Recovery from the WAL alone: the SLO tracker (latched breach
+    // counts included) is part of the recovered book.
+    let recover_at = SimTime::new(spec.horizon + 1_000.0);
+    let (recovered, _report) = recover_file_with_policy::<ShardedGateway>(
+        &wal,
+        recover_at,
+        journal_cfg,
+        FsyncPolicy::Batch(16),
+    )
+    .unwrap();
+    assert_eq!(
+        breaches_of(&recovered.slo_rows()),
+        pre_kill_breaches,
+        "latched breach counts survive kill + recovery"
+    );
+
+    // Generation 2 serves, and its Ops::Explain counterfactual is honest:
+    // resubmitting at the suggested minimum deadline is accepted, and
+    // 0.1% tighter (exact over the recovered empty queue) still rejects.
+    let mut server = EdgeServer::bind("127.0.0.1:0", recovered, EdgeConfig::default()).unwrap();
+    let mut client = InlineClient::connect(server.local_addr());
+    assert!(matches!(
+        client.recv(&mut server, recover_at),
+        ServerMsg::Hello { .. }
+    ));
+    let hopeless = SubmitRequest::new(Task::new(1_000_000, recover_at, 30_000.0, 0.001));
+    client.send(&ClientMsg::Ops {
+        query: rtdls_edge::proto::OpsQuery::Explain { request: hopeless },
+    });
+    let explanation = match client.recv(&mut server, recover_at) {
+        ServerMsg::OpsReport {
+            report: rtdls_edge::proto::OpsReport::Explain { explanation, .. },
+        } => explanation.expect("a hopeless request explains itself"),
+        other => panic!("expected an explanation, got {other:?}"),
+    };
+    assert!(explanation.has_feasible_deadline());
+    let relaxed = Task::new(
+        1_000_001,
+        recover_at,
+        30_000.0,
+        explanation.min_feasible_deadline,
+    );
+    client.send(&ClientMsg::Submit {
+        seq: 0,
+        request: SubmitRequest::new(relaxed),
+    });
+    assert!(
+        matches!(
+            client.recv(&mut server, recover_at),
+            ServerMsg::Verdict {
+                verdict: Verdict::Accepted,
+                ..
+            }
+        ),
+        "the suggested minimum deadline admits on resubmission"
+    );
+    let tighter = Task::new(
+        1_000_002,
+        recover_at,
+        30_000.0,
+        explanation.min_feasible_deadline * 0.999,
+    );
+    client.send(&ClientMsg::Submit {
+        seq: 1,
+        request: SubmitRequest::new(tighter),
+    });
+    assert!(
+        matches!(
+            client.recv(&mut server, recover_at),
+            ServerMsg::Verdict {
+                verdict: Verdict::Rejected { .. },
+                ..
+            }
+        ),
+        "tighter than the suggested minimum still rejects"
+    );
+
     let _ = std::fs::remove_file(&wal);
 }

@@ -58,8 +58,8 @@ fn arb_verdict() -> impl Strategy<Value = Verdict> {
             start_at: SimTime::new(t),
             ticket,
         },
-        2 => Verdict::Deferred(ticket),
-        3 => Verdict::Rejected(rtdls_core::prelude::Infeasible::NotEnoughNodes),
+        2 => Verdict::deferred(ticket),
+        3 => Verdict::rejected(rtdls_core::prelude::Infeasible::NotEnoughNodes),
         _ => Verdict::Throttled,
     })
 }

@@ -96,6 +96,16 @@ fn describe_event(ev: &JournalEvent) -> String {
         JournalEvent::Throttled { task, tenant } => {
             format!("task {task} THROTTLED (tenant {tenant} over quota)")
         }
+        JournalEvent::SloBreach { breach } => format!(
+            "SLO BREACH {} {} at {} (short burn {:.2}, long burn {:.2}, {} recent task(s), {} timeline line(s))",
+            breach.row.scope(),
+            breach.transition.objective.label(),
+            breach.transition.at,
+            breach.row.short_burn,
+            breach.row.long_burn,
+            breach.recent_tasks.len(),
+            breach.timelines.len(),
+        ),
     };
     format!("{class} {body}")
 }

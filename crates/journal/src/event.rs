@@ -152,6 +152,15 @@ pub enum JournalEvent {
         /// The over-quota tenant.
         tenant: u32,
     },
+    /// Audit: a deadline-SLO scope entered `Breached` — the versioned
+    /// breach record, with the offending tenant's recent tasks and their
+    /// flight-recorder timelines as forensic evidence. Replay regenerates
+    /// the tracker state from the inputs; the *record* is journaled so the
+    /// breach and its evidence survive a crash verbatim.
+    SloBreach {
+        /// The versioned breach record.
+        breach: rtdls_service::prelude::SloBreach,
+    },
 }
 
 impl JournalEvent {
@@ -239,6 +248,32 @@ mod tests {
                 admitted: true,
             },
             JournalEvent::Throttled { task: 9, tenant: 3 },
+            JournalEvent::SloBreach {
+                breach: rtdls_service::prelude::SloBreach {
+                    version: rtdls_service::prelude::SLO_BREACH_VERSION,
+                    transition: rtdls_service::slo::SloTransition {
+                        tenant: Some(3),
+                        qos: None,
+                        objective: rtdls_service::prelude::SloObjective::Acceptance,
+                        from: rtdls_service::prelude::SloHealth::Burning,
+                        to: rtdls_service::prelude::SloHealth::Breached,
+                        at: SimTime::new(77.0),
+                    },
+                    row: rtdls_service::prelude::SloStatusRow {
+                        tenant: Some(3),
+                        qos: None,
+                        objective: rtdls_service::prelude::SloObjective::Acceptance,
+                        good: 10,
+                        bad: 30,
+                        short_burn: 15.0,
+                        long_burn: 6.5,
+                        state: rtdls_service::prelude::SloHealth::Breached,
+                        breaches: 1,
+                    },
+                    recent_tasks: vec![4, 5, 6],
+                    timelines: vec!["plan shard=0 task=4 Rejected".to_string()],
+                },
+            },
             JournalEvent::Accepted {
                 task: 4,
                 plan: sample_plan(),

@@ -152,6 +152,7 @@ impl<G: Recoverable> JournaledGateway<G> {
             .append_event(&JournalEvent::Submitted { task, at: now });
         let decision = self.inner.decide(task, now);
         self.audit_decision(task.id, &decision);
+        self.audit_breaches();
         self.maybe_snapshot();
         decision
     }
@@ -176,6 +177,7 @@ impl<G: Recoverable> JournaledGateway<G> {
         let verdict = self.inner.decide_request(&request, now);
         let audit = self.telemetry.timer();
         self.audit_verdict(&request, &verdict);
+        self.audit_breaches();
         self.maybe_snapshot();
         if self.telemetry.is_enabled() {
             // One logical append stage: the write-ahead command plus the
@@ -214,6 +216,7 @@ impl<G: Recoverable> JournaledGateway<G> {
         for (task, decision) in batch.iter().zip(&decisions) {
             self.audit_decision(task.id, decision);
         }
+        self.audit_breaches();
         self.maybe_snapshot();
         decisions
     }
@@ -254,11 +257,11 @@ impl<G: Recoverable> JournaledGateway<G> {
                 ticket: *ticket,
                 start_at: *start_at,
             },
-            Verdict::Deferred(ticket) => JournalEvent::Deferred {
+            Verdict::Deferred { ticket, .. } => JournalEvent::Deferred {
                 task: task.0,
                 ticket: *ticket,
             },
-            Verdict::Rejected(cause) => JournalEvent::Rejected {
+            Verdict::Rejected { cause, .. } => JournalEvent::Rejected {
                 task: task.0,
                 cause: *cause,
             },
@@ -283,6 +286,41 @@ impl<G: Recoverable> JournaledGateway<G> {
                     admitted: rec.admitted,
                 });
         }
+    }
+
+    /// Appends any SLO-breach records the last decision or sweep cut —
+    /// the durable half of breach-triggered forensics (the in-memory half
+    /// is the flight-recorder dump the service layer fires).
+    pub(crate) fn audit_breaches(&mut self) {
+        for breach in self.inner.take_breach_log() {
+            self.journal
+                .append_event(&JournalEvent::SloBreach { breach });
+        }
+    }
+
+    /// The wrapped gateway's deadline-SLO status table (the `Ops::Slo`
+    /// surface).
+    pub fn slo_rows(&self) -> Vec<rtdls_service::prelude::SloStatusRow> {
+        self.inner.slo_rows()
+    }
+
+    /// Enables or disables admission explanations on the wrapped gateway.
+    /// Process-local like decision observation — deliberately not
+    /// journaled, so a replayed WAL decides identically whether or not the
+    /// live run explained its refusals.
+    pub fn enable_explanations(&mut self, on: bool) {
+        self.inner.enable_explanations(on);
+    }
+
+    /// The wrapped gateway's non-mutating refusal explanation for
+    /// `request` at `now` (the `Ops::Explain` surface). A pure query:
+    /// nothing is journaled.
+    pub fn explain_request(
+        &self,
+        request: &SubmitRequest,
+        now: SimTime,
+    ) -> Option<rtdls_core::prelude::AdmissionExplanation> {
+        self.inner.explain_request(request, now)
     }
 
     fn maybe_snapshot(&mut self) {
@@ -312,8 +350,8 @@ impl<G: Recoverable> Frontend for JournaledGateway<G> {
     fn submit_request(&mut self, request: &SubmitRequest, now: SimTime) -> SubmitOutcome {
         match JournaledGateway::submit_request(self, request, now) {
             Verdict::Accepted => SubmitOutcome::Accepted,
-            Verdict::Reserved { .. } | Verdict::Deferred(_) => SubmitOutcome::Pending,
-            Verdict::Rejected(cause) => SubmitOutcome::Rejected(cause),
+            Verdict::Reserved { .. } | Verdict::Deferred { .. } => SubmitOutcome::Pending,
+            Verdict::Rejected { cause, .. } => SubmitOutcome::Rejected(cause),
             Verdict::Throttled => SubmitOutcome::Rejected(Infeasible::NotEnoughNodes),
         }
     }
@@ -373,6 +411,7 @@ impl<G: Recoverable> Frontend for JournaledGateway<G> {
             self.journal
                 .append_event(&JournalEvent::Retested { at: now });
             self.inner.on_event(now);
+            self.audit_breaches();
             self.maybe_snapshot();
         }
     }
@@ -391,6 +430,7 @@ impl<G: Recoverable> Frontend for JournaledGateway<G> {
                 .append_event(&JournalEvent::ActivationDue { at: now });
             self.inner.activate_reservations(now);
             self.audit_activations();
+            self.audit_breaches();
             self.maybe_snapshot();
         }
     }

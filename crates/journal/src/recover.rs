@@ -91,7 +91,8 @@ pub fn apply_event<G: Recoverable>(gateway: &mut G, event: &JournalEvent) {
         | JournalEvent::Demoted { .. }
         | JournalEvent::Reserved { .. }
         | JournalEvent::ReservationActivated { .. }
-        | JournalEvent::Throttled { .. } => {}
+        | JournalEvent::Throttled { .. }
+        | JournalEvent::SloBreach { .. } => {}
     }
 }
 
@@ -122,6 +123,10 @@ pub fn replay<G: Recoverable>(bytes: &[u8]) -> Result<(G, RecoveryReport), Journ
             audit_records += 1;
         }
     }
+    // Replay regenerates (and discards) the pre-crash breach records — the
+    // original WAL already holds them; re-auditing them into the recovery
+    // journal would double-book the same breaches.
+    let _ = gateway.take_breach_log();
     Ok((
         gateway,
         RecoveryReport {
@@ -164,6 +169,10 @@ pub fn recover<G: Recoverable>(
                 at: now,
             });
     }
+    // Demotions are attainment-SLO events: if the re-admission pass tipped
+    // a scope into breach, that breach is new (post-crash) and belongs in
+    // the fresh journal.
+    journaled.audit_breaches();
     Ok((journaled, report))
 }
 

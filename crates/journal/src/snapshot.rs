@@ -20,8 +20,8 @@ use rtdls_service::book::ServiceBook;
 use rtdls_service::gateway::{Gateway, GatewayDecision};
 use rtdls_service::prelude::{
     ActivationRecord, DecisionUpdate, DeferState, DeferredQueue, MetricsSnapshot, QuotaPolicy,
-    ReservationBook, ReservationState, Routing, ServiceMetrics, ShardedGateway, TenantLedger,
-    TenantLedgerState, Verdict,
+    ReservationBook, ReservationState, Routing, ServiceMetrics, ShardedGateway, SloBreach,
+    SloStatusRow, SloTracker, TenantLedger, TenantLedgerState, Verdict,
 };
 use rtdls_sim::frontend::Frontend;
 
@@ -107,6 +107,11 @@ pub struct GatewaySnapshot {
     /// Defer/reservation verdicts reached but not yet drained by the
     /// engine.
     pub resolutions: Vec<(Task, Option<Infeasible>)>,
+    /// The deadline-SLO tracker: policy, rolling windows, alarm states,
+    /// and latched breach counts. Sim-time driven and deterministic, so it
+    /// snapshots like any other gateway book; a recovered gateway resumes
+    /// alarming exactly where the crashed one stopped.
+    pub slo: SloTracker,
 }
 
 impl Deserialize for GatewaySnapshot {
@@ -132,6 +137,9 @@ impl Deserialize for GatewaySnapshot {
             },
             metrics: field(v, "metrics")?,
             resolutions: field(v, "resolutions")?,
+            // SLO-engine field: absent in pre-SLO WALs, where a fresh
+            // default-policy tracker is exactly the pre-SLO behavior.
+            slo: field_or_default(v, "slo")?,
         })
     }
 }
@@ -216,6 +224,35 @@ pub trait Recoverable: Frontend + Sized {
     /// tasks to the defer queue. Returns the demoted tasks.
     fn reverify(&mut self, now: SimTime) -> Vec<Task>;
 
+    /// Drains the SLO-breach audit records cut since the last call
+    /// (journaled as audit output, like activations). The default keeps
+    /// SLO-unaware gateways compiling.
+    fn take_breach_log(&mut self) -> Vec<SloBreach> {
+        Vec::new()
+    }
+
+    /// The deadline-SLO status table (the `Ops::Slo` surface). Empty by
+    /// default for SLO-unaware gateways.
+    fn slo_rows(&self) -> Vec<SloStatusRow> {
+        Vec::new()
+    }
+
+    /// Enables or disables admission explanations on refusal verdicts.
+    /// Process-local like observation: never journaled, off on a restored
+    /// gateway until its owner re-enables it.
+    fn enable_explanations(&mut self, _on: bool) {}
+
+    /// The non-mutating explanation for a request the gateway would refuse
+    /// at `now` (the `Ops::Explain` surface; `None` when feasible as-is or
+    /// unsupported).
+    fn explain_request(
+        &self,
+        _request: &SubmitRequest,
+        _now: SimTime,
+    ) -> Option<rtdls_core::prelude::AdmissionExplanation> {
+        None
+    }
+
     /// The gateway's cumulative metrics.
     fn service_metrics(&self) -> &ServiceMetrics;
 
@@ -228,14 +265,16 @@ pub trait Recoverable: Frontend + Sized {
 
 /// Rebuilds the shared serving-layer book from a snapshot's fields.
 fn book_from_snapshot(snap: &GatewaySnapshot) -> ServiceBook {
-    ServiceBook::from_parts(
+    let mut book = ServiceBook::from_parts(
         DeferredQueue::from_state(snap.defer.clone()),
         ReservationBook::from_state(snap.reservations.clone()),
         TenantLedger::from_state(snap.ledger.clone()),
         snap.quota,
         ServiceMetrics::restore(&snap.metrics),
         snap.resolutions.clone(),
-    )
+    );
+    book.slo = snap.slo.clone();
+    book
 }
 
 impl<A: Admission> Recoverable for Gateway<A> {
@@ -253,6 +292,7 @@ impl<A: Admission> Recoverable for Gateway<A> {
             quota: *self.quota(),
             metrics: self.metrics().snapshot(),
             resolutions: self.pending_resolutions().to_vec(),
+            slo: self.slo().clone(),
         }
     }
 
@@ -315,6 +355,26 @@ impl<A: Admission> Recoverable for Gateway<A> {
         Gateway::reverify(self, now)
     }
 
+    fn take_breach_log(&mut self) -> Vec<SloBreach> {
+        Gateway::take_breach_log(self)
+    }
+
+    fn slo_rows(&self) -> Vec<SloStatusRow> {
+        self.slo().rows()
+    }
+
+    fn enable_explanations(&mut self, on: bool) {
+        Gateway::enable_explanations(self, on)
+    }
+
+    fn explain_request(
+        &self,
+        request: &SubmitRequest,
+        now: SimTime,
+    ) -> Option<rtdls_core::prelude::AdmissionExplanation> {
+        Gateway::explain(self, request, now)
+    }
+
     fn service_metrics(&self) -> &ServiceMetrics {
         self.metrics()
     }
@@ -343,6 +403,7 @@ impl<A: Admission> Recoverable for ShardedGateway<A> {
             quota: *self.quota(),
             metrics: self.metrics().snapshot(),
             resolutions: self.pending_resolutions().to_vec(),
+            slo: self.slo().clone(),
         }
     }
 
@@ -408,6 +469,26 @@ impl<A: Admission> Recoverable for ShardedGateway<A> {
 
     fn reverify(&mut self, now: SimTime) -> Vec<Task> {
         ShardedGateway::reverify(self, now)
+    }
+
+    fn take_breach_log(&mut self) -> Vec<SloBreach> {
+        ShardedGateway::take_breach_log(self)
+    }
+
+    fn slo_rows(&self) -> Vec<SloStatusRow> {
+        self.slo().rows()
+    }
+
+    fn enable_explanations(&mut self, on: bool) {
+        ShardedGateway::enable_explanations(self, on)
+    }
+
+    fn explain_request(
+        &self,
+        request: &SubmitRequest,
+        now: SimTime,
+    ) -> Option<rtdls_core::prelude::AdmissionExplanation> {
+        ShardedGateway::explain(self, request, now)
     }
 
     fn service_metrics(&self) -> &ServiceMetrics {

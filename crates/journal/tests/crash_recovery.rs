@@ -280,8 +280,13 @@ fn strip_keys(v: &serde::Value, keys: &[&str]) -> serde::Value {
 }
 
 /// The v2 fields a pre-redesign writer never emitted, anywhere in a
-/// snapshot tree (gateway-level books, metrics, defer tickets).
+/// snapshot tree (gateway-level books, metrics, defer tickets). The
+/// whole-subtree fields (`slo`, `rejection_causes`, from the SLO-engine
+/// redesign) must be stripped at the top so their *interiors* — which
+/// reuse old key names like `tenants`/`qos` — don't get gutted instead.
 const V2_FIELDS: &[&str] = &[
+    "slo",
+    "rejection_causes",
     "reservations",
     "ledger",
     "quota",

@@ -22,7 +22,11 @@ use crate::metrics::ServiceMetrics;
 use crate::observe::DecisionUpdate;
 use crate::request::{QuotaPolicy, Verdict};
 use crate::reserve::{ActivationRecord, ReservationBook};
+use crate::slo::{SloBreach, SloObjective, SloTracker, SLO_BREACH_VERSION};
 use crate::tenant::TenantLedger;
+
+/// Recently decided task ids retained per tenant for breach forensics.
+const RECENT_TASKS_PER_TENANT: usize = 8;
 
 /// The shared serving-layer state both gateways embed: everything a
 /// journal snapshots besides the admission engines themselves.
@@ -55,6 +59,23 @@ pub struct ServiceBook {
     /// default (the zero-telemetry path is one `Option` check), never
     /// captured in snapshots, re-attached by the owner after recovery.
     telemetry: Telemetry,
+    /// Deadline-SLO tracker. Durable: sim-time driven and deterministic, it
+    /// rides inside gateway snapshots so alarm states and breach counts
+    /// survive kill/recover.
+    pub slo: SloTracker,
+    /// Breach audit records cut since the last journal drain. The records
+    /// themselves are made durable by the journal's audit append; the
+    /// *channel* is process-local like `activation_log`.
+    breach_log: Vec<SloBreach>,
+    /// Per-tenant recently decided task ids (forensics context for breach
+    /// records), id-sorted. Process-local.
+    recents: Vec<(u32, Vec<u64>)>,
+    /// Whether refusal verdicts carry an [`AdmissionExplanation`]. Off by
+    /// default — the counterfactual searches cost real planning work — and
+    /// enabled by the network edge. Process-local, like `observe`.
+    ///
+    /// [`AdmissionExplanation`]: rtdls_core::prelude::AdmissionExplanation
+    explain_enabled: bool,
 }
 
 impl ServiceBook {
@@ -71,11 +92,17 @@ impl ServiceBook {
             updates: Vec::new(),
             observe: false,
             telemetry: Telemetry::disabled(),
+            slo: SloTracker::default(),
+            breach_log: Vec::new(),
+            recents: Vec::new(),
+            explain_enabled: false,
         }
     }
 
     /// Reassembles a book from journaled parts (the recovery-side
-    /// counterpart of the field accessors).
+    /// counterpart of the field accessors). The SLO tracker starts fresh
+    /// here; recovery assigns the snapshotted tracker afterwards (the
+    /// field is public precisely so the journal layer can restore it).
     pub fn from_parts(
         defer: DeferredQueue,
         reservations: ReservationBook,
@@ -95,6 +122,10 @@ impl ServiceBook {
             updates: Vec::new(),
             observe: false,
             telemetry: Telemetry::disabled(),
+            slo: SloTracker::default(),
+            breach_log: Vec::new(),
+            recents: Vec::new(),
+            explain_enabled: false,
         }
     }
 
@@ -143,6 +174,107 @@ impl ServiceBook {
         if self.observe {
             self.updates.push(update);
         }
+    }
+
+    /// Enables or disables admission explanations on refusal verdicts.
+    /// Off by default (the counterfactual searches replan repeatedly);
+    /// the network edge turns it on.
+    pub fn enable_explanations(&mut self, on: bool) {
+        self.explain_enabled = on;
+    }
+
+    /// Whether refusal verdicts carry explanations.
+    pub fn explanations_enabled(&self) -> bool {
+        self.explain_enabled
+    }
+
+    /// Drains the SLO-breach audit records cut since the last call (for
+    /// write-ahead journaling; process-local, like `activation_log`).
+    pub fn take_breach_log(&mut self) -> Vec<SloBreach> {
+        std::mem::take(&mut self.breach_log)
+    }
+
+    /// Breach records currently awaiting a journal drain.
+    pub fn pending_breaches(&self) -> &[SloBreach] {
+        &self.breach_log
+    }
+
+    /// A tenant's most recently decided task ids, oldest first.
+    pub fn recent_tasks(&self, tenant: TenantId) -> Vec<u64> {
+        self.recents
+            .iter()
+            .find(|(id, _)| *id == tenant.0)
+            .map(|(_, ring)| ring.clone())
+            .unwrap_or_default()
+    }
+
+    fn note_recent(&mut self, tenant: TenantId, task: u64) {
+        let pos = self.recents.partition_point(|(id, _)| *id < tenant.0);
+        if self.recents.get(pos).is_none_or(|(id, _)| *id != tenant.0) {
+            self.recents.insert(pos, (tenant.0, Vec::new()));
+        }
+        let ring = &mut self.recents[pos].1;
+        ring.push(task);
+        if ring.len() > RECENT_TASKS_PER_TENANT {
+            ring.remove(0);
+        }
+    }
+}
+
+/// Feeds one objective event into the SLO tracker and cuts breach
+/// forensics for every transition into `Breached`: the offending tenant's
+/// recent tasks and their flight-recorder timelines go into a versioned
+/// [`SloBreach`] record (journaled by the owner via
+/// [`ServiceBook::take_breach_log`]), and the flight recorder dumps to
+/// stderr — the black box fires exactly when the promise breaks.
+pub(crate) fn record_slo(
+    book: &mut ServiceBook,
+    tenant: TenantId,
+    qos: QosClass,
+    objective: SloObjective,
+    good: bool,
+    now: SimTime,
+) {
+    if now == SimTime::FAR_FUTURE {
+        // End-of-stream flushes carry no meaningful clock; feeding them
+        // would teleport every window into the far future.
+        return;
+    }
+    for transition in book.slo.record(tenant, qos, objective, good, now) {
+        if !transition.is_breach() {
+            continue;
+        }
+        let row = book
+            .slo
+            .row_for(transition.tenant, transition.qos, transition.objective)
+            .expect("a transition's scope always has a row");
+        let recent_tasks = match transition.tenant {
+            Some(id) => book.recent_tasks(TenantId(id)),
+            None => Vec::new(),
+        };
+        let mut timelines = Vec::new();
+        if book.telemetry.is_enabled() {
+            for &task in &recent_tasks {
+                if let Some(trace) = book.telemetry.trace_of(task) {
+                    for span in book.telemetry.trace_spans(trace) {
+                        timelines.push(span.to_string());
+                    }
+                }
+            }
+            book.telemetry.dump_to_stderr(&format!(
+                "slo breach: {} {} at t={}",
+                row.scope(),
+                transition.objective.label(),
+                now.as_f64(),
+            ));
+        }
+        book.breach_log.push(SloBreach {
+            version: SLO_BREACH_VERSION,
+            transition,
+            row,
+            recent_tasks,
+            timelines,
+        });
     }
 }
 
@@ -195,6 +327,26 @@ pub(crate) fn apply_departures(
             admitted,
             cause: (!admitted).then_some(ticket.cause),
         });
+        // A deferred request's acceptance SLO is judged here, where its
+        // fate becomes known; a rescue is also an attained guarantee.
+        record_slo(
+            book,
+            ticket.tenant,
+            ticket.qos,
+            SloObjective::Acceptance,
+            admitted,
+            now,
+        );
+        if admitted {
+            record_slo(
+                book,
+                ticket.tenant,
+                ticket.qos,
+                SloObjective::Attainment,
+                true,
+                now,
+            );
+        }
         let tenant = book.metrics.tenants.counters_mut(ticket.tenant);
         match outcome {
             DeferOutcome::Rescued => {
@@ -242,13 +394,14 @@ pub(crate) fn defer_or_reject(
             if let Some(id) = book.defer.push(task, tenant, qos, now, latest, cause) {
                 book.metrics.deferred += 1;
                 book.metrics.tenants.counters_mut(tenant).deferred += 1;
-                return Verdict::Deferred(id);
+                return Verdict::deferred(id);
             }
         }
     }
     book.metrics.rejected_immediate += 1;
+    book.metrics.rejection_causes.record(cause);
     book.metrics.tenants.counters_mut(tenant).rejected += 1;
-    Verdict::Rejected(cause)
+    Verdict::rejected(cause)
 }
 
 /// The engine-side operations the shared decision flow needs — one
@@ -270,15 +423,92 @@ pub(crate) trait EngineOps {
     fn all_routes_throttled(&self) -> bool {
         false
     }
+    /// The admission explanation for a request this engine refuses
+    /// (non-mutating; `None` when the request is feasible as-is or the
+    /// adapter does not support explanations).
+    fn explain(
+        &self,
+        request: &SubmitRequest,
+        now: SimTime,
+    ) -> Option<rtdls_core::prelude::AdmissionExplanation> {
+        let _ = (request, now);
+        None
+    }
 }
 
 /// The v2 decision flow, shared by both gateways via their [`EngineOps`]
-/// adapter.
+/// adapter: the core verdict ([`decide_request_inner`]) plus the
+/// observability wrap-up — refusal explanations (when enabled), the
+/// forensics recent-task ring, and the acceptance/attainment SLO feeds.
 ///
+/// SLO bookkeeping: Accepted and Reserved count as acceptance-good at
+/// decision time (Accepted also attains immediately; a reservation's
+/// attainment is judged at activation). Rejected and Throttled count as
+/// acceptance-bad. Deferred counts nothing yet — its fate lands in
+/// [`apply_departures`] when the ticket resolves.
+pub(crate) fn decide_request(
+    book: &mut ServiceBook,
+    widest_params: &ClusterParams,
+    algorithm: AlgorithmKind,
+    request: &SubmitRequest,
+    now: SimTime,
+    engine: &mut impl EngineOps,
+) -> Verdict {
+    let mut verdict = decide_request_inner(book, widest_params, algorithm, request, now, engine);
+    book.note_recent(request.tenant, request.task.id.0);
+    if book.explain_enabled
+        && matches!(verdict, Verdict::Rejected { .. } | Verdict::Deferred { .. })
+    {
+        verdict = verdict.with_explanation(engine.explain(request, now));
+    }
+    match verdict {
+        Verdict::Accepted => {
+            record_slo(
+                book,
+                request.tenant,
+                request.qos,
+                SloObjective::Acceptance,
+                true,
+                now,
+            );
+            record_slo(
+                book,
+                request.tenant,
+                request.qos,
+                SloObjective::Attainment,
+                true,
+                now,
+            );
+        }
+        Verdict::Reserved { .. } => {
+            record_slo(
+                book,
+                request.tenant,
+                request.qos,
+                SloObjective::Acceptance,
+                true,
+                now,
+            );
+        }
+        Verdict::Rejected { .. } | Verdict::Throttled => {
+            record_slo(
+                book,
+                request.tenant,
+                request.qos,
+                SloObjective::Acceptance,
+                false,
+                now,
+            );
+        }
+        Verdict::Deferred { .. } => {}
+    }
+    verdict
+}
+
 /// Order of business: quota gate → admission test → reservation search →
 /// defer-or-reject. The caller books the submission count and latency
 /// afterwards via [`record_request`].
-pub(crate) fn decide_request(
+fn decide_request_inner(
     book: &mut ServiceBook,
     widest_params: &ClusterParams,
     algorithm: AlgorithmKind,
@@ -403,7 +633,7 @@ pub(crate) fn decide_request(
                 now,
                 cause,
             );
-            if let Verdict::Deferred(_) = verdict {
+            if let Verdict::Deferred { .. } = verdict {
                 book.telemetry.record(
                     trace,
                     Stage::DeferPark,
@@ -471,6 +701,16 @@ pub(crate) fn activate_due(
             at: now,
             admitted,
         });
+        // A reservation was an issued guarantee: activation is where it
+        // either holds (attained) or is withdrawn (a miss).
+        record_slo(
+            book,
+            res.tenant,
+            res.qos,
+            SloObjective::Attainment,
+            admitted,
+            now,
+        );
         if admitted {
             book.ledger.insert(res.task.id, res.tenant);
             book.metrics.reservations_activated += 1;
@@ -492,7 +732,7 @@ pub(crate) fn activate_due(
                 now,
                 cause,
             );
-            if let Verdict::Rejected(cause) = verdict {
+            if let Verdict::Rejected { cause, .. } = verdict {
                 // The miss resolved terminally right here; deferred misses
                 // resolve later through the sweep like any other ticket.
                 book.resolutions.push((res.task, Some(cause)));
@@ -581,6 +821,16 @@ pub(crate) fn reverify_controller<A: rtdls_core::prelude::Admission>(
         let tenant = book.ledger.remove(task.id).unwrap_or_default();
         book.metrics.demoted += 1;
         book.metrics.tenants.counters_mut(tenant).demoted += 1;
+        // A demotion withdraws an already-issued guarantee — the
+        // attainment SLO's bad event, whatever the re-entry verdict.
+        record_slo(
+            book,
+            tenant,
+            QosClass::default(),
+            SloObjective::Attainment,
+            false,
+            now,
+        );
         let verdict = defer_or_reject(
             book,
             widest_params,
@@ -591,7 +841,7 @@ pub(crate) fn reverify_controller<A: rtdls_core::prelude::Admission>(
             now,
             failure.reason,
         );
-        if matches!(verdict, Verdict::Rejected(_)) {
+        if matches!(verdict, Verdict::Rejected { .. }) {
             // Defer-or-Reject books rejections under `rejected_immediate`
             // (its submission-path meaning); a demotion past hope is a
             // *withdrawn* guarantee, not a submission verdict — move it to

@@ -99,6 +99,14 @@ impl<A: Admission> book::EngineOps for EngineAdapter<'_, A> {
     fn earliest_feasible_start(&self, task: &Task, now: SimTime) -> Option<SimTime> {
         self.0.earliest_feasible_start(task, now)
     }
+
+    fn explain(
+        &self,
+        request: &SubmitRequest,
+        now: SimTime,
+    ) -> Option<rtdls_core::prelude::AdmissionExplanation> {
+        self.0.explain(request, now)
+    }
 }
 
 impl Gateway<AdmissionController> {
@@ -193,6 +201,43 @@ impl<A: Admission> Gateway<A> {
         self.book.take_updates()
     }
 
+    /// Enables or disables admission explanations on refusal verdicts
+    /// (off by default; the edge turns it on).
+    pub fn enable_explanations(&mut self, on: bool) {
+        self.book.enable_explanations(on);
+    }
+
+    /// The deadline-SLO tracker (durable gateway state).
+    pub fn slo(&self) -> &crate::slo::SloTracker {
+        &self.book.slo
+    }
+
+    /// Replaces the SLO tracker — recovery installs the snapshotted
+    /// tracker here, and owners use it to set a non-default [`SloPolicy`]
+    /// (via `SloTracker::new`).
+    ///
+    /// [`SloPolicy`]: crate::slo::SloPolicy
+    pub fn set_slo(&mut self, slo: crate::slo::SloTracker) {
+        self.book.slo = slo;
+    }
+
+    /// Drains the SLO-breach audit records cut since the last call (for
+    /// write-ahead journaling; process-local, like the activation log).
+    pub fn take_breach_log(&mut self) -> Vec<crate::slo::SloBreach> {
+        self.book.take_breach_log()
+    }
+
+    /// The non-mutating explanation for a request the engine would refuse
+    /// right now (`None` when it is feasible as-is) — the `Ops::Explain`
+    /// query surface, independent of the per-verdict attachment.
+    pub fn explain(
+        &self,
+        request: &SubmitRequest,
+        now: SimTime,
+    ) -> Option<rtdls_core::prelude::AdmissionExplanation> {
+        self.ctl.explain(request, now)
+    }
+
     /// Reassembles a gateway from journaled parts — the recovery-side
     /// counterpart of [`controller`](Gateway::controller) and the
     /// [`ServiceBook`] accessors.
@@ -224,6 +269,7 @@ impl<A: Admission> Gateway<A> {
     /// registry. The edge's ops channel polls this.
     pub fn fold_metrics(&self, reg: &mut rtdls_telemetry::MetricsRegistry) {
         crate::telemetry::fold_service_metrics(reg, self.metrics());
+        crate::telemetry::fold_slo(reg, &self.book.slo);
         if let Some(profile) = self.ctl.profile() {
             crate::telemetry::fold_engine_profile(reg, &profile, None);
         }
@@ -345,8 +391,8 @@ impl<A: Admission> Frontend for Gateway<A> {
     fn submit_request(&mut self, request: &SubmitRequest, now: SimTime) -> SubmitOutcome {
         match Gateway::submit_request(self, request, now) {
             Verdict::Accepted => SubmitOutcome::Accepted,
-            Verdict::Reserved { .. } | Verdict::Deferred(_) => SubmitOutcome::Pending,
-            Verdict::Rejected(cause) => SubmitOutcome::Rejected(cause),
+            Verdict::Reserved { .. } | Verdict::Deferred { .. } => SubmitOutcome::Pending,
+            Verdict::Rejected { cause, .. } => SubmitOutcome::Rejected(cause),
             Verdict::Throttled => SubmitOutcome::Rejected(Infeasible::NotEnoughNodes),
         }
     }

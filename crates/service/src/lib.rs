@@ -87,6 +87,7 @@ pub mod observe;
 pub mod request;
 pub mod reserve;
 pub mod shard;
+pub mod slo;
 pub mod telemetry;
 pub mod tenant;
 
@@ -104,6 +105,10 @@ pub mod prelude {
     pub use crate::request::{QuotaPolicy, Verdict};
     pub use crate::reserve::{ActivationRecord, Reservation, ReservationBook, ReservationState};
     pub use crate::shard::{Routing, ShardedGateway};
+    pub use crate::slo::{
+        SloBreach, SloHealth, SloObjective, SloPolicy, SloStatusRow, SloTracker, SloTransition,
+        SLO_BREACH_VERSION,
+    };
     pub use crate::telemetry::{fold_engine_profile, fold_service_metrics};
     pub use crate::tenant::{TenantLedger, TenantLedgerState};
 

@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use rtdls_core::prelude::TenantId;
+use rtdls_core::prelude::{Infeasible, TenantId};
 
 /// A log₂-bucketed latency histogram over nanoseconds.
 ///
@@ -246,6 +246,76 @@ impl TenantMetrics {
     }
 }
 
+/// Rejection counts broken down by [`Infeasible`] cause — one named field
+/// per variant so the breakdown is durable, diffable, and folds into the
+/// registry as a labeled counter family (`rtdls_gateway_rejections{cause=…}`).
+///
+/// Counts every `Verdict::Rejected` construction (submission-time
+/// rejections, defer/reservation fallbacks, and recovery demotions past
+/// hope), so the per-cause sum can exceed `rejected_immediate` alone.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RejectionCauses {
+    /// `Infeasible::DeadlineBeforeStart` rejections.
+    pub deadline_before_start: u64,
+    /// `Infeasible::NoTimeForTransmission` rejections.
+    pub no_time_for_transmission: u64,
+    /// `Infeasible::NotEnoughNodes` rejections.
+    pub not_enough_nodes: u64,
+    /// `Infeasible::UserRequestInfeasible` rejections.
+    pub user_request_infeasible: u64,
+    /// `Infeasible::CompletionAfterDeadline` rejections.
+    pub completion_after_deadline: u64,
+}
+
+impl RejectionCauses {
+    /// Books one rejection under its cause.
+    pub fn record(&mut self, cause: Infeasible) {
+        *self.slot(cause) += 1;
+    }
+
+    /// The count for one cause.
+    pub fn get(&self, cause: Infeasible) -> u64 {
+        match cause {
+            Infeasible::DeadlineBeforeStart => self.deadline_before_start,
+            Infeasible::NoTimeForTransmission => self.no_time_for_transmission,
+            Infeasible::NotEnoughNodes => self.not_enough_nodes,
+            Infeasible::UserRequestInfeasible => self.user_request_infeasible,
+            Infeasible::CompletionAfterDeadline => self.completion_after_deadline,
+        }
+    }
+
+    /// All rejections across causes.
+    pub fn total(&self) -> u64 {
+        self.deadline_before_start
+            + self.no_time_for_transmission
+            + self.not_enough_nodes
+            + self.user_request_infeasible
+            + self.completion_after_deadline
+    }
+
+    /// `(label, count)` pairs in declaration order — the exposition shape
+    /// (labels match the registry's `cause` label values).
+    pub fn entries(&self) -> [(&'static str, u64); 5] {
+        [
+            ("deadline_before_start", self.deadline_before_start),
+            ("no_time_for_transmission", self.no_time_for_transmission),
+            ("not_enough_nodes", self.not_enough_nodes),
+            ("user_request_infeasible", self.user_request_infeasible),
+            ("completion_after_deadline", self.completion_after_deadline),
+        ]
+    }
+
+    fn slot(&mut self, cause: Infeasible) -> &mut u64 {
+        match cause {
+            Infeasible::DeadlineBeforeStart => &mut self.deadline_before_start,
+            Infeasible::NoTimeForTransmission => &mut self.no_time_for_transmission,
+            Infeasible::NotEnoughNodes => &mut self.not_enough_nodes,
+            Infeasible::UserRequestInfeasible => &mut self.user_request_infeasible,
+            Infeasible::CompletionAfterDeadline => &mut self.completion_after_deadline,
+        }
+    }
+}
+
 /// The durable image of the gateway's cumulative counters and latency
 /// histogram — everything in [`ServiceMetrics`] except the process-local
 /// wall-clock window. Journals persist this inside gateway snapshots, and
@@ -302,6 +372,8 @@ pub struct MetricsSnapshot {
     pub reservations_flushed: u64,
     /// Requests refused over tenant quota, before any admission test.
     pub throttled: u64,
+    /// Rejections broken down by [`Infeasible`] cause.
+    pub rejection_causes: RejectionCauses,
     /// Per-tenant decision counters and latency histograms.
     pub tenants: TenantMetrics,
     /// Wall-clock latency of each admission decision.
@@ -331,6 +403,8 @@ impl Deserialize for MetricsSnapshot {
             reservation_misses: field_or_default(v, "reservation_misses")?,
             reservations_flushed: field_or_default(v, "reservations_flushed")?,
             throttled: field_or_default(v, "throttled")?,
+            // Added with the explain/SLO layer: absent in older snapshots.
+            rejection_causes: field_or_default(v, "rejection_causes")?,
             tenants: field_or_default(v, "tenants")?,
             decision_latency: field(v, "decision_latency")?,
         })

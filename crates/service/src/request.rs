@@ -20,18 +20,25 @@
 
 use serde::{Deserialize, Serialize};
 
-use rtdls_core::prelude::{Infeasible, QosClass, SimTime, SubmitRequest};
+use rtdls_core::prelude::{AdmissionExplanation, Infeasible, QosClass, SimTime, SubmitRequest};
 
 use crate::gateway::GatewayDecision;
 
 /// The gateway's v2 admission verdict.
 ///
-/// Serialization is hand-written (the derive stand-in does not cover tuple
-/// variants): unit variants render as strings, the data-bearing ones as
-/// single-key objects — `"Accepted"`, `{"Reserved":{"start_at":…,
-/// "ticket":…}}`, `{"Deferred":{"ticket":…}}`, `{"Rejected":{"cause":…}}`,
-/// `"Throttled"` — which is the network edge's wire representation, so the
-/// encoding is part of the protocol surface, not an implementation detail.
+/// Serialization is hand-written (the derive stand-in does not cover the
+/// omitted-when-absent field below): unit variants render as strings, the
+/// data-bearing ones as single-key objects — `"Accepted"`,
+/// `{"Reserved":{"start_at":…, "ticket":…}}`, `{"Deferred":{"ticket":…}}`,
+/// `{"Rejected":{"cause":…}}`, `"Throttled"` — which is the network edge's
+/// wire representation, so the encoding is part of the protocol surface,
+/// not an implementation detail.
+///
+/// `Deferred` and `Rejected` optionally carry an [`AdmissionExplanation`]
+/// (the explain engine's structured account + honest counterfactuals) as
+/// an **additive** wire field: the `explain` key is emitted only when
+/// present, so verdicts without one encode byte-identically to the
+/// pre-explain protocol, and decoders treat an absent key as `None`.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Verdict {
     /// Admitted now; the deadline guarantee holds from this instant.
@@ -48,14 +55,58 @@ pub enum Verdict {
     },
     /// Parked in the defer queue under the given ticket id (no promised
     /// start instant; re-tested opportunistically on every event).
-    Deferred(u64),
+    Deferred {
+        /// The defer ticket id.
+        ticket: u64,
+        /// Why the admission test failed, when explanation is enabled.
+        explain: Option<AdmissionExplanation>,
+    },
     /// Rejected for good.
-    Rejected(Infeasible),
+    Rejected {
+        /// The binding infeasibility cause.
+        cause: Infeasible,
+        /// Why, in detail, when explanation is enabled.
+        explain: Option<AdmissionExplanation>,
+    },
     /// Refused before the admission test ran: the tenant is over quota.
     Throttled,
 }
 
 impl Verdict {
+    /// An unexplained deferral (the common construction).
+    pub fn deferred(ticket: u64) -> Self {
+        Verdict::Deferred {
+            ticket,
+            explain: None,
+        }
+    }
+
+    /// An unexplained rejection (the common construction).
+    pub fn rejected(cause: Infeasible) -> Self {
+        Verdict::Rejected {
+            cause,
+            explain: None,
+        }
+    }
+
+    /// Attaches an explanation to a `Deferred`/`Rejected` verdict; other
+    /// verdicts pass through unchanged.
+    pub fn with_explanation(self, explain: Option<AdmissionExplanation>) -> Self {
+        match self {
+            Verdict::Deferred { ticket, .. } => Verdict::Deferred { ticket, explain },
+            Verdict::Rejected { cause, .. } => Verdict::Rejected { cause, explain },
+            other => other,
+        }
+    }
+
+    /// The attached explanation, if any.
+    pub fn explanation(&self) -> Option<AdmissionExplanation> {
+        match self {
+            Verdict::Deferred { explain, .. } | Verdict::Rejected { explain, .. } => *explain,
+            _ => None,
+        }
+    }
+
     /// `true` for [`Verdict::Accepted`].
     pub fn is_accepted(&self) -> bool {
         matches!(self, Verdict::Accepted)
@@ -68,7 +119,7 @@ impl Verdict {
 
     /// `true` for [`Verdict::Deferred`].
     pub fn is_deferred(&self) -> bool {
-        matches!(self, Verdict::Deferred(_))
+        matches!(self, Verdict::Deferred { .. })
     }
 
     /// `true` for [`Verdict::Throttled`].
@@ -89,14 +140,20 @@ impl Serialize for Verdict {
                     ("ticket".to_string(), ticket.to_value()),
                 ]),
             )]),
-            Verdict::Deferred(ticket) => Value::Map(vec![(
-                "Deferred".to_string(),
-                Value::Map(vec![("ticket".to_string(), ticket.to_value())]),
-            )]),
-            Verdict::Rejected(cause) => Value::Map(vec![(
-                "Rejected".to_string(),
-                Value::Map(vec![("cause".to_string(), cause.to_value())]),
-            )]),
+            Verdict::Deferred { ticket, explain } => {
+                let mut body = vec![("ticket".to_string(), ticket.to_value())];
+                if let Some(e) = explain {
+                    body.push(("explain".to_string(), e.to_value()));
+                }
+                Value::Map(vec![("Deferred".to_string(), Value::Map(body))])
+            }
+            Verdict::Rejected { cause, explain } => {
+                let mut body = vec![("cause".to_string(), cause.to_value())];
+                if let Some(e) = explain {
+                    body.push(("explain".to_string(), e.to_value()));
+                }
+                Value::Map(vec![("Rejected".to_string(), Value::Map(body))])
+            }
             Verdict::Throttled => Value::Str("Throttled".to_string()),
         }
     }
@@ -104,7 +161,7 @@ impl Serialize for Verdict {
 
 impl Deserialize for Verdict {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
-        use serde::helpers::field;
+        use serde::helpers::{field, field_or_default};
         use serde::Value;
         match v {
             Value::Str(s) if s == "Accepted" => Ok(Verdict::Accepted),
@@ -116,8 +173,15 @@ impl Deserialize for Verdict {
                         start_at: field(body, "start_at")?,
                         ticket: field(body, "ticket")?,
                     }),
-                    "Deferred" => Ok(Verdict::Deferred(field(body, "ticket")?)),
-                    "Rejected" => Ok(Verdict::Rejected(field(body, "cause")?)),
+                    "Deferred" => Ok(Verdict::Deferred {
+                        ticket: field(body, "ticket")?,
+                        // Additive: absent on pre-explain encodings.
+                        explain: field_or_default(body, "explain")?,
+                    }),
+                    "Rejected" => Ok(Verdict::Rejected {
+                        cause: field(body, "cause")?,
+                        explain: field_or_default(body, "explain")?,
+                    }),
                     other => Err(serde::Error::msg(format!(
                         "unknown Verdict variant `{other}`"
                     ))),
@@ -140,8 +204,8 @@ impl From<Verdict> for GatewayDecision {
         match v {
             Verdict::Accepted => GatewayDecision::Accepted,
             Verdict::Reserved { ticket, .. } => GatewayDecision::Deferred(ticket),
-            Verdict::Deferred(ticket) => GatewayDecision::Deferred(ticket),
-            Verdict::Rejected(cause) => GatewayDecision::Rejected(cause),
+            Verdict::Deferred { ticket, .. } => GatewayDecision::Deferred(ticket),
+            Verdict::Rejected { cause, .. } => GatewayDecision::Rejected(cause),
             Verdict::Throttled => GatewayDecision::Rejected(Infeasible::NotEnoughNodes),
         }
     }
@@ -243,11 +307,11 @@ mod tests {
             GatewayDecision::Deferred(9)
         );
         assert_eq!(
-            GatewayDecision::from(Verdict::Deferred(3)),
+            GatewayDecision::from(Verdict::deferred(3)),
             GatewayDecision::Deferred(3)
         );
         assert_eq!(
-            GatewayDecision::from(Verdict::Rejected(Infeasible::NoTimeForTransmission)),
+            GatewayDecision::from(Verdict::rejected(Infeasible::NoTimeForTransmission)),
             GatewayDecision::Rejected(Infeasible::NoTimeForTransmission)
         );
         assert_eq!(

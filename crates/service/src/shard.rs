@@ -199,6 +199,51 @@ impl<A: Admission> book::EngineOps for RoutedAdapter<'_, A> {
     fn all_routes_throttled(&self) -> bool {
         !self.skip.is_empty() && self.skip.iter().all(|&s| s)
     }
+
+    fn explain(
+        &self,
+        request: &SubmitRequest,
+        now: SimTime,
+    ) -> Option<rtdls_core::prelude::AdmissionExplanation> {
+        best_explanation(self.shards, request, now)
+    }
+}
+
+/// The cluster-level explanation for a request every shard refuses: each
+/// shard explains independently, and the shard offering the *smallest*
+/// feasible counterfactual deadline wins — a resubmission relaxed to that
+/// deadline would be admitted by that shard, so the suggestion stays
+/// honest across the whole fleet. Shards without a feasible deadline lose
+/// to any shard with one; `None` only when no shard refuses (feasible
+/// somewhere as-is).
+fn best_explanation<A: Admission>(
+    shards: &[Shard<A>],
+    request: &SubmitRequest,
+    now: SimTime,
+) -> Option<rtdls_core::prelude::AdmissionExplanation> {
+    let mut best: Option<rtdls_core::prelude::AdmissionExplanation> = None;
+    for shard in shards {
+        let Some(ex) = shard.ctl.explain(request, now) else {
+            // Feasible as-is on this shard: nothing to explain.
+            return None;
+        };
+        best = Some(match best {
+            None => ex,
+            Some(cur) => {
+                let better = match (ex.has_feasible_deadline(), cur.has_feasible_deadline()) {
+                    (true, true) => ex.min_feasible_deadline < cur.min_feasible_deadline,
+                    (true, false) => true,
+                    _ => false,
+                };
+                if better {
+                    ex
+                } else {
+                    cur
+                }
+            }
+        });
+    }
+    best
 }
 
 /// Online admission gateway over `K` independent cluster shards, generic
@@ -343,6 +388,41 @@ impl<A: Admission> ShardedGateway<A> {
     /// call (empty unless observation is enabled).
     pub fn take_decision_updates(&mut self) -> Vec<crate::observe::DecisionUpdate> {
         self.book.take_updates()
+    }
+
+    /// Enables or disables admission explanations on refusal verdicts
+    /// (off by default; the edge turns it on).
+    pub fn enable_explanations(&mut self, on: bool) {
+        self.book.enable_explanations(on);
+    }
+
+    /// The deadline-SLO tracker (durable gateway state).
+    pub fn slo(&self) -> &crate::slo::SloTracker {
+        &self.book.slo
+    }
+
+    /// Replaces the SLO tracker — recovery installs the snapshotted
+    /// tracker here, and owners use it to set a non-default policy.
+    pub fn set_slo(&mut self, slo: crate::slo::SloTracker) {
+        self.book.slo = slo;
+    }
+
+    /// Drains the SLO-breach audit records cut since the last call (for
+    /// write-ahead journaling; process-local, like the activation log).
+    pub fn take_breach_log(&mut self) -> Vec<crate::slo::SloBreach> {
+        self.book.take_breach_log()
+    }
+
+    /// The cluster-level explanation for a request every shard would
+    /// refuse right now (`None` when some shard admits it as-is) — the
+    /// `Ops::Explain` query surface. The best (smallest) feasible
+    /// counterfactual deadline across shards wins.
+    pub fn explain(
+        &self,
+        request: &SubmitRequest,
+        now: SimTime,
+    ) -> Option<rtdls_core::prelude::AdmissionExplanation> {
+        best_explanation(&self.shards, request, now)
     }
 
     /// Waiting-queue lengths per shard (a load-balance diagnostic).
@@ -508,6 +588,7 @@ impl<A: Admission> ShardedGateway<A> {
     /// registry. The edge's ops channel polls this.
     pub fn fold_metrics(&self, reg: &mut rtdls_telemetry::MetricsRegistry) {
         crate::telemetry::fold_service_metrics(reg, self.metrics());
+        crate::telemetry::fold_slo(reg, &self.book.slo);
         let mut waiting = 0usize;
         for (i, shard) in self.shards.iter().enumerate() {
             let depth = shard.ctl.queue_len();
@@ -764,8 +845,8 @@ impl<A: Admission> Frontend for ShardedGateway<A> {
     fn submit_request(&mut self, request: &SubmitRequest, now: SimTime) -> SubmitOutcome {
         match ShardedGateway::submit_request(self, request, now) {
             Verdict::Accepted => SubmitOutcome::Accepted,
-            Verdict::Reserved { .. } | Verdict::Deferred(_) => SubmitOutcome::Pending,
-            Verdict::Rejected(cause) => SubmitOutcome::Rejected(cause),
+            Verdict::Reserved { .. } | Verdict::Deferred { .. } => SubmitOutcome::Pending,
+            Verdict::Rejected { cause, .. } => SubmitOutcome::Rejected(cause),
             Verdict::Throttled => SubmitOutcome::Rejected(Infeasible::NotEnoughNodes),
         }
     }

@@ -11,6 +11,7 @@ use rtdls_core::prelude::EngineProfile;
 use rtdls_telemetry::MetricsRegistry;
 
 use crate::metrics::ServiceMetrics;
+use crate::slo::{qos_label, SloTracker};
 
 /// Folds the gateway's cumulative counters, per-tenant books, and decision
 /// latency histogram into `reg`.
@@ -26,6 +27,11 @@ pub fn fold_service_metrics(reg: &mut MetricsRegistry, metrics: &ServiceMetrics)
     ];
     for (verdict, value) in verdicts {
         reg.counter("rtdls_gateway_verdicts", &[("verdict", verdict)], value);
+    }
+    // Rejection breakdown: every `Verdict::Rejected` construction, keyed
+    // by its Fig. 2 cause (includes post-recovery demote-rejections).
+    for (cause, value) in metrics.rejection_causes.entries() {
+        reg.counter("rtdls_gateway_rejections", &[("cause", cause)], value);
     }
     reg.counter("rtdls_gateway_submitted", &[], metrics.submitted);
     reg.counter("rtdls_gateway_defer_evicted", &[], metrics.defer_evicted);
@@ -88,6 +94,37 @@ pub fn fold_service_metrics(reg: &mut MetricsRegistry, metrics: &ServiceMetrics)
         if counters.demoted > 0 {
             reg.counter("rtdls_tenant_demoted", &[("tenant", &id)], counters.demoted);
         }
+    }
+}
+
+/// Folds the deadline-SLO status table into `reg`: per-scope burn-rate
+/// gauges (`window="short"|"long"`), the numeric alarm state
+/// (0 = healthy, 1 = burning, 2 = breached), and the latched breach
+/// counters. Scope labels: `tenant="<id>"` for tenant rows,
+/// `qos="<class>"` for QoS rows.
+pub fn fold_slo(reg: &mut MetricsRegistry, slo: &SloTracker) {
+    for row in slo.rows() {
+        let tenant_label = row.tenant.map(|t| t.to_string());
+        let mut labels: Vec<(&str, &str)> = Vec::new();
+        if let Some(t) = &tenant_label {
+            labels.push(("tenant", t.as_str()));
+        }
+        if let Some(q) = row.qos {
+            labels.push(("qos", qos_label(q)));
+        }
+        labels.push(("objective", row.objective.label()));
+        let mut with_window = labels.clone();
+        with_window.push(("window", "short"));
+        reg.gauge("rtdls_slo_burn", &with_window, row.short_burn);
+        *with_window.last_mut().expect("pushed above") = ("window", "long");
+        reg.gauge("rtdls_slo_burn", &with_window, row.long_burn);
+        reg.gauge("rtdls_slo_state", &labels, row.state.severity() as f64);
+        reg.counter("rtdls_slo_breaches", &labels, row.breaches);
+        let mut outcome = labels.clone();
+        outcome.push(("outcome", "good"));
+        reg.gauge("rtdls_slo_window_events", &outcome, row.good as f64);
+        *outcome.last_mut().expect("pushed above") = ("outcome", "bad");
+        reg.gauge("rtdls_slo_window_events", &outcome, row.bad as f64);
     }
 }
 

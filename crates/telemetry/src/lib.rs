@@ -24,10 +24,12 @@
 mod recorder;
 mod registry;
 mod span;
+mod window;
 
 pub use recorder::FlightRecorder;
 pub use registry::{HistogramSample, MetricKind, MetricSample, MetricsRegistry};
 pub use span::{Span, Stage};
+pub use window::{RollingWindow, WindowBucket};
 
 use std::collections::HashMap;
 use std::collections::VecDeque;

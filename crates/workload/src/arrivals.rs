@@ -157,6 +157,149 @@ impl Iterator for BurstyPoisson {
     }
 }
 
+/// A deterministic step overload: calm at the spec's base rate, then a
+/// *flash crowd* — the rate multiplied by `rate_factor` over one fixed
+/// window `[at, at + duration)` — then calm again until the horizon.
+///
+/// Where [`BurstyPoisson`] models sustained stochastic burstiness, the
+/// flash crowd is the SLO-alarm stress shape: a single overload step whose
+/// start and end the experimenter controls exactly, so a test can assert
+/// the burn-rate alarm trajectory *healthy → burning → breached →
+/// recovered* against known phase boundaries.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlashCrowd {
+    /// When the crowd arrives.
+    pub at: f64,
+    /// How long it stays.
+    pub duration: f64,
+    /// Rate multiplier while it stays (≥ 1).
+    pub rate_factor: f64,
+}
+
+impl FlashCrowd {
+    /// A crowd that desaturates a healthy cluster: 8× the base rate for
+    /// 60 mean interarrivals, arriving after a 120-interarrival warmup.
+    pub fn severe(spec: &WorkloadSpec) -> Self {
+        let scale = spec.mean_interarrival();
+        FlashCrowd {
+            at: 120.0 * scale,
+            duration: 60.0 * scale,
+            rate_factor: 8.0,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.rate_factor.is_finite() && self.rate_factor >= 1.0,
+            "flash-crowd rate factor must be >= 1, got {}",
+            self.rate_factor
+        );
+        assert!(
+            self.at >= 0.0 && self.duration > 0.0,
+            "flash-crowd window must be non-negative start, positive duration"
+        );
+    }
+
+    /// `true` while the crowd is present at `t`.
+    pub fn active_at(&self, t: f64) -> bool {
+        t >= self.at && t < self.at + self.duration
+    }
+
+    /// The arrival stream for this scenario over `spec`'s horizon.
+    pub fn stream(self, spec: WorkloadSpec, seed: u64) -> FlashCrowdStream {
+        self.validate();
+        spec.validate().expect("invalid workload spec");
+        let base_interarrival = Exponential::new(spec.mean_interarrival());
+        let horizon = spec.horizon;
+        let mut inner_spec = spec;
+        inner_spec.horizon = 1e300;
+        // Separate arrival stream from the shape stream, mirroring
+        // BurstyPoisson: shapes stay identical across crowd profiles.
+        let rng = SmallRng::seed_from_u64(seed ^ 0x666c_6173_6863_u64);
+        FlashCrowdStream {
+            shapes: WorkloadGenerator::new(inner_spec, seed),
+            crowd: self,
+            rng,
+            horizon,
+            base_interarrival,
+            clock: 0.0,
+            exhausted: false,
+        }
+    }
+}
+
+/// Open-loop arrival stream for one [`FlashCrowd`] scenario; implements
+/// [`Iterator`]. Deterministic per `(spec, crowd, seed)`.
+#[derive(Clone, Debug)]
+pub struct FlashCrowdStream {
+    shapes: WorkloadGenerator,
+    crowd: FlashCrowd,
+    rng: SmallRng,
+    horizon: f64,
+    base_interarrival: Exponential,
+    clock: f64,
+    exhausted: bool,
+}
+
+impl FlashCrowdStream {
+    /// The underlying workload spec.
+    pub fn spec(&self) -> &WorkloadSpec {
+        self.shapes.spec()
+    }
+
+    /// The scenario driving the rate.
+    pub fn crowd(&self) -> FlashCrowd {
+        self.crowd
+    }
+
+    fn advance_clock(&mut self) {
+        // Phase boundaries are fixed instants, so the crossing redraw is
+        // the same memoryless trick as BurstyPoisson's — draw at the
+        // current phase's rate, and on crossing a boundary restart the
+        // residual wait at the new rate from the boundary.
+        loop {
+            let rate_factor = if self.crowd.active_at(self.clock) {
+                self.crowd.rate_factor
+            } else {
+                1.0
+            };
+            let boundary = if self.clock < self.crowd.at {
+                self.crowd.at
+            } else if self.crowd.active_at(self.clock) {
+                self.crowd.at + self.crowd.duration
+            } else {
+                f64::INFINITY
+            };
+            let gap = self.base_interarrival.sample(&mut self.rng) / rate_factor;
+            if self.clock + gap <= boundary {
+                self.clock += gap;
+                return;
+            }
+            self.clock = boundary;
+        }
+    }
+}
+
+impl Iterator for FlashCrowdStream {
+    type Item = Task;
+
+    fn next(&mut self) -> Option<Task> {
+        if self.exhausted {
+            return None;
+        }
+        self.advance_clock();
+        if self.clock >= self.horizon {
+            self.exhausted = true;
+            return None;
+        }
+        let shape = self.shapes.next().expect("inner generator is unbounded");
+        Some(
+            Task::new(shape.id.0, self.clock, shape.data_size, shape.rel_deadline)
+                .with_user_nodes(shape.user_nodes),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +382,63 @@ mod tests {
             assert!(t.data_size > 0.0);
             assert!(t.rel_deadline > spec.deadline_floor_value(t.data_size));
         }
+    }
+
+    #[test]
+    fn flash_crowd_is_deterministic_and_ordered() {
+        let spec = short_spec(0.5);
+        let crowd = FlashCrowd::severe(&spec);
+        let a: Vec<Task> = crowd.stream(spec, 13).collect();
+        let b: Vec<Task> = crowd.stream(spec, 13).collect();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for w in a.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_arrivals_in_its_window() {
+        let spec = short_spec(0.5);
+        let scale = spec.mean_interarrival();
+        let crowd = FlashCrowd {
+            at: 200.0 * scale,
+            duration: 100.0 * scale,
+            rate_factor: 8.0,
+        };
+        let tasks: Vec<Task> = crowd.stream(spec, 21).collect();
+        let in_window = tasks
+            .iter()
+            .filter(|t| crowd.active_at(t.arrival.as_f64()))
+            .count();
+        // The window spans 100 mean interarrivals at 8× rate — expect
+        // about 800 arrivals inside vs about 1 per interarrival outside.
+        let window_rate = in_window as f64 / 100.0;
+        let outside_rate = (tasks.len() - in_window) as f64 / (spec.horizon / scale - 100.0);
+        assert!(
+            window_rate > 4.0 * outside_rate,
+            "crowd window rate {window_rate:.2} vs outside {outside_rate:.2}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_rate_recovers_after_the_window() {
+        let spec = short_spec(0.5);
+        let scale = spec.mean_interarrival();
+        let crowd = FlashCrowd {
+            at: 100.0 * scale,
+            duration: 50.0 * scale,
+            rate_factor: 6.0,
+        };
+        let tasks: Vec<Task> = crowd.stream(spec, 33).collect();
+        let after = crowd.at + crowd.duration;
+        let tail = tasks.iter().filter(|t| t.arrival.as_f64() >= after).count() as f64;
+        let tail_span = (spec.horizon - after) / scale;
+        let tail_rate = tail / tail_span;
+        // Post-crowd the stream is plain Poisson at the base rate again.
+        assert!(
+            (0.7..1.4).contains(&tail_rate),
+            "post-crowd rate {tail_rate:.2} per mean interarrival"
+        );
     }
 }

@@ -28,7 +28,7 @@ pub mod tenancy;
 
 /// One-stop imports.
 pub mod prelude {
-    pub use crate::arrivals::{BurstProfile, BurstyPoisson};
+    pub use crate::arrivals::{BurstProfile, BurstyPoisson, FlashCrowd, FlashCrowdStream};
     pub use crate::distributions::{Exponential, Normal, Pareto, UniformRange};
     pub use crate::generator::WorkloadGenerator;
     pub use crate::spec::{

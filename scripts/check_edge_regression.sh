@@ -4,7 +4,9 @@
 # `cargo bench -p rtdls-bench --bench edge_throughput`) against the
 # committed reference in crates/bench/baselines/. Fails when the measured
 # telemetry overhead — serving with full decision tracing attached vs. the
-# bare path, same process — exceeds the 5% acceptance ceiling.
+# bare path, same process — exceeds the 5% acceptance ceiling, when SLO
+# decision-folding at the wire exceeds the same bar, or when the worst-case
+# admission-explain counterfactual search drops below its rate floor.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
