@@ -7,8 +7,14 @@
 //! * `edge_loopback` — requests served per second over real loopback TCP,
 //!   replay client → reactor → sharded gateway and back, bare vs. under a
 //!   write-ahead journal (what durability costs at the wire);
-//! * plus a `-- --test` smoke (the CI hook) that serves a short stream
-//!   and asserts the client/server books reconcile.
+//! * `edge_multi_reactor` — the same offered load (four tenant-pinned
+//!   clients) against an [`EdgeCluster`] of 1, 2, and 4 reactors: what
+//!   sharding the edge buys. The 4-reactor/1-reactor ratio is the
+//!   acceptance gate (`check_edge_baseline`): sharding must never lose to
+//!   the single reactor;
+//! * plus a `-- --test` smoke (the CI hook) that serves a short stream —
+//!   single-reactor and 2-reactor cluster — and asserts the client/server
+//!   books reconcile.
 //!
 //! Besides the criterion output, the bench writes a machine-readable
 //! baseline to `target/edge_throughput_baseline.json` so the edge's perf
@@ -39,7 +45,7 @@ fn gateway() -> ShardedGateway {
     .unwrap()
 }
 
-fn requests(n: usize) -> Vec<SubmitRequest> {
+fn requests_seeded(n: usize, seed: u64) -> Vec<SubmitRequest> {
     let mut spec = WorkloadSpec::paper_baseline(1.5);
     spec.params = ClusterParams::new(64, 1.0, 100.0).unwrap();
     spec.dc_ratio = 20.0;
@@ -50,10 +56,70 @@ fn requests(n: usize) -> Vec<SubmitRequest> {
         best_effort_tenants: 3,
         max_delay_factor: None,
     };
-    WorkloadGenerator::new(spec, 7)
+    WorkloadGenerator::new(spec, seed)
         .take(n)
         .with_tenants(mix)
         .collect()
+}
+
+fn requests(n: usize) -> Vec<SubmitRequest> {
+    requests_seeded(n, 7)
+}
+
+/// Four clients' batches for a cluster of `reactors`: client `j`'s whole
+/// stream carries a tenant homed at reactor `j % reactors`, so the same
+/// offered load spreads across however many reactors exist (and collapses
+/// onto one for the single-reactor reference point).
+fn cluster_batches(reactors: usize, clients: usize, n: usize) -> Vec<Vec<SubmitRequest>> {
+    (0..clients)
+        .map(|j| {
+            let home = j % reactors;
+            let tenant = (0u32..1024)
+                .map(TenantId)
+                .find(|t| reactor_for_tenant(*t, reactors) == home)
+                .expect("some tenant hashes to every reactor");
+            let mut batch = requests_seeded(n, 7 + j as u64);
+            for r in &mut batch {
+                r.tenant = tenant;
+            }
+            batch
+        })
+        .collect()
+}
+
+/// Serves every batch concurrently (one replay client each) against a
+/// fresh `reactors`-wide cluster and returns the total verdict count.
+fn serve_cluster_once(reactors: usize, batches: &[Vec<SubmitRequest>]) -> u64 {
+    let gateways: Vec<_> = (0..reactors).map(|_| gateway()).collect();
+    let cluster = EdgeCluster::bind("127.0.0.1:0", gateways, EdgeConfig::default()).expect("bind");
+    let addr = cluster.local_addr();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let server = s.spawn(|| cluster.run(EdgeClock::real_time(), &stop));
+        let clients: Vec<_> = batches
+            .iter()
+            .map(|batch| {
+                let batch = batch.clone();
+                s.spawn(move || {
+                    ReplayClient::connect(addr)
+                        .expect("connect")
+                        .run(batch, 32, Duration::from_millis(0), Duration::from_secs(30))
+                        .expect("replay")
+                })
+            })
+            .collect();
+        let verdicts = clients
+            .into_iter()
+            .map(|h| {
+                let report = h.join().expect("client thread");
+                assert!(!report.timed_out, "cluster run must complete");
+                report.verdicts()
+            })
+            .sum();
+        stop.store(true, Ordering::Relaxed);
+        let _ = server.join().expect("cluster threads");
+        verdicts
+    })
 }
 
 /// Serves one request batch through a fresh edge server (own thread, own
@@ -146,6 +212,20 @@ fn bench_loopback(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_multi_reactor(c: &mut Criterion) {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 128;
+    let mut group = c.benchmark_group("edge_multi_reactor");
+    group.throughput(Throughput::Elements((CLIENTS * PER_CLIENT) as u64));
+    for reactors in [1usize, 2, 4] {
+        let batches = cluster_batches(reactors, CLIENTS, PER_CLIENT);
+        group.bench_function(format!("reactors_{reactors}"), |b| {
+            b.iter(|| black_box(serve_cluster_once(reactors, &batches)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_explain_slo(c: &mut Criterion) {
     // What admission explainability costs: the counterfactual search
     // (doubling + bisection over the schedulability test) on a busy book —
@@ -209,6 +289,17 @@ struct Baseline {
     /// Relative cost of serving with the SLO tracker folding every
     /// decision vs. the bare path (`1 - on/off`; negative = in the noise).
     slo_overhead: f64,
+    /// Four concurrent clients against a 1-reactor cluster (the sharding
+    /// reference point, same offered load as the multi-reactor rows).
+    loopback_requests_per_sec_multi1: f64,
+    /// The same load against 2 reactors.
+    loopback_requests_per_sec_multi2: f64,
+    /// The same load against 4 reactors.
+    loopback_requests_per_sec_multi4: f64,
+    /// `multi4 / multi1`, both measured in this process — the sharding
+    /// acceptance ratio: the 4-reactor edge must not lose to the single
+    /// reactor under identical offered load.
+    multi_speedup: f64,
 }
 
 /// Emits the JSON baseline. Skipped under `-- --test` (the smoke stays a
@@ -262,6 +353,19 @@ fn emit_baseline(_c: &mut Criterion) {
             black_box(ctl.explain(black_box(&hopeless), SimTime::ZERO));
         }
     });
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 128;
+    let cluster_total = (CLIENTS * PER_CLIENT) as f64;
+    let multi = |reactors: usize| {
+        let batches = cluster_batches(reactors, CLIENTS, PER_CLIENT);
+        cluster_total
+            / median_secs(|| {
+                black_box(serve_cluster_once(reactors, &batches));
+            })
+    };
+    let multi1 = multi(1);
+    let multi2 = multi(2);
+    let multi4 = multi(4);
     let baseline = Baseline {
         codec_roundtrips_per_sec: n_codec as f64 / codec,
         loopback_requests_per_sec: batch.len() as f64 / plain,
@@ -271,6 +375,10 @@ fn emit_baseline(_c: &mut Criterion) {
         explain_probes_per_sec: n_explain as f64 / explain,
         loopback_requests_per_sec_slo: batch.len() as f64 / with_slo,
         slo_overhead: 1.0 - plain / with_slo,
+        loopback_requests_per_sec_multi1: multi1,
+        loopback_requests_per_sec_multi2: multi2,
+        loopback_requests_per_sec_multi4: multi4,
+        multi_speedup: multi4 / multi1,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("serializable");
     let target = std::env::var_os("CARGO_TARGET_DIR")
@@ -315,6 +423,14 @@ fn smoke() {
         report.deferred,
         report.rejected,
     );
+
+    // The sharded edge, same bar: four tenant-pinned clients against a
+    // 2-reactor cluster, every submit answered.
+    let batches = cluster_batches(2, 4, 64);
+    let total: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    let verdicts = serve_cluster_once(2, &batches);
+    assert_eq!(verdicts, total, "one verdict per submit, cluster-wide");
+    println!("edge_throughput cluster smoke ok: {verdicts} verdicts across 2 reactors");
 }
 
 fn main() {
@@ -328,6 +444,7 @@ fn main() {
         .measurement_time(Duration::from_millis(1500));
     bench_codec(&mut c);
     bench_loopback(&mut c);
+    bench_multi_reactor(&mut c);
     bench_explain_slo(&mut c);
     emit_baseline(&mut c);
 }

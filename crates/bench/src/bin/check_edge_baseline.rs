@@ -7,7 +7,14 @@
 //! cost of serving a loopback batch with a telemetry handle attached vs.
 //! the bare path, both measured in the same process — exceeds the
 //! committed `max_telemetry_overhead` ceiling (the acceptance bar: full
-//! decision tracing must cost ≤ 5% of edge throughput).
+//! decision tracing must cost ≤ 5% of edge throughput), when the
+//! multi-reactor speedup — the 4-reactor cluster vs. the 1-reactor
+//! reference, same offered load, same process — falls below the committed
+//! floor (sharding must never lose to the single reactor), or when the
+//! 4-reactor cluster fails to beat the committed single-reactor
+//! requests-per-second figure (that committed number is deliberately
+//! modest — a latency-bound loopback serve — so the comparison holds
+//! across machines).
 //!
 //! The overhead ratio is machine-independent by construction (same
 //! process, same scenario, only the telemetry handle differs); it is often
@@ -27,6 +34,10 @@ struct Measured {
     explain_probes_per_sec: f64,
     loopback_requests_per_sec_slo: f64,
     slo_overhead: f64,
+    loopback_requests_per_sec_multi1: f64,
+    loopback_requests_per_sec_multi2: f64,
+    loopback_requests_per_sec_multi4: f64,
+    multi_speedup: f64,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -39,6 +50,10 @@ struct Committed {
     explain_probes_per_sec: f64,
     loopback_requests_per_sec_slo: f64,
     slo_overhead: f64,
+    loopback_requests_per_sec_multi1: f64,
+    loopback_requests_per_sec_multi2: f64,
+    loopback_requests_per_sec_multi4: f64,
+    multi_speedup: f64,
     /// Hard ceiling on the measured overhead (acceptance criterion).
     max_telemetry_overhead: f64,
     /// Same bar for SLO decision-folding at the wire.
@@ -47,6 +62,10 @@ struct Committed {
     /// explain path must stay interactive (an `Ops::Explain` probe is a
     /// synchronous wire round-trip).
     min_explain_probes_per_sec: f64,
+    /// Floor on `multi_speedup` (4-reactor vs. 1-reactor cluster, same
+    /// offered load, same process): the sharded edge must never lose to
+    /// the single reactor.
+    min_multi_speedup: f64,
 }
 
 fn read<T: Deserialize>(path: &std::path::Path) -> T {
@@ -85,6 +104,19 @@ fn main() {
         measured.explain_probes_per_sec,
     );
 
+    println!(
+        "committed: {:.0}/{:.0}/{:.0} rps multi 1/2/4 ({:.2}x speedup)\n\
+         measured:  {:.0}/{:.0}/{:.0} rps multi 1/2/4 ({:.2}x speedup)",
+        committed.loopback_requests_per_sec_multi1,
+        committed.loopback_requests_per_sec_multi2,
+        committed.loopback_requests_per_sec_multi4,
+        committed.multi_speedup,
+        measured.loopback_requests_per_sec_multi1,
+        measured.loopback_requests_per_sec_multi2,
+        measured.loopback_requests_per_sec_multi4,
+        measured.multi_speedup,
+    );
+
     let mut failed = false;
     if measured.telemetry_overhead > committed.max_telemetry_overhead {
         eprintln!(
@@ -109,8 +141,23 @@ fn main() {
         );
         failed = true;
     }
+    if measured.multi_speedup < committed.min_multi_speedup {
+        eprintln!(
+            "FAIL: multi-reactor speedup {:.2}x under the {:.2}x floor",
+            measured.multi_speedup, committed.min_multi_speedup,
+        );
+        failed = true;
+    }
+    if measured.loopback_requests_per_sec_multi4 < committed.loopback_requests_per_sec {
+        eprintln!(
+            "FAIL: 4-reactor cluster at {:.0} rps does not beat the committed \
+             single-reactor baseline of {:.0} rps",
+            measured.loopback_requests_per_sec_multi4, committed.loopback_requests_per_sec,
+        );
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
-    println!("edge telemetry, SLO, and explain overheads OK");
+    println!("edge telemetry, SLO, explain, and multi-reactor scaling OK");
 }

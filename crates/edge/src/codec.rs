@@ -114,13 +114,22 @@ impl std::error::Error for WireError {}
 /// Encodes one message payload into its frame bytes.
 pub fn encode_frame(direction: Direction, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    encode_frame_into(direction, payload, &mut out);
+    out
+}
+
+/// Encodes one message payload into `out` (cleared first) — the
+/// allocation-free path for callers that recycle frame buffers (the
+/// reactor's per-connection buffer pool).
+pub fn encode_frame_into(direction: Direction, payload: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
     out.push(direction.to_byte());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&checksum(direction.to_byte(), payload).to_le_bytes());
     out.extend_from_slice(payload);
-    out
 }
 
 /// Incremental frame decoder over an arbitrary chunking of the stream.
@@ -149,7 +158,22 @@ impl FrameDecoder {
     }
 
     /// Appends received bytes (any chunking).
+    ///
+    /// Once poisoned the bytes are discarded: the connection is already
+    /// condemned, so buffering a hostile peer's continued output would
+    /// only grow memory for a stream that will never be decoded.
     pub fn push(&mut self, bytes: &[u8]) {
+        if self.poisoned {
+            return;
+        }
+        // Compact before growing, once the dead prefix dominates, so a
+        // long-lived connection's buffer stays proportional to its unread
+        // tail. Done here (not after a yield) so borrowed payload slices
+        // from `next_frame_ref` are never invalidated mid-decode-loop.
+        if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
         self.buf.extend_from_slice(bytes);
     }
 
@@ -158,10 +182,32 @@ impl FrameDecoder {
         self.buf.len() - self.pos
     }
 
+    /// Current allocation backing the stream buffer. Exposed so tests can
+    /// assert that hostile length headers never inflate the buffer beyond
+    /// the configured frame cap.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
     /// Yields the next complete frame: `Ok(Some(…))` when one closed,
     /// `Ok(None)` when more bytes are needed, `Err` on a fatal violation
     /// (after which the decoder stays poisoned — the connection is over).
+    ///
+    /// This is the owning variant; the hot path uses [`next_frame_ref`]
+    /// to borrow the payload straight out of the stream buffer.
+    ///
+    /// [`next_frame_ref`]: FrameDecoder::next_frame_ref
     pub fn next_frame(&mut self) -> Result<Option<(Direction, Vec<u8>)>, WireError> {
+        Ok(self
+            .next_frame_ref()?
+            .map(|(direction, payload)| (direction, payload.to_vec())))
+    }
+
+    /// Zero-copy variant of [`next_frame`](FrameDecoder::next_frame): the
+    /// payload is borrowed from the decoder's stream buffer, valid until
+    /// the next `push`. The cursor has already advanced past the frame
+    /// when this returns, so dropping the borrow loses nothing.
+    pub fn next_frame_ref(&mut self) -> Result<Option<(Direction, &[u8])>, WireError> {
         if self.poisoned {
             return Err(WireError::Corrupt {
                 offset: self.offset,
@@ -189,6 +235,9 @@ impl FrameDecoder {
             return Err(fail("unknown direction byte"));
         };
         let len = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes")) as usize;
+        // The cap check MUST precede any capacity reservation: `len` is
+        // attacker-controlled, and reserving first would let a 4-byte
+        // header demand a 4 GiB allocation.
         if len > self.max_frame {
             self.poisoned = true;
             return Err(WireError::Oversized {
@@ -198,24 +247,23 @@ impl FrameDecoder {
             });
         }
         if rest.len() < HEADER_LEN + len {
+            // The header passed the cap check, so it is now safe to size
+            // the buffer for the announced frame and spare the incremental
+            // regrowth as its chunks arrive.
+            let missing = HEADER_LEN + len - rest.len();
+            self.buf.reserve(missing);
             return Ok(None);
         }
         let crc = u64::from_le_bytes(rest[8..16].try_into().expect("8 bytes"));
-        let payload = &rest[HEADER_LEN..HEADER_LEN + len];
-        if checksum(rest[3], payload) != crc {
+        let start = self.pos + HEADER_LEN;
+        let end = start + len;
+        if checksum(rest[3], &self.buf[start..end]) != crc {
             self.poisoned = true;
             return Err(fail("checksum mismatch"));
         }
-        let payload = payload.to_vec();
-        self.pos += HEADER_LEN + len;
+        self.pos = end;
         self.offset += (HEADER_LEN + len) as u64;
-        // Compact once the dead prefix dominates, so a long-lived
-        // connection's buffer stays proportional to its unread tail.
-        if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
-            self.buf.drain(..self.pos);
-            self.pos = 0;
-        }
-        Ok(Some((direction, payload)))
+        Ok(Some((direction, &self.buf[start..end])))
     }
 }
 
@@ -294,6 +342,53 @@ mod tests {
                 ..
             }) if len == u32::MAX as usize
         ));
+    }
+
+    #[test]
+    fn borrowed_decode_matches_owned_decode() {
+        let frames = [
+            encode_frame(Direction::FromClient, b"{\"a\":1}"),
+            encode_frame(Direction::FromServer, &vec![b'y'; 2000]),
+        ];
+        let stream: Vec<u8> = frames.concat();
+        let mut owned = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        let mut borrowed = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        for piece in stream.chunks(5) {
+            owned.push(piece);
+            borrowed.push(piece);
+            loop {
+                let a = owned.next_frame().expect("clean stream");
+                let b = borrowed
+                    .next_frame_ref()
+                    .expect("clean stream")
+                    .map(|(d, p)| (d, p.to_vec()));
+                assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+        assert_eq!(owned.buffered(), 0);
+        assert_eq!(borrowed.buffered(), 0);
+    }
+
+    #[test]
+    fn poisoned_decoder_discards_further_input() {
+        let mut dec = FrameDecoder::new(1024);
+        let mut hdr = Vec::new();
+        hdr.extend_from_slice(&MAGIC);
+        hdr.push(VERSION);
+        hdr.push(1);
+        hdr.extend_from_slice(&(u32::MAX).to_le_bytes());
+        hdr.extend_from_slice(&[0u8; 8]);
+        dec.push(&hdr);
+        assert!(dec.next_frame().is_err());
+        // A hostile peer keeps streaming after the violation; none of it
+        // should accumulate.
+        for _ in 0..64 {
+            dec.push(&[0xAB; 4096]);
+        }
+        assert_eq!(dec.buffered(), hdr.len());
     }
 
     #[test]

@@ -1,28 +1,37 @@
 //! # rtdls-edge
 //!
-//! The network front-end for the rtdls admission gateways: a hand-rolled
-//! single-threaded reactor over non-blocking `std::net` sockets (the
-//! offline build has no tokio), a length-prefixed checksummed JSON wire
-//! protocol reusing the journal's framing discipline, and the
-//! request/verdict serving protocol end-to-end — including **streamed
-//! reservation updates**: when a `Reserved{start_at, ticket}` promise
-//! later activates (or falls back to defer/reject), the edge pushes the
-//! resolution to the still-connected client instead of making it poll.
+//! The network front-end for the rtdls admission gateways: epoll-driven
+//! reactors over non-blocking `std::net` sockets (the offline build has
+//! no tokio — the selector is raw syscalls), a length-prefixed
+//! checksummed JSON wire protocol reusing the journal's framing
+//! discipline, and the request/verdict serving protocol end-to-end —
+//! including **streamed reservation updates**: when a
+//! `Reserved{start_at, ticket}` promise later activates (or falls back to
+//! defer/reject), the edge pushes the resolution to the still-connected
+//! client instead of making it poll.
 //!
-//! The three layers:
+//! The layers:
 //!
 //! * [`codec`] — stream framing: magic/version/direction header, u32
 //!   length prefix, FNV-1a 64 checksum, incremental [`FrameDecoder`] with
-//!   an oversize cap (a protocol violation closes the connection);
+//!   an oversize cap (a protocol violation closes the connection) and a
+//!   borrowed-slice decode path (`next_frame_ref`) for the zero-copy
+//!   inbound hot path;
 //! * [`proto`] — the message vocabulary: [`ClientMsg::Submit`] →
 //!   [`ServerMsg::Verdict`], plus pushed [`ServerMsg::Update`]s for parked
 //!   tasks and a `Hello`/`Error`/`Bye` lifecycle;
+//! * [`poll`] — the OS selector: epoll via raw `extern "C"` syscalls on
+//!   Linux (with a cross-thread [`Waker`]), a bounded-sleep sweep
+//!   fallback elsewhere;
 //! * [`server`] — the reactor ([`EdgeServer`]): accept → read → serve →
 //!   drive the gateway clock → push updates → flush, with bounded
 //!   per-connection write queues (overload answers `Throttled` at the
 //!   edge) and an [`EdgeGateway`] abstraction served by `Gateway`,
 //!   `ShardedGateway`, and — for a durable edge — `JournaledGateway`,
-//!   whose group-commit window the reactor closes once per turn.
+//!   whose group-commit window the reactor closes once per turn; plus the
+//!   sharded [`EdgeCluster`] — N reactor threads, connections pinned to
+//!   their tenant's home reactor, a mutexed adoption mailbox as the only
+//!   inter-reactor seam.
 //!
 //! [`client`] provides the matching [`ReplayClient`] that plays a
 //! workload-generated request stream against a live edge and reconciles
@@ -64,6 +73,8 @@
 //! [`ServerMsg::Verdict`]: proto::ServerMsg::Verdict
 //! [`ServerMsg::Update`]: proto::ServerMsg::Update
 //! [`EdgeServer`]: server::EdgeServer
+//! [`EdgeCluster`]: server::EdgeCluster
+//! [`Waker`]: poll::Waker
 //! [`EdgeServer::set_telemetry`]: server::EdgeServer::set_telemetry
 //! [`EdgeGateway`]: server::EdgeGateway
 //! [`ReplayClient`]: client::ReplayClient
@@ -76,13 +87,17 @@
 
 pub mod client;
 pub mod codec;
+pub mod poll;
 pub mod proto;
 pub mod server;
 
 pub use client::{OpsClient, ReplayClient, ReplayReport};
 pub use codec::{FrameDecoder, WireError};
 pub use proto::{ClientMsg, OpsQuery, OpsReport, ServerMsg, PROTOCOL_VERSION};
-pub use server::{fold_edge_stats, EdgeClock, EdgeConfig, EdgeGateway, EdgeServer, EdgeStats};
+pub use server::{
+    fold_edge_stats, reactor_for_tenant, EdgeClock, EdgeCluster, EdgeConfig, EdgeGateway,
+    EdgeServer, EdgeStats,
+};
 
 /// One-stop imports for edge users.
 pub mod prelude {
@@ -90,6 +105,7 @@ pub mod prelude {
     pub use crate::codec::{Direction, FrameDecoder, WireError};
     pub use crate::proto::{ClientMsg, OpsQuery, OpsReport, ServerMsg, PROTOCOL_VERSION};
     pub use crate::server::{
-        fold_edge_stats, EdgeClock, EdgeConfig, EdgeGateway, EdgeServer, EdgeStats,
+        fold_edge_stats, reactor_for_tenant, EdgeClock, EdgeCluster, EdgeConfig, EdgeGateway,
+        EdgeServer, EdgeStats,
     };
 }

@@ -177,6 +177,15 @@ pub fn encode_server(msg: &ServerMsg) -> Vec<u8> {
     encode_frame(Direction::FromServer, payload.as_bytes())
 }
 
+/// Encodes one server message into a recycled frame buffer (cleared
+/// first). The reactor's per-connection buffer pool uses this to keep the
+/// reply path free of per-frame `Vec` allocations; the bytes produced are
+/// identical to [`encode_server`]'s.
+pub fn encode_server_into(msg: &ServerMsg, out: &mut Vec<u8>) {
+    let payload = serde_json::to_string(msg).expect("server messages are serializable");
+    crate::codec::encode_frame_into(Direction::FromServer, payload.as_bytes(), out);
+}
+
 /// Decodes one frame payload as a client message.
 pub fn decode_client(payload: &[u8]) -> Result<ClientMsg, serde::Error> {
     let text = std::str::from_utf8(payload).map_err(|e| serde::Error::msg(e.to_string()))?;

@@ -1,0 +1,799 @@
+//! The reactor turn loop: one [`EdgeServer`] per reactor thread.
+//!
+//! [`EdgeServer::poll`] is one turn — accept, read/decode/serve, drive the
+//! gateway when dirty or due, push updates, flush, reap — and remains
+//! callable inline (tests drive it with a manual clock, no selector).
+//! [`EdgeServer::run`] wraps the same turn in an epoll wait: the timeout
+//! is derived from the gateway's next due instant and the earliest drain
+//! deadline, readable events select which connections get read, and
+//! `EPOLLOUT` is armed only while a connection has unflushed frames.
+//!
+//! In a cluster ([`super::multi::EdgeCluster`]) the same type runs once
+//! per reactor thread; only reactor 0 holds the listener, and the `home`
+//! field makes the first submit on an unpinned connection either pin it
+//! here or stage it for adoption by its tenant's home reactor.
+
+use std::collections::HashSet;
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rtdls_core::prelude::{SimTime, TaskId};
+use rtdls_service::prelude::Verdict;
+use rtdls_telemetry::{MetricsRegistry, Stage, Telemetry};
+
+use crate::codec::Direction;
+use crate::poll::{Event, Selector};
+use crate::proto::{decode_client, ClientMsg, OpsQuery, OpsReport, ServerMsg, PROTOCOL_VERSION};
+
+use super::conn::Conn;
+use super::multi::reactor_for_tenant;
+use super::registry::{PendingEntry, PendingRegistry};
+use super::{fold_edge_stats, EdgeClock, EdgeConfig, EdgeGateway, EdgeStats};
+
+/// Selector token for the listener (connection ids count up from
+/// `EdgeConfig::first_conn_id` and can never reach it; `u64::MAX` is the
+/// wake pipe's).
+pub(crate) const LISTENER_TOKEN: u64 = u64::MAX - 1;
+
+/// A connection staged for adoption by another reactor, together with the
+/// submit that revealed its tenant (decoded but *not yet decided* — the
+/// adopter serves it first, so no verdict or pending entry ever needs to
+/// cross threads).
+pub(crate) struct ConnTransfer {
+    pub target: usize,
+    pub conn: Conn,
+    pub carried: ClientMsg,
+}
+
+/// What one decode step produced (the borrow of the decoder's buffer ends
+/// before the message is handled).
+enum Step {
+    /// A complete, well-formed client frame.
+    Msg(ClientMsg),
+    /// A complete frame that failed to decode (counted as received).
+    Undecodable(String),
+    /// A server-direction frame on the inbound path.
+    Misdirected,
+    /// A stream-level framing violation (not counted as a frame).
+    Wire(String),
+    /// Need more bytes.
+    Incomplete,
+}
+
+/// The edge server: a listener (on reactor 0), its connections, and the
+/// gateway they serve. See the module docs for the reactor's shape.
+pub struct EdgeServer<G: EdgeGateway> {
+    pub(crate) listener: Option<TcpListener>,
+    pub(crate) cfg: EdgeConfig,
+    pub(crate) gateway: G,
+    pub(crate) conns: Vec<Conn>,
+    /// Connection-id allocator — shared across a cluster's reactors so
+    /// ids (and therefore minted task ids) stay globally unique.
+    pub(crate) ids: Arc<AtomicU64>,
+    /// Parked-task pushback registry, keyed by server-minted ids.
+    pub(crate) pending: PendingRegistry,
+    /// Set when a submission reached the gateway this turn — with the
+    /// timed-work check, the drive trigger (see [`EdgeGateway::next_due`]).
+    pub(crate) dirty: bool,
+    pub(crate) stats: EdgeStats,
+    /// Tracing/metrics handle; disabled (and allocation-free on the hot
+    /// path) until [`EdgeServer::set_telemetry`].
+    pub(crate) telemetry: Telemetry,
+    /// `(my reactor index, reactor count)` in a cluster; `None` when
+    /// single-reactor (every connection is born pinned).
+    pub(crate) home: Option<(usize, usize)>,
+    /// Connections staged for adoption elsewhere; the cluster loop drains
+    /// this into the target reactors' mailboxes after each turn.
+    pub(crate) outbox: Vec<ConnTransfer>,
+}
+
+impl<G: EdgeGateway> EdgeServer<G> {
+    /// Binds the listener and takes ownership of the gateway (enabling its
+    /// decision-update stream). `addr` may be `"127.0.0.1:0"` for an
+    /// ephemeral port — see [`EdgeServer::local_addr`].
+    pub fn bind(addr: impl ToSocketAddrs, gateway: G, cfg: EdgeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let ids = Arc::new(AtomicU64::new(cfg.first_conn_id));
+        Ok(Self::assemble(Some(listener), gateway, cfg, ids, None))
+    }
+
+    /// A cluster reactor: reactor 0 carries the listener, everyone shares
+    /// the id allocator, and `home` routes first submits.
+    pub(crate) fn for_cluster(
+        listener: Option<TcpListener>,
+        gateway: G,
+        cfg: EdgeConfig,
+        ids: Arc<AtomicU64>,
+        home: (usize, usize),
+    ) -> Self {
+        Self::assemble(listener, gateway, cfg, ids, Some(home))
+    }
+
+    fn assemble(
+        listener: Option<TcpListener>,
+        mut gateway: G,
+        cfg: EdgeConfig,
+        ids: Arc<AtomicU64>,
+        home: Option<(usize, usize)>,
+    ) -> Self {
+        gateway.enable_observation();
+        gateway.enable_explanations();
+        EdgeServer {
+            listener,
+            cfg,
+            gateway,
+            conns: Vec::new(),
+            ids,
+            pending: PendingRegistry::default(),
+            dirty: false,
+            stats: EdgeStats::default(),
+            telemetry: Telemetry::disabled(),
+            home,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Attaches a telemetry handle: the edge mints a trace id for every
+    /// framed submission at ingress, records `EdgeReceive`/`PushUpdate`
+    /// spans, accumulates per-turn phase timings, and forwards the handle
+    /// to the gateway so downstream stages land in the same flight
+    /// recorder. Until this is called, the telemetry path costs nothing.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
+        self.gateway.attach_telemetry(telemetry);
+    }
+
+    /// Parked-task pushback entries currently held (server-minted task id →
+    /// submitting connection). Bounded by eviction on connection close —
+    /// see [`EdgeStats::pending_evicted`].
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The bound address (the OS-chosen port for `:0` binds). Panics on a
+    /// cluster reactor without the listener — ask the cluster instead.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .as_ref()
+            .expect("this reactor holds no listener")
+            .local_addr()
+            .expect("bound listener")
+    }
+
+    /// The served gateway.
+    pub fn gateway(&self) -> &G {
+        &self.gateway
+    }
+
+    /// Reactor self-observation counters.
+    pub fn stats(&self) -> &EdgeStats {
+        &self.stats
+    }
+
+    /// Live connection count.
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Tears the server down, returning the gateway (e.g. to snapshot or
+    /// hand to another driver).
+    pub fn into_gateway(self) -> G {
+        self.gateway
+    }
+
+    /// One reactor turn at simulated instant `now`, sweeping every
+    /// connection (no readiness information — the inline-test and
+    /// fallback path). Returns `true` when the turn made progress
+    /// (accepted, read, served, pushed, or wrote anything) — the driver's
+    /// idle-sleep hint.
+    pub fn poll(&mut self, now: SimTime) -> bool {
+        self.poll_inner(now, None, None)
+    }
+
+    /// One selector-driven turn: only ready connections are read, and
+    /// accepted/adopted fds are (de)registered as they come and go.
+    pub(crate) fn poll_events(
+        &mut self,
+        now: SimTime,
+        events: &[Event],
+        selector: &mut Selector,
+    ) -> bool {
+        self.poll_inner(now, Some(events), Some(selector))
+    }
+
+    fn poll_inner(
+        &mut self,
+        now: SimTime,
+        readiness: Option<&[Event]>,
+        mut selector: Option<&mut Selector>,
+    ) -> bool {
+        let mut progressed = false;
+        // `timer()` is None while telemetry is disabled, so the phase
+        // accounting below is free (no clock reads) on the bare path.
+        let read_timer = self.telemetry.timer();
+        let accept_ready = match readiness {
+            None => true,
+            Some(events) => events
+                .iter()
+                .any(|e| e.token == LISTENER_TOKEN && e.readable),
+        };
+        if accept_ready {
+            progressed |= self.accept_new(selector.as_deref_mut());
+        }
+        progressed |= self.read_and_serve(now, readiness);
+        if self.home.is_some() {
+            self.extract_transfers(selector.as_deref_mut());
+        }
+        self.stats.read_ns += Telemetry::elapsed_ns(read_timer);
+        // Event-driven drive, mirroring the simulator: sweep the books
+        // only when a submission arrived or timed work (a dispatch or an
+        // activation) has come due. An idle reactor turn leaves the
+        // gateway — and a journaled gateway's WAL — untouched.
+        let due = self
+            .gateway
+            .next_due()
+            .is_some_and(|t| t.at_or_before_eps(now));
+        if self.dirty || due {
+            let drive_timer = self.telemetry.timer();
+            self.gateway.drive(now);
+            self.dirty = false;
+            progressed |= self.push_updates(now);
+            self.stats.drive_ns += Telemetry::elapsed_ns(drive_timer);
+        }
+        let flush_timer = self.telemetry.timer();
+        progressed |= self.flush_writes(selector);
+        self.reap(now);
+        self.stats.flush_ns += Telemetry::elapsed_ns(flush_timer);
+        if self.telemetry.is_enabled() {
+            self.stats.turns += 1;
+        }
+        progressed
+    }
+
+    /// The selector timeout: wall time until the gateway's next due
+    /// instant or the earliest drain deadline, whichever is sooner,
+    /// clamped to `[1, 10]` ms (0 when already due) so timed work is at
+    /// most a millisecond late and a stop request is honored promptly.
+    pub(crate) fn wait_timeout_ms(&self, clock: &EdgeClock) -> i32 {
+        const IDLE_MS: u64 = 10;
+        let drain_timeout = SimTime::new(self.cfg.drain_timeout.as_secs_f64());
+        let mut due = self.gateway.next_due();
+        for conn in &self.conns {
+            if let Some(since) = conn.draining_since {
+                let deadline = since + drain_timeout;
+                due = Some(due.map_or(deadline, |d| d.min(deadline)));
+            }
+        }
+        let Some(due) = due else {
+            return IDLE_MS as i32;
+        };
+        let wall = clock.wall_until(due);
+        if wall.is_zero() {
+            0
+        } else {
+            (wall.as_millis() as u64).clamp(1, IDLE_MS) as i32
+        }
+    }
+
+    /// Runs the reactor until `stop` is set, then returns the gateway and
+    /// final stats. Blocks in the OS selector between turns, so an
+    /// unloaded edge parks in the kernel instead of spinning.
+    pub fn run(mut self, clock: EdgeClock, stop: &AtomicBool) -> (G, EdgeStats) {
+        let Ok(mut selector) = Selector::new() else {
+            return self.run_sleepy(clock, stop);
+        };
+        if let Some(listener) = &self.listener {
+            if selector.register(listener, LISTENER_TOKEN).is_err() {
+                return self.run_sleepy(clock, stop);
+            }
+        }
+        let mut scratch: Vec<Event> = Vec::new();
+        while !stop.load(Ordering::Relaxed) {
+            let timeout = self.wait_timeout_ms(&clock);
+            match selector.wait(timeout) {
+                Ok(Some(events)) => {
+                    scratch.clear();
+                    scratch.extend_from_slice(events);
+                    self.poll_events(clock.now(), &scratch, &mut selector);
+                }
+                Ok(None) => {
+                    // Fallback selector: it already slept; sweep everything
+                    // (registration calls are no-ops on this path).
+                    self.poll_inner(clock.now(), None, Some(&mut selector));
+                }
+                Err(_) => {
+                    // A transient wait failure: run an empty-event turn so
+                    // timers advance, keeping all registrations intact.
+                    scratch.clear();
+                    self.poll_events(clock.now(), &scratch, &mut selector);
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+        // A graceful stop flushes what it can in one last turn.
+        let _ = self.poll(clock.now());
+        (self.gateway, self.stats)
+    }
+
+    /// The selector-less driver (selector creation failed): spin turns,
+    /// sleeping briefly when idle.
+    fn run_sleepy(mut self, clock: EdgeClock, stop: &AtomicBool) -> (G, EdgeStats) {
+        while !stop.load(Ordering::Relaxed) {
+            let progressed = self.poll(clock.now());
+            if !progressed {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        let _ = self.poll(clock.now());
+        (self.gateway, self.stats)
+    }
+
+    fn accept_new(&mut self, mut selector: Option<&mut Selector>) -> bool {
+        let Some(listener) = &self.listener else {
+            return false;
+        };
+        let mut progressed = false;
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let id = self.ids.fetch_add(1, Ordering::Relaxed);
+                    // Single-reactor edges pin at accept; cluster members
+                    // wait for the first submit's tenant.
+                    let pinned = self.home.is_none();
+                    let mut conn = Conn::new(id, stream, self.cfg.max_frame_len, pinned);
+                    conn.enqueue(&ServerMsg::Hello {
+                        protocol: PROTOCOL_VERSION,
+                    });
+                    if let Some(sel) = selector.as_deref_mut() {
+                        let _ = sel.register(&conn.stream, conn.id);
+                    }
+                    self.conns.push(conn);
+                    self.stats.connections_accepted += 1;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        progressed
+    }
+
+    fn read_and_serve(&mut self, now: SimTime, readiness: Option<&[Event]>) -> bool {
+        let mut progressed = false;
+        // Index-based: handling a frame needs `&mut self.gateway` and the
+        // connection simultaneously, so split via `take`-free indexing.
+        for i in 0..self.conns.len() {
+            if self.conns[i].draining || self.conns[i].dead {
+                continue;
+            }
+            if let Some(events) = readiness {
+                let id = self.conns[i].id;
+                if !events.iter().any(|e| e.readable && e.token == id) {
+                    continue;
+                }
+            }
+            progressed |= self.read_conn(i);
+            progressed |= self.decode_and_serve(i, now);
+        }
+        progressed
+    }
+
+    /// Pulls everything the socket has into the connection's decoder.
+    fn read_conn(&mut self, i: usize) -> bool {
+        let mut progressed = false;
+        let mut buf = [0u8; 8192];
+        loop {
+            match self.conns[i].stream.read(&mut buf) {
+                Ok(0) => {
+                    self.conns[i].dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.conns[i].decoder.push(&buf[..n]);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.conns[i].dead = true;
+                    break;
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Decodes and serves complete frames. Payloads are borrowed straight
+    /// from the decoder's stream buffer (`next_frame_ref`) — decoding a
+    /// `ClientMsg` is the only copy on the inbound path.
+    pub(crate) fn decode_and_serve(&mut self, i: usize, now: SimTime) -> bool {
+        let mut progressed = false;
+        loop {
+            if self.conns[i].draining || self.conns[i].dead || self.conns[i].transfer.is_some() {
+                break;
+            }
+            let step = match self.conns[i].decoder.next_frame_ref() {
+                Ok(Some((direction, payload))) => {
+                    if direction != Direction::FromClient {
+                        // A server-direction frame on the inbound path
+                        // means a looped or confused peer: fail fast
+                        // instead of misparsing the payload.
+                        Step::Misdirected
+                    } else {
+                        match decode_client(payload) {
+                            Ok(msg) => Step::Msg(msg),
+                            Err(e) => Step::Undecodable(format!("undecodable message: {e}")),
+                        }
+                    }
+                }
+                Ok(None) => Step::Incomplete,
+                Err(e) => Step::Wire(e.to_string()),
+            };
+            match step {
+                Step::Incomplete => break,
+                Step::Msg(msg) => {
+                    self.stats.frames_received += 1;
+                    progressed = true;
+                    self.handle(i, msg, now);
+                }
+                Step::Undecodable(message) => {
+                    self.stats.frames_received += 1;
+                    progressed = true;
+                    self.fail_conn(i, None, message, now);
+                }
+                Step::Misdirected => {
+                    self.stats.frames_received += 1;
+                    progressed = true;
+                    self.fail_conn(i, None, "misdirected frame".to_string(), now);
+                }
+                Step::Wire(message) => {
+                    self.fail_conn(i, None, message, now);
+                }
+            }
+        }
+        progressed
+    }
+
+    fn handle(&mut self, i: usize, msg: ClientMsg, now: SimTime) {
+        match msg {
+            ClientMsg::Hello { protocol } => {
+                if protocol != PROTOCOL_VERSION {
+                    self.fail_conn(
+                        i,
+                        None,
+                        format!(
+                            "protocol {protocol} unsupported (server speaks {PROTOCOL_VERSION})"
+                        ),
+                        now,
+                    );
+                }
+            }
+            ClientMsg::Submit { seq, mut request } => {
+                // Shard affinity: the first submit reveals the tenant. If
+                // its home is another reactor, stage the whole connection
+                // (decoder bytes included) for adoption — this submit is
+                // NOT decided here, so nothing gateway-side ever migrates.
+                if !self.conns[i].pinned {
+                    if let Some((me, total)) = self.home {
+                        let target = reactor_for_tenant(request.tenant, total);
+                        if target != me {
+                            self.conns[i].transfer =
+                                Some((target, ClientMsg::Submit { seq, request }));
+                            return;
+                        }
+                    }
+                    self.conns[i].pinned = true;
+                }
+                self.stats.submits += 1;
+                let queued = self.conns[i].outq.len();
+                if queued >= self.cfg.write_queue_limit.max(1) * 2 {
+                    // The peer is reading nothing at all — even its
+                    // Throttled replies pile up. Evict instead of letting
+                    // the queue grow one frame per received submit.
+                    self.conns[i].dead = true;
+                    self.stats.slow_consumer_evictions += 1;
+                    self.telemetry.dump_to_stderr("slow-consumer eviction");
+                    return;
+                }
+                let client_task = request.task.id.0;
+                if client_task > u32::MAX as u64 {
+                    // Minted ids reserve the high 32 bits for the
+                    // connection; the wire contract caps client ids at u32.
+                    self.fail_conn(
+                        i,
+                        Some(seq),
+                        format!("task id {client_task} exceeds the 32-bit wire range"),
+                        now,
+                    );
+                    return;
+                }
+                // Namespace the id per connection: the gateway, journal,
+                // and pending registry all see the minted id, so identical
+                // client ids on different connections never collide.
+                let minted = PendingRegistry::mint(self.conns[i].id, client_task);
+                request.task.id = TaskId(minted);
+                // The edge is the tracing ingress: mint here (a no-op
+                // sentinel 0 while telemetry is off) so every downstream
+                // stage — routing, planning, the WAL append — lands under
+                // one trace id.
+                if request.trace == 0 {
+                    request.trace = self.telemetry.mint();
+                }
+                let verdict = if queued >= self.cfg.write_queue_limit {
+                    // Edge backpressure: the client is not consuming its
+                    // replies; shed before the admission test spends CPU.
+                    self.stats.edge_throttled += 1;
+                    self.telemetry.record(
+                        request.trace,
+                        Stage::EdgeReceive,
+                        None,
+                        minted,
+                        "edge_throttled",
+                        now,
+                        None,
+                    );
+                    Verdict::Throttled
+                } else {
+                    // Arrival is when the request reached this edge.
+                    request.task.arrival = now;
+                    self.telemetry.record(
+                        request.trace,
+                        Stage::EdgeReceive,
+                        None,
+                        minted,
+                        "submit",
+                        now,
+                        None,
+                    );
+                    let verdict = self.gateway.decide(&request, now);
+                    self.dirty = true;
+                    if matches!(verdict, Verdict::Reserved { .. } | Verdict::Deferred { .. }) {
+                        self.pending.insert(
+                            minted,
+                            PendingEntry {
+                                conn: self.conns[i].id,
+                                seq,
+                                client_task,
+                            },
+                        );
+                    }
+                    verdict
+                };
+                // The wire echoes the client's own id — minted ids never
+                // leave the server.
+                let reply = ServerMsg::Verdict {
+                    seq,
+                    task: client_task,
+                    verdict,
+                };
+                self.conns[i].enqueue(&reply);
+            }
+            ClientMsg::Ops { query } => {
+                let report = self.ops_report(query, now);
+                self.conns[i].enqueue(&ServerMsg::OpsReport { report });
+            }
+            ClientMsg::Bye => {
+                self.conns[i].start_draining(now);
+            }
+        }
+    }
+
+    /// Builds the answer to one ops query from the live books: `Stats`
+    /// folds every layer's native counters into a fresh registry and
+    /// flattens it; the trace queries read the flight recorder. In a
+    /// cluster this answers from the reactor the asking connection lives
+    /// on (per-reactor books; sum across reactors for edge-wide totals).
+    fn ops_report(&self, query: OpsQuery, now: SimTime) -> OpsReport {
+        match query {
+            OpsQuery::Stats => {
+                let mut reg = MetricsRegistry::new();
+                self.gateway.fold_metrics(&mut reg);
+                fold_edge_stats(&mut reg, &self.stats, self.pending.len(), self.conns.len());
+                OpsReport::Stats {
+                    samples: reg.flatten(),
+                }
+            }
+            OpsQuery::Trace { id } => OpsReport::Trace {
+                id,
+                spans: self.telemetry.trace_spans(id),
+            },
+            OpsQuery::RecentTraces => OpsReport::RecentTraces {
+                traces: self.telemetry.recent_traces(32),
+            },
+            OpsQuery::Slo => OpsReport::Slo {
+                rows: self.gateway.slo_rows(),
+            },
+            OpsQuery::Explain { request } => OpsReport::Explain {
+                task: request.task.id.0,
+                explanation: self.gateway.explain(&request, now),
+            },
+        }
+    }
+
+    fn fail_conn(&mut self, i: usize, seq: Option<u64>, message: String, now: SimTime) {
+        self.stats.protocol_errors += 1;
+        // A protocol violation is a black-box moment: dump the recent
+        // flight-recorder tail before answering and draining.
+        self.telemetry.dump_to_stderr("protocol violation");
+        self.conns[i].enqueue(&ServerMsg::Error { seq, message });
+        self.conns[i].start_draining(now);
+    }
+
+    fn push_updates(&mut self, now: SimTime) -> bool {
+        let updates = self.gateway.take_updates();
+        if updates.is_empty() {
+            return false;
+        }
+        let mut progressed = false;
+        for update in updates {
+            let minted = update.task();
+            let terminal = update.is_terminal();
+            let entry = self.pending.get(minted).map(|e| (e.conn, e.client_task));
+            if terminal {
+                self.pending.remove(minted);
+            }
+            let delivered = 'push: {
+                let Some((conn_id, client_task)) = entry else {
+                    break 'push false;
+                };
+                let Some(conn) = self.conns.iter_mut().find(|c| c.id == conn_id) else {
+                    break 'push false;
+                };
+                if conn.outq.len() >= self.cfg.write_queue_limit * 2 {
+                    // Slow consumer: evict rather than queue without bound.
+                    conn.dead = true;
+                    self.stats.slow_consumer_evictions += 1;
+                    self.telemetry.dump_to_stderr("slow-consumer eviction");
+                    break 'push false;
+                }
+                // Rewrite back to the id the client knows before the
+                // update leaves the reactor.
+                conn.enqueue(&ServerMsg::Update {
+                    update: update.retagged(client_task),
+                });
+                break 'push true;
+            };
+            if delivered {
+                self.stats.updates_pushed += 1;
+                progressed = true;
+            } else {
+                self.stats.updates_dropped += 1;
+            }
+            // The last span of a parked flow's timeline: its resolution
+            // leaving (or failing to leave) the edge.
+            if let Some(trace) = self.telemetry.trace_of(minted) {
+                self.telemetry.record(
+                    trace,
+                    Stage::PushUpdate,
+                    None,
+                    minted,
+                    if delivered { "pushed" } else { "dropped" },
+                    now,
+                    None,
+                );
+                if terminal {
+                    self.telemetry.forget(minted);
+                }
+            }
+        }
+        progressed
+    }
+
+    fn flush_writes(&mut self, mut selector: Option<&mut Selector>) -> bool {
+        let mut progressed = false;
+        for conn in &mut self.conns {
+            if !conn.outq.is_empty() {
+                let outcome = conn.flush();
+                progressed |= outcome.progressed;
+                self.stats.frames_sent += outcome.frames_sent;
+            }
+            if let Some(sel) = selector.as_deref_mut() {
+                // EPOLLOUT only while there is something to write: a
+                // permanently-armed write interest would wake every turn.
+                let want = !conn.outq.is_empty() && !conn.dead;
+                if want != conn.write_armed
+                    && sel.set_write_interest(&conn.stream, conn.id, want).is_ok()
+                {
+                    conn.write_armed = want;
+                }
+            }
+        }
+        progressed
+    }
+
+    fn reap(&mut self, now: SimTime) {
+        let before = self.conns.len();
+        let drain_timeout = SimTime::new(self.cfg.drain_timeout.as_secs_f64());
+        self.conns.retain(|c| {
+            // A draining peer gets `drain_timeout` *simulated* seconds to
+            // consume its final frames; one that stops reading is closed
+            // anyway so it cannot hold the fd and queued bytes forever.
+            let drained = c.draining
+                && (c.outq.is_empty()
+                    || c.draining_since
+                        .is_some_and(|since| (since + drain_timeout).at_or_before_eps(now)));
+            let close = c.dead || drained;
+            if close {
+                let _ = c.stream.shutdown(std::net::Shutdown::Both);
+            }
+            !close
+        });
+        let closed = before - self.conns.len();
+        self.stats.connections_closed += closed as u64;
+        if closed > 0 && !self.pending.is_empty() {
+            // A closed connection can never receive its parked tasks'
+            // resolutions; drop their pending entries now instead of
+            // leaking one map slot per abandoned promise.
+            let live: HashSet<u64> = self.conns.iter().map(|c| c.id).collect();
+            self.stats.pending_evicted += self.pending.purge_closed(&live);
+        }
+    }
+
+    /// Pulls connections staged for adoption out of the live set (cluster
+    /// mode, after the read phase).
+    fn extract_transfers(&mut self, mut selector: Option<&mut Selector>) {
+        let mut i = 0;
+        while i < self.conns.len() {
+            if self.conns[i].transfer.is_some() {
+                let mut conn = self.conns.swap_remove(i);
+                if let Some(sel) = selector.as_deref_mut() {
+                    sel.deregister(&conn.stream);
+                }
+                let (target, carried) = conn.transfer.take().expect("just checked");
+                conn.write_armed = false;
+                self.outbox.push(ConnTransfer {
+                    target,
+                    conn,
+                    carried,
+                });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Installs a connection transferred from another reactor: register
+    /// its fd, serve the carried submit (the one that revealed its
+    /// tenant), then drain whatever else its decoder already buffered.
+    pub(crate) fn adopt(
+        &mut self,
+        transfer: ConnTransfer,
+        selector: Option<&mut Selector>,
+        now: SimTime,
+    ) {
+        let ConnTransfer {
+            conn: mut adopted,
+            carried,
+            ..
+        } = transfer;
+        adopted.pinned = true;
+        if let Some(sel) = selector {
+            let _ = sel.register(&adopted.stream, adopted.id);
+        }
+        self.stats.conns_adopted += 1;
+        self.conns.push(adopted);
+        let i = self.conns.len() - 1;
+        // The carried frame was already counted by the accepting reactor.
+        self.handle(i, carried, now);
+        let _ = self.decode_and_serve(i, now);
+    }
+}
+
+impl<G: EdgeGateway> core::fmt::Debug for EdgeServer<G> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EdgeServer")
+            .field("connections", &self.conns.len())
+            .field("pending", &self.pending.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}

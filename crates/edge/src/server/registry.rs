@@ -1,0 +1,127 @@
+//! The pending-pushback registry: which connection is owed a parked
+//! task's eventual resolution, keyed by **server-minted** task ids.
+//!
+//! Task ids are client-chosen, and two independent clients are perfectly
+//! entitled to both call their first task `1`. The pre-namespacing edge
+//! keyed its pending map by the bare client id, so such submissions
+//! aliased: the second insert overwrote the first, and one client received
+//! the other's pushed `DecisionUpdate`. The fix mints a server-side id at
+//! ingress — the connection id in the high 32 bits, the client's id in the
+//! low 32 — uses *that* id everywhere inside the gateway and journal, and
+//! rewrites it back to the client's own id on every frame leaving the
+//! edge. Clients never see minted ids; the wire format is unchanged.
+//!
+//! The 32-bit split also bounds the wire contract: a client task id must
+//! fit in `u32` (enforced at ingress with a protocol error), and an edge
+//! generation must hand out fewer than 2³² connection ids — a restarted
+//! edge continues from `EdgeConfig::first_conn_id` to keep generations
+//! disjoint, because a recovered journal still holds pre-crash minted ids.
+
+use std::collections::{HashMap, HashSet};
+
+/// Where to deliver one parked task's resolution.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PendingEntry {
+    /// The submitting connection.
+    pub conn: u64,
+    /// The submit's client-chosen correlation number.
+    #[allow(dead_code)]
+    pub seq: u64,
+    /// The task id the client knows (minted ids stay server-side).
+    pub client_task: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct PendingRegistry {
+    map: HashMap<u64, PendingEntry>,
+}
+
+impl PendingRegistry {
+    /// The server-side task id for `client_task` submitted on `conn`:
+    /// distinct connections can never mint the same id.
+    pub(crate) fn mint(conn: u64, client_task: u64) -> u64 {
+        debug_assert!(conn <= u32::MAX as u64, "connection id space exhausted");
+        debug_assert!(client_task <= u32::MAX as u64, "checked at ingress");
+        (conn << 32) | client_task
+    }
+
+    pub(crate) fn insert(&mut self, minted: u64, entry: PendingEntry) {
+        self.map.insert(minted, entry);
+    }
+
+    pub(crate) fn get(&self, minted: u64) -> Option<&PendingEntry> {
+        self.map.get(&minted)
+    }
+
+    pub(crate) fn remove(&mut self, minted: u64) {
+        self.map.remove(&minted);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops entries whose connection is no longer live; returns how many
+    /// (the `pending_evicted` stat).
+    pub(crate) fn purge_closed(&mut self, live: &HashSet<u64>) -> u64 {
+        let before = self.map.len();
+        self.map.retain(|_, entry| live.contains(&entry.conn));
+        (before - self.map.len()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_client_ids_on_distinct_connections_never_alias() {
+        for conn_a in [0u64, 1, 7, u32::MAX as u64] {
+            for conn_b in [0u64, 1, 7, u32::MAX as u64] {
+                for task in [0u64, 1, 2, u32::MAX as u64] {
+                    let a = PendingRegistry::mint(conn_a, task);
+                    let b = PendingRegistry::mint(conn_b, task);
+                    assert_eq!(a == b, conn_a == conn_b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minted_ids_recover_the_client_id_on_connection_zero() {
+        // The first connection's minted ids equal the client's own —
+        // single-client traces read naturally.
+        assert_eq!(PendingRegistry::mint(0, 42), 42);
+        assert_eq!(PendingRegistry::mint(1, 42), (1 << 32) | 42);
+    }
+
+    #[test]
+    fn purge_drops_only_closed_connections() {
+        let mut reg = PendingRegistry::default();
+        reg.insert(
+            PendingRegistry::mint(0, 1),
+            PendingEntry {
+                conn: 0,
+                seq: 1,
+                client_task: 1,
+            },
+        );
+        reg.insert(
+            PendingRegistry::mint(3, 1),
+            PendingEntry {
+                conn: 3,
+                seq: 1,
+                client_task: 1,
+            },
+        );
+        let live: HashSet<u64> = [3u64].into_iter().collect();
+        assert_eq!(reg.purge_closed(&live), 1);
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get(PendingRegistry::mint(3, 1)).is_some());
+        assert!(!reg.is_empty());
+    }
+}

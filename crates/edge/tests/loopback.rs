@@ -660,6 +660,189 @@ fn pending_entries_are_evicted_when_their_connection_dies() {
     assert_eq!(server.stats().pending_evicted, 1);
 }
 
+/// Two independent clients are entitled to both call their task `2`: task
+/// ids are client-chosen, so the pending-pushback map must key by the
+/// server-minted `(connection, task)` pair, not the bare client id.
+/// Before namespacing, the second submit's entry overwrote the first and
+/// one client received the other's pushed resolution (and the starved one
+/// nothing at all).
+#[test]
+fn identical_task_ids_on_concurrent_connections_get_their_own_updates() {
+    let p = ClusterParams::paper_baseline();
+    let e16 = homogeneous::exec_time(&p, 800.0, 16);
+    let gateway = Gateway::new(
+        p,
+        AlgorithmKind::EDF_DLT,
+        PlanConfig::default(),
+        DeferPolicy::default(),
+    );
+    let mut server = EdgeServer::bind("127.0.0.1:0", gateway, EdgeConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let t0 = SimTime::ZERO;
+    let mut alice = InlineClient::connect(addr);
+    let mut bob = InlineClient::connect(addr);
+    assert!(matches!(
+        alice.recv(&mut server, t0),
+        ServerMsg::Hello { .. }
+    ));
+    assert!(matches!(bob.recv(&mut server, t0), ServerMsg::Hello { .. }));
+    // Alice saturates the cluster, then parks task 2 as a defer ticket.
+    alice.send(&ClientMsg::Submit {
+        seq: 0,
+        request: SubmitRequest::new(Task::new(1, 0.0, 800.0, e16 * 1.05)),
+    });
+    assert!(matches!(
+        alice.recv(&mut server, t0),
+        ServerMsg::Verdict {
+            verdict: Verdict::Accepted,
+            ..
+        }
+    ));
+    alice.send(&ClientMsg::Submit {
+        seq: 1,
+        request: SubmitRequest::new(Task::new(2, 0.0, 800.0, e16 * 1.5)),
+    });
+    let ServerMsg::Verdict {
+        task: 2,
+        verdict: Verdict::Deferred {
+            ticket: alice_ticket,
+            ..
+        },
+        ..
+    } = alice.recv(&mut server, t0)
+    else {
+        panic!("expected Alice's defer");
+    };
+    // Bob parks a task with the *identical* client-chosen id 2.
+    bob.send(&ClientMsg::Submit {
+        seq: 1,
+        request: SubmitRequest::new(Task::new(2, 0.0, 800.0, e16 * 1.5)),
+    });
+    let ServerMsg::Verdict {
+        task: 2,
+        verdict: Verdict::Deferred {
+            ticket: bob_ticket, ..
+        },
+        ..
+    } = bob.recv(&mut server, t0)
+    else {
+        panic!("expected Bob's defer");
+    };
+    assert_ne!(alice_ticket, bob_ticket, "two distinct parked tasks");
+    assert_eq!(
+        server.pending_len(),
+        2,
+        "both entries tracked — identical client ids must not alias"
+    );
+    // Both tickets expire; each client receives exactly its own
+    // resolution, tagged with the id *it* chose.
+    let late = SimTime::new(e16 * 2.0);
+    let msg = alice.recv(&mut server, late);
+    assert!(
+        matches!(
+            msg,
+            ServerMsg::Update {
+                update: DecisionUpdate::Resolved {
+                    task: 2,
+                    ticket: Some(t),
+                    admitted: false,
+                    ..
+                }
+            } if t == alice_ticket
+        ),
+        "Alice's own ticket resolved to Alice: {msg:?}"
+    );
+    let msg = bob.recv(&mut server, late);
+    assert!(
+        matches!(
+            msg,
+            ServerMsg::Update {
+                update: DecisionUpdate::Resolved {
+                    task: 2,
+                    ticket: Some(t),
+                    admitted: false,
+                    ..
+                }
+            } if t == bob_ticket
+        ),
+        "Bob's own ticket resolved to Bob: {msg:?}"
+    );
+    assert_eq!(server.stats().updates_pushed, 2);
+    assert_eq!(server.stats().updates_dropped, 0);
+    assert_eq!(server.pending_len(), 0);
+}
+
+/// Drain reaping runs on the *simulated* clock, not the wall clock: a
+/// draining connection with unflushed frames survives any amount of wall
+/// time while sim time stands still, and is reaped the moment sim time
+/// passes `drain_timeout` — even within the same wall millisecond. The
+/// pre-fix reaper stamped `Instant::now()` at drain start, so a manual
+/// clock could not hold a connection open (nor close one promptly).
+#[test]
+fn drain_reaping_follows_the_simulated_clock_not_the_wall_clock() {
+    let cfg = EdgeConfig {
+        drain_timeout: Duration::from_millis(50),
+        ..Default::default()
+    };
+    let mut server = EdgeServer::bind("127.0.0.1:0", sharded(2), cfg).unwrap();
+    let addr = server.local_addr();
+    let mut client = InlineClient::connect(addr);
+    let t0 = SimTime::ZERO;
+    assert!(matches!(
+        client.recv(&mut server, t0),
+        ServerMsg::Hello { .. }
+    ));
+    // Wedge the write path: thousands of unread ops reports overfill the
+    // loopback socket buffers, so the connection's outbound queue stays
+    // non-empty and only the drain deadline can close it.
+    let mut wedged = false;
+    for _ in 0..4000 {
+        for _ in 0..8 {
+            client.send(&ClientMsg::Ops {
+                query: OpsQuery::Stats,
+            });
+        }
+        server.poll(t0);
+        let stats = server.stats();
+        if stats.frames_sent + 64 <= stats.frames_received {
+            wedged = true;
+            break;
+        }
+    }
+    assert!(wedged, "the socket buffers must fill: {:?}", server.stats());
+    // The client says goodbye but never reads its remaining frames.
+    let seen = server.stats().frames_received;
+    client.send(&ClientMsg::Bye);
+    for _ in 0..2000 {
+        server.poll(t0);
+        if server.stats().frames_received > seen {
+            break;
+        }
+    }
+    assert_eq!(server.connections(), 1, "draining, not yet closed");
+    // Wall time passes — three times the configured timeout — while the
+    // simulated clock stands still: the connection must survive.
+    std::thread::sleep(Duration::from_millis(150));
+    for _ in 0..10 {
+        server.poll(t0);
+    }
+    assert_eq!(
+        server.connections(),
+        1,
+        "wall time alone must not reap a draining connection"
+    );
+    // Just short of the simulated deadline: still alive.
+    server.poll(SimTime::new(0.04));
+    assert_eq!(server.connections(), 1);
+    // Past it — with essentially no additional wall time: reaped.
+    server.poll(SimTime::new(0.06));
+    assert_eq!(
+        server.connections(),
+        0,
+        "fifty simulated milliseconds close the drain"
+    );
+}
+
 #[test]
 fn killed_journaled_edge_recovers_from_the_wal_and_keeps_serving() {
     let wal = std::env::temp_dir().join(format!("rtdls-edge-restart-{}.wal", std::process::id()));

@@ -195,6 +195,47 @@ proptest! {
     }
 
     #[test]
+    fn hostile_length_announcements_never_drive_allocation(
+        announced in prop::collection::vec(1u32..u32::MAX, 1..8),
+        chunk in 1usize..128,
+    ) {
+        // A well-formed header is attacker-forgeable: correct magic,
+        // version, and direction, an arbitrary length claim, garbage
+        // checksum — followed by a trickle of real bytes that never
+        // completes the frame. The decoder must size its buffer by what
+        // *arrived* (bounded by the cap), never by what was *announced*:
+        // reserving from the length field before the cap check would let
+        // a 16-byte header allocate 4 GiB.
+        let cap = 4096usize;
+        let mut stream = Vec::new();
+        for len in &announced {
+            stream.extend_from_slice(b"RE");
+            stream.push(1); // version
+            stream.push(1); // direction: from-client
+            stream.extend_from_slice(&len.to_le_bytes());
+            stream.extend_from_slice(&[0u8; 8]); // checksum (never reached)
+            stream.extend_from_slice(&[0xAB; 32]); // a trickle of "payload"
+        }
+        let mut dec = FrameDecoder::new(cap);
+        let mut peak = dec.capacity();
+        for piece in stream.chunks(chunk) {
+            dec.push(piece);
+            // Drain (or trip) the decoder as the server would; errors
+            // poison it, which is fine — growth must stay bounded either way.
+            while let Ok(Some(_)) = dec.next_frame_ref() {}
+            peak = peak.max(dec.capacity());
+        }
+        // Bytes actually retained are bounded by one capped frame plus a
+        // read chunk; doubling growth at most doubles that. The announced
+        // lengths (up to 4 GiB) must leave no trace in the allocation.
+        let bound = 2 * (cap + HEADER_LEN) + 2 * 128 + 4096;
+        prop_assert!(
+            peak <= bound,
+            "peak capacity {peak} exceeds {bound} for announcements {announced:?}"
+        );
+    }
+
+    #[test]
     fn oversized_frames_are_rejected_for_any_cap(
         cap in 16usize..4096,
         over in 1usize..1024,

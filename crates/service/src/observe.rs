@@ -76,6 +76,38 @@ impl DecisionUpdate {
             DecisionUpdate::Activated { admitted, .. } => *admitted,
         }
     }
+
+    /// The same update retagged to a different task id. The network edge
+    /// namespaces task ids per connection (server-minted ids inside the
+    /// gateway, the client's own id on the wire), so every update crossing
+    /// back out of a reactor is rewritten to the id the submitting client
+    /// knows.
+    pub fn retagged(self, task: u64) -> Self {
+        match self {
+            DecisionUpdate::Resolved {
+                ticket,
+                admitted,
+                cause,
+                ..
+            } => DecisionUpdate::Resolved {
+                task,
+                ticket,
+                admitted,
+                cause,
+            },
+            DecisionUpdate::Activated {
+                ticket,
+                at,
+                admitted,
+                ..
+            } => DecisionUpdate::Activated {
+                ticket,
+                task,
+                at,
+                admitted,
+            },
+        }
+    }
 }
 
 #[cfg(test)]

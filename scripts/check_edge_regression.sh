@@ -5,8 +5,12 @@
 # committed reference in crates/bench/baselines/. Fails when the measured
 # telemetry overhead — serving with full decision tracing attached vs. the
 # bare path, same process — exceeds the 5% acceptance ceiling, when SLO
-# decision-folding at the wire exceeds the same bar, or when the worst-case
-# admission-explain counterfactual search drops below its rate floor.
+# decision-folding at the wire exceeds the same bar, when the worst-case
+# admission-explain counterfactual search drops below its rate floor, or
+# when the sharded edge stops paying for itself: the 4-reactor cluster
+# must at least match the 1-reactor reference under identical offered
+# load (same-process ratio) and beat the committed single-reactor
+# requests-per-second baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
