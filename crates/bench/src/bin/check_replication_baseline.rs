@@ -1,0 +1,98 @@
+//! CI guard for the replication shipping-overhead ceiling.
+//!
+//! Reads the baseline the `replication_shipping` bench just emitted
+//! (`target/replication_shipping_baseline.json`) and compares it against
+//! the committed reference
+//! (`crates/bench/baselines/replication_shipping.json`). Fails (exit 1)
+//! when:
+//!
+//! * the measured shipping overhead exceeds `max_overhead` — the
+//!   acceptance ceiling: shipping may tax the primary's hot path by at
+//!   most 10% over bare journaled admission; or
+//! * the overhead exceeds the committed run's by more than
+//!   `regression_tolerance` (absolute fraction) — the creep detector,
+//!   machine-independent because both sides are measured in the same
+//!   process on the same stream.
+//!
+//! Absolute nanosecond numbers are machine-specific context, never gates.
+//! Regenerate the committed file from a fresh
+//! `target/replication_shipping_baseline.json` when the CI reference
+//! machine changes, keeping `max_overhead` and the tolerance.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct Measured {
+    stream_len: u64,
+    bare_submit_ns: f64,
+    shipping_submit_ns: f64,
+    overhead: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Committed {
+    stream_len: u64,
+    bare_submit_ns: f64,
+    shipping_submit_ns: f64,
+    overhead: f64,
+    /// Hard ceiling on the measured overhead fraction (acceptance bar).
+    max_overhead: f64,
+    /// Allowed absolute increase of the overhead vs. the committed run.
+    regression_tolerance: f64,
+}
+
+fn read<T: Deserialize>(path: &std::path::Path) -> T {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()))
+}
+
+fn main() {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let committed: Committed = read(&manifest.join("baselines/replication_shipping.json"));
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| manifest.join("../../target"));
+    let measured: Measured = read(&target.join("replication_shipping_baseline.json"));
+
+    assert_eq!(
+        measured.stream_len, committed.stream_len,
+        "baseline scenario changed; regenerate the committed baseline"
+    );
+    println!(
+        "committed: {:.0} ns bare / {:.0} ns shipping ({:+.1}% overhead)\n\
+         measured:  {:.0} ns bare / {:.0} ns shipping ({:+.1}% overhead)",
+        committed.bare_submit_ns,
+        committed.shipping_submit_ns,
+        committed.overhead * 100.0,
+        measured.bare_submit_ns,
+        measured.shipping_submit_ns,
+        measured.overhead * 100.0,
+    );
+
+    let mut failed = false;
+    if measured.overhead > committed.max_overhead {
+        eprintln!(
+            "FAIL: shipping overhead {:.1}% exceeds the {:.0}% ceiling",
+            measured.overhead * 100.0,
+            committed.max_overhead * 100.0
+        );
+        failed = true;
+    }
+    let ceiling = committed.overhead + committed.regression_tolerance;
+    if measured.overhead > ceiling {
+        eprintln!(
+            "FAIL: shipping overhead {:.1}% crept more than {:.0} points past the \
+             committed {:.1}% (ceiling {:.1}%)",
+            measured.overhead * 100.0,
+            committed.regression_tolerance * 100.0,
+            committed.overhead * 100.0,
+            ceiling * 100.0,
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("replication shipping overhead OK");
+}

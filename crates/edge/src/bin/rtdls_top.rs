@@ -217,6 +217,34 @@ fn render(addr: &str, samples: &[MetricSample], traces: &[u64]) {
         }
         println!();
     }
+    // Replication health: one line saying how much admitted history a
+    // failover right now would lose, and whether the follower is attached.
+    let lookup = |name: &str| samples.iter().find(|s| s.name == name).map(|s| s.value);
+    if let Some(lag) = lookup("rtdls_replica_lag") {
+        let epoch = lookup("rtdls_replica_epoch").unwrap_or(0.0);
+        let appended = lookup("rtdls_replica_appended_offset").unwrap_or(0.0);
+        let shipped = lookup("rtdls_replica_shipped_offset").unwrap_or(0.0);
+        let acked = lookup("rtdls_replica_acked_offset").unwrap_or(0.0);
+        let link = match lookup("rtdls_replica_connected") {
+            Some(v) if v > 0.0 => "follower attached",
+            Some(_) => "NO FOLLOWER",
+            None => "transport unknown",
+        };
+        println!(
+            "replication: epoch {epoch} — appended {appended} / shipped {shipped} / acked {acked} — lag {lag} frame(s) — {link}"
+        );
+        println!();
+    }
+    if let Some(lag) = lookup("rtdls_follower_lag") {
+        let epoch = lookup("rtdls_follower_epoch").unwrap_or(0.0);
+        let applied = lookup("rtdls_follower_applied_offset").unwrap_or(0.0);
+        let promoted = lookup("rtdls_follower_promoted").unwrap_or(0.0) > 0.0;
+        println!(
+            "follower: epoch {epoch} — applied {applied} — lag {lag} frame(s){}",
+            if promoted { " — PROMOTED" } else { "" }
+        );
+        println!();
+    }
     if traces.is_empty() {
         println!("recent traces: none recorded");
     } else {

@@ -76,6 +76,7 @@ use std::time::{Duration, Instant};
 
 use rtdls_core::prelude::{Admission, SimTime, SubmitRequest};
 use rtdls_journal::prelude::{JournaledGateway, Recoverable};
+use rtdls_replica::ShippingGateway;
 use rtdls_service::prelude::{DecisionUpdate, Gateway, ShardedGateway, Verdict};
 use rtdls_sim::frontend::Frontend;
 
@@ -315,6 +316,62 @@ impl<G: Recoverable> EdgeGateway for JournaledGateway<G> {
         now: SimTime,
     ) -> Option<rtdls_core::prelude::AdmissionExplanation> {
         JournaledGateway::explain_request(self, request, now)
+    }
+}
+
+impl<G: Recoverable> EdgeGateway for ShippingGateway<G> {
+    fn decide(&mut self, request: &SubmitRequest, now: SimTime) -> Verdict {
+        let verdict = self.inner_mut().submit_request(request, now);
+        // Ship the decision's journal frames in the same turn: replication
+        // lag is bounded by the reactor's turn cadence, not a side thread.
+        self.pump(now);
+        verdict
+    }
+
+    fn drive(&mut self, now: SimTime) {
+        let inner = self.inner_mut();
+        let _ = Frontend::take_due(inner, now);
+        Frontend::on_event(inner, now);
+        Frontend::activate(inner, now);
+        let _ = Frontend::drain_resolutions(inner);
+        inner.flush_journal();
+        self.pump(now);
+    }
+
+    fn take_updates(&mut self) -> Vec<DecisionUpdate> {
+        self.inner_mut().take_decision_updates()
+    }
+
+    fn enable_observation(&mut self) {
+        self.inner_mut().observe_decisions(true);
+    }
+
+    fn next_due(&self) -> Option<SimTime> {
+        next_due_of(self.inner(), self.inner().deferred())
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.inner_mut().attach_telemetry(telemetry);
+    }
+
+    fn fold_metrics(&self, reg: &mut MetricsRegistry) {
+        ShippingGateway::fold_metrics(self, reg);
+    }
+
+    fn enable_explanations(&mut self) {
+        self.inner_mut().enable_explanations(true);
+    }
+
+    fn slo_rows(&self) -> Vec<rtdls_service::prelude::SloStatusRow> {
+        self.inner().slo_rows()
+    }
+
+    fn explain(
+        &self,
+        request: &SubmitRequest,
+        now: SimTime,
+    ) -> Option<rtdls_core::prelude::AdmissionExplanation> {
+        self.inner().explain_request(request, now)
     }
 }
 

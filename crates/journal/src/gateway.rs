@@ -53,9 +53,12 @@ impl<G: Recoverable> JournaledGateway<G> {
     }
 
     /// Wraps `inner` over an existing (empty) journal, writing the genesis
-    /// snapshot. Recovery uses this to hand back a re-journaled gateway.
+    /// snapshot (stamped with the journal's epoch). Recovery uses this to
+    /// hand back a re-journaled gateway.
     pub(crate) fn with_journal(inner: G, mut journal: Journal) -> Self {
-        journal.append_snapshot(&inner.capture());
+        let mut genesis = inner.capture();
+        genesis.epoch = journal.epoch();
+        journal.append_snapshot(&genesis);
         JournaledGateway {
             inner,
             journal,
@@ -325,8 +328,16 @@ impl<G: Recoverable> JournaledGateway<G> {
 
     fn maybe_snapshot(&mut self) {
         if self.journal.wants_snapshot() {
-            self.journal.append_snapshot(&self.inner.capture());
+            let mut snap = self.inner.capture();
+            snap.epoch = self.journal.epoch();
+            self.journal.append_snapshot(&snap);
         }
+    }
+
+    /// The promotion epoch this gateway journals under (0 for a gateway
+    /// that never failed over).
+    pub fn epoch(&self) -> u64 {
+        self.journal.epoch()
     }
 }
 

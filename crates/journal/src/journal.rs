@@ -79,6 +79,15 @@ pub trait JournalSink: Send {
     fn stats(&self) -> SinkStats {
         SinkStats::default()
     }
+    /// Tells the sink the current promotion epoch (stamped into segment
+    /// manifests by [`SegmentedSink`](crate::segment::SegmentedSink)).
+    /// Sinks without epoch-aware storage ignore it.
+    fn set_epoch(&mut self, _epoch: u64) {}
+    /// Per-segment durability counters, for sinks that rotate their log
+    /// into segments. Single-file and in-memory sinks report none.
+    fn segments(&self) -> Vec<crate::segment::SegmentStats> {
+        Vec::new()
+    }
 }
 
 /// When a [`FileSink`] fsyncs its appended frames.
@@ -255,6 +264,19 @@ pub struct Journal {
     events_since_snapshot: usize,
     events_appended: u64,
     snapshots_appended: u64,
+    /// Global sequence number of the next frame to append. Never resets —
+    /// compaction raises `base_seq` instead — so a frame's seq identifies
+    /// it for the whole journal lifetime (the replication ship offset).
+    head_seq: u64,
+    /// Sequence number of the first frame still held in `bytes`.
+    base_seq: u64,
+    /// Byte offset in `bytes` of each in-memory frame; entry `i` is the
+    /// frame with sequence number `base_seq + i`.
+    frame_index: Vec<usize>,
+    /// Promotion epoch stamped into snapshots and sealed segments. Bumped
+    /// by follower promotion; a zombie primary keeps its old epoch and its
+    /// late shipped frames are fenced by it.
+    epoch: u64,
 }
 
 impl Journal {
@@ -267,6 +289,10 @@ impl Journal {
             events_since_snapshot: 0,
             events_appended: 0,
             snapshots_appended: 0,
+            head_seq: 0,
+            base_seq: 0,
+            frame_index: Vec::new(),
+            epoch: 0,
         }
     }
 
@@ -283,6 +309,7 @@ impl Journal {
     /// [`FileSink`]). Recovery uses this so the old journal file is only
     /// touched *after* recovery has succeeded.
     pub fn attach_sink(&mut self, mut sink: Box<dyn JournalSink>) {
+        sink.set_epoch(self.epoch);
         sink.reset(&self.bytes);
         self.sink = Some(sink);
     }
@@ -313,6 +340,63 @@ impl Journal {
         self.sink.as_ref().map(|s| s.stats())
     }
 
+    /// Per-segment durability counters, when the sink rotates the log into
+    /// segments (empty for single-file and in-memory journals).
+    pub fn segment_stats(&self) -> Vec<crate::segment::SegmentStats> {
+        self.sink.as_ref().map(|s| s.segments()).unwrap_or_default()
+    }
+
+    /// Global sequence number the next appended frame will get — the
+    /// journal's *appended offset* in replication terms.
+    pub fn next_seq(&self) -> u64 {
+        self.head_seq
+    }
+
+    /// Sequence number of the earliest frame still in memory. Rises on
+    /// compaction; frames before it can no longer be re-shipped, but the
+    /// frame *at* it is always a snapshot that supersedes them.
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// The journal's promotion epoch (stamped into every snapshot it
+    /// writes and into sealed segment manifests).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Sets the promotion epoch (forwarded to the sink for its segment
+    /// manifests). Recovery sets this to the restored snapshot's epoch;
+    /// follower promotion sets it one higher.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        if let Some(sink) = &mut self.sink {
+            sink.set_epoch(epoch);
+        }
+    }
+
+    /// Raw encoded frames with sequence numbers `from..next_seq()`, clamped
+    /// to what is still in memory. Returns the first sequence number
+    /// actually included: greater than `from` when compaction dropped older
+    /// frames, in which case the first returned frame is the compacting
+    /// snapshot that supersedes them.
+    pub fn frames_from(&self, from: u64) -> (u64, Vec<&[u8]>) {
+        let start = from.max(self.base_seq);
+        let mut out = Vec::new();
+        let mut i = (start - self.base_seq) as usize;
+        while i < self.frame_index.len() {
+            let lo = self.frame_index[i];
+            let hi = self
+                .frame_index
+                .get(i + 1)
+                .copied()
+                .unwrap_or(self.bytes.len());
+            out.push(&self.bytes[lo..hi]);
+            i += 1;
+        }
+        (start, out)
+    }
+
     /// `true` once enough input events accumulated since the last snapshot.
     pub fn wants_snapshot(&self) -> bool {
         self.cfg.snapshot_every > 0 && self.events_since_snapshot >= self.cfg.snapshot_every
@@ -333,6 +417,8 @@ impl Journal {
             .expect("event serialization is infallible")
             .into_bytes();
         let frame = encode_frame(RecordKind::Event, &payload);
+        self.frame_index.push(self.bytes.len());
+        self.head_seq += 1;
         self.bytes.extend_from_slice(&frame);
         if let Some(sink) = &mut self.sink {
             sink.append(&frame);
@@ -352,11 +438,17 @@ impl Journal {
         let frame = encode_frame(RecordKind::Snapshot, &payload);
         if self.cfg.compact_on_snapshot {
             self.bytes.clear();
+            self.base_seq = self.head_seq;
+            self.frame_index.clear();
+            self.frame_index.push(0);
+            self.head_seq += 1;
             self.bytes.extend_from_slice(&frame);
             if let Some(sink) = &mut self.sink {
                 sink.reset(&self.bytes);
             }
         } else {
+            self.frame_index.push(self.bytes.len());
+            self.head_seq += 1;
             self.bytes.extend_from_slice(&frame);
             if let Some(sink) = &mut self.sink {
                 sink.append(&frame);

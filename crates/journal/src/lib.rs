@@ -72,6 +72,7 @@ pub mod event;
 pub mod gateway;
 pub mod journal;
 pub mod recover;
+pub mod segment;
 pub mod snapshot;
 pub mod telemetry;
 pub mod wire;
@@ -80,7 +81,12 @@ pub use event::JournalEvent;
 pub use gateway::JournaledGateway;
 pub use journal::{FileSink, FsyncPolicy, Journal, JournalConfig, JournalSink, SinkStats};
 pub use recover::{
-    apply_event, recover, recover_file, recover_file_with_policy, replay, RecoveryReport,
+    apply_event, recover, recover_at_epoch, recover_file, recover_file_with_policy, replay,
+    requalify, RecoveryReport,
+};
+pub use segment::{
+    read_segment_dir, recover_segment_dir, recovery_bytes, SegmentFile, SegmentMeta, SegmentStats,
+    SegmentedSink,
 };
 pub use snapshot::{GatewaySnapshot, JournalError, Recoverable};
 pub use telemetry::fold_journal_metrics;
@@ -94,7 +100,12 @@ pub mod prelude {
         FileSink, FsyncPolicy, Journal, JournalConfig, JournalSink, SinkStats,
     };
     pub use crate::recover::{
-        recover, recover_file, recover_file_with_policy, replay, RecoveryReport,
+        recover, recover_at_epoch, recover_file, recover_file_with_policy, replay, requalify,
+        RecoveryReport,
+    };
+    pub use crate::segment::{
+        read_segment_dir, recover_segment_dir, SegmentFile, SegmentMeta, SegmentStats,
+        SegmentedSink,
     };
     pub use crate::snapshot::{GatewaySnapshot, JournalError, Recoverable};
     pub use crate::telemetry::fold_journal_metrics;

@@ -48,6 +48,10 @@ pub struct RecoveryReport {
     pub demoted: Vec<TaskId>,
     /// The recovery instant the re-admission pass ran at.
     pub recovered_at: SimTime,
+    /// The promotion epoch the recovered gateway journals under: the
+    /// restored snapshot's epoch for a plain restart, one higher for a
+    /// follower promotion ([`recover_at_epoch`]).
+    pub epoch: u64,
 }
 
 /// Applies one replayed input event to a bare gateway through its ordinary
@@ -106,6 +110,7 @@ pub fn replay<G: Recoverable>(bytes: &[u8]) -> Result<(G, RecoveryReport), Journ
     let payload = String::from_utf8(snapshot_frame.payload)
         .map_err(|e| JournalError::Corrupt(e.to_string()))?;
     let snapshot: GatewaySnapshot = serde_json::from_str(&payload)?;
+    let epoch = snapshot.epoch;
     let mut gateway = G::restore(&snapshot)?;
     let mut events_replayed = 0;
     let mut audit_records = 0;
@@ -136,6 +141,7 @@ pub fn replay<G: Recoverable>(bytes: &[u8]) -> Result<(G, RecoveryReport), Journ
             tail,
             demoted: Vec::new(),
             recovered_at: SimTime::ZERO,
+            epoch,
         },
     ))
 }
@@ -151,17 +157,53 @@ pub fn recover<G: Recoverable>(
     cfg: JournalConfig,
     sink: Option<Box<dyn JournalSink>>,
 ) -> Result<(JournaledGateway<G>, RecoveryReport), JournalError> {
-    let (mut gateway, mut report) = replay::<G>(bytes)?;
-    let demoted = gateway.reverify(now);
-    report.demoted = demoted.iter().map(|t| t.id).collect();
+    let (gateway, mut report) = replay::<G>(bytes)?;
+    let (journaled, demoted) = requalify(gateway, now, cfg, sink, report.epoch);
+    report.demoted = demoted;
     report.recovered_at = now;
-    let journal = match sink {
+    Ok((journaled, report))
+}
+
+/// [`recover`] under an explicitly bumped epoch — the promotion path. The
+/// new journal (and every snapshot it writes) is stamped `epoch` instead
+/// of the crashed primary's, so the primary's late appends — still
+/// carrying the old epoch — are fenced by every epoch-aware consumer.
+pub fn recover_at_epoch<G: Recoverable>(
+    bytes: &[u8],
+    now: SimTime,
+    cfg: JournalConfig,
+    sink: Option<Box<dyn JournalSink>>,
+    epoch: u64,
+) -> Result<(JournaledGateway<G>, RecoveryReport), JournalError> {
+    let (gateway, mut report) = replay::<G>(bytes)?;
+    let (journaled, demoted) = requalify(gateway, now, cfg, sink, epoch);
+    report.demoted = demoted;
+    report.recovered_at = now;
+    report.epoch = epoch;
+    Ok((journaled, report))
+}
+
+/// Step 4 of recovery, shared with warm-standby promotion: re-verify every
+/// waiting plan at `now` (demoting what no longer passes the strict test),
+/// wrap the gateway in a fresh [`JournaledGateway`] journaling under
+/// `epoch`, and journal the demotions after the genesis snapshot. Returns
+/// the wrapper and the demoted task ids.
+pub fn requalify<G: Recoverable>(
+    mut gateway: G,
+    now: SimTime,
+    cfg: JournalConfig,
+    sink: Option<Box<dyn JournalSink>>,
+    epoch: u64,
+) -> (JournaledGateway<G>, Vec<TaskId>) {
+    let demoted: Vec<TaskId> = gateway.reverify(now).iter().map(|t| t.id).collect();
+    let mut journal = match sink {
         Some(sink) => Journal::with_sink(cfg, sink),
         None => Journal::in_memory(cfg),
     };
+    journal.set_epoch(epoch);
     let mut journaled = JournaledGateway::with_journal(gateway, journal);
     journaled.mark_recovered(now);
-    for task in &report.demoted {
+    for task in &demoted {
         journaled
             .journal_mut()
             .append_event(&JournalEvent::Demoted {
@@ -173,7 +215,7 @@ pub fn recover<G: Recoverable>(
     // a scope into breach, that breach is new (post-crash) and belongs in
     // the fresh journal.
     journaled.audit_breaches();
-    Ok((journaled, report))
+    (journaled, demoted)
 }
 
 /// Convenience for the common file round trip: read `path`, recover at

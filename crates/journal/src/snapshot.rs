@@ -112,6 +112,14 @@ pub struct GatewaySnapshot {
     /// snapshots like any other gateway book; a recovered gateway resumes
     /// alarming exactly where the crashed one stopped.
     pub slo: SloTracker,
+    /// Promotion epoch the snapshot was journaled under. [`capture`]
+    /// (which is epoch-unaware) leaves it 0; the journaling wrapper stamps
+    /// its journal's epoch before appending, and recovery carries the
+    /// restored snapshot's epoch into the new journal. A follower
+    /// promotion bumps it, fencing the previous primary's late appends.
+    ///
+    /// [`capture`]: Recoverable::capture
+    pub epoch: u64,
 }
 
 impl Deserialize for GatewaySnapshot {
@@ -140,6 +148,8 @@ impl Deserialize for GatewaySnapshot {
             // SLO-engine field: absent in pre-SLO WALs, where a fresh
             // default-policy tracker is exactly the pre-SLO behavior.
             slo: field_or_default(v, "slo")?,
+            // Replication field: pre-replication WALs are all epoch 0.
+            epoch: field_or_default(v, "epoch")?,
         })
     }
 }
@@ -293,6 +303,7 @@ impl<A: Admission> Recoverable for Gateway<A> {
             metrics: self.metrics().snapshot(),
             resolutions: self.pending_resolutions().to_vec(),
             slo: self.slo().clone(),
+            epoch: 0,
         }
     }
 
@@ -404,6 +415,7 @@ impl<A: Admission> Recoverable for ShardedGateway<A> {
             metrics: self.metrics().snapshot(),
             resolutions: self.pending_resolutions().to_vec(),
             slo: self.slo().clone(),
+            epoch: 0,
         }
     }
 

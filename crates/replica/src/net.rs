@@ -1,0 +1,221 @@
+//! Wall-clock TCP transport for the [`ShipMsg`] protocol.
+//!
+//! The sim harness proves the protocol correct under seeded faults; this
+//! module carries the *identical* messages over a real socket for the
+//! `failover` example and ops smoke tests. Framing is deliberately boring:
+//! each message is its JSON encoding behind a little-endian `u32` length
+//! prefix — torn reads surface as short frames, never as misparsed ones.
+//!
+//! Two small blocking endpoints:
+//!
+//! * [`ShipClient`] — the primary side: connects out, sends frames and
+//!   heartbeats, polls for acks with a read timeout so a silent follower
+//!   never wedges the primary's hot path.
+//! * [`FollowerServer`] — accepts one primary at a time and feeds every
+//!   message into a [`Follower`], acking back. Read-timeout silence is the
+//!   wall-clock analogue of the sim's heartbeat-loss detector: the caller
+//!   decides when the silence budget is spent and promotes.
+//!
+//! Timestamps handed to the follower are seconds since the server started
+//! — the follower only compares them against its own `promote_after`
+//! window, so any monotonic clock works.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use rtdls_core::prelude::SimTime;
+use rtdls_journal::prelude::Recoverable;
+
+use crate::follower::Follower;
+use crate::ship::ShipMsg;
+
+/// Writes one length-prefixed message.
+pub fn write_msg(stream: &mut TcpStream, msg: &ShipMsg) -> io::Result<()> {
+    let body = serde_json::to_string(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let len = u32::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "message too large"))?;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(body.as_bytes())
+}
+
+/// Reads one length-prefixed message. `Ok(None)` means clean EOF at a
+/// frame boundary; timeouts surface as `WouldBlock`/`TimedOut` errors.
+pub fn read_msg(stream: &mut TcpStream) -> io::Result<Option<ShipMsg>> {
+    let mut len = [0u8; 4];
+    match stream.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+    stream.read_exact(&mut body)?;
+    let text = String::from_utf8(body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let msg = serde_json::from_str(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(Some(msg))
+}
+
+/// The primary-side socket: sends frames/heartbeats, polls for acks.
+pub struct ShipClient {
+    stream: TcpStream,
+}
+
+impl ShipClient {
+    /// Connects to a [`FollowerServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ShipClient { stream })
+    }
+
+    /// Sends one message.
+    pub fn send(&mut self, msg: &ShipMsg) -> io::Result<()> {
+        write_msg(&mut self.stream, msg)
+    }
+
+    /// Waits up to `timeout` for one reply; `Ok(None)` = nothing arrived
+    /// (or clean EOF), which the caller treats as "no progress yet".
+    pub fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<ShipMsg>> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        match read_msg(&mut self.stream) {
+            Ok(msg) => Ok(msg),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// The follower-side socket: accepts a primary and replays its stream.
+pub struct FollowerServer<G: Recoverable> {
+    listener: TcpListener,
+    follower: Follower<G>,
+    started: Instant,
+}
+
+impl<G: Recoverable> FollowerServer<G> {
+    /// Binds `addr` (use port 0 to let the OS pick) around `follower`.
+    pub fn bind(addr: impl ToSocketAddrs, follower: Follower<G>) -> io::Result<Self> {
+        Ok(FollowerServer {
+            listener: TcpListener::bind(addr)?,
+            follower,
+            started: Instant::now(),
+        })
+    }
+
+    /// The bound address, for handing to [`ShipClient::connect`].
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Wall-clock now, in the follower's sim-time coordinates.
+    pub fn now(&self) -> SimTime {
+        SimTime::new(self.started.elapsed().as_secs_f64())
+    }
+
+    /// Accepts one primary connection and pumps its stream until the
+    /// socket goes silent for `silence` (heartbeat loss), disconnects, or
+    /// errors. Returns the number of messages processed. Afterwards the
+    /// caller inspects [`FollowerServer::follower_mut`] — typically to
+    /// check [`Follower::should_promote`] and promote.
+    pub fn serve_connection(&mut self, silence: Duration) -> io::Result<u64> {
+        let (mut stream, _peer) = self.listener.accept()?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(silence))?;
+        let mut processed = 0u64;
+        // A primary that dies between sending frames and reading our acks
+        // is the normal failover prelude, not a serving error: when an ack
+        // write breaks, stop acking but keep draining the frames it
+        // already sent — every byte it shipped should reach the mirror.
+        let mut peer_writable = true;
+        loop {
+            match read_msg(&mut stream) {
+                Ok(Some(msg)) => {
+                    processed += 1;
+                    let now = self.now();
+                    let reply = self
+                        .follower
+                        .on_msg(now, msg)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                    if let Some(ack) = reply {
+                        if peer_writable {
+                            match write_msg(&mut stream, &ack) {
+                                Ok(()) => {}
+                                Err(e)
+                                    if e.kind() == io::ErrorKind::BrokenPipe
+                                        || e.kind() == io::ErrorKind::ConnectionReset =>
+                                {
+                                    peer_writable = false;
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        }
+                    }
+                }
+                Ok(None) => return Ok(processed),
+                // WouldBlock/TimedOut: heartbeat silence — the caller's
+                // failure detector takes over. ConnectionReset: a primary
+                // that died with our unread acks still in its buffer
+                // resets instead of closing; same meaning as EOF here.
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut
+                        || e.kind() == io::ErrorKind::ConnectionReset =>
+                {
+                    return Ok(processed);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The wrapped follower.
+    pub fn follower(&self) -> &Follower<G> {
+        &self.follower
+    }
+
+    /// Mutable access, for promotion after the silence budget is spent.
+    pub fn follower_mut(&mut self) -> &mut Follower<G> {
+        &mut self.follower
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_round_trip_the_wire_framing() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let msgs = vec![
+            ShipMsg::Frame {
+                epoch: 3,
+                seq: 17,
+                bytes: vec![0, 1, 2, 254, 255],
+            },
+            ShipMsg::Heartbeat { epoch: 3, head: 18 },
+            ShipMsg::Ack { seq: 18 },
+        ];
+        let sent = msgs.clone();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            for m in &sent {
+                write_msg(&mut stream, m).unwrap();
+            }
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut got = Vec::new();
+        while let Some(m) = read_msg(&mut stream).unwrap() {
+            got.push(m);
+        }
+        writer.join().unwrap();
+        assert_eq!(got, msgs);
+    }
+}

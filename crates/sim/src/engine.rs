@@ -19,7 +19,7 @@
 //! completed task; under the paper's model (per-task link) violations are
 //! impossible and `strict` mode turns them into panics in tests.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use rtdls_core::prelude::*;
 
@@ -75,6 +75,13 @@ pub struct Simulation<F: Frontend = EngineFrontend> {
     /// End of the most recent transmission under the shared-link ablation.
     link_free: SimTime,
     running: HashMap<TaskId, RunningTask>,
+    /// Every task ever physically dispatched. A frontend swapped in mid-run
+    /// (crash recovery, failover promotion) replays its predecessor's
+    /// committed book and may re-offer a plan the cluster already executed;
+    /// the engine dispatches each task at most once.
+    ever_dispatched: HashSet<TaskId>,
+    /// Re-offered dispatches the engine suppressed (see `ever_dispatched`).
+    duplicate_dispatches: u64,
     metrics: MetricsCollector,
     trace: Option<Trace>,
     trace_task_idx: HashMap<TaskId, usize>,
@@ -107,6 +114,8 @@ impl<F: Frontend> Simulation<F> {
             release_slack_seen: false,
             link_free: SimTime::ZERO,
             running: HashMap::new(),
+            ever_dispatched: HashSet::new(),
+            duplicate_dispatches: 0,
             metrics: MetricsCollector::new(),
             trace: cfg.record_trace.then(Trace::default),
             trace_task_idx: HashMap::new(),
@@ -199,6 +208,14 @@ impl<F: Frontend> Simulation<F> {
     /// Number of events processed so far (arrivals, releases, dispatch-due).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Re-offered dispatches the engine suppressed because the task was
+    /// already physically dispatched — nonzero only when a swapped-in
+    /// frontend (crash recovery, failover promotion) replayed a committed
+    /// dispatch its predecessor had executed.
+    pub fn duplicate_dispatches(&self) -> u64 {
+        self.duplicate_dispatches
     }
 
     /// The admission frontend being driven.
@@ -438,6 +455,10 @@ impl<F: Frontend> Simulation<F> {
     /// Realizes a committed plan: computes the exact per-chunk timeline,
     /// reserves the nodes, and schedules the completion events.
     fn dispatch(&mut self, task: Task, plan: TaskPlan) {
+        if !self.ever_dispatched.insert(task.id) {
+            self.duplicate_dispatches += 1;
+            return;
+        }
         let sigma = task.data_size;
         let params = self.cfg.params;
         let n = plan.n();

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# CI guard: compare the freshly emitted replication-shipping baseline
+# (target/replication_shipping_baseline.json, written by
+# `cargo bench -p rtdls-bench --bench replication_shipping`) against the
+# committed reference in crates/bench/baselines/. Fails when the measured
+# shipping overhead on the primary's hot path exceeds the 10% acceptance
+# ceiling or creeps past the committed run by more than the tolerance.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ ! -f target/replication_shipping_baseline.json ]; then
+    echo "no fresh baseline found; running the bench first..."
+    cargo bench -p rtdls-bench --bench replication_shipping
+fi
+cargo run -q -p rtdls-bench --bin check_replication_baseline

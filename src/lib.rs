@@ -15,6 +15,7 @@
 //! | [`workload`] | the paper's workload generator (`SystemLoad`, `DCRatio`, normal sizes, uniform deadlines) plus bursty open-loop arrival streams |
 //! | [`service`] | the online serving layer: admission gateways with Accept/Defer/Reject, batched submission, and sharded multi-cluster dispatch |
 //! | [`journal`] | durability for the serving layer: write-ahead journaling of every gateway decision, compacting snapshots, and crash recovery with strict re-admission |
+//! | [`replica`] | shard replication & failover: segmented journal shipping to a warm standby, epoch-fenced promotion, and a deterministic network-fault harness |
 //! | [`edge`] | the network front-end: a hand-rolled non-blocking reactor serving the request/verdict protocol over TCP, with streamed reservation updates |
 //! | [`experiments`] | the figure harness reproducing Fig. 3–16 and the §5.2 aggregate |
 //!
@@ -47,6 +48,7 @@ pub use rtdls_core as core;
 pub use rtdls_edge as edge;
 pub use rtdls_experiments as experiments;
 pub use rtdls_journal as journal;
+pub use rtdls_replica as replica;
 pub use rtdls_service as service;
 pub use rtdls_sim as sim;
 pub use rtdls_workload as workload;
@@ -56,6 +58,7 @@ pub mod prelude {
     pub use rtdls_core::prelude::*;
     pub use rtdls_edge::prelude::*;
     pub use rtdls_journal::prelude::*;
+    pub use rtdls_replica::prelude::*;
     pub use rtdls_service::prelude::*;
     pub use rtdls_sim::prelude::*;
     pub use rtdls_workload::prelude::*;
