@@ -158,6 +158,38 @@ fn serve_once<G: EdgeGateway + Send + 'static>(gateway: G, batch: &[SubmitReques
     serve_once_with(gateway, batch, None)
 }
 
+/// The same serve with the *full* observability plane on: decision tracing,
+/// metrics-history sampling (aggressive 50ms cadence — far hotter than the
+/// 1s an operator would run), and the hot-path phase profiler.
+fn serve_once_observed(batch: &[SubmitRequest]) -> u64 {
+    let telemetry = rtdls_telemetry::Telemetry::with_defaults();
+    let mut server =
+        EdgeServer::bind("127.0.0.1:0", gateway(), EdgeConfig::default()).expect("bind");
+    server.set_telemetry(&telemetry);
+    server.enable_profiler();
+    server.enable_history(rtdls_telemetry::HistoryConfig {
+        capacity: 240,
+        cadence: 0.05,
+    });
+    let addr = server.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || server.run(EdgeClock::real_time(), &stop2));
+    let report = ReplayClient::connect(addr)
+        .expect("connect")
+        .run(
+            batch.to_vec(),
+            32,
+            Duration::from_millis(0),
+            Duration::from_secs(30),
+        )
+        .expect("replay");
+    stop.store(true, Ordering::Relaxed);
+    let _ = handle.join().expect("server thread");
+    assert!(!report.timed_out, "observed run must complete");
+    report.verdicts()
+}
+
 fn bench_codec(c: &mut Criterion) {
     let req = requests(1)[0];
     let msg = ClientMsg::Submit {
@@ -208,6 +240,11 @@ fn bench_loopback(c: &mut Criterion) {
             let telemetry = rtdls_telemetry::Telemetry::with_defaults();
             black_box(serve_once_with(gateway(), &batch, Some(&telemetry)))
         })
+    });
+    // The full plane: tracing + history sampling + profiler. Gated at 5%
+    // over the bare path by check_edge_baseline (`history_overhead`).
+    group.bench_function("observability_on", |b| {
+        b.iter(|| black_box(serve_once_observed(&batch)))
     });
     group.finish();
 }
@@ -272,6 +309,37 @@ fn median_secs(mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Interleaved overhead measurement: each round times the bare arm and the
+/// instrumented arm back-to-back, yielding one per-round overhead ratio
+/// (`1 - base/on`); the median over rounds discards the rounds where a
+/// scheduler stall hit one arm. Far more stable for a gated ratio than
+/// comparing two independently-measured medians, whose one-sided loopback
+/// noise does not cancel. Returns `(median_on_secs, median_overhead)`.
+fn paired_overhead(label: &str, mut base: impl FnMut(), mut on: impl FnMut()) -> (f64, f64) {
+    let mut ons = Vec::new();
+    let mut ratios = Vec::new();
+    for _ in 0..15 {
+        let t = std::time::Instant::now();
+        base();
+        let b = t.elapsed().as_secs_f64();
+        let t = std::time::Instant::now();
+        on();
+        let o = t.elapsed().as_secs_f64();
+        ons.push(o);
+        ratios.push(1.0 - b / o);
+    }
+    ons.sort_by(f64::total_cmp);
+    ratios.sort_by(f64::total_cmp);
+    let median = ratios[ratios.len() / 2];
+    println!(
+        "{label} overhead rounds: min {:+.1}% median {:+.1}% max {:+.1}%",
+        ratios[0] * 100.0,
+        median * 100.0,
+        ratios[ratios.len() - 1] * 100.0,
+    );
+    (ons[ons.len() / 2], median)
+}
+
 #[derive(serde::Serialize)]
 struct Baseline {
     codec_roundtrips_per_sec: f64,
@@ -281,6 +349,12 @@ struct Baseline {
     /// Relative cost of serving with telemetry attached vs. without, both
     /// measured in this process (`1 - on/off`; negative = in the noise).
     telemetry_overhead: f64,
+    /// Loopback serve with the full observability plane: tracing plus
+    /// metrics-history sampling plus the hot-path profiler.
+    loopback_requests_per_sec_history: f64,
+    /// Relative cost of the full plane vs. the bare path (`1 - on/off`;
+    /// negative = in the noise). The always-on acceptance bar.
+    history_overhead: f64,
     /// Counterfactual searches per second on a busy 64-node book (the
     /// worst case an `Ops::Explain` probe or rejected-verdict annotation
     /// pays).
@@ -332,15 +406,38 @@ fn emit_baseline(_c: &mut Criterion) {
         let j = JournaledGateway::new(gateway(), JournalConfig::default());
         black_box(serve_once(j, &batch));
     });
-    let with_telemetry = median_secs(|| {
-        let telemetry = rtdls_telemetry::Telemetry::with_defaults();
-        black_box(serve_once_with(gateway(), &batch, Some(&telemetry)));
-    });
-    let with_slo = median_secs(|| {
-        let mut g = gateway();
-        g.set_slo(SloTracker::new(SloPolicy::default()));
-        black_box(serve_once(g, &batch));
-    });
+    // Each overhead ratio comes from its own interleaved pair, so both
+    // arms see the same machine conditions round by round.
+    let (with_telemetry, telemetry_overhead) = paired_overhead(
+        "telemetry",
+        || {
+            black_box(serve_once(gateway(), &batch));
+        },
+        || {
+            let telemetry = rtdls_telemetry::Telemetry::with_defaults();
+            black_box(serve_once_with(gateway(), &batch, Some(&telemetry)));
+        },
+    );
+    let (with_observability, history_overhead) = paired_overhead(
+        "observability",
+        || {
+            black_box(serve_once(gateway(), &batch));
+        },
+        || {
+            black_box(serve_once_observed(&batch));
+        },
+    );
+    let (with_slo, slo_overhead) = paired_overhead(
+        "slo",
+        || {
+            black_box(serve_once(gateway(), &batch));
+        },
+        || {
+            let mut g = gateway();
+            g.set_slo(SloTracker::new(SloPolicy::default()));
+            black_box(serve_once(g, &batch));
+        },
+    );
     let params = ClusterParams::new(64, 1.0, 100.0).unwrap();
     let mut ctl = AdmissionController::new(params, AlgorithmKind::EDF_DLT, PlanConfig::default());
     for node in 0..64 {
@@ -371,10 +468,12 @@ fn emit_baseline(_c: &mut Criterion) {
         loopback_requests_per_sec: batch.len() as f64 / plain,
         loopback_requests_per_sec_journaled: batch.len() as f64 / journaled,
         loopback_requests_per_sec_telemetry: batch.len() as f64 / with_telemetry,
-        telemetry_overhead: 1.0 - plain / with_telemetry,
+        telemetry_overhead,
+        loopback_requests_per_sec_history: batch.len() as f64 / with_observability,
+        history_overhead,
         explain_probes_per_sec: n_explain as f64 / explain,
         loopback_requests_per_sec_slo: batch.len() as f64 / with_slo,
-        slo_overhead: 1.0 - plain / with_slo,
+        slo_overhead,
         loopback_requests_per_sec_multi1: multi1,
         loopback_requests_per_sec_multi2: multi2,
         loopback_requests_per_sec_multi4: multi4,

@@ -7,7 +7,10 @@
 //! cost of serving a loopback batch with a telemetry handle attached vs.
 //! the bare path, both measured in the same process — exceeds the
 //! committed `max_telemetry_overhead` ceiling (the acceptance bar: full
-//! decision tracing must cost ≤ 5% of edge throughput), when the
+//! decision tracing must cost ≤ 5% of edge throughput), when the full
+//! observability plane (tracing + metrics-history sampling + profiler)
+//! exceeds its own `max_history_overhead` ceiling — the "always-on"
+//! claim — when the
 //! multi-reactor speedup — the 4-reactor cluster vs. the 1-reactor
 //! reference, same offered load, same process — falls below the committed
 //! floor (sharding must never lose to the single reactor), or when the
@@ -31,6 +34,8 @@ struct Measured {
     loopback_requests_per_sec_journaled: f64,
     loopback_requests_per_sec_telemetry: f64,
     telemetry_overhead: f64,
+    loopback_requests_per_sec_history: f64,
+    history_overhead: f64,
     explain_probes_per_sec: f64,
     loopback_requests_per_sec_slo: f64,
     slo_overhead: f64,
@@ -47,6 +52,8 @@ struct Committed {
     loopback_requests_per_sec_journaled: f64,
     loopback_requests_per_sec_telemetry: f64,
     telemetry_overhead: f64,
+    loopback_requests_per_sec_history: f64,
+    history_overhead: f64,
     explain_probes_per_sec: f64,
     loopback_requests_per_sec_slo: f64,
     slo_overhead: f64,
@@ -56,6 +63,10 @@ struct Committed {
     multi_speedup: f64,
     /// Hard ceiling on the measured overhead (acceptance criterion).
     max_telemetry_overhead: f64,
+    /// Same bar for the *full* observability plane — tracing plus
+    /// metrics-history sampling plus the hot-path profiler, all on at
+    /// once. The "always-on" claim is this ceiling.
+    max_history_overhead: f64,
     /// Same bar for SLO decision-folding at the wire.
     max_slo_overhead: f64,
     /// Floor on worst-case counterfactual searches per second — the
@@ -94,6 +105,15 @@ fn main() {
     );
 
     println!(
+        "committed: {:.0} rps full observability ({:+.1}% overhead)\n\
+         measured:  {:.0} rps full observability ({:+.1}% overhead)",
+        committed.loopback_requests_per_sec_history,
+        committed.history_overhead * 100.0,
+        measured.loopback_requests_per_sec_history,
+        measured.history_overhead * 100.0,
+    );
+
+    println!(
         "committed: {:.0} rps slo ({:+.1}% overhead), {:.0} explains/s\n\
          measured:  {:.0} rps slo ({:+.1}% overhead), {:.0} explains/s",
         committed.loopback_requests_per_sec_slo,
@@ -123,6 +143,14 @@ fn main() {
             "FAIL: telemetry overhead {:.1}% above the {:.0}% ceiling",
             measured.telemetry_overhead * 100.0,
             committed.max_telemetry_overhead * 100.0,
+        );
+        failed = true;
+    }
+    if measured.history_overhead > committed.max_history_overhead {
+        eprintln!(
+            "FAIL: full-observability overhead {:.1}% above the {:.0}% ceiling",
+            measured.history_overhead * 100.0,
+            committed.max_history_overhead * 100.0,
         );
         failed = true;
     }
@@ -159,5 +187,5 @@ fn main() {
     if failed {
         std::process::exit(1);
     }
-    println!("edge telemetry, SLO, explain, and multi-reactor scaling OK");
+    println!("edge telemetry, observability plane, SLO, explain, and multi-reactor scaling OK");
 }

@@ -11,13 +11,22 @@
 //! rtdls-top --json <addr>          # one poll, JSON-lines samples
 //! rtdls-top --trace <id> <addr>    # one trace's recorded timeline
 //! rtdls-top --slo <addr>           # the deadline-SLO status table
+//! rtdls-top --history <series> <addr>  # one series' retained points
+//! rtdls-top --profile <addr>       # the hot-path phase profile tree
 //! rtdls-top --self-test            # in-process end-to-end smoke (CI)
+//! rtdls-top --scrape-smoke         # replicated scrape/history smoke (CI)
 //! ```
+//!
+//! Watch mode additionally renders a sparkline panel from the server's
+//! metrics history ring when [`EdgeServer::enable_history`] is on.
 //!
 //! `--self-test` boots a telemetry-attached sharded gateway behind an
 //! in-process edge on an ephemeral loopback port, submits through the real
 //! protocol, then exercises every ops query exactly as a remote `rtdls-top`
-//! would — the CI smoke for the whole ops path.
+//! would — the CI smoke for the whole ops path. `--scrape-smoke` does the
+//! same against a *replicated* edge (shipping gateway + warm standby) with
+//! history and profiler on, and proves the Prometheus exposition rebuilt
+//! from `Ops::Stats` parses line-for-line.
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -25,7 +34,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rtdls_edge::prelude::*;
-use rtdls_telemetry::{MetricKind, MetricSample, Span};
+use rtdls_telemetry::{render_tree, MetricKind, MetricSample, SeriesPoint, Span};
 
 const POLL_DEADLINE: Duration = Duration::from_secs(5);
 
@@ -33,6 +42,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("--self-test") => self_test(),
+        Some("--scrape-smoke") => scrape_smoke(),
         Some("--once") => require_addr(&args, 1)
             .map(|a| poll_once(a, false))
             .unwrap_or(2),
@@ -46,6 +56,11 @@ fn main() {
             (Some(id), Some(addr)) => show_trace(addr, id),
             _ => usage(),
         },
+        Some("--history") => match (args.get(1).cloned(), require_addr(&args, 2)) {
+            (Some(series), Some(addr)) => show_history(addr, series),
+            _ => usage(),
+        },
+        Some("--profile") => require_addr(&args, 1).map(show_profile).unwrap_or(2),
         Some("--slo") => require_addr(&args, 1).map(show_slo).unwrap_or(2),
         Some(addr) if !addr.starts_with('-') => watch(addr.to_string()),
         _ => usage(),
@@ -55,7 +70,8 @@ fn main() {
 
 fn usage() -> i32 {
     eprintln!(
-        "usage: rtdls-top <addr> | --once <addr> | --json <addr> | --trace <id> <addr> | --slo <addr> | --self-test"
+        "usage: rtdls-top <addr> | --once <addr> | --json <addr> | --trace <id> <addr> | \
+         --slo <addr> | --history <series> <addr> | --profile <addr> | --self-test | --scrape-smoke"
     );
     2
 }
@@ -71,13 +87,13 @@ fn require_addr(args: &[String], at: usize) -> Option<String> {
 /// One poll: fetch, render (text or JSON lines), exit.
 fn poll_once(addr: String, json: bool) -> i32 {
     match fetch(&addr) {
-        Ok((samples, traces)) => {
+        Ok((samples, traces, panel)) => {
             if json {
                 for s in &samples {
                     println!("{}", sample_json(s));
                 }
             } else {
-                render(&addr, &samples, &traces);
+                render(&addr, &samples, &traces, &panel);
             }
             0
         }
@@ -92,10 +108,10 @@ fn poll_once(addr: String, json: bool) -> i32 {
 fn watch(addr: String) -> i32 {
     loop {
         match fetch(&addr) {
-            Ok((samples, traces)) => {
+            Ok((samples, traces, panel)) => {
                 // ANSI clear+home, like any self-respecting top.
                 print!("\x1b[2J\x1b[H");
-                render(&addr, &samples, &traces);
+                render(&addr, &samples, &traces, &panel);
             }
             Err(e) => {
                 eprintln!("rtdls-top: {addr}: {e}");
@@ -171,14 +187,77 @@ fn show_slo(addr: String) -> i32 {
     }
 }
 
-fn fetch(addr: &str) -> std::io::Result<(Vec<MetricSample>, Vec<u64>)> {
+/// The watch-mode sparkline panel: series name plus its retained points.
+type HistoryPanel = Vec<(String, Vec<SeriesPoint>)>;
+
+fn fetch(addr: &str) -> std::io::Result<(Vec<MetricSample>, Vec<u64>, HistoryPanel)> {
     let mut client = OpsClient::connect(addr)?;
     let samples = client.stats(POLL_DEADLINE)?;
     let traces = client.recent_traces(POLL_DEADLINE)?;
-    Ok((samples, traces))
+    // History panel: catalog round trip, then the points of a small set of
+    // load-bearing series. Empty catalog = history disabled server-side.
+    let (_, available) = client.history("", 0.0, POLL_DEADLINE)?;
+    let mut panel = Vec::new();
+    for name in pick_panel_series(&available) {
+        let (points, _) = client.history(&name, 0.0, POLL_DEADLINE)?;
+        panel.push((name, points));
+    }
+    Ok((samples, traces, panel))
 }
 
-fn render(addr: &str, samples: &[MetricSample], traces: &[u64]) {
+/// Picks which series the watch panel plots: the headline throughput and
+/// replication-lag series when tracked, padded with whatever else the store
+/// retains, capped so the panel stays one glance tall.
+fn pick_panel_series(available: &[String]) -> Vec<String> {
+    const PREFERRED: [&str; 4] = [
+        "rtdls_edge_submits",
+        "rtdls_edge_turns",
+        "rtdls_gateway_submitted",
+        "rtdls_replica_lag_frames",
+    ];
+    let mut picked: Vec<String> = PREFERRED
+        .iter()
+        .filter(|p| available.iter().any(|a| a == *p))
+        .map(|p| p.to_string())
+        .collect();
+    for name in available {
+        if picked.len() >= 6 {
+            break;
+        }
+        if !picked.contains(name) {
+            picked.push(name.clone());
+        }
+    }
+    picked
+}
+
+/// Renders up to `width` newest points as a unicode bar strip, normalized
+/// to the window's own min..max (a flat series renders all-low).
+fn sparkline(points: &[SeriesPoint], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let tail = &points[points.len().saturating_sub(width)..];
+    if tail.is_empty() {
+        return "(no points yet)".to_string();
+    }
+    let lo = tail.iter().map(|p| p.value).fold(f64::INFINITY, f64::min);
+    let hi = tail
+        .iter()
+        .map(|p| p.value)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = hi - lo;
+    tail.iter()
+        .map(|p| {
+            let norm = if span > 0.0 {
+                (p.value - lo) / span
+            } else {
+                0.0
+            };
+            BARS[((norm * 7.0).round() as usize).min(7)]
+        })
+        .collect()
+}
+
+fn render(addr: &str, samples: &[MetricSample], traces: &[u64], panel: &HistoryPanel) {
     println!("rtdls-top — {addr} — {} samples", samples.len());
     println!();
     let mut sorted: Vec<&MetricSample> = samples.iter().collect();
@@ -245,11 +324,84 @@ fn render(addr: &str, samples: &[MetricSample], traces: &[u64]) {
         );
         println!();
     }
+    if !panel.is_empty() {
+        println!("history (newest right, window-normalized):");
+        for (name, points) in panel {
+            let last = points.last().map_or(0.0, |p| p.value);
+            println!("  {name:<40} {} {last}", sparkline(points, 32));
+        }
+        println!();
+    }
     if traces.is_empty() {
         println!("recent traces: none recorded");
     } else {
         let ids: Vec<String> = traces.iter().map(u64::to_string).collect();
         println!("recent traces (newest last): {}", ids.join(" "));
+    }
+}
+
+/// `--history`: dump one series' retained ring (or the catalog on a miss).
+fn show_history(addr: String, series: String) -> i32 {
+    let mut client = match OpsClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rtdls-top: {addr}: {e}");
+            return 1;
+        }
+    };
+    match client.history(&series, 0.0, POLL_DEADLINE) {
+        Ok((points, available)) => {
+            if points.is_empty() {
+                println!("series {series:?}: no recorded points");
+                if available.is_empty() {
+                    println!("(history disabled on this server — see EdgeServer::enable_history)");
+                } else {
+                    println!("tracked series:");
+                    for name in &available {
+                        println!("  {name}");
+                    }
+                }
+            } else {
+                println!(
+                    "{series} — {} point(s)  {}",
+                    points.len(),
+                    sparkline(&points, 60)
+                );
+                for p in &points {
+                    println!("  {:>14.3}s  {}", p.at.as_f64(), p.value);
+                }
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("rtdls-top: {addr}: {e}");
+            1
+        }
+    }
+}
+
+/// `--profile`: render the hot-path phase tree the profiler accumulated.
+fn show_profile(addr: String) -> i32 {
+    let mut client = match OpsClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rtdls-top: {addr}: {e}");
+            return 1;
+        }
+    };
+    match client.profile(POLL_DEADLINE) {
+        Ok(phases) if phases.is_empty() => {
+            println!("profiler: no phases recorded (disabled, or no traffic yet)");
+            0
+        }
+        Ok(phases) => {
+            print!("{}", render_tree(&phases));
+            0
+        }
+        Err(e) => {
+            eprintln!("rtdls-top: {addr}: {e}");
+            1
+        }
     }
 }
 
@@ -278,7 +430,7 @@ fn sample_json(s: &MetricSample) -> String {
 fn self_test() -> i32 {
     use rtdls_core::prelude::*;
     use rtdls_service::prelude::*;
-    use rtdls_telemetry::{Telemetry, TelemetryConfig};
+    use rtdls_telemetry::{HistoryConfig, Telemetry, TelemetryConfig};
 
     let params = ClusterParams::paper_baseline();
     let gateway = ShardedGateway::new(
@@ -294,6 +446,12 @@ fn self_test() -> i32 {
     let mut server =
         EdgeServer::bind("127.0.0.1:0", gateway, EdgeConfig::default()).expect("bind loopback");
     server.set_telemetry(&telemetry);
+    server.enable_profiler();
+    // Fast cadence so the smoke's short wall-clock run still lands samples.
+    server.enable_history(HistoryConfig {
+        capacity: 240,
+        cadence: 0.05,
+    });
     let addr: SocketAddr = server.local_addr();
     let stop = Arc::new(AtomicBool::new(false));
     let server_stop = Arc::clone(&stop);
@@ -360,15 +518,197 @@ fn self_test() -> i32 {
         "an admissible request needs no explanation"
     );
 
+    // Metrics history: the catalog lists edge stats, and a named series
+    // query returns its retained ring.
+    let (points, available) = ops
+        .history("", 0.0, POLL_DEADLINE)
+        .expect("history catalog");
+    assert!(points.is_empty(), "catalog query carries no points");
+    assert!(
+        available.iter().any(|s| s == "rtdls_edge_submits"),
+        "history tracks edge submits: {available:?}"
+    );
+    let (points, _) = ops
+        .history("rtdls_edge_submits", 0.0, POLL_DEADLINE)
+        .expect("history series");
+    assert!(!points.is_empty(), "the submit series has sampled points");
+
+    // Profiler: the reactor's drive phase accumulated intervals.
+    let phases = ops.profile(POLL_DEADLINE).expect("profile report");
+    assert!(
+        phases.iter().any(|p| p.path == "edge/drive" && p.count > 0),
+        "the drive phase profiled: {phases:?}"
+    );
+
+    // Identity: an unreplicated sharded gateway is epoch 0, no ack lag.
+    let identity = ops.identity(POLL_DEADLINE).expect("identity");
+    assert_eq!(identity, (0, None), "sharded gateway identity");
+
     stop.store(true, Ordering::Relaxed);
     let (_gateway, stats) = handle.join().expect("server thread");
     assert_eq!(stats.submits, 8);
     println!(
-        "self-test ok: {} samples, {} traces, newest timeline {} span(s), {} slo row(s), explain ok",
+        "self-test ok: {} samples, {} traces, newest timeline {} span(s), {} slo row(s), \
+         {} tracked series, {} profiled phase(s), explain ok",
         samples.len(),
         traces.len(),
         spans.len(),
-        rows.len()
+        rows.len(),
+        available.len(),
+        phases.len()
+    );
+    0
+}
+
+/// CI scrape smoke: a *replicated* edge (shipping gateway + warm standby)
+/// with history and profiler enabled, driven through the real protocol.
+/// Rebuilds a registry from the `Ops::Stats` wire samples and proves the
+/// Prometheus exposition parses line-for-line, then round-trips a history
+/// series and the phase profile — the path a scrape agent would take.
+fn scrape_smoke() -> i32 {
+    use rtdls_core::prelude::*;
+    use rtdls_journal::prelude::*;
+    use rtdls_replica::prelude::*;
+    use rtdls_service::prelude::*;
+    use rtdls_telemetry::{HistoryConfig, MetricsRegistry, Telemetry, TelemetryConfig};
+
+    // The warm standby, accepting one primary.
+    let follower: Follower<ShardedGateway> = Follower::new(FollowerConfig::default());
+    let mut standby = FollowerServer::bind("127.0.0.1:0", follower).expect("bind standby");
+    let standby_addr = standby.local_addr().expect("standby addr");
+    let standby_thread = std::thread::spawn(move || {
+        standby
+            .serve_connection(Duration::from_secs(10))
+            .expect("standby serves")
+    });
+
+    // The primary edge, shipping as it serves, observability fully on.
+    let sharded = ShardedGateway::new(
+        ClusterParams::paper_baseline(),
+        2,
+        AlgorithmKind::EDF_DLT,
+        PlanConfig::default(),
+        Routing::LeastLoaded,
+        DeferPolicy::default(),
+    )
+    .expect("valid gateway");
+    let journaled = JournaledGateway::new(
+        sharded,
+        JournalConfig {
+            snapshot_every: 0,
+            compact_on_snapshot: false,
+        },
+    );
+    let mut gateway = ShippingGateway::new(journaled, ShipConfig::default());
+    gateway.attach(ShipClient::connect(standby_addr).expect("connect standby"));
+    let telemetry = Telemetry::new(TelemetryConfig::default());
+    let mut server =
+        EdgeServer::bind("127.0.0.1:0", gateway, EdgeConfig::default()).expect("bind edge");
+    server.set_telemetry(&telemetry);
+    server.enable_profiler();
+    server.enable_history(HistoryConfig {
+        capacity: 240,
+        cadence: 0.05,
+    });
+    let addr = server.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server_stop = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || server.run(EdgeClock::real_time(), &server_stop));
+
+    // Submit through the real protocol.
+    let requests = (1..=8u64).map(|id| SubmitRequest::new(Task::new(id, 0.0, 200.0, 30_000.0)));
+    let client = ReplayClient::connect(addr).expect("connect replay");
+    let report = client
+        .run(
+            requests,
+            4,
+            Duration::from_millis(50),
+            Duration::from_secs(5),
+        )
+        .expect("replay run");
+    assert_eq!(report.verdicts(), 8, "every submit answered: {report:?}");
+
+    // Scrape: rebuild a registry from the wire samples; the exposition it
+    // renders must parse — every non-comment line is `name[{labels}] value`.
+    let mut ops = OpsClient::connect(addr).expect("connect ops");
+    let samples = ops.stats(POLL_DEADLINE).expect("stats report");
+    let mut reg = MetricsRegistry::new();
+    for s in &samples {
+        let labels: Vec<(&str, &str)> = s
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        match s.kind {
+            MetricKind::Counter => reg.counter(&s.name, &labels, s.value as u64),
+            MetricKind::Gauge => reg.gauge(&s.name, &labels, s.value),
+        }
+    }
+    let exposition = reg.to_prometheus();
+    let mut scraped = 0usize;
+    for line in exposition.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("metric line splits");
+        assert!(!name.is_empty(), "metric line has a name: {line:?}");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "metric value parses as f64: {line:?}"
+        );
+        scraped += 1;
+    }
+    assert!(scraped > 0, "the exposition has metric lines");
+    assert!(
+        exposition.contains("rtdls_replica_lag"),
+        "the primary's replica lag gauge is scrapeable"
+    );
+    assert!(
+        exposition.contains("rtdls_edge_submits"),
+        "edge stats are scrapeable"
+    );
+
+    // Identity: replicated primary at epoch 0, with a live ack-lag reading.
+    let (epoch, ack_lag) = ops.identity(POLL_DEADLINE).expect("identity");
+    assert_eq!(epoch, 0, "pre-failover primary is epoch 0");
+    assert!(ack_lag.is_some(), "an attached transport reports ack lag");
+
+    // History and profile round-trip over the wire.
+    let (_, available) = ops
+        .history("", 0.0, POLL_DEADLINE)
+        .expect("history catalog");
+    assert!(!available.is_empty(), "history sampled at least once");
+    let series = available
+        .iter()
+        .find(|s| *s == "rtdls_edge_submits")
+        .unwrap_or(&available[0])
+        .clone();
+    let (points, _) = ops
+        .history(&series, 0.0, POLL_DEADLINE)
+        .expect("history series");
+    assert!(!points.is_empty(), "series {series} has points");
+    let phases = ops.profile(POLL_DEADLINE).expect("profile report");
+    assert!(
+        phases.iter().any(|p| p.path.starts_with("ship/")),
+        "the shipper's phases profiled: {phases:?}"
+    );
+    assert!(
+        phases.iter().any(|p| p.path.starts_with("edge/")),
+        "the reactor's phases profiled: {phases:?}"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    let (gateway, stats) = handle.join().expect("edge thread");
+    assert_eq!(stats.submits, 8);
+    drop(gateway); // closes the ship link; the standby drains on EOF
+    let processed = standby_thread.join().expect("standby thread");
+    assert!(processed >= 9, "standby saw the stream: {processed}");
+    println!(
+        "scrape-smoke ok: {scraped} exposition line(s), {} tracked series, {} profiled phase(s), \
+         {} frame(s) replicated",
+        available.len(),
+        phases.len(),
+        processed
     );
     0
 }

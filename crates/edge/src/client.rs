@@ -332,7 +332,49 @@ impl OpsClient {
         deadline: Duration,
     ) -> std::io::Result<Vec<rtdls_telemetry::MetricSample>> {
         match self.query(OpsQuery::Stats, deadline)? {
-            OpsReport::Stats { samples } => Ok(samples),
+            OpsReport::Stats { samples, .. } => Ok(samples),
+            other => Err(mismatched(other)),
+        }
+    }
+
+    /// The serving identity from the stats report: the gateway's
+    /// promotion epoch and the replication follower's ack lag (`None` =
+    /// not replicating / no follower ever acked).
+    pub fn identity(&mut self, deadline: Duration) -> std::io::Result<(u64, Option<u64>)> {
+        match self.query(OpsQuery::Stats, deadline)? {
+            OpsReport::Stats { epoch, ack_lag, .. } => Ok((epoch, ack_lag)),
+            other => Err(mismatched(other)),
+        }
+    }
+
+    /// Recent history of one metric series (empty string = just list what
+    /// is available). Returns `(points, available_series)`.
+    pub fn history(
+        &mut self,
+        series: &str,
+        range: f64,
+        deadline: Duration,
+    ) -> std::io::Result<(Vec<rtdls_telemetry::SeriesPoint>, Vec<String>)> {
+        let query = OpsQuery::History {
+            series: series.to_string(),
+            range,
+        };
+        match self.query(query, deadline)? {
+            OpsReport::History {
+                points, available, ..
+            } => Ok((points, available)),
+            other => Err(mismatched(other)),
+        }
+    }
+
+    /// The hot-path profiler's phase tree, path-sorted (empty when
+    /// profiling is disabled on the server).
+    pub fn profile(
+        &mut self,
+        deadline: Duration,
+    ) -> std::io::Result<Vec<rtdls_telemetry::PhaseProfile>> {
+        match self.query(OpsQuery::Profile, deadline)? {
+            OpsReport::Profile { phases } => Ok(phases),
             other => Err(mismatched(other)),
         }
     }

@@ -26,7 +26,7 @@ use serde::{Deserialize, Serialize};
 
 use rtdls_core::prelude::{AdmissionExplanation, SubmitRequest};
 use rtdls_service::prelude::{DecisionUpdate, SloStatusRow, Verdict};
-use rtdls_telemetry::{MetricSample, Span};
+use rtdls_telemetry::{MetricSample, PhaseProfile, SeriesPoint, Span};
 
 use crate::codec::{encode_frame, Direction};
 
@@ -35,7 +35,7 @@ use crate::codec::{encode_frame, Direction};
 pub const PROTOCOL_VERSION: u32 = 1;
 
 /// Client → server messages.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum ClientMsg {
     /// Optional greeting; a version mismatch fails the connection fast.
     Hello {
@@ -63,7 +63,7 @@ pub enum ClientMsg {
 }
 
 /// A live-ops query carried by [`ClientMsg::Ops`].
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum OpsQuery {
     /// The unified metrics snapshot: every layer's native stats folded into
     /// the registry and flattened to scalar samples.
@@ -88,16 +88,38 @@ pub enum OpsQuery {
         /// The hypothetical submission envelope.
         request: SubmitRequest,
     },
+    /// Recent history of one metric series from the server's in-memory
+    /// time-series ring (empty unless history is enabled on the server).
+    History {
+        /// The series key, as listed in a previous report's `available`
+        /// list (`name{label=value,...}`). An empty string asks only for
+        /// the available-series catalog.
+        series: String,
+        /// How far back, in sim-seconds from the server's now. `<= 0`
+        /// means everything the ring retains.
+        range: f64,
+    },
+    /// The hot-path profiler's phase tree (empty unless profiling is
+    /// enabled on the server).
+    Profile,
 }
 
 /// The answer to one [`OpsQuery`], carried by [`ServerMsg::OpsReport`].
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum OpsReport {
     /// Flattened metric samples (histograms become `_count`/`_sum`/
-    /// quantile-gauge scalars).
+    /// quantile-gauge scalars) plus the serving identity: which epoch
+    /// answers, and how far a follower's acks trail the journal head.
     Stats {
         /// The samples, registry insertion order.
         samples: Vec<MetricSample>,
+        /// The gateway's promotion epoch (0 = never failed over, or the
+        /// gateway does not journal).
+        epoch: u64,
+        /// Frames appended but not yet acked by a replication follower —
+        /// the history a failover right now would lose. `None` when the
+        /// gateway does not ship, or no follower has ever acked.
+        ack_lag: Option<u64>,
     },
     /// One trace's recorded spans in seq order (empty when the trace id is
     /// unknown or its spans have been overwritten in the ring).
@@ -125,6 +147,22 @@ pub enum OpsReport {
         task: u64,
         /// The infeasibility explanation, when the request would fail.
         explanation: Option<AdmissionExplanation>,
+    },
+    /// The answer to an [`OpsQuery::History`] query.
+    History {
+        /// The queried series key, echoed.
+        series: String,
+        /// The retained points in the requested range, oldest first
+        /// (empty when the series is unknown or history is disabled).
+        points: Vec<SeriesPoint>,
+        /// Every series key the store currently retains, sorted.
+        available: Vec<String>,
+    },
+    /// The answer to an [`OpsQuery::Profile`] query: the phase tree,
+    /// path-sorted (empty when profiling is disabled).
+    Profile {
+        /// Per-phase latency profiles.
+        phases: Vec<PhaseProfile>,
     },
 }
 
@@ -290,6 +328,15 @@ mod tests {
                     .with_tenant(TenantId(2))
                     .with_qos(QosClass::Standard),
             },
+            OpsQuery::History {
+                series: "rtdls_gateway_submitted".to_string(),
+                range: 30.0,
+            },
+            OpsQuery::History {
+                series: String::new(),
+                range: 0.0,
+            },
+            OpsQuery::Profile,
         ];
         for query in queries {
             let msg = ClientMsg::Ops { query };
@@ -304,6 +351,8 @@ mod tests {
                     kind: MetricKind::Counter,
                     value: 12.0,
                 }],
+                epoch: 2,
+                ack_lag: Some(4),
             },
             OpsReport::Trace {
                 id: 99,
@@ -348,6 +397,34 @@ mod tests {
             OpsReport::Explain {
                 task: 56,
                 explanation: None,
+            },
+            OpsReport::History {
+                series: "rtdls_gateway_submitted".to_string(),
+                points: vec![
+                    SeriesPoint {
+                        at: SimTime::new(1.0),
+                        value: 3.0,
+                    },
+                    SeriesPoint {
+                        at: SimTime::new(2.0),
+                        value: 0.0,
+                    },
+                ],
+                available: vec![
+                    "rtdls_edge_connections".to_string(),
+                    "rtdls_gateway_submitted".to_string(),
+                ],
+            },
+            OpsReport::Profile {
+                phases: vec![PhaseProfile {
+                    path: "edge/drive".to_string(),
+                    count: 12,
+                    total_ns: 48_000,
+                    max_ns: 9_000,
+                    p50_ns: 2_048,
+                    p90_ns: 8_192,
+                    p99_ns: 8_192,
+                }],
             },
         ];
         for report in reports {

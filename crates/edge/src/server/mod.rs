@@ -119,6 +119,25 @@ pub trait EdgeGateway {
     /// it (telemetry-unaware gateways keep compiling).
     fn attach_telemetry(&mut self, _telemetry: &Telemetry) {}
 
+    /// Attaches a hot-path profiler so the gateway's phases (planning,
+    /// journal append/fsync, shipping) land in the same phase tree as the
+    /// edge's. The default ignores it.
+    fn attach_profiler(&mut self, _profiler: &rtdls_telemetry::Profiler) {}
+
+    /// The gateway's promotion epoch — which generation of the shard
+    /// answers (the ops channel's `Stats` surface). The default is 0
+    /// (never failed over / not journaled).
+    fn epoch(&self) -> u64 {
+        0
+    }
+
+    /// Frames appended but not yet acked by a replication follower, when
+    /// this gateway ships its journal. The default (`None`) means "does
+    /// not replicate / nothing known about the other side".
+    fn ack_lag(&self) -> Option<u64> {
+        None
+    }
+
     /// Folds the gateway's native stats into the unified metrics registry
     /// (the ops channel's `Stats` surface). The default folds nothing.
     fn fold_metrics(&self, _reg: &mut MetricsRegistry) {}
@@ -194,6 +213,10 @@ impl<A: Admission> EdgeGateway for ShardedGateway<A> {
         ShardedGateway::attach_telemetry(self, telemetry);
     }
 
+    fn attach_profiler(&mut self, profiler: &rtdls_telemetry::Profiler) {
+        ShardedGateway::attach_profiler(self, profiler);
+    }
+
     fn fold_metrics(&self, reg: &mut MetricsRegistry) {
         ShardedGateway::fold_metrics(self, reg);
     }
@@ -241,6 +264,10 @@ impl<A: Admission> EdgeGateway for Gateway<A> {
 
     fn attach_telemetry(&mut self, telemetry: &Telemetry) {
         Gateway::attach_telemetry(self, telemetry);
+    }
+
+    fn attach_profiler(&mut self, profiler: &rtdls_telemetry::Profiler) {
+        Gateway::attach_profiler(self, profiler);
     }
 
     fn fold_metrics(&self, reg: &mut MetricsRegistry) {
@@ -298,6 +325,14 @@ impl<G: Recoverable> EdgeGateway for JournaledGateway<G> {
         JournaledGateway::attach_telemetry(self, telemetry);
     }
 
+    fn attach_profiler(&mut self, profiler: &rtdls_telemetry::Profiler) {
+        JournaledGateway::attach_profiler(self, profiler);
+    }
+
+    fn epoch(&self) -> u64 {
+        self.journal().epoch()
+    }
+
     fn fold_metrics(&self, reg: &mut MetricsRegistry) {
         JournaledGateway::fold_metrics(self, reg);
     }
@@ -351,7 +386,19 @@ impl<G: Recoverable> EdgeGateway for ShippingGateway<G> {
     }
 
     fn attach_telemetry(&mut self, telemetry: &Telemetry) {
-        self.inner_mut().attach_telemetry(telemetry);
+        ShippingGateway::attach_telemetry(self, telemetry);
+    }
+
+    fn attach_profiler(&mut self, profiler: &rtdls_telemetry::Profiler) {
+        ShippingGateway::attach_profiler(self, profiler);
+    }
+
+    fn epoch(&self) -> u64 {
+        self.inner().journal().epoch()
+    }
+
+    fn ack_lag(&self) -> Option<u64> {
+        ShippingGateway::ack_lag(self)
     }
 
     fn fold_metrics(&self, reg: &mut MetricsRegistry) {

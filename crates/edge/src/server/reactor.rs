@@ -22,7 +22,9 @@ use std::time::Duration;
 
 use rtdls_core::prelude::{SimTime, TaskId};
 use rtdls_service::prelude::Verdict;
-use rtdls_telemetry::{MetricsRegistry, Stage, Telemetry};
+use rtdls_telemetry::{
+    HistoryConfig, MetricsRegistry, Profiler, Stage, Telemetry, TimeSeriesStore,
+};
 
 use crate::codec::Direction;
 use crate::poll::{Event, Selector};
@@ -82,6 +84,11 @@ pub struct EdgeServer<G: EdgeGateway> {
     /// Tracing/metrics handle; disabled (and allocation-free on the hot
     /// path) until [`EdgeServer::set_telemetry`].
     pub(crate) telemetry: Telemetry,
+    /// Hot-path phase profiler (`edge/*` plus whatever the gateway
+    /// registers); disabled until [`EdgeServer::enable_profiler`].
+    pub(crate) profiler: Profiler,
+    /// Metrics history ring; absent until [`EdgeServer::enable_history`].
+    pub(crate) history: Option<TimeSeriesStore>,
     /// `(my reactor index, reactor count)` in a cluster; `None` when
     /// single-reactor (every connection is born pinned).
     pub(crate) home: Option<(usize, usize)>,
@@ -132,6 +139,8 @@ impl<G: EdgeGateway> EdgeServer<G> {
             dirty: false,
             stats: EdgeStats::default(),
             telemetry: Telemetry::disabled(),
+            profiler: Profiler::disabled(),
+            history: None,
             home,
             outbox: Vec::new(),
         }
@@ -145,6 +154,34 @@ impl<G: EdgeGateway> EdgeServer<G> {
     pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
         self.telemetry = telemetry.clone();
         self.gateway.attach_telemetry(telemetry);
+    }
+
+    /// Turns the always-on hot-path profiler on: reactor turn phases
+    /// (`edge/read`, `edge/drive`, `edge/flush`) and every phase the
+    /// gateway stack registers (`gateway/plan`, `journal/append`,
+    /// `journal/fsync`, `ship/poll`, …) accumulate into exponential-bucket
+    /// histograms served by [`OpsQuery::Profile`]. Until this is called
+    /// the profiler costs one `Option` check per phase.
+    pub fn enable_profiler(&mut self) {
+        self.profiler = Profiler::enabled();
+        self.gateway.attach_profiler(&self.profiler);
+    }
+
+    /// The profiler handle (for tests and external folds).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Turns metrics history on: once per `cfg.cadence` (edge-clock
+    /// seconds) the reactor folds the full registry and records every
+    /// scalar into a fixed-capacity ring, served by [`OpsQuery::History`].
+    pub fn enable_history(&mut self, cfg: HistoryConfig) {
+        self.history = Some(TimeSeriesStore::new(cfg));
+    }
+
+    /// The history store, when enabled.
+    pub fn history(&self) -> Option<&TimeSeriesStore> {
+        self.history.as_ref()
     }
 
     /// Parked-task pushback entries currently held (server-minted task id →
@@ -212,9 +249,11 @@ impl<G: EdgeGateway> EdgeServer<G> {
         mut selector: Option<&mut Selector>,
     ) -> bool {
         let mut progressed = false;
-        // `timer()` is None while telemetry is disabled, so the phase
-        // accounting below is free (no clock reads) on the bare path.
+        // `timer()` is None while telemetry is disabled (and `start()`
+        // while the profiler is), so the phase accounting below is free
+        // (no clock reads) on the bare path.
         let read_timer = self.telemetry.timer();
+        let read_phase = self.profiler.start();
         let accept_ready = match readiness {
             None => true,
             Some(events) => events
@@ -228,6 +267,7 @@ impl<G: EdgeGateway> EdgeServer<G> {
         if self.home.is_some() {
             self.extract_transfers(selector.as_deref_mut());
         }
+        self.profiler.stop("edge/read", read_phase);
         self.stats.read_ns += Telemetry::elapsed_ns(read_timer);
         // Event-driven drive, mirroring the simulator: sweep the books
         // only when a submission arrived or timed work (a dispatch or an
@@ -239,19 +279,40 @@ impl<G: EdgeGateway> EdgeServer<G> {
             .is_some_and(|t| t.at_or_before_eps(now));
         if self.dirty || due {
             let drive_timer = self.telemetry.timer();
+            let drive_phase = self.profiler.start();
             self.gateway.drive(now);
             self.dirty = false;
             progressed |= self.push_updates(now);
+            self.profiler.stop("edge/drive", drive_phase);
             self.stats.drive_ns += Telemetry::elapsed_ns(drive_timer);
         }
         let flush_timer = self.telemetry.timer();
+        let flush_phase = self.profiler.start();
         progressed |= self.flush_writes(selector);
         self.reap(now);
+        self.profiler.stop("edge/flush", flush_phase);
         self.stats.flush_ns += Telemetry::elapsed_ns(flush_timer);
         if self.telemetry.is_enabled() {
             self.stats.turns += 1;
         }
+        self.sample_history(now);
         progressed
+    }
+
+    /// Records one metrics-history sample when the cadence says one is
+    /// due. The fold only runs on due turns, so a second's worth of
+    /// reactor turns costs exactly one registry fold.
+    fn sample_history(&mut self, now: SimTime) {
+        let due = self.history.as_ref().is_some_and(|s| s.due(now));
+        if !due {
+            return;
+        }
+        let mut reg = MetricsRegistry::new();
+        self.gateway.fold_metrics(&mut reg);
+        fold_edge_stats(&mut reg, &self.stats, self.pending.len(), self.conns.len());
+        if let Some(store) = self.history.as_mut() {
+            store.sample(now, &reg);
+        }
     }
 
     /// The selector timeout: wall time until the gateway's next due
@@ -600,6 +661,8 @@ impl<G: EdgeGateway> EdgeServer<G> {
                 fold_edge_stats(&mut reg, &self.stats, self.pending.len(), self.conns.len());
                 OpsReport::Stats {
                     samples: reg.flatten(),
+                    epoch: self.gateway.epoch(),
+                    ack_lag: self.gateway.ack_lag(),
                 }
             }
             OpsQuery::Trace { id } => OpsReport::Trace {
@@ -615,6 +678,25 @@ impl<G: EdgeGateway> EdgeServer<G> {
             OpsQuery::Explain { request } => OpsReport::Explain {
                 task: request.task.id.0,
                 explanation: self.gateway.explain(&request, now),
+            },
+            OpsQuery::History { series, range } => match &self.history {
+                Some(store) => OpsReport::History {
+                    points: if series.is_empty() {
+                        Vec::new()
+                    } else {
+                        store.points_in_range(&series, now, range)
+                    },
+                    available: store.series_names(),
+                    series,
+                },
+                None => OpsReport::History {
+                    series,
+                    points: Vec::new(),
+                    available: Vec::new(),
+                },
+            },
+            OpsQuery::Profile => OpsReport::Profile {
+                phases: self.profiler.snapshot(),
             },
         }
     }

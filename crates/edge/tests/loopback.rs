@@ -577,7 +577,7 @@ fn ops_channel_reconstructs_a_reserved_flows_full_timeline_by_trace_id() {
         query: OpsQuery::Stats,
     });
     let ServerMsg::OpsReport {
-        report: OpsReport::Stats { samples },
+        report: OpsReport::Stats { samples, .. },
     } = ops.recv(&mut server, avail)
     else {
         panic!("expected Stats report");

@@ -1,0 +1,116 @@
+//! The observability-plane capstone: after a full simulated failover, the
+//! *promoted* gateway goes behind a real edge server, and one ops query
+//! with one trace id reconstructs the cross-node timeline — primary-side
+//! plan/append/ship spans, follower-side replay, and the promotion fence —
+//! over the wire, exactly as `rtdls-top --trace` would render it. The
+//! primary process (and its flight recorder) is long dead by then; every
+//! span served came off the shipped frames.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rtdls_core::prelude::*;
+use rtdls_edge::prelude::*;
+use rtdls_journal::prelude::*;
+use rtdls_replica::prelude::*;
+use rtdls_service::prelude::*;
+use rtdls_sim::config::SimConfig;
+use rtdls_sim::engine::Simulation;
+use rtdls_sim::net::FaultPlan;
+use rtdls_telemetry::{Stage, Telemetry};
+
+const KILL_AT: f64 = 2_000.0;
+
+fn primary() -> JournaledGateway<ShardedGateway> {
+    let gateway = ShardedGateway::new(
+        ClusterParams::paper_baseline(),
+        2,
+        AlgorithmKind::EDF_DLT,
+        PlanConfig::default(),
+        Routing::LeastLoaded,
+        DeferPolicy::default(),
+    )
+    .unwrap();
+    JournaledGateway::new(
+        gateway,
+        JournalConfig {
+            snapshot_every: 0,
+            compact_on_snapshot: false,
+        },
+    )
+}
+
+fn plan(seed: u64) -> FailoverPlan {
+    FailoverPlan::kill_at(SimTime::new(KILL_AT), seed)
+        .with_fault(FaultPlan::clean(seed).with_delay(1.0, 6.0))
+}
+
+fn workload() -> Vec<Task> {
+    (0..12u64)
+        .map(|i| Task::new(i, i as f64 * 150.0, 20.0, 1_200.0))
+        .collect()
+}
+
+#[test]
+fn promoted_edge_serves_the_cross_node_timeline_over_the_wire() {
+    // Two recorders model two processes; only the follower's survives.
+    let primary_recorder = Telemetry::with_defaults();
+    let follower_recorder = Telemetry::with_defaults();
+    let mut frontend = ReplicaFrontend::new(primary(), plan(42));
+    frontend.attach_primary_telemetry(&primary_recorder);
+    frontend.attach_follower_telemetry(&follower_recorder);
+    let cfg = SimConfig::new(ClusterParams::paper_baseline(), AlgorithmKind::EDF_DLT)
+        .with_tenants(TenantMix::uniform(3));
+    let mut sim = Simulation::with_frontend(cfg, frontend);
+    sim.prime(workload());
+    while sim.step() {}
+    let (_report, frontend) = sim.finish();
+    assert!(frontend.outcome().promoted_at.is_some(), "must fail over");
+    drop(primary_recorder); // the head node is gone
+
+    // The survivor: the promoted gateway fronted by a fresh edge server,
+    // serving the follower-process recorder.
+    let promoted = frontend.into_gateway().expect("promotion yields a gateway");
+    assert_eq!(promoted.journal().epoch(), 1, "promoted into epoch 1");
+    let trace = follower_recorder
+        .trace_of(1)
+        .expect("shipped frames re-associated task 1 with its trace");
+    let mut server =
+        EdgeServer::bind("127.0.0.1:0", promoted, EdgeConfig::default()).expect("bind edge");
+    server.set_telemetry(&follower_recorder);
+    let addr = server.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server_stop = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || server.run(EdgeClock::real_time(), &server_stop));
+
+    let deadline = Duration::from_secs(5);
+    let mut ops = OpsClient::connect(addr).expect("connect ops");
+
+    // Identity over the wire names the post-failover epoch.
+    let (epoch, ack_lag) = ops.identity(deadline).expect("identity");
+    assert_eq!(epoch, 1, "the edge reports the promoted epoch");
+    assert_eq!(ack_lag, None, "a plain journaled gateway has no shipper");
+
+    // One trace id, queried like `rtdls-top --trace <id>`, yields the
+    // ordered cross-node timeline.
+    let spans = ops.trace(trace, deadline).expect("trace report");
+    assert!(!spans.is_empty() && spans.iter().all(|s| s.trace == trace));
+    let position = |stage: Stage| spans.iter().position(|s| s.stage == stage);
+    let plan_at = position(Stage::Plan).expect("primary's plan span served");
+    let append_at = position(Stage::JournalAppend).expect("primary's append span served");
+    let ship_at = position(Stage::ShipFrame).expect("primary's ship span served");
+    let replay_at = position(Stage::FollowerReplay).expect("follower's replay span served");
+    let promote_at = position(Stage::Promote).expect("promotion span served");
+    assert!(
+        plan_at < ship_at && append_at < ship_at && ship_at < replay_at && replay_at < promote_at,
+        "timeline out of order over the wire: {spans:#?}"
+    );
+
+    // The promoted trace also shows up in the recent-traces listing.
+    let recent = ops.recent_traces(deadline).expect("recent traces");
+    assert!(recent.contains(&trace), "trace {trace} listed: {recent:?}");
+
+    stop.store(true, Ordering::Relaxed);
+    let (_gateway, _stats) = handle.join().expect("edge thread");
+}

@@ -96,6 +96,14 @@ impl<G: Recoverable> JournaledGateway<G> {
         }
     }
 
+    /// Attaches a hot-path profiler handle to the journal (append/fsync
+    /// phases) *and* the wrapped gateway (plan phase). Process-local, like
+    /// telemetry.
+    pub fn attach_profiler(&mut self, profiler: &rtdls_telemetry::Profiler) {
+        self.journal.attach_profiler(profiler);
+        self.inner.attach_profiler(profiler);
+    }
+
     /// The wrapped gateway.
     pub fn inner(&self) -> &G {
         &self.inner

@@ -277,6 +277,9 @@ pub struct Journal {
     /// by follower promotion; a zombie primary keeps its old epoch and its
     /// late shipped frames are fenced by it.
     epoch: u64,
+    /// Hot-path profiler handle (disabled by default: one `Option` check
+    /// per append, no clock reads).
+    profiler: rtdls_telemetry::Profiler,
 }
 
 impl Journal {
@@ -293,6 +296,7 @@ impl Journal {
             base_seq: 0,
             frame_index: Vec::new(),
             epoch: 0,
+            profiler: rtdls_telemetry::Profiler::disabled(),
         }
     }
 
@@ -317,6 +321,12 @@ impl Journal {
     /// The journal's configuration.
     pub fn config(&self) -> &JournalConfig {
         &self.cfg
+    }
+
+    /// Attaches a hot-path profiler: appends, snapshots, and group-commit
+    /// flushes start timing into `journal/*` phases.
+    pub fn attach_profiler(&mut self, profiler: &rtdls_telemetry::Profiler) {
+        self.profiler = profiler.clone();
     }
 
     /// The canonical log bytes (exactly what a recovery would read).
@@ -407,12 +417,15 @@ impl Journal {
     /// sinks that sync per append.
     pub fn flush(&mut self) {
         if let Some(sink) = &mut self.sink {
+            let started = self.profiler.start();
             sink.flush();
+            self.profiler.stop("journal/fsync", started);
         }
     }
 
     /// Appends one event record.
     pub fn append_event(&mut self, ev: &JournalEvent) {
+        let started = self.profiler.start();
         let payload = serde_json::to_string(ev)
             .expect("event serialization is infallible")
             .into_bytes();
@@ -427,11 +440,13 @@ impl Journal {
         if ev.is_input() {
             self.events_since_snapshot += 1;
         }
+        self.profiler.stop("journal/append", started);
     }
 
     /// Appends a snapshot record, compacting away the preceding bytes when
     /// configured to.
     pub fn append_snapshot(&mut self, snap: &GatewaySnapshot) {
+        let started = self.profiler.start();
         let payload = serde_json::to_string(snap)
             .expect("snapshot serialization is infallible")
             .into_bytes();
@@ -456,6 +471,7 @@ impl Journal {
         }
         self.events_since_snapshot = 0;
         self.snapshots_appended += 1;
+        self.profiler.stop("journal/snapshot", started);
     }
 }
 

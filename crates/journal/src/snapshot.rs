@@ -224,6 +224,11 @@ pub trait Recoverable: Frontend + Sized {
     /// keeps telemetry-unaware gateways compiling.
     fn attach_telemetry(&mut self, _telemetry: &rtdls_telemetry::Telemetry) {}
 
+    /// Attaches a hot-path profiler handle for phase timing. Process-local
+    /// like telemetry; the default keeps profiler-unaware gateways
+    /// compiling.
+    fn attach_profiler(&mut self, _profiler: &rtdls_telemetry::Profiler) {}
+
     /// Folds the gateway's native stats into the unified metrics registry
     /// (the ops-poll surface). The default folds nothing, keeping
     /// telemetry-unaware gateways compiling.
@@ -358,6 +363,10 @@ impl<A: Admission> Recoverable for Gateway<A> {
         Gateway::attach_telemetry(self, telemetry)
     }
 
+    fn attach_profiler(&mut self, profiler: &rtdls_telemetry::Profiler) {
+        Gateway::attach_profiler(self, profiler)
+    }
+
     fn fold_metrics(&self, reg: &mut rtdls_telemetry::MetricsRegistry) {
         Gateway::fold_metrics(self, reg)
     }
@@ -473,6 +482,10 @@ impl<A: Admission> Recoverable for ShardedGateway<A> {
 
     fn attach_telemetry(&mut self, telemetry: &rtdls_telemetry::Telemetry) {
         ShardedGateway::attach_telemetry(self, telemetry)
+    }
+
+    fn attach_profiler(&mut self, profiler: &rtdls_telemetry::Profiler) {
+        ShardedGateway::attach_profiler(self, profiler)
     }
 
     fn fold_metrics(&self, reg: &mut rtdls_telemetry::MetricsRegistry) {

@@ -37,8 +37,18 @@ use rtdls_core::prelude::{SimTime, TaskId};
 use rtdls_journal::prelude::*;
 use rtdls_journal::wire::{decode_frames, RecordKind, TailStatus};
 use rtdls_journal::{apply_event, requalify};
+use rtdls_telemetry::{Span, Stage, Telemetry};
 
 use crate::ship::ShipMsg;
+
+/// One out-of-order frame parked until its gap fills: the encoded bytes
+/// plus the trace label and shipped primary spans that rode the wire.
+#[derive(Clone, Debug)]
+struct BufferedFrame {
+    bytes: Vec<u8>,
+    trace: u64,
+    spans: Vec<Span>,
+}
 
 /// Follower tunables, in sim-seconds.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -102,13 +112,18 @@ pub struct Follower<G: Recoverable> {
     /// Highest epoch ever seen (bumped past the primary's on promotion).
     epoch: u64,
     /// Out-of-order frames parked until their gap fills, keyed by seq.
-    buffer: BTreeMap<u64, Vec<u8>>,
+    buffer: BTreeMap<u64, BufferedFrame>,
     /// Last instant anything arrived from the current epoch's primary.
     last_heard: Option<SimTime>,
     /// Highest head offset any heartbeat advertised.
     primary_head: u64,
     promoted: bool,
     stats: FollowerStats,
+    /// Trace handle: when enabled, each applied frame's replay (and the
+    /// shipped primary spans that rode with it) records into this
+    /// follower's own flight recorder under the originating trace, so a
+    /// post-failover timeline is answerable from the promoted side alone.
+    telemetry: Telemetry,
 }
 
 impl<G: Recoverable> Follower<G> {
@@ -125,7 +140,16 @@ impl<G: Recoverable> Follower<G> {
             primary_head: 0,
             promoted: false,
             stats: FollowerStats::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a trace handle: replay and promotion start recording
+    /// `FollowerReplay`/`Promote` spans (plus the shipped primary spans)
+    /// into this follower's own recorder, and the handle is forwarded to
+    /// the gateway a later [`Follower::promote`] returns.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
     }
 
     /// Handles one channel message at sim-time `now`, returning the ack to
@@ -146,7 +170,13 @@ impl<G: Recoverable> Follower<G> {
                 self.stats.heartbeats += 1;
                 Ok(Some(ShipMsg::Ack { seq: self.next_seq }))
             }
-            ShipMsg::Frame { epoch, seq, bytes } => {
+            ShipMsg::Frame {
+                epoch,
+                seq,
+                bytes,
+                trace,
+                spans,
+            } => {
                 if epoch < self.epoch {
                     self.stats.fenced += 1;
                     return Ok(None);
@@ -156,10 +186,17 @@ impl<G: Recoverable> Follower<G> {
                 if seq < self.next_seq || self.buffer.contains_key(&seq) {
                     self.stats.duplicates += 1;
                 } else {
-                    self.buffer.insert(seq, bytes);
+                    self.buffer.insert(
+                        seq,
+                        BufferedFrame {
+                            bytes,
+                            trace,
+                            spans,
+                        },
+                    );
                     self.stats.buffered_high_water =
                         self.stats.buffered_high_water.max(self.buffer.len() as u64);
-                    self.drain()?;
+                    self.drain(now)?;
                 }
                 Ok(Some(ShipMsg::Ack { seq: self.next_seq }))
             }
@@ -169,22 +206,22 @@ impl<G: Recoverable> Follower<G> {
     /// Applies buffered frames: in-order as long as `next_seq` is present,
     /// then fast-forwards to the newest buffered snapshot if a gap blocks
     /// further progress (the snapshot supersedes the missing frames).
-    fn drain(&mut self) -> Result<(), JournalError> {
+    fn drain(&mut self, now: SimTime) -> Result<(), JournalError> {
         loop {
-            if let Some(bytes) = self.buffer.remove(&self.next_seq) {
-                self.apply(&bytes)?;
+            if let Some(frame) = self.buffer.remove(&self.next_seq) {
+                self.apply(now, &frame)?;
                 continue;
             }
             let jump = self
                 .buffer
                 .iter()
                 .rev()
-                .find_map(|(&seq, bytes)| Self::is_snapshot(bytes).then_some(seq));
+                .find_map(|(&seq, frame)| Self::is_snapshot(&frame.bytes).then_some(seq));
             match jump {
                 Some(seq) => {
-                    let bytes = self.buffer.remove(&seq).expect("jump target buffered");
+                    let frame = self.buffer.remove(&seq).expect("jump target buffered");
                     self.buffer.retain(|&s, _| s > seq);
-                    self.apply(&bytes)?;
+                    self.apply(now, &frame)?;
                     self.next_seq = seq + 1;
                     self.stats.fast_forwards += 1;
                 }
@@ -203,17 +240,26 @@ impl<G: Recoverable> Follower<G> {
     /// Applies one shipped frame to the standby and appends it to the
     /// mirror. Advances `next_seq` by one (the fast-forward path then
     /// overwrites it with the jump target).
-    fn apply(&mut self, bytes: &[u8]) -> Result<(), JournalError> {
-        let (frames, tail) = decode_frames(bytes);
+    ///
+    /// When a trace handle is attached, the primary's shipped spans are
+    /// re-sequenced into this follower's recorder (fresh local `seq`, same
+    /// stage/timing), then a [`Stage::FollowerReplay`] span marks the
+    /// apply itself — so one trace id answers for the whole cross-node
+    /// timeline from the follower's ops channel after the primary is gone.
+    fn apply(&mut self, now: SimTime, frame: &BufferedFrame) -> Result<(), JournalError> {
+        let timer = self.telemetry.timer();
+        let (frames, tail) = decode_frames(&frame.bytes);
         if tail != TailStatus::Clean || frames.len() != 1 {
             return Err(JournalError::Corrupt(
                 "shipped frame did not decode to exactly one clean record".into(),
             ));
         }
-        let frame = &frames[0];
-        let payload = std::str::from_utf8(&frame.payload)
+        let record = &frames[0];
+        let payload = std::str::from_utf8(&record.payload)
             .map_err(|e| JournalError::Corrupt(e.to_string()))?;
-        match frame.kind {
+        let mut trace = frame.trace;
+        let mut task = 0u64;
+        match record.kind {
             RecordKind::Snapshot => {
                 let snap: GatewaySnapshot = serde_json::from_str(payload)?;
                 self.standby = Some(G::restore(&snap)?);
@@ -221,6 +267,15 @@ impl<G: Recoverable> Follower<G> {
             }
             RecordKind::Event => {
                 let event: JournalEvent = serde_json::from_str(payload)?;
+                if let JournalEvent::RequestSubmitted { request, .. } = &event {
+                    // Untraced transports (or a telemetry-off primary)
+                    // ship trace 0; the trace minted at submission still
+                    // rides the WAL payload itself.
+                    if trace == 0 {
+                        trace = request.trace;
+                    }
+                    task = request.task.id.0;
+                }
                 // Audit records ship (the mirror is a faithful prefix) but
                 // only input events drive the state machine — the same
                 // filter recovery's replay applies.
@@ -231,7 +286,40 @@ impl<G: Recoverable> Follower<G> {
                 }
             }
         }
-        self.mirror.extend_from_slice(bytes);
+        if self.telemetry.is_enabled() {
+            // Ingested ids were minted by the primary's counter; fence the
+            // local counter past them so post-promotion mints stay unique.
+            self.telemetry.reserve_traces(trace + 1);
+            for span in &frame.spans {
+                self.telemetry.reserve_traces(span.trace + 1);
+                self.telemetry.record_ns(
+                    span.trace,
+                    span.stage,
+                    span.shard,
+                    span.task,
+                    &span.outcome,
+                    span.at,
+                    span.duration_ns,
+                );
+                if span.task != 0 {
+                    self.telemetry.remember(span.task, span.trace);
+                }
+            }
+            let outcome = format!("applied seq {}", self.next_seq);
+            self.telemetry.record(
+                trace,
+                Stage::FollowerReplay,
+                None,
+                task,
+                &outcome,
+                now,
+                timer,
+            );
+            if task != 0 && trace != 0 {
+                self.telemetry.remember(task, trace);
+            }
+        }
+        self.mirror.extend_from_slice(&frame.bytes);
         self.next_seq += 1;
         self.stats.applied += 1;
         Ok(())
@@ -278,7 +366,19 @@ impl<G: Recoverable> Follower<G> {
         let _ = standby.take_breach_log();
         self.epoch += 1;
         self.promoted = true;
-        let (journaled, demoted) = requalify(standby, now, cfg, sink, self.epoch);
+        let (mut journaled, demoted) = requalify(standby, now, cfg, sink, self.epoch);
+        if self.telemetry.is_enabled() {
+            // Fence every in-flight trace with a promotion marker, so a
+            // timeline query after failover shows *where* ownership moved.
+            let outcome = format!("promoted to epoch {}", self.epoch);
+            for trace in self.telemetry.recent_traces(32) {
+                self.telemetry
+                    .record(trace, Stage::Promote, None, 0, &outcome, now, None);
+            }
+            // The promoted gateway inherits this recorder: post-failover
+            // traffic lands in the same flight recorder as replayed history.
+            journaled.attach_telemetry(&self.telemetry);
+        }
         Ok((
             journaled,
             Promotion {
@@ -317,9 +417,12 @@ impl<G: Recoverable> Follower<G> {
     }
 
     /// Replication lag from the follower's view: advertised head minus
-    /// applied frames.
-    pub fn lag(&self) -> u64 {
-        self.primary_head.saturating_sub(self.next_seq)
+    /// applied frames. `None` until the first current-epoch message lands —
+    /// a follower that has heard *nothing* is not "caught up", and callers
+    /// alerting on lag must tell the two apart (0 used to mean both).
+    pub fn lag(&self) -> Option<u64> {
+        self.last_heard?;
+        Some(self.primary_head.saturating_sub(self.next_seq))
     }
 
     /// Last instant anything arrived from a current-epoch primary.
@@ -500,11 +603,7 @@ mod tests {
                 head: fol.next_seq(),
             },
         );
-        let stale = ShipMsg::Frame {
-            epoch: 0,
-            seq: fol.next_seq(),
-            bytes: vec![1, 2, 3],
-        };
+        let stale = ShipMsg::frame(0, fol.next_seq(), vec![1, 2, 3]);
         let reply = fol.on_msg(SimTime::new(2.0), stale).unwrap();
         assert_eq!(reply, None, "fenced traffic is not even acked");
         assert_eq!(fol.stats().fenced, 1);
@@ -554,11 +653,7 @@ mod tests {
         );
 
         // The zombie's late append, stamped with the dead epoch, fences.
-        let zombie = ShipMsg::Frame {
-            epoch: 0,
-            seq: 99,
-            bytes: vec![0xde],
-        };
+        let zombie = ShipMsg::frame(0, 99, vec![0xde]);
         assert_eq!(fol.on_msg(SimTime::new(61.0), zombie).unwrap(), None);
         assert_eq!(fol.stats().fenced, 1);
     }

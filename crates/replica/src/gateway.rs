@@ -167,6 +167,36 @@ impl<G: Recoverable> ShippingGateway<G> {
         &self.shipper
     }
 
+    /// Attaches a trace handle to both the wrapped gateway and the
+    /// shipper, so shipped frames carry the request's trace id and its
+    /// primary-side spans across the wire.
+    pub fn attach_telemetry(&mut self, telemetry: &rtdls_telemetry::Telemetry) {
+        self.inner.attach_telemetry(telemetry);
+        self.shipper.attach_telemetry(telemetry);
+    }
+
+    /// Attaches a profiler to the journal, the planning core, and the
+    /// shipper's poll/ack phases.
+    pub fn attach_profiler(&mut self, profiler: &rtdls_telemetry::Profiler) {
+        self.inner.attach_profiler(profiler);
+        self.shipper.attach_profiler(profiler);
+    }
+
+    /// Frames appended but not yet acked by the follower — the admitted
+    /// history a failover right now would lose. `None` when no follower
+    /// has ever acked (nothing is known about the other side).
+    pub fn ack_lag(&self) -> Option<u64> {
+        if self.shipper.acked() == 0 && self.transport.is_none() && self.transport_errors == 0 {
+            return None;
+        }
+        Some(
+            self.inner
+                .journal()
+                .next_seq()
+                .saturating_sub(self.shipper.acked()),
+        )
+    }
+
     /// Send failures observed so far (each one detaches the transport).
     pub fn transport_errors(&self) -> u64 {
         self.transport_errors

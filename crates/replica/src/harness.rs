@@ -258,11 +258,7 @@ impl<G: Recoverable> ReplicaFrontend<G> {
             self.zombie = frames
                 .iter()
                 .enumerate()
-                .map(|(i, bytes)| ShipMsg::Frame {
-                    epoch,
-                    seq: start + i as u64,
-                    bytes: bytes.to_vec(),
-                })
+                .map(|(i, bytes)| ShipMsg::frame(epoch, start + i as u64, bytes.to_vec()))
                 .collect();
             self.zombie_frames = self.zombie.len() as u64;
             self.killed_at = Some(now);
@@ -292,6 +288,36 @@ impl<G: Recoverable> ReplicaFrontend<G> {
             let _ = self.follower.on_msg(now, msg);
         }
         self.role = Role::Promoted(promoted);
+    }
+
+    /// Attaches a trace handle to the *primary process*: the primary
+    /// gateway records its pipeline spans into it, and the shipper copies
+    /// each frame's spans onto the wire. Models the head node's recorder —
+    /// it dies with the kill.
+    pub fn attach_primary_telemetry(&mut self, telemetry: &rtdls_telemetry::Telemetry) {
+        if let Role::Primary(g) = &mut self.role {
+            g.attach_telemetry(telemetry);
+        }
+        self.shipper.attach_telemetry(telemetry);
+    }
+
+    /// Attaches a trace handle to the *follower process*: replayed frames
+    /// re-record the shipped primary spans plus their own
+    /// `follower_replay` spans, and promotion hands the handle to the
+    /// promoted gateway. Models the standby node's recorder — the one that
+    /// survives the failover.
+    pub fn attach_follower_telemetry(&mut self, telemetry: &rtdls_telemetry::Telemetry) {
+        self.follower.attach_telemetry(telemetry);
+    }
+
+    /// Consumes the frontend, returning the live gateway (promoted after a
+    /// failover) — e.g. to put it behind an edge server and serve timeline
+    /// queries from the surviving process.
+    pub fn into_gateway(self) -> Option<JournaledGateway<G>> {
+        match self.role {
+            Role::Primary(g) | Role::Promoted(g) => Some(g),
+            Role::Down => None,
+        }
     }
 
     /// Which process currently answers for the shard.

@@ -195,11 +195,7 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let msgs = vec![
-            ShipMsg::Frame {
-                epoch: 3,
-                seq: 17,
-                bytes: vec![0, 1, 2, 254, 255],
-            },
+            ShipMsg::frame(3, 17, vec![0, 1, 2, 254, 255]),
             ShipMsg::Heartbeat { epoch: 3, head: 18 },
             ShipMsg::Ack { seq: 18 },
         ];

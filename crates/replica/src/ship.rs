@@ -32,7 +32,8 @@
 //! primary's post-partition traffic detectable.
 
 use rtdls_core::prelude::SimTime;
-use rtdls_journal::Journal;
+use rtdls_journal::{Journal, JournalEvent};
+use rtdls_telemetry::{Profiler, Span, Stage, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// One message on the replication channel, in either direction.
@@ -50,6 +51,16 @@ pub enum ShipMsg {
         seq: u64,
         /// The encoded frame bytes (magic, kind, length, payload, checksum).
         bytes: Vec<u8>,
+        /// Trace id of the request this frame journals (`0` = untraced:
+        /// telemetry off on the primary, or a frame that journals no
+        /// request). Rides the wire so the follower records its replay
+        /// under the originating trace.
+        trace: u64,
+        /// The primary's retained spans for `trace` at ship time — the
+        /// cross-node half of the timeline. Empty when untraced; the
+        /// follower re-sequences these into its own flight recorder so a
+        /// single trace id reconstructs the full story after a failover.
+        spans: Vec<Span>,
     },
     /// Liveness beacon: "I am primary for `epoch`, my log head is `head`."
     Heartbeat {
@@ -63,6 +74,42 @@ pub enum ShipMsg {
         /// The follower's next expected frame sequence number.
         seq: u64,
     },
+}
+
+impl ShipMsg {
+    /// An untraced frame (tests, zombie redelivery, telemetry-off paths).
+    pub fn frame(epoch: u64, seq: u64, bytes: Vec<u8>) -> ShipMsg {
+        ShipMsg::Frame {
+            epoch,
+            seq,
+            bytes,
+            trace: 0,
+            spans: Vec::new(),
+        }
+    }
+}
+
+/// The trace id and task id journaled in one encoded frame, when the frame
+/// is a decodable `RequestSubmitted` event (`(0, 0)` otherwise). This is
+/// how the shipper labels outbound frames without any side-band state: the
+/// trace already rides the WAL payload.
+pub fn frame_trace(bytes: &[u8]) -> (u64, u64) {
+    use rtdls_journal::wire::{decode_frames, RecordKind, TailStatus};
+    let (frames, tail) = decode_frames(bytes);
+    if tail != TailStatus::Clean || frames.len() != 1 {
+        return (0, 0);
+    }
+    let frame = &frames[0];
+    if frame.kind != RecordKind::Event {
+        return (0, 0);
+    }
+    let Ok(payload) = std::str::from_utf8(&frame.payload) else {
+        return (0, 0);
+    };
+    match serde_json::from_str::<JournalEvent>(payload) {
+        Ok(JournalEvent::RequestSubmitted { request, .. }) => (request.trace, request.task.id.0),
+        _ => (0, 0),
+    }
 }
 
 /// Shipping cadence knobs, in sim-seconds.
@@ -109,6 +156,13 @@ pub struct Shipper {
     /// the retransmission timer measures silence from here.
     last_progress: SimTime,
     stats: ShipStats,
+    /// Trace handle: when enabled, outbound frames carry the journaled
+    /// request's trace id plus the primary's retained spans for it, and
+    /// every first-time ship records a `ShipFrame` span. Disabled by
+    /// default — the untraced path never decodes frame payloads.
+    telemetry: Telemetry,
+    /// Hot-path profiler (`ship/poll`, `ship/ack` phases).
+    profiler: Profiler,
 }
 
 impl Shipper {
@@ -121,6 +175,53 @@ impl Shipper {
             last_heartbeat: None,
             last_progress: SimTime::ZERO,
             stats: ShipStats::default(),
+            telemetry: Telemetry::disabled(),
+            profiler: Profiler::disabled(),
+        }
+    }
+
+    /// Attaches a trace handle: shipped frames start carrying trace ids
+    /// and span payloads for cross-node timeline reconstruction.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
+    }
+
+    /// Attaches a hot-path profiler (`ship/*` phases).
+    pub fn attach_profiler(&mut self, profiler: &Profiler) {
+        self.profiler = profiler.clone();
+    }
+
+    /// Builds one outbound frame, labeling it with the journaled request's
+    /// trace (and the trace's retained primary spans) when tracing is on.
+    fn make_frame(
+        &self,
+        epoch: u64,
+        seq: u64,
+        bytes: &[u8],
+        now: SimTime,
+        outcome: &str,
+    ) -> ShipMsg {
+        if !self.telemetry.is_enabled() {
+            return ShipMsg::frame(epoch, seq, bytes.to_vec());
+        }
+        let (trace, task) = frame_trace(bytes);
+        if trace != 0 {
+            // Record the ship stage *before* collecting the trace's spans,
+            // so the follower's copy of the timeline includes it.
+            self.telemetry
+                .record(trace, Stage::ShipFrame, None, task, outcome, now, None);
+        }
+        let spans = if trace != 0 {
+            self.telemetry.trace_spans(trace)
+        } else {
+            Vec::new()
+        };
+        ShipMsg::Frame {
+            epoch,
+            seq,
+            bytes: bytes.to_vec(),
+            trace,
+            spans,
         }
     }
 
@@ -129,6 +230,7 @@ impl Shipper {
     /// stalled, and a heartbeat if one is due. The caller sends the
     /// returned messages in order.
     pub fn poll(&mut self, journal: &Journal, now: SimTime) -> Vec<ShipMsg> {
+        let phase = self.profiler.start();
         let epoch = journal.epoch();
         let head = journal.next_seq();
         let mut out = Vec::new();
@@ -138,11 +240,7 @@ impl Shipper {
             // `start > shipped` means the log compacted past our cursor;
             // the snapshot at `start` supersedes the dropped gap.
             for (i, bytes) in frames.iter().enumerate() {
-                out.push(ShipMsg::Frame {
-                    epoch,
-                    seq: start + i as u64,
-                    bytes: bytes.to_vec(),
-                });
+                out.push(self.make_frame(epoch, start + i as u64, bytes, now, "shipped"));
             }
             self.stats.frames_shipped += frames.len() as u64;
             self.shipped = head;
@@ -153,11 +251,7 @@ impl Shipper {
         {
             let (start, frames) = journal.frames_from(self.acked);
             for (i, bytes) in frames.iter().enumerate() {
-                out.push(ShipMsg::Frame {
-                    epoch,
-                    seq: start + i as u64,
-                    bytes: bytes.to_vec(),
-                });
+                out.push(self.make_frame(epoch, start + i as u64, bytes, now, "retransmitted"));
             }
             self.stats.retransmitted += frames.len() as u64;
             self.last_progress = now;
@@ -172,17 +266,20 @@ impl Shipper {
             self.last_heartbeat = Some(now);
         }
 
+        self.profiler.stop("ship/poll", phase);
         out
     }
 
     /// Applies a follower [`ShipMsg::Ack`]: acks are cumulative, so only a
     /// forward move counts as progress.
     pub fn on_ack(&mut self, seq: u64, now: SimTime) {
+        let phase = self.profiler.start();
         if seq > self.acked {
             self.acked = seq;
             self.last_progress = now;
             self.stats.acks_applied += 1;
         }
+        self.profiler.stop("ship/ack", phase);
     }
 
     /// Frames handed to the transport at least once (`< shipped`).

@@ -46,7 +46,20 @@ pub fn fold_follower_metrics<G: rtdls_journal::Recoverable>(
         &[],
         follower.next_seq() as f64,
     );
-    reg.gauge("rtdls_follower_lag", &[], follower.lag() as f64);
+    // `rtdls_follower_lag` keeps its historical shape (0 when unknown);
+    // `rtdls_replica_lag_frames` is the alert-safe variant that reports a
+    // `-1` sentinel until the follower has heard from a live primary, so
+    // "never connected" can't masquerade as "caught up".
+    reg.gauge(
+        "rtdls_follower_lag",
+        &[],
+        follower.lag().unwrap_or(0) as f64,
+    );
+    reg.gauge(
+        "rtdls_replica_lag_frames",
+        &[],
+        follower.lag().map_or(-1.0, |l| l as f64),
+    );
     reg.gauge(
         "rtdls_follower_promoted",
         &[],
@@ -104,5 +117,20 @@ mod tests {
         assert!(text.contains("rtdls_follower_applied_offset"), "{text}");
         assert!(text.contains("rtdls_follower_fenced 0"), "{text}");
         assert!(text.contains("rtdls_follower_promoted 0"), "{text}");
+        assert!(text.contains("rtdls_replica_lag_frames 0"), "{text}");
+    }
+
+    #[test]
+    fn lag_frames_gauge_distinguishes_silence_from_caught_up() {
+        let follower: Follower<Gateway> = Follower::new(FollowerConfig::default());
+        assert_eq!(follower.lag(), None, "nothing heard yet");
+        let mut reg = MetricsRegistry::new();
+        fold_follower_metrics(&mut reg, &follower);
+        let text = reg.to_prometheus();
+        assert!(text.contains("rtdls_replica_lag_frames -1"), "{text}");
+        assert!(
+            text.contains("rtdls_follower_lag 0"),
+            "legacy gauge keeps its shape: {text}"
+        );
     }
 }

@@ -16,9 +16,10 @@ use rtdls_journal::wire::{decode_frames, RecordKind};
 use rtdls_replica::prelude::*;
 use rtdls_service::prelude::*;
 use rtdls_sim::config::SimConfig;
-use rtdls_sim::engine::SimReport;
+use rtdls_sim::engine::{SimReport, Simulation};
 use rtdls_sim::frontend::Frontend;
 use rtdls_sim::net::FaultPlan;
+use rtdls_telemetry::{Stage, Telemetry};
 
 const KILL_AT: f64 = 2_000.0;
 const SPLIT_FROM: f64 = 1_910.0;
@@ -258,6 +259,56 @@ fn killed_primary_under_netsplit_fails_over_and_fences_the_zombie() {
         "the outage window rejected arrivals"
     );
     assert!(report.metrics.completed > 0);
+}
+
+#[test]
+fn one_trace_id_reconstructs_the_cross_node_timeline_after_failover() {
+    // Two recorders model two processes: the primary's dies with the kill;
+    // only the follower's survives to answer timeline queries.
+    let primary_recorder = Telemetry::with_defaults();
+    let follower_recorder = Telemetry::with_defaults();
+    let mut frontend = ReplicaFrontend::new(primary(), plan(42));
+    frontend.attach_primary_telemetry(&primary_recorder);
+    frontend.attach_follower_telemetry(&follower_recorder);
+    let cfg = SimConfig::new(ClusterParams::paper_baseline(), AlgorithmKind::EDF_DLT)
+        .with_tenants(TenantMix::uniform(3));
+    let mut sim = Simulation::with_frontend(cfg, frontend);
+    sim.prime(workload());
+    while sim.step() {}
+    let (_report, frontend) = sim.finish();
+    let out = frontend.outcome();
+    assert!(out.promoted_at.is_some(), "scenario must fail over");
+
+    // Task 1 was admitted, journaled, and shipped long before the kill.
+    // Drop the primary's recorder — the query must succeed without it.
+    drop(primary_recorder);
+    let trace = follower_recorder
+        .trace_of(1)
+        .expect("shipped frame re-associated task 1 with its trace");
+    let spans = follower_recorder.trace_spans(trace);
+    assert!(spans.iter().all(|s| s.trace == trace));
+    let position = |stage: Stage| spans.iter().position(|s| s.stage == stage);
+    let plan_at = position(Stage::Plan).expect("primary's plan span shipped across");
+    let append_at = position(Stage::JournalAppend).expect("primary's append span shipped across");
+    let ship_at = position(Stage::ShipFrame).expect("primary's ship span shipped across");
+    let replay_at = position(Stage::FollowerReplay).expect("follower recorded its replay");
+    let promote_at = position(Stage::Promote).expect("promotion fenced the trace");
+    assert!(
+        plan_at < ship_at && append_at < ship_at && ship_at < replay_at && replay_at < promote_at,
+        "timeline out of order: {spans:#?}"
+    );
+    assert!(
+        spans[promote_at].outcome.contains("epoch 1"),
+        "promotion span names the new epoch: {:?}",
+        spans[promote_at]
+    );
+
+    // Post-promotion mints must not collide with ingested primary ids.
+    let fresh = follower_recorder.mint();
+    assert!(
+        fresh > trace,
+        "local mint counter was fenced past ingested traces"
+    );
 }
 
 #[test]

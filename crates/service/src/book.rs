@@ -15,7 +15,7 @@ use rtdls_core::prelude::{
     AlgorithmKind, ClusterParams, Decision, Infeasible, QosClass, SimTime, SubmitRequest, Task,
     TenantId,
 };
-use rtdls_telemetry::{Stage, Telemetry};
+use rtdls_telemetry::{Profiler, Stage, Telemetry};
 
 use crate::defer::{latest_feasible_start, DeferOutcome, DeferPolicy, DeferTicket, DeferredQueue};
 use crate::metrics::ServiceMetrics;
@@ -59,6 +59,9 @@ pub struct ServiceBook {
     /// default (the zero-telemetry path is one `Option` check), never
     /// captured in snapshots, re-attached by the owner after recovery.
     telemetry: Telemetry,
+    /// Hot-path profiler handle (phase timing on the plan path). Same
+    /// discipline as `telemetry`: disabled by default, process-local.
+    profiler: Profiler,
     /// Deadline-SLO tracker. Durable: sim-time driven and deterministic, it
     /// rides inside gateway snapshots so alarm states and breach counts
     /// survive kill/recover.
@@ -92,6 +95,7 @@ impl ServiceBook {
             updates: Vec::new(),
             observe: false,
             telemetry: Telemetry::disabled(),
+            profiler: Profiler::disabled(),
             slo: SloTracker::default(),
             breach_log: Vec::new(),
             recents: Vec::new(),
@@ -122,6 +126,7 @@ impl ServiceBook {
             updates: Vec::new(),
             observe: false,
             telemetry: Telemetry::disabled(),
+            profiler: Profiler::disabled(),
             slo: SloTracker::default(),
             breach_log: Vec::new(),
             recents: Vec::new(),
@@ -139,6 +144,17 @@ impl ServiceBook {
     /// The attached tracing handle (disabled unless the owner enabled it).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Attaches a hot-path profiler handle (a clone; all clones share one
+    /// phase table). Process-local like the telemetry handle.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
+    }
+
+    /// The attached profiler handle (disabled unless the owner enabled it).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
     }
 
     /// A tenant's current undispatched liabilities: waiting + deferred +
@@ -558,7 +574,9 @@ fn decide_request_inner(
     let task_id = request.task.id.0;
     let trace = request.trace;
     let plan_timer = book.telemetry.timer();
+    let plan_phase = book.profiler.start();
     let (decision, shard) = engine.submit(&request.task, now);
+    book.profiler.stop("gateway/plan", plan_phase);
     if let Some(s) = shard {
         book.telemetry
             .record(trace, Stage::Route, Some(s), task_id, "routed", now, None);

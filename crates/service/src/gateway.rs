@@ -264,6 +264,12 @@ impl<A: Admission> Gateway<A> {
         self.book.set_telemetry(telemetry.clone());
     }
 
+    /// Attaches a hot-path profiler handle: the admission/plan phase of
+    /// every decision starts timing into `gateway/plan`.
+    pub fn attach_profiler(&mut self, profiler: &rtdls_telemetry::Profiler) {
+        self.book.set_profiler(profiler.clone());
+    }
+
     /// Folds this gateway's native stats — service counters, tenant books,
     /// the engine's planning profile, and queue depth — into the unified
     /// registry. The edge's ops channel polls this.

@@ -583,6 +583,12 @@ impl<A: Admission> ShardedGateway<A> {
         self.book.set_telemetry(telemetry.clone());
     }
 
+    /// Attaches a hot-path profiler handle: the routed admission/plan phase
+    /// of every decision starts timing into `gateway/plan`.
+    pub fn attach_profiler(&mut self, profiler: &rtdls_telemetry::Profiler) {
+        self.book.set_profiler(profiler.clone());
+    }
+
     /// Folds this gateway's native stats — service counters, tenant books,
     /// per-shard planning profiles and queue depths — into the unified
     /// registry. The edge's ops channel polls this.

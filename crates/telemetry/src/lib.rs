@@ -21,11 +21,15 @@
 //! violations, slow-consumer evictions, and crash recovery — the in-memory
 //! black box for the incidents that matter.
 
+mod history;
+mod profiler;
 mod recorder;
 mod registry;
 mod span;
 mod window;
 
+pub use history::{HistoryConfig, SeriesPoint, TimeSeriesStore};
+pub use profiler::{render_tree, PhaseProfile, Profiler, PROFILE_BUCKETS};
 pub use recorder::FlightRecorder;
 pub use registry::{HistogramSample, MetricKind, MetricSample, MetricsRegistry};
 pub use span::{Span, Stage};
@@ -145,6 +149,17 @@ impl Telemetry {
     /// Whether this handle records anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Advances the trace-mint counter to at least `next`. Used when this
+    /// recorder ingests traces minted by *another process* (a follower
+    /// replaying shipped frames): ids minted locally after promotion must
+    /// never collide with the ingested ones, or two requests' timelines
+    /// would merge under one id.
+    pub fn reserve_traces(&self, next: u64) {
+        if let Some(inner) = &self.inner {
+            inner.next_trace.fetch_max(next, Ordering::Relaxed);
+        }
     }
 
     /// A clone whose spans default to `shard` when the call site passes

@@ -290,6 +290,62 @@ mod tests {
     }
 
     #[test]
+    fn quantile_of_an_empty_histogram_is_zero() {
+        let h = HistogramSample {
+            name: "empty".to_string(),
+            labels: vec![],
+            buckets: vec![(10, 0), (100, 0)],
+            count: 0,
+            sum: 0.0,
+        };
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        let no_buckets = HistogramSample {
+            name: "bare".to_string(),
+            labels: vec![],
+            buckets: vec![],
+            count: 0,
+            sum: 0.0,
+        };
+        assert_eq!(no_buckets.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_of_a_single_sample_is_its_bucket_at_every_q() {
+        let h = HistogramSample {
+            name: "one".to_string(),
+            labels: vec![],
+            buckets: vec![(10, 0), (100, 1), (1000, 0)],
+            count: 1,
+            sum: 42.0,
+        };
+        // Every quantile of a one-sample distribution is that sample's
+        // bucket bound — including q=0, which still targets the first
+        // sample, never an empty bucket below it.
+        for q in [0.0, 0.01, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 100, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_with_all_samples_in_one_bucket_is_flat() {
+        let h = HistogramSample {
+            name: "flat".to_string(),
+            labels: vec![],
+            buckets: vec![(10, 0), (100, 50), (1000, 0)],
+            count: 50,
+            sum: 0.0,
+        };
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 100, "q={q}");
+        }
+        // Out-of-range q clamps rather than walking off the buckets.
+        assert_eq!(h.quantile(-1.0), 100);
+        assert_eq!(h.quantile(2.0), 100);
+    }
+
+    #[test]
     fn samples_round_trip_through_serde() {
         let s = MetricSample {
             name: "x".to_string(),

@@ -42,6 +42,12 @@ pub enum Stage {
     PushUpdate,
     /// Gateway state rebuilt from the journal (crash recovery).
     Recovery,
+    /// Journal frame handed to the replication transport on the primary.
+    ShipFrame,
+    /// Shipped frame applied (and its input replayed) on the follower.
+    FollowerReplay,
+    /// Follower promoted to primary; in-flight traces get fenced here.
+    Promote,
 }
 
 impl Stage {
@@ -58,6 +64,9 @@ impl Stage {
             Stage::Resolve => "resolve",
             Stage::PushUpdate => "push_update",
             Stage::Recovery => "recovery",
+            Stage::ShipFrame => "ship_frame",
+            Stage::FollowerReplay => "follower_replay",
+            Stage::Promote => "promote",
         }
     }
 }
@@ -145,6 +154,9 @@ mod tests {
             Stage::Resolve,
             Stage::PushUpdate,
             Stage::Recovery,
+            Stage::ShipFrame,
+            Stage::FollowerReplay,
+            Stage::Promote,
         ];
         let mut labels: Vec<_> = all.iter().map(|s| s.label()).collect();
         labels.sort_unstable();

@@ -147,11 +147,11 @@ fn main() {
         let now = standby.now();
         let _ = standby.follower_mut().on_msg(
             now,
-            ShipMsg::Frame {
-                epoch: 0,
-                seq: seq as u64,
-                bytes: rtdls::journal::wire::encode_frame(frame.kind, &frame.payload),
-            },
+            ShipMsg::frame(
+                0,
+                seq as u64,
+                rtdls::journal::wire::encode_frame(frame.kind, &frame.payload),
+            ),
         );
     }
     let now = standby.now();

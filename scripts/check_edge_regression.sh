@@ -4,7 +4,9 @@
 # `cargo bench -p rtdls-bench --bench edge_throughput`) against the
 # committed reference in crates/bench/baselines/. Fails when the measured
 # telemetry overhead — serving with full decision tracing attached vs. the
-# bare path, same process — exceeds the 5% acceptance ceiling, when SLO
+# bare path, same process — exceeds the 5% acceptance ceiling, when the
+# full observability plane (tracing + metrics history + profiler, all on)
+# exceeds its own 5% ceiling, when SLO
 # decision-folding at the wire exceeds the same bar, when the worst-case
 # admission-explain counterfactual search drops below its rate floor, or
 # when the sharded edge stops paying for itself: the 4-reactor cluster
